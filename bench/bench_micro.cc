@@ -1,0 +1,165 @@
+// Micro-benchmarks (google-benchmark) for the hot paths of the XSDF
+// stack: XML parsing, tree construction, WNDB round trip, taxonomy
+// utilities, similarity measures, sphere/vector construction, and
+// per-node disambiguation as a function of context radius.
+
+#include <benchmark/benchmark.h>
+
+#include "core/ambiguity.h"
+#include "core/context_vector.h"
+#include "core/disambiguator.h"
+#include "core/tree_builder.h"
+#include "datasets/generator.h"
+#include "sim/combined.h"
+#include "wordnet/mini_wordnet.h"
+#include "wordnet/wndb.h"
+#include "xml/parser.h"
+
+namespace {
+
+const xsdf::wordnet::SemanticNetwork& Network() {
+  static const auto* network = [] {
+    auto result = xsdf::wordnet::BuildMiniWordNet();
+    return new xsdf::wordnet::SemanticNetwork(std::move(result).value());
+  }();
+  return *network;
+}
+
+const std::string& ShakespeareXml() {
+  static const std::string* xml = [] {
+    auto docs = xsdf::datasets::AllDatasets()[0]->Generate(42);
+    return new std::string(docs[0].xml);
+  }();
+  return *xml;
+}
+
+const xsdf::xml::LabeledTree& ShakespeareTree() {
+  static const auto* tree = [] {
+    auto result =
+        xsdf::core::BuildTreeFromXml(ShakespeareXml(), Network());
+    return new xsdf::xml::LabeledTree(std::move(result).value());
+  }();
+  return *tree;
+}
+
+void BM_XmlParse(benchmark::State& state) {
+  const std::string& xml = ShakespeareXml();
+  for (auto _ : state) {
+    auto doc = xsdf::xml::Parse(xml);
+    benchmark::DoNotOptimize(doc);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(xml.size()));
+}
+BENCHMARK(BM_XmlParse);
+
+void BM_TreeBuild(benchmark::State& state) {
+  auto doc = xsdf::xml::Parse(ShakespeareXml());
+  for (auto _ : state) {
+    auto tree = xsdf::core::BuildTree(*doc, Network());
+    benchmark::DoNotOptimize(tree);
+  }
+}
+BENCHMARK(BM_TreeBuild);
+
+void BM_WndbWrite(benchmark::State& state) {
+  for (auto _ : state) {
+    auto files = xsdf::wordnet::WriteWndb(Network());
+    benchmark::DoNotOptimize(files);
+  }
+}
+BENCHMARK(BM_WndbWrite);
+
+void BM_WndbParse(benchmark::State& state) {
+  auto files = xsdf::wordnet::WriteWndb(Network());
+  for (auto _ : state) {
+    auto network = xsdf::wordnet::ParseWndb(*files);
+    benchmark::DoNotOptimize(network);
+  }
+}
+BENCHMARK(BM_WndbParse);
+
+void BM_SimilarityCombined(benchmark::State& state) {
+  const auto& network = Network();
+  xsdf::sim::CombinedMeasure measure;
+  auto star = network.Senses("star");
+  auto light = network.Senses("light");
+  size_t i = 0;
+  for (auto _ : state) {
+    measure.ClearCache();
+    double sim = measure.Similarity(network, star[i % star.size()],
+                                    light[i % light.size()]);
+    benchmark::DoNotOptimize(sim);
+    ++i;
+  }
+}
+BENCHMARK(BM_SimilarityCombined);
+
+void BM_SimilarityCached(benchmark::State& state) {
+  const auto& network = Network();
+  xsdf::sim::CombinedMeasure measure;
+  auto star = network.Senses("star");
+  auto light = network.Senses("light");
+  for (auto _ : state) {
+    double sim = measure.Similarity(network, star[0], light[0]);
+    benchmark::DoNotOptimize(sim);
+  }
+}
+BENCHMARK(BM_SimilarityCached);
+
+void BM_BuildXmlSphere(benchmark::State& state) {
+  const auto& tree = ShakespeareTree();
+  int radius = static_cast<int>(state.range(0));
+  xsdf::xml::NodeId center =
+      static_cast<xsdf::xml::NodeId>(tree.size() / 2);
+  for (auto _ : state) {
+    auto sphere = xsdf::core::BuildXmlSphere(tree, center, radius);
+    xsdf::core::ContextVector vector(sphere);
+    benchmark::DoNotOptimize(vector);
+  }
+}
+BENCHMARK(BM_BuildXmlSphere)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_AmbiguityDegree(benchmark::State& state) {
+  const auto& tree = ShakespeareTree();
+  for (auto _ : state) {
+    double total = 0.0;
+    for (const auto& node : tree.nodes()) {
+      total += xsdf::core::AmbiguityDegree(tree, node.id, Network());
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_AmbiguityDegree);
+
+void BM_DisambiguateDocument(benchmark::State& state) {
+  xsdf::core::DisambiguatorOptions options;
+  options.sphere_radius = static_cast<int>(state.range(0));
+  xsdf::core::Disambiguator system(&Network(), options);
+  const auto& tree = ShakespeareTree();
+  for (auto _ : state) {
+    auto result = system.RunOnTree(tree);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(tree.size()));
+}
+BENCHMARK(BM_DisambiguateDocument)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_ContextBasedScore(benchmark::State& state) {
+  const auto& network = Network();
+  auto senses = network.Senses("star");
+  const auto& tree = ShakespeareTree();
+  auto sphere = xsdf::core::BuildXmlSphere(tree, 5, 2);
+  xsdf::core::ContextVector vector(sphere);
+  for (auto _ : state) {
+    double score = xsdf::core::ContextScore(
+        network, {senses[0], xsdf::wordnet::kInvalidConcept}, vector, 2);
+    benchmark::DoNotOptimize(score);
+  }
+}
+BENCHMARK(BM_ContextBasedScore);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+#ifndef XSDF_COMMON_RESULT_H_
+#define XSDF_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace xsdf {
+
+/// A value-or-error union in the style of `absl::StatusOr<T>`.
+///
+/// A `Result<T>` holds either a `T` (and an OK status) or a non-OK
+/// `Status`. Accessing the value of an errored result is a programming
+/// error and aborts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Constructs an errored result. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+  /// Constructs a successful result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a `Result<T>` expression); on error returns its
+/// status from the enclosing function, otherwise assigns the value to
+/// `lhs` (a declaration or assignable lvalue).
+#define XSDF_ASSIGN_OR_RETURN(lhs, rexpr)                 \
+  XSDF_ASSIGN_OR_RETURN_IMPL_(                            \
+      XSDF_RESULT_CONCAT_(xsdf_result_, __LINE__), lhs, rexpr)
+
+#define XSDF_RESULT_CONCAT_INNER_(a, b) a##b
+#define XSDF_RESULT_CONCAT_(a, b) XSDF_RESULT_CONCAT_INNER_(a, b)
+#define XSDF_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+}  // namespace xsdf
+
+#endif  // XSDF_COMMON_RESULT_H_

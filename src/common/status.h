@@ -1,0 +1,90 @@
+#ifndef XSDF_COMMON_STATUS_H_
+#define XSDF_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace xsdf {
+
+/// Error category for a failed operation. Mirrors the RocksDB/Abseil
+/// convention of a small closed set of codes plus a free-form message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kCorruption,       // malformed input data (XML, WNDB records, ...)
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kUnimplemented,
+  kIoError,
+};
+
+/// Returns the canonical spelling of a status code ("Ok", "Corruption", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Lightweight success/error result for operations that can fail.
+///
+/// XSDF does not throw exceptions across its public API; fallible
+/// operations return `Status` (or `Result<T>` when they also produce a
+/// value). A default-constructed `Status` is OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "Ok" or "<Code>: <message>"; intended for logs and test failures.
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Evaluates `expr` (a `Status` expression) and returns it from the
+/// enclosing function if it is not OK.
+#define XSDF_RETURN_IF_ERROR(expr)                    \
+  do {                                                \
+    ::xsdf::Status xsdf_status_tmp_ = (expr);         \
+    if (!xsdf_status_tmp_.ok()) return xsdf_status_tmp_; \
+  } while (false)
+
+}  // namespace xsdf
+
+#endif  // XSDF_COMMON_STATUS_H_

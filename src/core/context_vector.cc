@@ -1,0 +1,121 @@
+#include "core/context_vector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace xsdf::core {
+
+double StructuralProximity(int distance, int radius) {
+  return 1.0 - static_cast<double>(distance) /
+                   static_cast<double>(radius + 1);
+}
+
+ContextVector::ContextVector(const Sphere& sphere,
+                             bool uniform_proximity)
+    : sphere_size_(sphere.size()) {
+  if (sphere.members.empty()) return;
+  // Freq(l, S) = sum of structural proximities of members labelled l.
+  std::unordered_map<std::string, double> freq;
+  for (const SphereMember& member : sphere.members) {
+    freq[member.label] +=
+        uniform_proximity
+            ? 1.0
+            : StructuralProximity(member.distance, sphere.radius);
+  }
+  // w(l) = Freq / Max_Freq = 2*Freq / (|S| + 1)   (Eq. 5).
+  double denom = static_cast<double>(sphere.size()) + 1.0;
+  for (auto& [label, f] : freq) {
+    double w = 2.0 * f / denom;
+    weights_[label] = std::min(w, 1.0);
+  }
+}
+
+double ContextVector::Weight(const std::string& label) const {
+  auto it = weights_.find(label);
+  return it == weights_.end() ? 0.0 : it->second;
+}
+
+double ContextVector::Cosine(const ContextVector& other) const {
+  double dot = 0.0;
+  double norm_a = 0.0;
+  double norm_b = 0.0;
+  for (const auto& [label, w] : weights_) {
+    norm_a += w * w;
+    double v = other.Weight(label);
+    dot += w * v;
+  }
+  for (const auto& [label, w] : other.weights_) norm_b += w * w;
+  if (norm_a <= 0.0 || norm_b <= 0.0) return 0.0;
+  return dot / (std::sqrt(norm_a) * std::sqrt(norm_b));
+}
+
+double ContextVector::Jaccard(const ContextVector& other) const {
+  double min_sum = 0.0;
+  double max_sum = 0.0;
+  for (const auto& [label, w] : weights_) {
+    double v = other.Weight(label);
+    min_sum += std::min(w, v);
+    max_sum += std::max(w, v);
+  }
+  for (const auto& [label, v] : other.weights_) {
+    if (weights_.find(label) == weights_.end()) max_sum += v;
+  }
+  return max_sum <= 0.0 ? 0.0 : min_sum / max_sum;
+}
+
+Sphere BuildXmlSphere(const xml::LabeledTree& tree, xml::NodeId center,
+                      int radius, bool exclude_tokens) {
+  Sphere sphere;
+  sphere.radius = radius;
+  std::vector<std::vector<xml::NodeId>> rings = tree.Rings(center, radius);
+  for (int d = 0; d < static_cast<int>(rings.size()); ++d) {
+    for (xml::NodeId id : rings[static_cast<size_t>(d)]) {
+      if (exclude_tokens && id != center &&
+          tree.node(id).kind == xml::TreeNodeKind::kToken) {
+        continue;
+      }
+      sphere.members.push_back({tree.node(id).label, d});
+    }
+  }
+  return sphere;
+}
+
+Sphere BuildConceptSphere(const wordnet::SemanticNetwork& network,
+                          wordnet::ConceptId center, int radius) {
+  Sphere sphere;
+  sphere.radius = radius;
+  std::vector<std::vector<wordnet::ConceptId>> rings =
+      network.Rings(center, radius);
+  for (int d = 0; d < static_cast<int>(rings.size()); ++d) {
+    for (wordnet::ConceptId id : rings[static_cast<size_t>(d)]) {
+      sphere.members.push_back({network.GetConcept(id).label(), d});
+    }
+  }
+  return sphere;
+}
+
+Sphere BuildCompoundConceptSphere(const wordnet::SemanticNetwork& network,
+                                  wordnet::ConceptId p,
+                                  wordnet::ConceptId q, int radius) {
+  // Union keyed by concept id, keeping the smaller distance.
+  std::map<wordnet::ConceptId, int> distances;
+  for (wordnet::ConceptId center : {p, q}) {
+    std::vector<std::vector<wordnet::ConceptId>> rings =
+        network.Rings(center, radius);
+    for (int d = 0; d < static_cast<int>(rings.size()); ++d) {
+      for (wordnet::ConceptId id : rings[static_cast<size_t>(d)]) {
+        auto [it, inserted] = distances.emplace(id, d);
+        if (!inserted && d < it->second) it->second = d;
+      }
+    }
+  }
+  Sphere sphere;
+  sphere.radius = radius;
+  for (const auto& [id, d] : distances) {
+    sphere.members.push_back({network.GetConcept(id).label(), d});
+  }
+  return sphere;
+}
+
+}  // namespace xsdf::core

@@ -1,0 +1,96 @@
+#ifndef XSDF_CORE_CONTEXT_VECTOR_H_
+#define XSDF_CORE_CONTEXT_VECTOR_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "wordnet/semantic_network.h"
+#include "xml/labeled_tree.h"
+
+namespace xsdf::core {
+
+/// One node of a sphere neighborhood: a label at a structural distance
+/// from the sphere center (distance 0 is the center itself).
+struct SphereMember {
+  std::string label;
+  int distance = 0;
+};
+
+/// A sphere neighborhood S_d(x) (paper Definition 5): all members at
+/// distance <= d from the center, including the center at distance 0,
+/// over either an XML tree (containment edges) or the semantic network
+/// (semantic relation edges).
+struct Sphere {
+  int radius = 0;
+  std::vector<SphereMember> members;
+
+  /// |S_d(x)|: the sphere cardinality (including the center; with this
+  /// convention the weights of paper Figure 7's d=1 vector are
+  /// reproduced exactly).
+  int size() const { return static_cast<int>(members.size()); }
+};
+
+/// The weighted context vector V_d(x) of Definitions 6-7: one dimension
+/// per distinct label in the sphere, weighted by structural frequency
+/// (occurrence frequency scaled by structural proximity, Eqs. 5-7).
+class ContextVector {
+ public:
+  ContextVector() = default;
+
+  /// Builds the vector from a sphere per Definition 7. When
+  /// `uniform_proximity` is set, the structural proximity factor is
+  /// fixed at 1 for every member — degrading the model to the
+  /// bag-of-words context of prior work (used by the ablation bench).
+  explicit ContextVector(const Sphere& sphere,
+                         bool uniform_proximity = false);
+
+  /// w(l): the weight of label `l`, 0 when absent.
+  double Weight(const std::string& label) const;
+
+  const std::unordered_map<std::string, double>& weights() const {
+    return weights_;
+  }
+  size_t dimension_count() const { return weights_.size(); }
+  int sphere_size() const { return sphere_size_; }
+
+  /// Cosine similarity with another context vector (Definition 10's
+  /// comparison operator; 0 for empty vectors).
+  double Cosine(const ContextVector& other) const;
+
+  /// Weighted Jaccard similarity, the alternative vector comparison
+  /// the paper's footnote 10 mentions: sum(min(w)) / sum(max(w)).
+  double Jaccard(const ContextVector& other) const;
+
+ private:
+  std::unordered_map<std::string, double> weights_;
+  int sphere_size_ = 0;
+};
+
+/// Struct(x_i, S_d(x)) of Eq. 7: 1 - Dist(x, x_i) / (d + 1).
+double StructuralProximity(int distance, int radius);
+
+/// Builds the XML sphere neighborhood S_d(center) over the tree
+/// (Definition 5), rings computed by BFS over containment edges. When
+/// `exclude_tokens` is set, content token nodes are left out of the
+/// sphere (structure-only context; ablation of the paper's
+/// structure-and-content integration, §3.1).
+Sphere BuildXmlSphere(const xml::LabeledTree& tree, xml::NodeId center,
+                      int radius, bool exclude_tokens = false);
+
+/// Builds the concept sphere neighborhood S_d(c) over the semantic
+/// network (paper §3.5.2), rings following all semantic relations.
+/// Labels are concept labels (first lemma).
+Sphere BuildConceptSphere(const wordnet::SemanticNetwork& network,
+                          wordnet::ConceptId center, int radius);
+
+/// Compound sphere S_d(s_p, s_q) = S_d(s_p) U S_d(s_q) for compound
+/// labels whose tokens resolve to two senses (Eq. 12). Members present
+/// in both spheres keep their smaller distance.
+Sphere BuildCompoundConceptSphere(const wordnet::SemanticNetwork& network,
+                                  wordnet::ConceptId p,
+                                  wordnet::ConceptId q, int radius);
+
+}  // namespace xsdf::core
+
+#endif  // XSDF_CORE_CONTEXT_VECTOR_H_

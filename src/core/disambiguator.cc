@@ -1,0 +1,190 @@
+#include "core/disambiguator.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "core/tree_builder.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xsdf::core {
+
+Disambiguator::Disambiguator(const wordnet::SemanticNetwork* network,
+                             DisambiguatorOptions options)
+    : network_(network),
+      options_(options),
+      measure_(options.similarity_weights) {}
+
+CombinationWeights Disambiguator::EffectiveCombination() const {
+  switch (options_.process) {
+    case DisambiguationProcess::kConceptBased:
+      return {1.0, 0.0};
+    case DisambiguationProcess::kContextBased:
+      return {0.0, 1.0};
+    case DisambiguationProcess::kCombined:
+      return options_.combination_weights;
+  }
+  return {1.0, 0.0};
+}
+
+std::vector<double> Disambiguator::ScoreCandidates(
+    const xml::LabeledTree& tree, xml::NodeId id) const {
+  const std::string& label = tree.node(id).label;
+  std::vector<SenseCandidate> candidates =
+      EnumerateCandidates(*network_, label);
+  Sphere sphere = BuildXmlSphere(tree, id, options_.sphere_radius,
+                                 options_.structure_only_context);
+  ContextVector vector(sphere, options_.bag_of_words_context);
+  CombinationWeights combo = EffectiveCombination();
+  std::vector<double> scores;
+  scores.reserve(candidates.size());
+  for (const SenseCandidate& candidate : candidates) {
+    scores.push_back(CombinedScore(*network_, measure_, candidate, sphere,
+                                   vector, options_.sphere_radius, combo,
+                                   options_.vector_similarity));
+  }
+  if (options_.frequency_prior > 0.0 && !candidates.empty()) {
+    // Most-frequent-sense prior from SN-bar, normalized within the
+    // candidate inventory so it only breaks near-ties.
+    auto candidate_frequency = [&](const SenseCandidate& c) {
+      double f = network_->GetConcept(c.primary).frequency;
+      if (c.is_compound()) {
+        f = (f + network_->GetConcept(c.secondary).frequency) / 2.0;
+      }
+      return f;
+    };
+    double max_freq = 0.0;
+    for (const SenseCandidate& c : candidates) {
+      max_freq = std::max(max_freq, candidate_frequency(c));
+    }
+    // Normalize context scores to the top score first, so the prior is
+    // a fixed-strength tie-breaker regardless of the absolute score
+    // scale (which shrinks with sphere size).
+    double max_score = 0.0;
+    for (double s : scores) max_score = std::max(max_score, s);
+    if (max_score > 0.0) {
+      for (double& s : scores) s /= max_score;
+    }
+    if (max_freq > 0.0) {
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        scores[i] += options_.frequency_prior *
+                     candidate_frequency(candidates[i]) / max_freq;
+      }
+    }
+  }
+  return scores;
+}
+
+Result<SenseAssignment> Disambiguator::DisambiguateNode(
+    const xml::LabeledTree& tree, xml::NodeId id) const {
+  const std::string& label = tree.node(id).label;
+  std::vector<SenseCandidate> candidates =
+      EnumerateCandidates(*network_, label);
+  if (candidates.empty()) {
+    return Status::NotFound("label has no senses in the network: " + label);
+  }
+  SenseAssignment assignment;
+  assignment.node = id;
+  assignment.candidate_count = static_cast<int>(candidates.size());
+  assignment.ambiguity = AmbiguityDegree(tree, id, *network_,
+                                         options_.ambiguity_weights);
+  if (candidates.size() == 1) {
+    assignment.sense = candidates[0];
+    assignment.score = 1.0;
+    return assignment;
+  }
+  std::vector<double> scores = ScoreCandidates(tree, id);
+  size_t best = 0;
+  for (size_t i = 1; i < scores.size(); ++i) {
+    if (scores[i] > scores[best]) best = i;
+  }
+  assignment.sense = candidates[best];
+  assignment.score = scores[best];
+  return assignment;
+}
+
+Result<SemanticTree> Disambiguator::RunOnTree(xml::LabeledTree tree) const {
+  SemanticTree result;
+  std::vector<xml::NodeId> targets =
+      SelectTargetNodes(tree, *network_, options_.ambiguity_threshold,
+                        options_.ambiguity_weights);
+  for (xml::NodeId id : targets) {
+    auto assignment = DisambiguateNode(tree, id);
+    if (!assignment.ok()) continue;  // senseless labels stay untouched
+    result.assignments.emplace(id, std::move(assignment).value());
+  }
+  result.tree = std::move(tree);
+  return result;
+}
+
+Result<SemanticTree> Disambiguator::Run(const xml::Document& doc) const {
+  auto tree = BuildTree(doc, *network_, options_.include_values);
+  if (!tree.ok()) return tree.status();
+  return RunOnTree(std::move(tree).value());
+}
+
+Result<SemanticTree> Disambiguator::RunOnXml(
+    const std::string& xml_text) const {
+  auto doc = xml::Parse(xml_text);
+  if (!doc.ok()) return doc.status();
+  return Run(*doc);
+}
+
+namespace {
+
+void AppendNodeXml(const SemanticTree& semantic_tree,
+                   const wordnet::SemanticNetwork& network,
+                   xml::NodeId id, xml::Node* parent) {
+  const xml::TreeNode& node = semantic_tree.tree.node(id);
+  xml::Node* element = parent->AddElement("node");
+  element->AddAttribute("label", node.label);
+  switch (node.kind) {
+    case xml::TreeNodeKind::kElement:
+      element->AddAttribute("kind", "element");
+      break;
+    case xml::TreeNodeKind::kAttribute:
+      element->AddAttribute("kind", "attribute");
+      break;
+    case xml::TreeNodeKind::kToken:
+      element->AddAttribute("kind", "token");
+      break;
+  }
+  auto it = semantic_tree.assignments.find(id);
+  if (it != semantic_tree.assignments.end()) {
+    const SenseAssignment& assignment = it->second;
+    const wordnet::Concept& c =
+        network.GetConcept(assignment.sense.primary);
+    element->AddAttribute("concept", c.label());
+    element->AddAttribute("concept_id",
+                          std::to_string(assignment.sense.primary));
+    element->AddAttribute("gloss", c.gloss);
+    if (assignment.sense.is_compound()) {
+      const wordnet::Concept& c2 =
+          network.GetConcept(assignment.sense.secondary);
+      element->AddAttribute("concept2", c2.label());
+      element->AddAttribute("concept2_id",
+                            std::to_string(assignment.sense.secondary));
+    }
+    element->AddAttribute("score", StrFormat("%.4f", assignment.score));
+  }
+  for (xml::NodeId child : node.children) {
+    AppendNodeXml(semantic_tree, network, child, element);
+  }
+}
+
+}  // namespace
+
+std::string SemanticTreeToXml(const SemanticTree& semantic_tree,
+                              const wordnet::SemanticNetwork& network) {
+  xml::Document doc;
+  auto root = std::make_unique<xml::Node>(xml::NodeKind::kElement);
+  root->set_name("semantic_tree");
+  if (!semantic_tree.tree.empty()) {
+    AppendNodeXml(semantic_tree, network, semantic_tree.tree.root(),
+                  root.get());
+  }
+  doc.set_root(std::move(root));
+  return xml::Serialize(doc);
+}
+
+}  // namespace xsdf::core

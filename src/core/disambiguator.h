@@ -1,0 +1,129 @@
+#ifndef XSDF_CORE_DISAMBIGUATOR_H_
+#define XSDF_CORE_DISAMBIGUATOR_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "core/ambiguity.h"
+#include "core/scores.h"
+#include "sim/combined.h"
+#include "wordnet/semantic_network.h"
+#include "xml/dom.h"
+#include "xml/labeled_tree.h"
+
+namespace xsdf::core {
+
+/// Which disambiguation process to run (paper §3.5). kCombined blends
+/// both per Eq. 13 using the combination weights.
+enum class DisambiguationProcess { kConceptBased, kContextBased, kCombined };
+
+/// Everything the user can tune (the paper's Motivation 4): ambiguity
+/// weights + selection threshold, sphere radius (context size),
+/// semantic similarity measure weights, and the process combination.
+struct DisambiguatorOptions {
+  /// Node selection (paper §3.3).
+  AmbiguityWeights ambiguity_weights;
+  double ambiguity_threshold = 0.0;
+
+  /// Context size: the sphere neighborhood radius d (paper §3.4).
+  int sphere_radius = 2;
+
+  /// Semantic similarity combination (Definition 9).
+  sim::SimilarityWeights similarity_weights;
+
+  /// Disambiguation process and, for kCombined, its weights (Eq. 13).
+  DisambiguationProcess process = DisambiguationProcess::kConceptBased;
+  CombinationWeights combination_weights;
+
+  /// Vector comparison used by the context-based process (paper
+  /// footnote 10: cosine by default, Jaccard as an alternative).
+  VectorSimilarity vector_similarity = VectorSimilarity::kCosine;
+
+  /// Structure-and-content (true) vs structure-only (false).
+  bool include_values = true;
+
+  /// Ablation switch: build spheres from structural nodes only,
+  /// ignoring content tokens (disables the paper's
+  /// structure-and-content context integration).
+  bool structure_only_context = false;
+
+  /// Ablation switch: treat the sphere context as a plain bag of words
+  /// (uniform structural proximity), as prior approaches do.
+  bool bag_of_words_context = false;
+
+  /// Weight of the most-frequent-sense prior drawn from the weighted
+  /// network SN-bar (the concept frequencies of paper Figure 2).
+  /// Candidate scores receive + prior * freq(c)/max_freq(candidates),
+  /// resolving low-signal contexts toward the corpus-dominant sense —
+  /// the standard knowledge-based WSD backoff. 0 disables it.
+  double frequency_prior = 0.15;
+};
+
+/// The sense assigned to one target node.
+struct SenseAssignment {
+  xml::NodeId node = xml::kInvalidNode;
+  SenseCandidate sense;       ///< winning candidate
+  double score = 0.0;         ///< its (combined) score
+  double ambiguity = 0.0;     ///< the node's Amb_Deg
+  int candidate_count = 0;    ///< size of the sense inventory examined
+};
+
+/// The semantic XML tree: the input labeled tree plus a concept
+/// assignment for every disambiguated target node (paper Figure 4's
+/// output). Non-target nodes remain untouched.
+struct SemanticTree {
+  xml::LabeledTree tree;
+  std::unordered_map<xml::NodeId, SenseAssignment> assignments;
+};
+
+/// The XSDF pipeline (paper Figure 3): linguistic pre-processing ->
+/// ambiguous-node selection -> sphere context construction -> hybrid
+/// disambiguation.
+class Disambiguator {
+ public:
+  /// `network` must outlive the disambiguator and have finalized
+  /// frequencies.
+  Disambiguator(const wordnet::SemanticNetwork* network,
+                DisambiguatorOptions options = {});
+
+  const DisambiguatorOptions& options() const { return options_; }
+
+  /// Runs the full pipeline on a parsed document.
+  Result<SemanticTree> Run(const xml::Document& doc) const;
+
+  /// Runs the pipeline on an XML string.
+  Result<SemanticTree> RunOnXml(const std::string& xml_text) const;
+
+  /// Runs selection + disambiguation on an already-built tree.
+  Result<SemanticTree> RunOnTree(xml::LabeledTree tree) const;
+
+  /// Disambiguates a single node of `tree`; returns the winning
+  /// assignment, or NotFound when the label has no candidate senses.
+  Result<SenseAssignment> DisambiguateNode(const xml::LabeledTree& tree,
+                                           xml::NodeId id) const;
+
+  /// Scores every candidate sense of `id` (exposed for analysis and
+  /// tests); parallel to EnumerateCandidates() order.
+  std::vector<double> ScoreCandidates(const xml::LabeledTree& tree,
+                                      xml::NodeId id) const;
+
+ private:
+  CombinationWeights EffectiveCombination() const;
+
+  const wordnet::SemanticNetwork* network_;
+  DisambiguatorOptions options_;
+  sim::CombinedMeasure measure_;
+};
+
+/// Renders a semantic tree as an annotated XML document: one element
+/// per tree node carrying its label, kind, and — when disambiguated —
+/// the assigned concept's label, id, and gloss. This is the
+/// "semantically augmented XML tree" deliverable of the paper abstract.
+std::string SemanticTreeToXml(const SemanticTree& semantic_tree,
+                              const wordnet::SemanticNetwork& network);
+
+}  // namespace xsdf::core
+
+#endif  // XSDF_CORE_DISAMBIGUATOR_H_

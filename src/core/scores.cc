@@ -1,0 +1,143 @@
+#include "core/scores.h"
+
+#include <algorithm>
+
+#include "core/tree_builder.h"
+
+namespace xsdf::core {
+
+namespace {
+
+/// Best similarity between one candidate sense and any sense of a
+/// context token; 0 when the token is unknown.
+double MaxTokenSimilarity(const wordnet::SemanticNetwork& network,
+                          const sim::CombinedMeasure& measure,
+                          wordnet::ConceptId sense,
+                          const std::string& token) {
+  double best = 0.0;
+  for (wordnet::ConceptId other : network.Senses(token)) {
+    best = std::max(best, measure.Similarity(network, sense, other));
+  }
+  return best;
+}
+
+/// Similarity between a (possibly compound) candidate and one context
+/// label. For simple context labels the compound candidate is compared
+/// exactly per Eq. 10: max over context senses of the average of the
+/// two token-sense similarities. For compound context labels each
+/// context token is matched independently and the results averaged.
+double CandidateContextSimilarity(const wordnet::SemanticNetwork& network,
+                                  const sim::CombinedMeasure& measure,
+                                  const SenseCandidate& candidate,
+                                  const std::string& context_label) {
+  std::vector<std::string> tokens =
+      LabelSenseTokens(network, context_label);
+  if (tokens.empty()) return 0.0;
+
+  double total = 0.0;
+  int counted = 0;
+  for (const std::string& token : tokens) {
+    const std::vector<wordnet::ConceptId>& senses = network.Senses(token);
+    if (senses.empty()) continue;
+    double best = 0.0;
+    for (wordnet::ConceptId other : senses) {
+      double sim = measure.Similarity(network, candidate.primary, other);
+      if (candidate.is_compound()) {
+        sim = (sim +
+               measure.Similarity(network, candidate.secondary, other)) /
+              2.0;
+      }
+      best = std::max(best, sim);
+    }
+    total += best;
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+}  // namespace
+
+std::vector<SenseCandidate> EnumerateCandidates(
+    const wordnet::SemanticNetwork& network, const std::string& label) {
+  std::vector<SenseCandidate> candidates;
+  std::vector<std::string> tokens = LabelSenseTokens(network, label);
+  // Keep only sense-bearing tokens.
+  std::vector<const std::vector<wordnet::ConceptId>*> sense_lists;
+  for (const std::string& token : tokens) {
+    const std::vector<wordnet::ConceptId>& senses = network.Senses(token);
+    if (!senses.empty()) sense_lists.push_back(&senses);
+  }
+  if (sense_lists.empty()) return candidates;
+  if (sense_lists.size() == 1) {
+    for (wordnet::ConceptId sense : *sense_lists[0]) {
+      candidates.push_back({sense, wordnet::kInvalidConcept});
+    }
+    return candidates;
+  }
+  // Compound: combinations over the first two sense-bearing tokens
+  // (tags with more than two terms are unlikely in practice — paper
+  // §3.2 footnote).
+  for (wordnet::ConceptId p : *sense_lists[0]) {
+    for (wordnet::ConceptId q : *sense_lists[1]) {
+      candidates.push_back({p, q});
+    }
+  }
+  return candidates;
+}
+
+double ConceptScore(const wordnet::SemanticNetwork& network,
+                    const sim::CombinedMeasure& measure,
+                    const SenseCandidate& candidate, const Sphere& sphere,
+                    const ContextVector& vector) {
+  if (sphere.members.empty()) return 0.0;
+  double sum = 0.0;
+  bool center_skipped = false;
+  for (const SphereMember& member : sphere.members) {
+    if (!center_skipped && member.distance == 0) {
+      center_skipped = true;  // skip exactly the center occurrence
+      continue;
+    }
+    double sim =
+        CandidateContextSimilarity(network, measure, candidate,
+                                   member.label);
+    if (sim <= 0.0) continue;
+    sum += sim * vector.Weight(member.label);
+  }
+  return sum / static_cast<double>(sphere.size());
+}
+
+double ContextScore(const wordnet::SemanticNetwork& network,
+                    const SenseCandidate& candidate,
+                    const ContextVector& xml_vector, int radius,
+                    VectorSimilarity vector_similarity) {
+  Sphere concept_sphere =
+      candidate.is_compound()
+          ? BuildCompoundConceptSphere(network, candidate.primary,
+                                       candidate.secondary, radius)
+          : BuildConceptSphere(network, candidate.primary, radius);
+  ContextVector concept_vector(concept_sphere);
+  return vector_similarity == VectorSimilarity::kJaccard
+             ? xml_vector.Jaccard(concept_vector)
+             : xml_vector.Cosine(concept_vector);
+}
+
+double CombinedScore(const wordnet::SemanticNetwork& network,
+                     const sim::CombinedMeasure& measure,
+                     const SenseCandidate& candidate, const Sphere& sphere,
+                     const ContextVector& xml_vector, int radius,
+                     const CombinationWeights& weights,
+                     VectorSimilarity vector_similarity) {
+  double score = 0.0;
+  if (weights.concept_weight > 0.0) {
+    score += weights.concept_weight *
+             ConceptScore(network, measure, candidate, sphere, xml_vector);
+  }
+  if (weights.context_weight > 0.0) {
+    score += weights.context_weight *
+             ContextScore(network, candidate, xml_vector, radius,
+                          vector_similarity);
+  }
+  return score;
+}
+
+}  // namespace xsdf::core

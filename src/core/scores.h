@@ -1,0 +1,77 @@
+#ifndef XSDF_CORE_SCORES_H_
+#define XSDF_CORE_SCORES_H_
+
+#include <vector>
+
+#include "core/context_vector.h"
+#include "sim/combined.h"
+#include "wordnet/semantic_network.h"
+
+namespace xsdf::core {
+
+/// A candidate meaning for a target node label: a single sense for
+/// simple labels, or a pair of senses (one per token) for compound
+/// labels whose collocation is not in the network (Eqs. 10/12).
+struct SenseCandidate {
+  wordnet::ConceptId primary = wordnet::kInvalidConcept;
+  wordnet::ConceptId secondary = wordnet::kInvalidConcept;
+
+  bool is_compound() const {
+    return secondary != wordnet::kInvalidConcept;
+  }
+  friend bool operator==(const SenseCandidate& a, const SenseCandidate& b) {
+    return a.primary == b.primary && a.secondary == b.secondary;
+  }
+};
+
+/// Enumerates the sense candidates of a (preprocessed) node label:
+/// the label's senses when the network knows it (or its single token);
+/// otherwise all combinations of its two sense-bearing compound tokens.
+/// Empty when no token has any sense.
+std::vector<SenseCandidate> EnumerateCandidates(
+    const wordnet::SemanticNetwork& network, const std::string& label);
+
+/// Concept_Score(s_p, S_d(x), SN-bar) of Definition 8 (and its
+/// compound extension Eq. 10): the average over context nodes of the
+/// maximum candidate-to-context-sense similarity, scaled by each
+/// context node's context-vector weight. The center node itself is not
+/// scored against (its own label's best sense is the candidate itself,
+/// a constant across candidates).
+double ConceptScore(const wordnet::SemanticNetwork& network,
+                    const sim::CombinedMeasure& measure,
+                    const SenseCandidate& candidate, const Sphere& sphere,
+                    const ContextVector& vector);
+
+/// How two context vectors are compared in Context_Score: cosine (the
+/// paper's default) or weighted Jaccard (footnote 10's alternative).
+enum class VectorSimilarity { kCosine, kJaccard };
+
+/// Context_Score(s_p, S_d(x), SN) of Definition 10 (and Eq. 12): the
+/// vector similarity between the XML context vector and the concept
+/// sphere context vector of the candidate (union sphere for compound
+/// candidates).
+double ContextScore(const wordnet::SemanticNetwork& network,
+                    const SenseCandidate& candidate,
+                    const ContextVector& xml_vector, int radius,
+                    VectorSimilarity vector_similarity =
+                        VectorSimilarity::kCosine);
+
+/// The combined score of Eq. 13:
+///   w_concept * Concept_Score + w_context * Context_Score,
+/// with w_concept + w_context = 1.
+struct CombinationWeights {
+  double concept_weight = 1.0;  ///< w_Concept
+  double context_weight = 0.0;  ///< w_Context
+};
+
+double CombinedScore(const wordnet::SemanticNetwork& network,
+                     const sim::CombinedMeasure& measure,
+                     const SenseCandidate& candidate, const Sphere& sphere,
+                     const ContextVector& xml_vector, int radius,
+                     const CombinationWeights& weights,
+                     VectorSimilarity vector_similarity =
+                         VectorSimilarity::kCosine);
+
+}  // namespace xsdf::core
+
+#endif  // XSDF_CORE_SCORES_H_

@@ -1,0 +1,46 @@
+#include "core/tree_builder.h"
+
+#include "common/strings.h"
+#include "text/preprocess.h"
+#include "xml/parser.h"
+
+namespace xsdf::core {
+
+std::vector<std::string> LabelSenseTokens(
+    const wordnet::SemanticNetwork& network, const std::string& label) {
+  if (label.empty()) return {};
+  if (network.Contains(label)) return {label};
+  if (label.find('_') == std::string::npos) return {label};
+  std::vector<std::string> tokens;
+  for (std::string& token : StrSplit(label, '_')) {
+    if (!token.empty()) tokens.push_back(std::move(token));
+  }
+  return tokens;
+}
+
+Result<xml::LabeledTree> BuildTree(const xml::Document& doc,
+                                   const wordnet::SemanticNetwork& network,
+                                   bool include_values) {
+  text::LexiconProbe probe = [&network](const std::string& lemma) {
+    return network.Contains(lemma);
+  };
+  xml::TreeBuildOptions options;
+  options.include_values = include_values;
+  options.label_transform = [probe](const std::string& tag) {
+    return text::PreprocessTagName(tag, probe).label;
+  };
+  options.value_tokenizer = [probe](const std::string& value) {
+    return text::PreprocessTextValue(value, probe);
+  };
+  return BuildLabeledTree(doc, options);
+}
+
+Result<xml::LabeledTree> BuildTreeFromXml(
+    const std::string& xml_text, const wordnet::SemanticNetwork& network,
+    bool include_values) {
+  auto doc = xml::Parse(xml_text);
+  if (!doc.ok()) return doc.status();
+  return BuildTree(*doc, network, include_values);
+}
+
+}  // namespace xsdf::core

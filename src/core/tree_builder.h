@@ -1,0 +1,38 @@
+#ifndef XSDF_CORE_TREE_BUILDER_H_
+#define XSDF_CORE_TREE_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "wordnet/semantic_network.h"
+#include "xml/labeled_tree.h"
+
+namespace xsdf::core {
+
+/// Splits a node label into the lemma tokens that carry its senses:
+/// a label the network knows as one lemma (including collocations like
+/// "first_name") is a single token; otherwise an underscore-joined
+/// compound is split into its constituent tokens (paper §3.2's
+/// unresolved-compound case, whose senses are combined by Eqs. 10/12).
+std::vector<std::string> LabelSenseTokens(
+    const wordnet::SemanticNetwork& network, const std::string& label);
+
+/// Builds the rooted ordered labeled tree of an XML document with
+/// XSDF's linguistic pre-processing (paper §3.2) plugged in:
+/// tag names go through compound splitting + lexicon-aware stemming,
+/// text values through tokenization + stop-word removal + stemming.
+/// `include_values` selects structure-and-content (true) vs
+/// structure-only (false) processing (paper §3.1).
+Result<xml::LabeledTree> BuildTree(const xml::Document& doc,
+                                   const wordnet::SemanticNetwork& network,
+                                   bool include_values = true);
+
+/// Same, from an XML string (parse + build).
+Result<xml::LabeledTree> BuildTreeFromXml(
+    const std::string& xml_text, const wordnet::SemanticNetwork& network,
+    bool include_values = true);
+
+}  // namespace xsdf::core
+
+#endif  // XSDF_CORE_TREE_BUILDER_H_

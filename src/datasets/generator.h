@@ -1,0 +1,52 @@
+#ifndef XSDF_DATASETS_GENERATOR_H_
+#define XSDF_DATASETS_GENERATOR_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace xsdf::datasets {
+
+/// One synthesized XML document plus its gold standard.
+///
+/// The gold standard maps a preprocessed node label (lowercase lemma,
+/// as it appears in the labeled tree) to the lexicon key of the sense
+/// the generator intended — the "one sense per discourse" convention
+/// standard in WSD evaluation. It stands in for the paper's human
+/// sense annotations (5 testers, ~22h each), which we cannot collect.
+struct GeneratedDocument {
+  std::string name;
+  std::string xml;
+  std::unordered_map<std::string, std::string> gold;
+};
+
+/// Metadata of one of the ten dataset families (paper Table 3).
+struct DatasetInfo {
+  int id = 0;                ///< 1..10, the paper's dataset number
+  std::string name;          ///< "Shakespeare collection"
+  std::string grammar;       ///< "shakespeare.dtd"
+  int group = 0;             ///< 1..4, the paper's Table 1 group
+  int doc_count = 0;         ///< number of documents (Table 3)
+};
+
+/// Interface of a dataset family generator. Generation is
+/// deterministic in `seed`.
+class DatasetGenerator {
+ public:
+  virtual ~DatasetGenerator() = default;
+  virtual DatasetInfo info() const = 0;
+  virtual std::vector<GeneratedDocument> Generate(uint64_t seed) const = 0;
+};
+
+/// All ten generators in Table 3 order (static lifetime).
+const std::vector<const DatasetGenerator*>& AllDatasets();
+
+/// The two movie documents of the paper's Figure 1 (used by examples
+/// and tests), with gold senses.
+std::vector<GeneratedDocument> Figure1Documents();
+
+}  // namespace xsdf::datasets
+
+#endif  // XSDF_DATASETS_GENERATOR_H_

@@ -1,0 +1,109 @@
+#ifndef XSDF_EVAL_EXPERIMENT_H_
+#define XSDF_EVAL_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/disambiguator.h"
+#include "datasets/generator.h"
+#include "eval/gold.h"
+#include "eval/metrics.h"
+#include "wordnet/semantic_network.h"
+#include "xml/labeled_tree.h"
+
+namespace xsdf::eval {
+
+/// One corpus document ready for experiments: generated XML, its
+/// labeled tree (built through the full linguistic pipeline), and its
+/// resolved gold standard.
+struct CorpusDocument {
+  datasets::DatasetInfo dataset;
+  datasets::GeneratedDocument generated;
+  xml::LabeledTree tree;
+  GoldMap gold;
+  /// The 12-13 sampled target nodes evaluated for this document
+  /// (paper protocol: 1000 manually annotated nodes overall), shared
+  /// across all compared systems.
+  std::vector<xml::NodeId> target_sample;
+};
+
+/// Generates the complete 10-family evaluation corpus of Table 3 and
+/// prepares every document (tree + resolved gold). Deterministic.
+Result<std::vector<CorpusDocument>> BuildCorpus(
+    const wordnet::SemanticNetwork& network, uint64_t seed = 20150323);
+
+/// Per-group features of Table 1: average Amb_Deg and Struct_Deg.
+struct GroupFeatureRow {
+  int group = 0;
+  double avg_ambiguity = 0.0;
+  double avg_structure = 0.0;
+  int documents = 0;
+};
+std::vector<GroupFeatureRow> ComputeTable1(
+    const std::vector<CorpusDocument>& corpus,
+    const wordnet::SemanticNetwork& network);
+
+/// One Table 2 row: per-dataset Pearson correlation between the
+/// simulated rater panel and Amb_Deg under the four weight configs.
+struct CorrelationRow {
+  int dataset_id = 0;
+  int group = 0;
+  double all_factors = 0.0;  ///< Test #1: w_P = w_Dep = w_Den = 1
+  double polysemy = 0.0;     ///< Test #2: w_P = 1, others 0
+  double depth = 0.0;        ///< Test #3: w_Dep = 1, w_P = 0.2, w_Den = 0
+  double density = 0.0;      ///< Test #4: w_Den = 1, w_P = 0.2, w_Dep = 0
+  int rated_nodes = 0;
+};
+std::vector<CorrelationRow> ComputeTable2(
+    const std::vector<CorpusDocument>& corpus,
+    const wordnet::SemanticNetwork& network, uint64_t seed = 4242);
+
+/// One Table 3 row: dataset shape characteristics.
+struct DatasetStatsRow {
+  datasets::DatasetInfo info;
+  double avg_nodes = 0.0;
+  double avg_polysemy = 0.0;
+  int max_polysemy = 0;
+  double avg_depth = 0.0;
+  int max_depth = 0;
+  double avg_fan_out = 0.0;
+  int max_fan_out = 0;
+  double avg_density = 0.0;
+  int max_density = 0;
+};
+std::vector<DatasetStatsRow> ComputeTable3(
+    const std::vector<CorpusDocument>& corpus,
+    const wordnet::SemanticNetwork& network);
+
+/// One Figure 8 cell: F-value of a configuration on a group.
+struct ConfigCell {
+  int group = 0;
+  int radius = 0;
+  core::DisambiguationProcess process =
+      core::DisambiguationProcess::kConceptBased;
+  PrfScores scores;
+};
+std::vector<ConfigCell> ComputeFigure8(
+    const std::vector<CorpusDocument>& corpus,
+    const wordnet::SemanticNetwork& network,
+    const std::vector<int>& radii = {1, 2, 3, 4});
+
+/// One Figure 9 cell: P/R/F of one system (XSDF at its optimal
+/// configuration, RPD, or VSD) on a group.
+struct ComparisonCell {
+  int group = 0;
+  std::string system;  ///< "XSDF", "RPD", "VSD"
+  PrfScores scores;
+};
+std::vector<ComparisonCell> ComputeFigure9(
+    const std::vector<CorpusDocument>& corpus,
+    const wordnet::SemanticNetwork& network);
+
+/// The per-group context clarity used by the rater panel (Group 1
+/// generic/deep ... Group 4 flat/domain-specific).
+double GroupContextClarity(int group);
+
+}  // namespace xsdf::eval
+
+#endif  // XSDF_EVAL_EXPERIMENT_H_

@@ -1,0 +1,50 @@
+#ifndef XSDF_EVAL_GOLD_H_
+#define XSDF_EVAL_GOLD_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "core/disambiguator.h"
+#include "eval/metrics.h"
+#include "wordnet/semantic_network.h"
+#include "xml/labeled_tree.h"
+
+namespace xsdf::eval {
+
+/// Gold standard of one document: preprocessed node label -> intended
+/// concept id (resolved from the generator's lexicon keys).
+using GoldMap = std::unordered_map<std::string, wordnet::ConceptId>;
+
+/// Resolves a generator gold map (label -> lexicon key) to concept ids.
+/// Unknown keys are an error (they indicate a generator/lexicon drift).
+Result<GoldMap> ResolveGold(
+    const std::unordered_map<std::string, std::string>& raw_gold);
+
+/// Scores a disambiguation result against the gold standard.
+///
+/// Every tree node whose label carries a gold sense is a scorable
+/// node. A node counts as attempted when the system assigned it a
+/// sense, and correct when the assigned primary (or, for compound
+/// assignments, secondary) concept equals the gold concept.
+PrfScores ScoreAgainstGold(const core::SemanticTree& result,
+                           const GoldMap& gold);
+
+/// Scores only the given target nodes (the paper's protocol: 12-13
+/// manually annotated nodes per document, 1000 total). Nodes without a
+/// gold label are skipped.
+PrfScores ScoreOnNodes(const core::SemanticTree& result,
+                       const GoldMap& gold,
+                       const std::vector<xml::NodeId>& nodes);
+
+/// Samples `count` gold-bearing target nodes from the tree,
+/// `structure_bias`:1 weighted toward element/attribute nodes over
+/// content tokens (annotators are shown tag labels first). Determinate
+/// in `seed`.
+std::vector<xml::NodeId> SampleGoldNodes(const xml::LabeledTree& tree,
+                                         const GoldMap& gold, int count,
+                                         int structure_bias,
+                                         uint64_t seed);
+
+}  // namespace xsdf::eval
+
+#endif  // XSDF_EVAL_GOLD_H_

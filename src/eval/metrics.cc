@@ -1,0 +1,65 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+namespace xsdf::eval {
+
+PrfScores ComputePrf(int gold_total, int attempted, int correct) {
+  PrfScores scores;
+  scores.gold_total = gold_total;
+  scores.attempted = attempted;
+  scores.correct = correct;
+  if (attempted > 0) {
+    scores.precision =
+        static_cast<double>(correct) / static_cast<double>(attempted);
+  }
+  if (gold_total > 0) {
+    scores.recall =
+        static_cast<double>(correct) / static_cast<double>(gold_total);
+  }
+  if (scores.precision + scores.recall > 0.0) {
+    scores.f_value = 2.0 * scores.precision * scores.recall /
+                     (scores.precision + scores.recall);
+  }
+  return scores;
+}
+
+PrfScores CombinePrf(const std::vector<PrfScores>& parts) {
+  int gold_total = 0;
+  int attempted = 0;
+  int correct = 0;
+  for (const PrfScores& part : parts) {
+    gold_total += part.gold_total;
+    attempted += part.attempted;
+    correct += part.correct;
+  }
+  return ComputePrf(gold_total, attempted, correct);
+}
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  if (x.size() != y.size() || x.size() < 2) return 0.0;
+  double n = static_cast<double>(x.size());
+  double mean_x = 0.0;
+  double mean_y = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    mean_x += x[i];
+    mean_y += y[i];
+  }
+  mean_x /= n;
+  mean_y /= n;
+  double cov = 0.0;
+  double var_x = 0.0;
+  double var_y = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    double dx = x[i] - mean_x;
+    double dy = y[i] - mean_y;
+    cov += dx * dy;
+    var_x += dx * dx;
+    var_y += dy * dy;
+  }
+  if (var_x <= 0.0 || var_y <= 0.0) return 0.0;
+  return cov / (std::sqrt(var_x) * std::sqrt(var_y));
+}
+
+}  // namespace xsdf::eval

@@ -1,0 +1,33 @@
+#ifndef XSDF_EVAL_METRICS_H_
+#define XSDF_EVAL_METRICS_H_
+
+#include <vector>
+
+namespace xsdf::eval {
+
+/// Precision / recall / F-value of a disambiguation run against a gold
+/// standard (paper §4.3).
+struct PrfScores {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f_value = 0.0;
+  int gold_total = 0;   ///< gold-annotated target nodes
+  int attempted = 0;    ///< of those, nodes the system assigned a sense
+  int correct = 0;      ///< of those, correct assignments
+};
+
+/// Computes P = correct/attempted, R = correct/gold_total,
+/// F = 2PR/(P+R); zeros when denominators vanish.
+PrfScores ComputePrf(int gold_total, int attempted, int correct);
+
+/// Merges per-document counts into aggregate scores.
+PrfScores CombinePrf(const std::vector<PrfScores>& parts);
+
+/// Pearson's correlation coefficient between two equally sized samples
+/// (paper §4.2); 0 when either sample is constant or sizes mismatch.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+}  // namespace xsdf::eval
+
+#endif  // XSDF_EVAL_METRICS_H_

@@ -1,0 +1,65 @@
+#include "sim/combined.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/gloss_overlap.h"
+#include "sim/lin.h"
+#include "sim/wu_palmer.h"
+
+namespace xsdf::sim {
+
+bool SimilarityWeights::Valid() const {
+  if (edge < 0.0 || node < 0.0 || gloss < 0.0) return false;
+  return std::fabs(edge + node + gloss - 1.0) < 1e-9;
+}
+
+CombinedMeasure::CombinedMeasure(SimilarityWeights weights)
+    : weights_(weights) {
+  components_.emplace_back(std::make_unique<WuPalmerMeasure>(),
+                           weights.edge);
+  components_.emplace_back(std::make_unique<LinMeasure>(), weights.node);
+  components_.emplace_back(std::make_unique<GlossOverlapMeasure>(),
+                           weights.gloss);
+}
+
+Result<std::unique_ptr<CombinedMeasure>> CombinedMeasure::FromRegistry(
+    const std::vector<std::pair<std::string, double>>& weighted_names) {
+  double total = 0.0;
+  for (const auto& [name, weight] : weighted_names) {
+    if (weight < 0.0) {
+      return Status::InvalidArgument("negative weight for measure " + name);
+    }
+    total += weight;
+  }
+  if (std::fabs(total - 1.0) > 1e-9) {
+    return Status::InvalidArgument("measure weights must sum to 1");
+  }
+  auto combined =
+      std::unique_ptr<CombinedMeasure>(new CombinedMeasure(RawTag{}));
+  for (const auto& [name, weight] : weighted_names) {
+    auto measure = MeasureRegistry::Global().Create(name);
+    if (!measure.ok()) return measure.status();
+    combined->components_.emplace_back(std::move(measure).value(), weight);
+  }
+  return combined;
+}
+
+double CombinedMeasure::Similarity(const wordnet::SemanticNetwork& network,
+                                   wordnet::ConceptId a,
+                                   wordnet::ConceptId b) const {
+  if (a > b) std::swap(a, b);
+  uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+                 static_cast<uint32_t>(b);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  double sim = 0.0;
+  for (const auto& [measure, weight] : components_) {
+    if (weight > 0.0) sim += weight * measure->Similarity(network, a, b);
+  }
+  if (sim > 1.0) sim = 1.0;
+  cache_.emplace(key, sim);
+  return sim;
+}
+
+}  // namespace xsdf::sim

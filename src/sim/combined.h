@@ -1,0 +1,58 @@
+#ifndef XSDF_SIM_COMBINED_H_
+#define XSDF_SIM_COMBINED_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "sim/measure.h"
+
+namespace xsdf::sim {
+
+/// Weights of the combined measure (paper Definition 9); they must be
+/// non-negative and sum to 1. The paper's experiments use equal thirds.
+struct SimilarityWeights {
+  double edge = 1.0 / 3.0;   ///< w_Edge, on Wu-Palmer
+  double node = 1.0 / 3.0;   ///< w_Node, on Lin
+  double gloss = 1.0 / 3.0;  ///< w_Gloss, on extended gloss overlap
+
+  /// True when weights are non-negative and sum to 1 (within 1e-9).
+  bool Valid() const;
+};
+
+/// Definition 9: Sim(c1, c2) = w_Edge * Sim_Edge + w_Node * Sim_Node
+/// + w_Gloss * Sim_Gloss. Results are memoized per concept pair, which
+/// matters because disambiguation evaluates the same pairs repeatedly
+/// across sphere contexts.
+class CombinedMeasure : public SimilarityMeasure {
+ public:
+  explicit CombinedMeasure(SimilarityWeights weights = {});
+
+  /// Builds a combined measure from arbitrary registered measure names
+  /// and weights (extensibility hook beyond the three defaults).
+  static Result<std::unique_ptr<CombinedMeasure>> FromRegistry(
+      const std::vector<std::pair<std::string, double>>& weighted_names);
+
+  double Similarity(const wordnet::SemanticNetwork& network,
+                    wordnet::ConceptId a,
+                    wordnet::ConceptId b) const override;
+  std::string name() const override { return "combined"; }
+
+  const SimilarityWeights& weights() const { return weights_; }
+
+  /// Drops the memoization table (call when switching networks).
+  void ClearCache() const { cache_.clear(); }
+  size_t CacheSize() const { return cache_.size(); }
+
+ private:
+  struct RawTag {};
+  explicit CombinedMeasure(RawTag) {}  // registry path: no defaults
+
+  SimilarityWeights weights_;
+  std::vector<std::pair<std::unique_ptr<SimilarityMeasure>, double>>
+      components_;
+  mutable std::unordered_map<uint64_t, double> cache_;
+};
+
+}  // namespace xsdf::sim
+
+#endif  // XSDF_SIM_COMBINED_H_

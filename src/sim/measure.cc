@@ -1,0 +1,53 @@
+#include "sim/measure.h"
+
+#include <algorithm>
+
+#include "sim/gloss_overlap.h"
+#include "sim/lin.h"
+#include "sim/resnik.h"
+#include "sim/wu_palmer.h"
+
+namespace xsdf::sim {
+
+MeasureRegistry& MeasureRegistry::Global() {
+  static MeasureRegistry* registry = [] {
+    auto* r = new MeasureRegistry();
+    r->Register("wu-palmer",
+                [] { return std::make_unique<WuPalmerMeasure>(); });
+    r->Register("lin", [] { return std::make_unique<LinMeasure>(); });
+    r->Register("gloss-overlap",
+                [] { return std::make_unique<GlossOverlapMeasure>(); });
+    r->Register("resnik",
+                [] { return std::make_unique<ResnikMeasure>(); });
+    return r;
+  }();
+  return *registry;
+}
+
+void MeasureRegistry::Register(const std::string& name, Factory factory) {
+  for (auto& [existing, f] : factories_) {
+    if (existing == name) {
+      f = std::move(factory);
+      return;
+    }
+  }
+  factories_.emplace_back(name, std::move(factory));
+}
+
+Result<std::unique_ptr<SimilarityMeasure>> MeasureRegistry::Create(
+    const std::string& name) const {
+  for (const auto& [existing, factory] : factories_) {
+    if (existing == name) return factory();
+  }
+  return Status::NotFound("no similarity measure registered as: " + name);
+}
+
+std::vector<std::string> MeasureRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace xsdf::sim

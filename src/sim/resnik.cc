@@ -1,0 +1,30 @@
+#include "sim/resnik.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xsdf::sim {
+
+double ResnikMeasure::Similarity(const wordnet::SemanticNetwork& network,
+                                 wordnet::ConceptId a,
+                                 wordnet::ConceptId b) const {
+  if (a == b) return 1.0;
+  auto da = network.AncestorDistances(a);
+  auto db = network.AncestorDistances(b);
+  double total = network.TotalFrequency();
+  if (total <= 0.0) return 0.0;
+  double best_ic = -1.0;
+  for (const auto& [ancestor, dist] : da) {
+    (void)dist;
+    if (db.find(ancestor) == db.end()) continue;
+    double p = network.CumulativeFrequency(ancestor) / total;
+    double ic = (p <= 0.0 || p >= 1.0) ? 0.0 : -std::log(p);
+    best_ic = std::max(best_ic, ic);
+  }
+  if (best_ic < 0.0) return 0.0;  // unrelated
+  double ic_max = -std::log(1.0 / total);
+  if (ic_max <= 0.0) return 0.0;
+  return std::min(1.0, best_ic / ic_max);
+}
+
+}  // namespace xsdf::sim

@@ -1,0 +1,22 @@
+#include "sim/wu_palmer.h"
+
+namespace xsdf::sim {
+
+double WuPalmerMeasure::Similarity(const wordnet::SemanticNetwork& network,
+                                   wordnet::ConceptId a,
+                                   wordnet::ConceptId b) const {
+  if (a == b) return 1.0;
+  wordnet::ConceptId lcs = network.LeastCommonSubsumer(a, b);
+  if (lcs == wordnet::kInvalidConcept) return 0.0;
+  auto da = network.AncestorDistances(a);
+  auto db = network.AncestorDistances(b);
+  int len_a = da.at(lcs);
+  int len_b = db.at(lcs);
+  int depth_lcs = network.Depth(lcs);
+  double denominator =
+      static_cast<double>(len_a + len_b + 2 * depth_lcs);
+  if (denominator <= 0.0) return 0.0;  // both are roots and disjoint
+  return (2.0 * depth_lcs) / denominator;
+}
+
+}  // namespace xsdf::sim

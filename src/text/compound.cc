@@ -1,0 +1,47 @@
+#include "text/compound.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace xsdf::text {
+
+std::vector<std::string> SplitCompoundTag(std::string_view tag) {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&]() {
+    if (!current.empty()) {
+      tokens.push_back(current);
+      current.clear();
+    }
+  };
+  for (size_t i = 0; i < tag.size(); ++i) {
+    unsigned char c = static_cast<unsigned char>(tag[i]);
+    if (c == '_' || c == '-' || c == '.' || c == ':' || c == ' ') {
+      flush();
+      continue;
+    }
+    if (std::isupper(c)) {
+      bool prev_lower =
+          i > 0 && std::islower(static_cast<unsigned char>(tag[i - 1]));
+      bool prev_upper =
+          i > 0 && std::isupper(static_cast<unsigned char>(tag[i - 1]));
+      bool next_lower =
+          i + 1 < tag.size() &&
+          std::islower(static_cast<unsigned char>(tag[i + 1]));
+      // Break before: lower->Upper ("firstName") and before the last
+      // capital of an acronym run followed by lowercase ("ISBNNumber").
+      if (prev_lower || (prev_upper && next_lower)) flush();
+    }
+    current.push_back(
+        static_cast<char>(std::tolower(c)));
+  }
+  flush();
+  return tokens;
+}
+
+std::string JoinCompound(const std::vector<std::string>& tokens) {
+  return StrJoin(tokens, "_");
+}
+
+}  // namespace xsdf::text

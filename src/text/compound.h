@@ -1,0 +1,27 @@
+#ifndef XSDF_TEXT_COMPOUND_H_
+#define XSDF_TEXT_COMPOUND_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xsdf::text {
+
+/// Splits an XML tag name into its constituent word tokens following
+/// §3.2 of the paper: delimiters (underscore, hyphen, dot) and
+/// upper/lower-case transitions both separate words.
+///
+/// "Directed_By" -> {"directed", "by"}; "FirstName" -> {"first", "name"};
+/// "year" -> {"year"}; "ISBNNumber" -> {"isbn", "number"} (an uppercase
+/// run followed by a lowercase letter breaks before its last capital).
+/// Tokens are lowercased.
+std::vector<std::string> SplitCompoundTag(std::string_view tag);
+
+/// Joins compound tokens with an underscore, the canonical form used to
+/// probe the semantic network for a single matching concept
+/// ("first_name" as a WordNet collocation).
+std::string JoinCompound(const std::vector<std::string>& tokens);
+
+}  // namespace xsdf::text
+
+#endif  // XSDF_TEXT_COMPOUND_H_

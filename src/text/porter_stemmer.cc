@@ -1,0 +1,265 @@
+#include "text/porter_stemmer.h"
+
+#include <cstring>
+
+namespace xsdf::text {
+
+namespace {
+
+/// Working buffer for one stemming run. Implements Porter's original
+/// helper predicates over the prefix word[0..end].
+class Stemmer {
+ public:
+  explicit Stemmer(std::string_view word) : word_(word) {}
+
+  std::string Run() {
+    if (word_.size() < 3) return word_;
+    Step1a();
+    Step1b();
+    Step1c();
+    Step2();
+    Step3();
+    Step4();
+    Step5a();
+    Step5b();
+    return word_;
+  }
+
+ private:
+  // True when word_[i] is a consonant in Porter's sense ('y' is a
+  // consonant when preceded by a vowel... actually: 'y' is a consonant
+  // at position 0 or when the previous letter is a vowel-position
+  // consonant check; Porter defines: y counts as a consonant when
+  // preceded by a vowel-letter it toggles. We use the standard
+  // definition: a,e,i,o,u are vowels; y is a vowel iff the preceding
+  // character is a consonant).
+  bool IsConsonant(size_t i) const {
+    char c = word_[i];
+    switch (c) {
+      case 'a':
+      case 'e':
+      case 'i':
+      case 'o':
+      case 'u':
+        return false;
+      case 'y':
+        return i == 0 ? true : !IsConsonant(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  /// Porter's m(): the number of VC sequences in the stem (the part of
+  /// the word before the candidate suffix, i.e. word_[0..len)).
+  int Measure(size_t len) const {
+    int m = 0;
+    size_t i = 0;
+    // Skip initial consonants.
+    while (i < len && IsConsonant(i)) ++i;
+    while (true) {
+      // Skip vowels.
+      while (i < len && !IsConsonant(i)) ++i;
+      if (i >= len) return m;
+      // Skip consonants -> one VC.
+      while (i < len && IsConsonant(i)) ++i;
+      ++m;
+      if (i >= len) return m;
+    }
+  }
+
+  /// *v*: the stem word_[0..len) contains a vowel.
+  bool HasVowel(size_t len) const {
+    for (size_t i = 0; i < len; ++i) {
+      if (!IsConsonant(i)) return true;
+    }
+    return false;
+  }
+
+  /// *d: the stem ends with a double consonant.
+  bool EndsDoubleConsonant(size_t len) const {
+    if (len < 2) return false;
+    return word_[len - 1] == word_[len - 2] && IsConsonant(len - 1);
+  }
+
+  /// *o: the stem ends consonant-vowel-consonant where the final
+  /// consonant is not w, x, or y.
+  bool EndsCvc(size_t len) const {
+    if (len < 3) return false;
+    if (!IsConsonant(len - 3) || IsConsonant(len - 2) ||
+        !IsConsonant(len - 1)) {
+      return false;
+    }
+    char last = word_[len - 1];
+    return last != 'w' && last != 'x' && last != 'y';
+  }
+
+  bool EndsWith(std::string_view suffix) const {
+    return word_.size() >= suffix.size() &&
+           word_.compare(word_.size() - suffix.size(), suffix.size(),
+                         suffix) == 0;
+  }
+
+  size_t StemLen(std::string_view suffix) const {
+    return word_.size() - suffix.size();
+  }
+
+  void ReplaceSuffix(std::string_view suffix, std::string_view repl) {
+    word_.resize(word_.size() - suffix.size());
+    word_.append(repl);
+  }
+
+  /// If the word ends in `suffix` and m(stem) > threshold, replace the
+  /// suffix with `repl` and return true.
+  bool RuleM(std::string_view suffix, std::string_view repl,
+             int threshold) {
+    if (!EndsWith(suffix)) return false;
+    if (Measure(StemLen(suffix)) > threshold) {
+      ReplaceSuffix(suffix, repl);
+    }
+    return true;  // suffix matched: stop scanning alternatives
+  }
+
+  void Step1a() {
+    if (EndsWith("sses")) {
+      ReplaceSuffix("sses", "ss");
+    } else if (EndsWith("ies")) {
+      ReplaceSuffix("ies", "i");
+    } else if (EndsWith("ss")) {
+      // keep
+    } else if (EndsWith("s")) {
+      ReplaceSuffix("s", "");
+    }
+  }
+
+  void Step1b() {
+    if (EndsWith("eed")) {
+      if (Measure(StemLen("eed")) > 0) ReplaceSuffix("eed", "ee");
+      return;
+    }
+    bool changed = false;
+    if (EndsWith("ed") && HasVowel(StemLen("ed"))) {
+      ReplaceSuffix("ed", "");
+      changed = true;
+    } else if (EndsWith("ing") && HasVowel(StemLen("ing"))) {
+      ReplaceSuffix("ing", "");
+      changed = true;
+    }
+    if (!changed) return;
+    // Cleanup after -ed / -ing removal.
+    if (EndsWith("at")) {
+      ReplaceSuffix("at", "ate");
+    } else if (EndsWith("bl")) {
+      ReplaceSuffix("bl", "ble");
+    } else if (EndsWith("iz")) {
+      ReplaceSuffix("iz", "ize");
+    } else if (EndsDoubleConsonant(word_.size())) {
+      char last = word_.back();
+      if (last != 'l' && last != 's' && last != 'z') {
+        word_.pop_back();
+      }
+    } else if (Measure(word_.size()) == 1 && EndsCvc(word_.size())) {
+      word_.push_back('e');
+    }
+  }
+
+  void Step1c() {
+    if (EndsWith("y") && HasVowel(StemLen("y"))) {
+      word_.back() = 'i';
+    }
+  }
+
+  void Step2() {
+    // Longest-match ordering per Porter's published table.
+    static constexpr struct {
+      const char* suffix;
+      const char* repl;
+    } kRules[] = {
+        {"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"},
+        {"anci", "ance"},   {"izer", "ize"},    {"abli", "able"},
+        {"alli", "al"},     {"entli", "ent"},   {"eli", "e"},
+        {"ousli", "ous"},   {"ization", "ize"}, {"ation", "ate"},
+        {"ator", "ate"},    {"alism", "al"},    {"iveness", "ive"},
+        {"fulness", "ful"}, {"ousness", "ous"}, {"aliti", "al"},
+        {"iviti", "ive"},   {"biliti", "ble"},
+    };
+    for (const auto& rule : kRules) {
+      if (EndsWith(rule.suffix)) {
+        if (Measure(StemLen(rule.suffix)) > 0) {
+          ReplaceSuffix(rule.suffix, rule.repl);
+        }
+        return;
+      }
+    }
+  }
+
+  void Step3() {
+    static constexpr struct {
+      const char* suffix;
+      const char* repl;
+    } kRules[] = {
+        {"icate", "ic"}, {"ative", ""},  {"alize", "al"},
+        {"iciti", "ic"}, {"ical", "ic"}, {"ful", ""},
+        {"ness", ""},
+    };
+    for (const auto& rule : kRules) {
+      if (EndsWith(rule.suffix)) {
+        if (Measure(StemLen(rule.suffix)) > 0) {
+          ReplaceSuffix(rule.suffix, rule.repl);
+        }
+        return;
+      }
+    }
+  }
+
+  void Step4() {
+    static constexpr const char* kSuffixes[] = {
+        "al",   "ance", "ence", "er",   "ic",   "able", "ible",
+        "ant",  "ement", "ment", "ent", "ou",   "ism",  "ate",
+        "iti",  "ous",  "ive",  "ize",
+    };
+    for (const char* suffix : kSuffixes) {
+      if (EndsWith(suffix)) {
+        size_t stem_len = StemLen(suffix);
+        if (Measure(stem_len) > 1) {
+          ReplaceSuffix(suffix, "");
+        }
+        return;
+      }
+    }
+    // Special case: -(s|t)ion.
+    if (EndsWith("ion")) {
+      size_t stem_len = StemLen("ion");
+      if (stem_len > 0 &&
+          (word_[stem_len - 1] == 's' || word_[stem_len - 1] == 't') &&
+          Measure(stem_len) > 1) {
+        ReplaceSuffix("ion", "");
+      }
+    }
+  }
+
+  void Step5a() {
+    if (!EndsWith("e")) return;
+    size_t stem_len = StemLen("e");
+    int m = Measure(stem_len);
+    if (m > 1 || (m == 1 && !EndsCvc(stem_len))) {
+      word_.pop_back();
+    }
+  }
+
+  void Step5b() {
+    if (EndsWith("ll") && Measure(word_.size()) > 1) {
+      word_.pop_back();
+    }
+  }
+
+  std::string word_;
+};
+
+}  // namespace
+
+std::string PorterStem(std::string_view word) {
+  Stemmer stemmer(word);
+  return stemmer.Run();
+}
+
+}  // namespace xsdf::text

@@ -1,0 +1,20 @@
+#ifndef XSDF_TEXT_PORTER_STEMMER_H_
+#define XSDF_TEXT_PORTER_STEMMER_H_
+
+#include <string>
+#include <string_view>
+
+namespace xsdf::text {
+
+/// Reduces an English word to its stem using the classic Porter (1980)
+/// algorithm — all five steps, including 1a/1b/1b-cleanup/1c, 2, 3, 4,
+/// 5a, 5b. Input must be lowercase ASCII; words shorter than 3
+/// characters are returned unchanged (Porter's convention).
+///
+/// Examples: "caresses" -> "caress", "ponies" -> "poni",
+/// "relational" -> "relat", "adjustable" -> "adjust".
+std::string PorterStem(std::string_view word);
+
+}  // namespace xsdf::text
+
+#endif  // XSDF_TEXT_PORTER_STEMMER_H_

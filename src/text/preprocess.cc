@@ -1,0 +1,80 @@
+#include "text/preprocess.h"
+
+#include "text/compound.h"
+#include "text/porter_stemmer.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+
+namespace xsdf::text {
+
+std::string NormalizeToken(std::string_view token,
+                           const LexiconProbe& probe) {
+  std::string word(token);
+  if (!probe || probe(word)) return word;
+  // Lexicon-aware normalization ladder: Porter stem first, then the
+  // regular plural reductions Porter over-stems ("movies" -> "movi"
+  // but the lexicon lemma is "movie").
+  std::string stem = PorterStem(word);
+  if (stem != word && probe(stem)) return stem;
+  if (word.size() > 3 && word.ends_with("ies")) {
+    std::string singular = word.substr(0, word.size() - 3) + "y";
+    if (probe(singular)) return singular;
+  }
+  if (word.size() > 2 && word.ends_with("es")) {
+    std::string singular = word.substr(0, word.size() - 2);
+    if (probe(singular)) return singular;
+  }
+  if (word.size() > 1 && word.ends_with("s")) {
+    std::string singular = word.substr(0, word.size() - 1);
+    if (probe(singular)) return singular;
+  }
+  return word;
+}
+
+ProcessedLabel PreprocessTagName(std::string_view tag,
+                                 const LexiconProbe& probe) {
+  ProcessedLabel out;
+  std::vector<std::string> parts = SplitCompoundTag(tag);
+  if (parts.empty()) {
+    out.label = "";
+    return out;
+  }
+  if (parts.size() == 1) {
+    out.label = NormalizeToken(parts[0], probe);
+    out.tokens = {out.label};
+    return out;
+  }
+  // Compound tag: first try the whole collocation as one concept
+  // ("first_name" as a single WordNet entry).
+  std::string joined = JoinCompound(parts);
+  if (probe && probe(joined)) {
+    out.label = joined;
+    out.tokens = {joined};
+    out.compound_in_lexicon = true;
+    return out;
+  }
+  // Otherwise: individual terms, stop-word removed and stemmed, but kept
+  // within a single node label so one sense is eventually assigned to
+  // the whole label (paper §3.2).
+  std::vector<std::string> kept = RemoveStopWords(parts);
+  if (kept.empty()) kept = parts;  // all-stop-word tags keep their parts
+  for (std::string& token : kept) token = NormalizeToken(token, probe);
+  out.tokens = kept;
+  out.label = JoinCompound(kept);
+  return out;
+}
+
+std::vector<std::string> PreprocessTextValue(std::string_view value,
+                                             const LexiconProbe& probe) {
+  std::vector<std::string> tokens = Tokenize(value);
+  tokens = RemoveStopWords(tokens);
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (const std::string& token : tokens) {
+    if (!HasLetter(token)) continue;  // drop pure numbers
+    out.push_back(NormalizeToken(token, probe));
+  }
+  return out;
+}
+
+}  // namespace xsdf::text

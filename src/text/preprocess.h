@@ -1,0 +1,53 @@
+#ifndef XSDF_TEXT_PREPROCESS_H_
+#define XSDF_TEXT_PREPROCESS_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xsdf::text {
+
+/// Lexicon membership probe: true when `lemma` (lowercase; multi-word
+/// collocations joined with '_') names at least one concept in the
+/// reference semantic network.
+using LexiconProbe = std::function<bool(const std::string&)>;
+
+/// The outcome of linguistically pre-processing one XML tag name
+/// (paper §3.2).
+struct ProcessedLabel {
+  /// Final node label l. For compounds this is the joined form
+  /// ("first_name"), whether or not the lexicon knows it as one
+  /// concept; simple tags are a single normalized token.
+  std::string label;
+  /// Constituent tokens after stop-word removal and conditional
+  /// stemming. Size 1 for simple tags and lexicon-matched compounds;
+  /// size >= 2 for unresolved compounds, whose senses are combined
+  /// downstream (Eqs. 10 / 12).
+  std::vector<std::string> tokens;
+  /// True when the compound matched a single concept in the lexicon.
+  bool compound_in_lexicon = false;
+};
+
+/// Normalizes one lowercase token: returned verbatim when the lexicon
+/// knows it; otherwise stemmed (Porter) and the stem returned when the
+/// lexicon knows the stem; otherwise the original token is kept (there
+/// is nothing better to look up).
+std::string NormalizeToken(std::string_view token,
+                           const LexiconProbe& probe);
+
+/// Pre-processes an element/attribute tag name: compound splitting
+/// (underscore / CamelCase), single-concept compound detection against
+/// the lexicon, stop-word removal, and conditional stemming.
+ProcessedLabel PreprocessTagName(std::string_view tag,
+                                 const LexiconProbe& probe);
+
+/// Pre-processes an element/attribute text value into a sequence of
+/// node labels: tokenization, stop-word removal, conditional stemming.
+/// Each returned label becomes one token leaf node (paper §3.1).
+std::vector<std::string> PreprocessTextValue(std::string_view value,
+                                             const LexiconProbe& probe);
+
+}  // namespace xsdf::text
+
+#endif  // XSDF_TEXT_PREPROCESS_H_

@@ -1,0 +1,52 @@
+#include "text/stopwords.h"
+
+#include <algorithm>
+#include <iterator>
+
+namespace xsdf::text {
+
+namespace {
+
+// Sorted for binary search (verified by a unit test).
+constexpr std::string_view kStopWords[] = {
+    "a",      "about",  "above",   "after",   "again",   "against",
+    "all",    "am",     "an",      "and",     "any",     "are",
+    "as",     "at",     "be",      "been",    "before",  "being",
+    "below",  "between", "both",   "but",     "by",      "can",
+    "cannot", "could",  "did",     "do",      "does",    "doing",
+    "down",   "during", "each",    "few",     "for",     "from",
+    "further", "had",   "has",     "have",    "having",  "he",
+    "her",    "here",   "hers",    "herself", "him",     "himself",
+    "his",    "how",    "i",       "if",      "in",      "into",
+    "is",     "it",     "its",     "itself",  "me",      "more",
+    "most",   "my",     "myself",  "no",      "nor",     "not",
+    "of",     "off",    "on",      "once",    "only",    "or",
+    "other",  "ought",  "our",     "ours",    "out",     "over",
+    "own",    "same",   "she",     "should",  "so",      "some",
+    "such",   "than",   "that",    "the",     "their",   "theirs",
+    "them",   "themselves", "then", "there",  "these",   "they",
+    "this",   "those",  "through", "to",      "too",     "under",
+    "until",  "up",     "very",    "was",     "we",      "were",
+    "what",   "when",   "where",   "which",   "while",   "who",
+    "whom",   "why",    "with",    "would",   "you",     "your",
+    "yours",
+};
+
+}  // namespace
+
+bool IsStopWord(std::string_view word) {
+  return std::binary_search(std::begin(kStopWords), std::end(kStopWords),
+                            word);
+}
+
+std::vector<std::string> RemoveStopWords(
+    const std::vector<std::string>& tokens) {
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (const std::string& token : tokens) {
+    if (!IsStopWord(token)) out.push_back(token);
+  }
+  return out;
+}
+
+}  // namespace xsdf::text

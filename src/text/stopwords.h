@@ -1,0 +1,22 @@
+#ifndef XSDF_TEXT_STOPWORDS_H_
+#define XSDF_TEXT_STOPWORDS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xsdf::text {
+
+/// True when `word` (lowercase) is an English stop word (articles,
+/// prepositions, pronouns, auxiliaries, ...). The list follows the
+/// classic SMART/Snowball union trimmed to words that occur as noise in
+/// XML tags and values.
+bool IsStopWord(std::string_view word);
+
+/// Returns `tokens` with stop words removed (order preserved).
+std::vector<std::string> RemoveStopWords(
+    const std::vector<std::string>& tokens);
+
+}  // namespace xsdf::text
+
+#endif  // XSDF_TEXT_STOPWORDS_H_

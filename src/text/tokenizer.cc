@@ -1,0 +1,55 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace xsdf::text {
+
+namespace {
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0;
+}
+}  // namespace
+
+std::vector<std::string> Tokenize(std::string_view input) {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&]() {
+    if (!current.empty()) {
+      // Strip possessive suffix 's (already lowercased, apostrophe
+      // dropped below, so it appears as a trailing "s" after an
+      // apostrophe marker we track separately).
+      tokens.push_back(current);
+      current.clear();
+    }
+  };
+  for (size_t i = 0; i < input.size(); ++i) {
+    char c = input[i];
+    if (IsWordChar(c)) {
+      current.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if ((c == '\'' || c == '\xE2') && !current.empty()) {
+      // Possessive / contraction: "director's" -> "director".
+      // (0xE2 begins the UTF-8 right single quote; skip its tail.)
+      if (c == '\xE2' && i + 2 < input.size()) i += 2;
+      if (i + 1 < input.size() &&
+          (input[i + 1] == 's' || input[i + 1] == 'S') &&
+          (i + 2 >= input.size() || !IsWordChar(input[i + 2]))) {
+        ++i;  // skip the possessive s
+      }
+      flush();
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return tokens;
+}
+
+bool HasLetter(std::string_view token) {
+  for (char c : token) {
+    if (std::isalpha(static_cast<unsigned char>(c))) return true;
+  }
+  return false;
+}
+
+}  // namespace xsdf::text

@@ -1,0 +1,24 @@
+#ifndef XSDF_TEXT_TOKENIZER_H_
+#define XSDF_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xsdf::text {
+
+/// Splits free text into lowercase word tokens.
+///
+/// A token is a maximal run of ASCII letters/digits; apostrophes inside
+/// words are dropped ("wheelchair's" -> "wheelchairs" is *not* produced;
+/// the possessive suffix is stripped: -> "wheelchair"). Punctuation and
+/// whitespace separate tokens.
+std::vector<std::string> Tokenize(std::string_view input);
+
+/// True when `token` contains at least one letter (filters pure numbers
+/// before dictionary lookups).
+bool HasLetter(std::string_view token);
+
+}  // namespace xsdf::text
+
+#endif  // XSDF_TEXT_TOKENIZER_H_

@@ -1,0 +1,57 @@
+#ifndef XSDF_WORDNET_LEXICON_SPEC_H_
+#define XSDF_WORDNET_LEXICON_SPEC_H_
+
+#include <cstddef>
+
+namespace xsdf::wordnet {
+
+/// One synset of the curated mini-WordNet, in a compact table form.
+///
+/// `relations` is a semicolon-separated list of `type:target_key`
+/// entries; supported types:
+///   hyper        Is-A                    (kHypernym)
+///   inst         instance Is-A           (kInstanceHypernym)
+///   haspart      Has-Part                (kPartMeronym)
+///   hasmember    Has-Member              (kMemberMeronym)
+///   hassubstance Has-Substance           (kSubstanceMeronym)
+///   partof       Part-Of                 (kPartHolonym)
+///   memberof     Member-Of               (kMemberHolonym)
+///   ant          antonym                 (kAntonym)
+///   attr         attribute               (kAttribute)
+///   der          derivationally related  (kDerivation)
+///   sim          similar to              (kSimilarTo)
+///   also         see also                (kAlsoSee)
+/// Inverse edges are added automatically.
+struct SynsetSpec {
+  const char* key;        ///< unique key, e.g. "movie.n"
+  char pos;               ///< 'n', 'v', 'a', or 'r'
+  int lex_file;           ///< lexicographer file number (WNDB metadata)
+  const char* lemmas;     ///< comma-separated lowercase lemmas
+  const char* gloss;      ///< textual definition
+  const char* relations;  ///< see above; may be empty
+};
+
+/// Upper-ontology scaffolding: entity down to the generic categories
+/// every domain concept hangs from.
+extern const SynsetSpec kLexiconScaffold[];
+extern const size_t kLexiconScaffoldCount;
+
+/// Domain vocabulary for the ten evaluation dataset families
+/// (movies, plays, products, bibliography, food, plants, personnel...).
+extern const SynsetSpec kLexiconDomains[];
+extern const size_t kLexiconDomainsCount;
+
+/// Proper names (Kelly, Stewart, Hitchcock, ...) and the 33 noun senses
+/// of "head" that give the network its WordNet-2.1 maximum polysemy.
+extern const SynsetSpec kLexiconNames[];
+extern const size_t kLexiconNamesCount;
+
+/// Extended general vocabulary: sports, technology, vehicles, nature,
+/// anatomy, buildings, feelings, food staples, time, professions, and
+/// classic polysemy benchmarks (bank, spring, match, court, suit, ...).
+extern const SynsetSpec kLexiconExtra[];
+extern const size_t kLexiconExtraCount;
+
+}  // namespace xsdf::wordnet
+
+#endif  // XSDF_WORDNET_LEXICON_SPEC_H_

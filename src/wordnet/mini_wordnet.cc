@@ -1,0 +1,157 @@
+#include "wordnet/mini_wordnet.h"
+
+#include <cmath>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "wordnet/wndb.h"
+
+namespace xsdf::wordnet {
+
+namespace {
+
+Result<Relation> RelationFromSpecName(std::string_view name) {
+  if (name == "hyper") return Relation::kHypernym;
+  if (name == "inst") return Relation::kInstanceHypernym;
+  if (name == "haspart") return Relation::kPartMeronym;
+  if (name == "hasmember") return Relation::kMemberMeronym;
+  if (name == "hassubstance") return Relation::kSubstanceMeronym;
+  if (name == "partof") return Relation::kPartHolonym;
+  if (name == "memberof") return Relation::kMemberHolonym;
+  if (name == "ant") return Relation::kAntonym;
+  if (name == "attr") return Relation::kAttribute;
+  if (name == "der") return Relation::kDerivation;
+  if (name == "sim") return Relation::kSimilarTo;
+  if (name == "also") return Relation::kAlsoSee;
+  return Status::InvalidArgument("unknown relation spec: " +
+                                 std::string(name));
+}
+
+/// Deterministic Zipf-flavoured tag counts: the first sense of a lemma
+/// receives most of the mass, later senses exponentially less, with a
+/// seeded jitter so counts are not perfectly collinear with rank.
+void AssignFrequencies(SemanticNetwork* network, uint64_t seed) {
+  // Sense rank of each concept within its primary lemma's inventory,
+  // so a lemma's first-listed sense dominates its later senses (the
+  // WordNet frequency-ordering convention).
+  std::vector<int> rank(network->size(), 1);
+  for (const Concept& c : network->concepts()) {
+    const std::vector<ConceptId>& senses =
+        network->Senses(c.synonyms.front());
+    for (size_t i = 0; i < senses.size(); ++i) {
+      if (senses[i] == c.id) {
+        rank[static_cast<size_t>(c.id)] = static_cast<int>(i) + 1;
+        break;
+      }
+    }
+  }
+  for (const Concept& c : network->concepts()) {
+    Rng rng(seed ^ (0x9E3779B9ULL * static_cast<uint64_t>(c.id + 17)));
+    int r = rank[static_cast<size_t>(c.id)];
+    double base = 1200.0 / std::pow(static_cast<double>(r), 1.7);
+    double jitter = 0.4 + 1.2 * rng.UniformDouble();
+    network->SetFrequency(c.id, std::floor(base * jitter));
+  }
+}
+
+}  // namespace
+
+Result<SemanticNetwork> BuildFromSpecs(const SynsetSpec* const* tables,
+                                       const size_t* counts,
+                                       size_t table_count, uint64_t seed) {
+  SemanticNetwork network;
+  std::unordered_map<std::string, ConceptId> by_key;
+
+  // Pass 1: concepts.
+  for (size_t t = 0; t < table_count; ++t) {
+    for (size_t i = 0; i < counts[t]; ++i) {
+      const SynsetSpec& spec = tables[t][i];
+      auto pos = PosFromChar(spec.pos);
+      if (!pos.ok()) return pos.status();
+      std::vector<std::string> lemmas = StrSplit(spec.lemmas, ',');
+      if (lemmas.empty() || lemmas[0].empty()) {
+        return Status::InvalidArgument(
+            std::string("synset has no lemmas: ") + spec.key);
+      }
+      ConceptId id = network.AddConcept(*pos, std::move(lemmas),
+                                        spec.gloss, spec.lex_file);
+      if (!by_key.emplace(spec.key, id).second) {
+        return Status::InvalidArgument(std::string("duplicate synset key: ") +
+                                       spec.key);
+      }
+    }
+  }
+
+  // Pass 2: relations.
+  for (size_t t = 0; t < table_count; ++t) {
+    for (size_t i = 0; i < counts[t]; ++i) {
+      const SynsetSpec& spec = tables[t][i];
+      if (spec.relations == nullptr || spec.relations[0] == '\0') continue;
+      for (const std::string& entry : StrSplit(spec.relations, ';')) {
+        if (entry.empty()) continue;
+        size_t colon = entry.find(':');
+        if (colon == std::string::npos) {
+          return Status::InvalidArgument("malformed relation entry '" +
+                                         entry + "' in synset " + spec.key);
+        }
+        auto relation = RelationFromSpecName(entry.substr(0, colon));
+        if (!relation.ok()) return relation.status();
+        std::string target_key = entry.substr(colon + 1);
+        auto target = by_key.find(target_key);
+        if (target == by_key.end()) {
+          return Status::InvalidArgument("synset " + std::string(spec.key) +
+                                         " references unknown key: " +
+                                         target_key);
+        }
+        network.AddEdge(by_key.at(spec.key), *relation, target->second);
+      }
+    }
+  }
+
+  AssignFrequencies(&network, seed);
+  network.FinalizeFrequencies();
+  return network;
+}
+
+Result<SemanticNetwork> BuildMiniWordNet() {
+  const SynsetSpec* tables[] = {kLexiconScaffold, kLexiconDomains,
+                                kLexiconNames, kLexiconExtra};
+  const size_t counts[] = {kLexiconScaffoldCount, kLexiconDomainsCount,
+                           kLexiconNamesCount, kLexiconExtraCount};
+  return BuildFromSpecs(tables, counts, 4, /*seed=*/0x5DF0C0DEULL);
+}
+
+Result<ConceptId> MiniWordNetConceptByKey(const std::string& key) {
+  static const std::unordered_map<std::string, ConceptId>* kIndex = [] {
+    auto* index = new std::unordered_map<std::string, ConceptId>();
+    const SynsetSpec* tables[] = {kLexiconScaffold, kLexiconDomains,
+                                  kLexiconNames, kLexiconExtra};
+    const size_t counts[] = {kLexiconScaffoldCount, kLexiconDomainsCount,
+                             kLexiconNamesCount, kLexiconExtraCount};
+    ConceptId next = 0;
+    for (size_t t = 0; t < 4; ++t) {
+      for (size_t i = 0; i < counts[t]; ++i) {
+        index->emplace(tables[t][i].key, next++);
+      }
+    }
+    return index;
+  }();
+  auto it = kIndex->find(key);
+  if (it == kIndex->end()) {
+    return Status::NotFound("no synset with key: " + key);
+  }
+  return it->second;
+}
+
+Result<SemanticNetwork> BuildMiniWordNetViaWndb() {
+  auto network = BuildMiniWordNet();
+  if (!network.ok()) return network.status();
+  auto files = WriteWndb(*network);
+  if (!files.ok()) return files.status();
+  return ParseWndb(*files);
+}
+
+}  // namespace xsdf::wordnet

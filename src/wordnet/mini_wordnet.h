@@ -1,0 +1,38 @@
+#ifndef XSDF_WORDNET_MINI_WORDNET_H_
+#define XSDF_WORDNET_MINI_WORDNET_H_
+
+#include "common/result.h"
+#include "wordnet/lexicon_spec.h"
+#include "wordnet/semantic_network.h"
+
+namespace xsdf::wordnet {
+
+/// Builds the curated mini-WordNet: ~900 synsets over the vocabulary of
+/// the ten evaluation dataset families, with the taxonomy scaffolding
+/// (entity -> ... -> leaves), typed relations, glosses, and
+/// deterministic Zipf-distributed corpus tag counts (the weighted
+/// network SN-bar of paper Definition 2). Frequencies are finalized
+/// before returning.
+Result<SemanticNetwork> BuildMiniWordNet();
+
+/// Builds the mini-WordNet the way a real deployment would consume
+/// WordNet: serializes it to WNDB data/index/cntlist files and parses
+/// those files back. Exercises the full on-disk round trip; the result
+/// is equivalent to BuildMiniWordNet() up to sense ordering rules.
+Result<SemanticNetwork> BuildMiniWordNetViaWndb();
+
+/// Builds a SemanticNetwork from explicit spec tables (used both by
+/// BuildMiniWordNet and by tests with small fixtures). Frequencies are
+/// assigned from `seed` and finalized.
+Result<SemanticNetwork> BuildFromSpecs(
+    const SynsetSpec* const* tables, const size_t* counts,
+    size_t table_count, uint64_t seed);
+
+/// Resolves a lexicon spec key ("grace_kelly.n") to the ConceptId it
+/// receives in BuildMiniWordNet()'s insertion order. Keys are stable
+/// across builds because the spec tables are static.
+Result<ConceptId> MiniWordNetConceptByKey(const std::string& key);
+
+}  // namespace xsdf::wordnet
+
+#endif  // XSDF_WORDNET_MINI_WORDNET_H_

@@ -1,0 +1,413 @@
+#include "wordnet/semantic_network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cctype>
+#include <deque>
+#include <limits>
+
+namespace xsdf::wordnet {
+
+char PosToChar(PartOfSpeech pos) {
+  switch (pos) {
+    case PartOfSpeech::kNoun:
+      return 'n';
+    case PartOfSpeech::kVerb:
+      return 'v';
+    case PartOfSpeech::kAdjective:
+      return 'a';
+    case PartOfSpeech::kAdverb:
+      return 'r';
+  }
+  return 'n';
+}
+
+Result<PartOfSpeech> PosFromChar(char c) {
+  switch (c) {
+    case 'n':
+      return PartOfSpeech::kNoun;
+    case 'v':
+      return PartOfSpeech::kVerb;
+    case 'a':
+    case 's':
+      return PartOfSpeech::kAdjective;
+    case 'r':
+      return PartOfSpeech::kAdverb;
+    default:
+      return Status::Corruption(std::string("unknown ss_type: ") + c);
+  }
+}
+
+std::string_view RelationToSymbol(Relation relation) {
+  switch (relation) {
+    case Relation::kHypernym:
+      return "@";
+    case Relation::kInstanceHypernym:
+      return "@i";
+    case Relation::kHyponym:
+      return "~";
+    case Relation::kInstanceHyponym:
+      return "~i";
+    case Relation::kMemberHolonym:
+      return "#m";
+    case Relation::kPartHolonym:
+      return "#p";
+    case Relation::kSubstanceHolonym:
+      return "#s";
+    case Relation::kMemberMeronym:
+      return "%m";
+    case Relation::kPartMeronym:
+      return "%p";
+    case Relation::kSubstanceMeronym:
+      return "%s";
+    case Relation::kAntonym:
+      return "!";
+    case Relation::kAttribute:
+      return "=";
+    case Relation::kDerivation:
+      return "+";
+    case Relation::kSimilarTo:
+      return "&";
+    case Relation::kAlsoSee:
+      return "^";
+  }
+  return "@";
+}
+
+Result<Relation> RelationFromSymbol(std::string_view symbol) {
+  if (symbol == "@") return Relation::kHypernym;
+  if (symbol == "@i") return Relation::kInstanceHypernym;
+  if (symbol == "~") return Relation::kHyponym;
+  if (symbol == "~i") return Relation::kInstanceHyponym;
+  if (symbol == "#m") return Relation::kMemberHolonym;
+  if (symbol == "#p") return Relation::kPartHolonym;
+  if (symbol == "#s") return Relation::kSubstanceHolonym;
+  if (symbol == "%m") return Relation::kMemberMeronym;
+  if (symbol == "%p") return Relation::kPartMeronym;
+  if (symbol == "%s") return Relation::kSubstanceMeronym;
+  if (symbol == "!") return Relation::kAntonym;
+  if (symbol == "=") return Relation::kAttribute;
+  if (symbol == "+") return Relation::kDerivation;
+  if (symbol == "&") return Relation::kSimilarTo;
+  if (symbol == "^") return Relation::kAlsoSee;
+  return Status::Corruption("unknown pointer symbol: " +
+                            std::string(symbol));
+}
+
+Relation InverseRelation(Relation relation) {
+  switch (relation) {
+    case Relation::kHypernym:
+      return Relation::kHyponym;
+    case Relation::kHyponym:
+      return Relation::kHypernym;
+    case Relation::kInstanceHypernym:
+      return Relation::kInstanceHyponym;
+    case Relation::kInstanceHyponym:
+      return Relation::kInstanceHypernym;
+    case Relation::kMemberHolonym:
+      return Relation::kMemberMeronym;
+    case Relation::kMemberMeronym:
+      return Relation::kMemberHolonym;
+    case Relation::kPartHolonym:
+      return Relation::kPartMeronym;
+    case Relation::kPartMeronym:
+      return Relation::kPartHolonym;
+    case Relation::kSubstanceHolonym:
+      return Relation::kSubstanceMeronym;
+    case Relation::kSubstanceMeronym:
+      return Relation::kSubstanceHolonym;
+    case Relation::kAntonym:
+    case Relation::kAttribute:
+    case Relation::kDerivation:
+    case Relation::kSimilarTo:
+    case Relation::kAlsoSee:
+      return relation;  // symmetric
+  }
+  return relation;
+}
+
+std::string SemanticNetwork::NormalizeLemma(std::string_view lemma) {
+  std::string out(lemma);
+  for (char& c : out) {
+    if (c == ' ' || c == '-') {
+      c = '_';
+    } else {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+  }
+  return out;
+}
+
+ConceptId SemanticNetwork::AddConcept(PartOfSpeech pos,
+                                      std::vector<std::string> synonyms,
+                                      std::string gloss, int lex_file) {
+  assert(!synonyms.empty());
+  Concept node;
+  node.id = static_cast<ConceptId>(concepts_.size());
+  node.pos = pos;
+  node.gloss = std::move(gloss);
+  node.lex_file = lex_file;
+  for (std::string& lemma : synonyms) {
+    lemma = NormalizeLemma(lemma);
+    index_[lemma].push_back(node.id);
+  }
+  node.synonyms = std::move(synonyms);
+  concepts_.push_back(std::move(node));
+  finalized_ = false;
+  return concepts_.back().id;
+}
+
+void SemanticNetwork::AddEdge(ConceptId source, Relation relation,
+                              ConceptId target, bool add_inverse) {
+  assert(source >= 0 && static_cast<size_t>(source) < concepts_.size());
+  assert(target >= 0 && static_cast<size_t>(target) < concepts_.size());
+  Edge edge{relation, target};
+  auto& edges = concepts_[static_cast<size_t>(source)].edges;
+  if (std::find(edges.begin(), edges.end(), edge) == edges.end()) {
+    edges.push_back(edge);
+  }
+  if (add_inverse) {
+    Edge inverse{InverseRelation(relation), source};
+    auto& back_edges = concepts_[static_cast<size_t>(target)].edges;
+    if (std::find(back_edges.begin(), back_edges.end(), inverse) ==
+        back_edges.end()) {
+      back_edges.push_back(inverse);
+    }
+  }
+  finalized_ = false;
+}
+
+void SemanticNetwork::SetFrequency(ConceptId id, double frequency) {
+  concepts_[static_cast<size_t>(id)].frequency = frequency;
+  finalized_ = false;
+}
+
+const std::vector<ConceptId>& SemanticNetwork::Senses(
+    std::string_view lemma) const {
+  static const std::vector<ConceptId> kEmpty;
+  auto it = index_.find(NormalizeLemma(lemma));
+  return it == index_.end() ? kEmpty : it->second;
+}
+
+int SemanticNetwork::SenseCount(std::string_view lemma) const {
+  return static_cast<int>(Senses(lemma).size());
+}
+
+bool SemanticNetwork::Contains(std::string_view lemma) const {
+  return SenseCount(lemma) > 0;
+}
+
+int SemanticNetwork::MaxPolysemy() const {
+  size_t max_senses = 0;
+  for (const auto& [lemma, senses] : index_) {
+    max_senses = std::max(max_senses, senses.size());
+  }
+  return static_cast<int>(max_senses);
+}
+
+Status SemanticNetwork::SetSenseOrder(std::string_view lemma,
+                                      PartOfSpeech pos,
+                                      const std::vector<ConceptId>& ordered) {
+  auto it = index_.find(NormalizeLemma(lemma));
+  if (it == index_.end()) {
+    return Status::NotFound("unknown lemma: " + std::string(lemma));
+  }
+  std::vector<ConceptId>& senses = it->second;
+  std::vector<ConceptId> current_pos_senses;
+  for (ConceptId id : senses) {
+    if (GetConcept(id).pos == pos) current_pos_senses.push_back(id);
+  }
+  std::vector<ConceptId> sorted_a = current_pos_senses;
+  std::vector<ConceptId> sorted_b = ordered;
+  std::sort(sorted_a.begin(), sorted_a.end());
+  std::sort(sorted_b.begin(), sorted_b.end());
+  if (sorted_a != sorted_b) {
+    return Status::InvalidArgument(
+        "sense order is not a permutation of existing senses for lemma: " +
+        std::string(lemma));
+  }
+  // Regroup: n, v, a, r blocks; the reordered pos uses `ordered`.
+  std::vector<ConceptId> rebuilt;
+  rebuilt.reserve(senses.size());
+  for (PartOfSpeech p : {PartOfSpeech::kNoun, PartOfSpeech::kVerb,
+                         PartOfSpeech::kAdjective, PartOfSpeech::kAdverb}) {
+    if (p == pos) {
+      rebuilt.insert(rebuilt.end(), ordered.begin(), ordered.end());
+    } else {
+      for (ConceptId id : senses) {
+        if (GetConcept(id).pos == p) rebuilt.push_back(id);
+      }
+    }
+  }
+  senses = std::move(rebuilt);
+  return Status::Ok();
+}
+
+std::vector<ConceptId> SemanticNetwork::Hypernyms(ConceptId id) const {
+  std::vector<ConceptId> out;
+  for (const Edge& edge : GetConcept(id).edges) {
+    if (edge.relation == Relation::kHypernym ||
+        edge.relation == Relation::kInstanceHypernym) {
+      out.push_back(edge.target);
+    }
+  }
+  return out;
+}
+
+std::vector<ConceptId> SemanticNetwork::Hyponyms(ConceptId id) const {
+  std::vector<ConceptId> out;
+  for (const Edge& edge : GetConcept(id).edges) {
+    if (edge.relation == Relation::kHyponym ||
+        edge.relation == Relation::kInstanceHyponym) {
+      out.push_back(edge.target);
+    }
+  }
+  return out;
+}
+
+int SemanticNetwork::Depth(ConceptId id) const {
+  if (depth_cache_.size() != concepts_.size()) {
+    depth_cache_.assign(concepts_.size(), -1);
+  }
+  int& cached = depth_cache_[static_cast<size_t>(id)];
+  if (cached >= 0) return cached;
+  // Iterative BFS upward: depth = shortest hypernym chain to any root.
+  // Memoization is per-node; cycles (which a well-formed taxonomy lacks)
+  // are guarded by the visited set.
+  std::deque<std::pair<ConceptId, int>> queue = {{id, 0}};
+  std::vector<bool> visited(concepts_.size(), false);
+  visited[static_cast<size_t>(id)] = true;
+  while (!queue.empty()) {
+    auto [cur, dist] = queue.front();
+    queue.pop_front();
+    std::vector<ConceptId> ups = Hypernyms(cur);
+    if (ups.empty()) {
+      cached = dist;
+      return cached;
+    }
+    for (ConceptId up : ups) {
+      if (!visited[static_cast<size_t>(up)]) {
+        visited[static_cast<size_t>(up)] = true;
+        queue.emplace_back(up, dist + 1);
+      }
+    }
+  }
+  cached = 0;
+  return cached;
+}
+
+int SemanticNetwork::MaxDepth() const {
+  int max_depth = 0;
+  for (const Concept& c : concepts_) {
+    max_depth = std::max(max_depth, Depth(c.id));
+  }
+  return max_depth;
+}
+
+std::unordered_map<ConceptId, int> SemanticNetwork::AncestorDistances(
+    ConceptId id) const {
+  std::unordered_map<ConceptId, int> distances;
+  std::deque<ConceptId> queue = {id};
+  distances[id] = 0;
+  while (!queue.empty()) {
+    ConceptId cur = queue.front();
+    queue.pop_front();
+    int next_dist = distances[cur] + 1;
+    for (ConceptId up : Hypernyms(cur)) {
+      auto [it, inserted] = distances.emplace(up, next_dist);
+      if (inserted) queue.push_back(up);
+    }
+  }
+  return distances;
+}
+
+ConceptId SemanticNetwork::LeastCommonSubsumer(ConceptId a,
+                                               ConceptId b) const {
+  std::unordered_map<ConceptId, int> da = AncestorDistances(a);
+  std::unordered_map<ConceptId, int> db = AncestorDistances(b);
+  ConceptId best = kInvalidConcept;
+  int best_sum = std::numeric_limits<int>::max();
+  int best_depth = -1;
+  for (const auto& [ancestor, dist_a] : da) {
+    auto it = db.find(ancestor);
+    if (it == db.end()) continue;
+    int sum = dist_a + it->second;
+    int depth = Depth(ancestor);
+    if (sum < best_sum || (sum == best_sum && depth > best_depth)) {
+      best_sum = sum;
+      best_depth = depth;
+      best = ancestor;
+    }
+  }
+  return best;
+}
+
+int SemanticNetwork::HypernymPathLength(ConceptId a, ConceptId b) const {
+  std::unordered_map<ConceptId, int> da = AncestorDistances(a);
+  std::unordered_map<ConceptId, int> db = AncestorDistances(b);
+  int best = -1;
+  for (const auto& [ancestor, dist_a] : da) {
+    auto it = db.find(ancestor);
+    if (it == db.end()) continue;
+    int sum = dist_a + it->second;
+    if (best < 0 || sum < best) best = sum;
+  }
+  return best;
+}
+
+std::vector<std::vector<ConceptId>> SemanticNetwork::Rings(
+    ConceptId center, int max_distance) const {
+  std::vector<std::vector<ConceptId>> rings;
+  rings.push_back({center});
+  std::vector<bool> visited(concepts_.size(), false);
+  visited[static_cast<size_t>(center)] = true;
+  std::vector<ConceptId> frontier = {center};
+  for (int d = 1; d <= max_distance && !frontier.empty(); ++d) {
+    std::vector<ConceptId> next;
+    for (ConceptId id : frontier) {
+      for (const Edge& edge : GetConcept(id).edges) {
+        if (!visited[static_cast<size_t>(edge.target)]) {
+          visited[static_cast<size_t>(edge.target)] = true;
+          next.push_back(edge.target);
+        }
+      }
+    }
+    std::sort(next.begin(), next.end());
+    rings.push_back(next);
+    frontier = rings.back();
+  }
+  while (static_cast<int>(rings.size()) <= max_distance) {
+    rings.emplace_back();
+  }
+  return rings;
+}
+
+void SemanticNetwork::FinalizeFrequencies() {
+  // Smoothed base counts (add-one) so information content is defined
+  // for unseen concepts, then propagate counts to all hypernym
+  // ancestors as node-based measures require (Resnik / Lin).
+  size_t n = concepts_.size();
+  cumulative_frequency_.assign(n, 0.0);
+  depth_cache_.assign(n, -1);
+
+  // Each concept contributes its (add-one smoothed) base count to every
+  // hypernym ancestor exactly once — correct under multiple inheritance
+  // (diamonds are not double counted).
+  for (const Concept& c : concepts_) {
+    double count = c.frequency + 1.0;
+    for (const auto& [ancestor, dist] : AncestorDistances(c.id)) {
+      (void)dist;
+      cumulative_frequency_[static_cast<size_t>(ancestor)] += count;
+    }
+  }
+  total_frequency_ = 0.0;
+  for (const Concept& c : concepts_) {
+    if (Hypernyms(c.id).empty()) {
+      total_frequency_ += cumulative_frequency_[static_cast<size_t>(c.id)];
+    }
+  }
+  if (total_frequency_ <= 0.0) total_frequency_ = 1.0;
+  finalized_ = true;
+}
+
+}  // namespace xsdf::wordnet

@@ -1,0 +1,197 @@
+#ifndef XSDF_WORDNET_SEMANTIC_NETWORK_H_
+#define XSDF_WORDNET_SEMANTIC_NETWORK_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace xsdf::wordnet {
+
+/// Index of a concept (synset) inside a SemanticNetwork.
+using ConceptId = int;
+inline constexpr ConceptId kInvalidConcept = -1;
+
+/// WordNet part of speech.
+enum class PartOfSpeech { kNoun, kVerb, kAdjective, kAdverb };
+
+/// Returns 'n', 'v', 'a', or 'r'.
+char PosToChar(PartOfSpeech pos);
+/// Parses a WNDB ss_type character ('s' maps to kAdjective).
+Result<PartOfSpeech> PosFromChar(char c);
+
+/// Semantic relation labels (paper Definition 2's R), matching the
+/// WNDB pointer-symbol inventory for nouns plus a few shared ones.
+enum class Relation {
+  kHypernym,          ///< @   Is-A (generalization)
+  kInstanceHypernym,  ///< @i  instance Is-A (Grace_Kelly -> actress)
+  kHyponym,           ///< ~   inverse of hypernym
+  kInstanceHyponym,   ///< ~i  inverse of instance hypernym
+  kMemberHolonym,     ///< #m  Member-Of (this is a member of target)
+  kPartHolonym,       ///< #p  Part-Of
+  kSubstanceHolonym,  ///< #s  Substance-Of
+  kMemberMeronym,     ///< %m  Has-Member
+  kPartMeronym,       ///< %p  Has-Part
+  kSubstanceMeronym,  ///< %s  Has-Substance
+  kAntonym,           ///< !
+  kAttribute,         ///< =
+  kDerivation,        ///< +
+  kSimilarTo,         ///< &
+  kAlsoSee,           ///< ^
+};
+
+/// WNDB pointer symbol for a relation ("@", "~", "#m", ...).
+std::string_view RelationToSymbol(Relation relation);
+/// Parses a WNDB pointer symbol.
+Result<Relation> RelationFromSymbol(std::string_view symbol);
+/// The inverse relation (hypernym <-> hyponym, holonym <-> meronym,
+/// symmetric relations map to themselves).
+Relation InverseRelation(Relation relation);
+
+/// One typed edge out of a concept.
+struct Edge {
+  Relation relation;
+  ConceptId target;
+
+  friend bool operator==(const Edge& a, const Edge& b) {
+    return a.relation == b.relation && a.target == b.target;
+  }
+};
+
+/// A concept node (synset): a set of synonymous lemmas sharing one
+/// meaning, a textual gloss, typed edges, and (in the weighted network
+/// SN-bar) a corpus frequency.
+struct Concept {
+  ConceptId id = kInvalidConcept;
+  PartOfSpeech pos = PartOfSpeech::kNoun;
+  /// Lemmas, lowercase, collocations joined with '_'. The first lemma
+  /// is the concept's label c.l.
+  std::vector<std::string> synonyms;
+  std::string gloss;
+  std::vector<Edge> edges;
+  /// Corpus tag count of this exact synset (the numbers printed next to
+  /// concepts in the paper's Figure 2).
+  double frequency = 0.0;
+  /// Lexicographer file number, kept for byte-faithful WNDB output.
+  int lex_file = 3;
+
+  /// The concept label (first lemma).
+  const std::string& label() const { return synonyms.front(); }
+};
+
+/// The reference knowledge base (paper Definition 2): concepts C with
+/// labels L and glosses G, edges E labelled with relations R, plus the
+/// weighted variant's concept frequencies. Also provides the taxonomy
+/// utilities the similarity measures need (depth, subsumers, cumulative
+/// information-content counts).
+class SemanticNetwork {
+ public:
+  SemanticNetwork() = default;
+  SemanticNetwork(const SemanticNetwork&) = delete;
+  SemanticNetwork& operator=(const SemanticNetwork&) = delete;
+  SemanticNetwork(SemanticNetwork&&) = default;
+  SemanticNetwork& operator=(SemanticNetwork&&) = default;
+
+  /// Adds a concept; synonyms must be non-empty, lowercase lemmas.
+  /// Sense numbering of a lemma follows insertion order.
+  ConceptId AddConcept(PartOfSpeech pos, std::vector<std::string> synonyms,
+                       std::string gloss, int lex_file = 3);
+
+  /// Adds `relation` from `source` to `target`; when `add_inverse` the
+  /// inverse edge is added too (the WordNet convention).
+  void AddEdge(ConceptId source, Relation relation, ConceptId target,
+               bool add_inverse = true);
+
+  void SetFrequency(ConceptId id, double frequency);
+
+  size_t size() const { return concepts_.size(); }
+  const Concept& GetConcept(ConceptId id) const {
+    return concepts_[static_cast<size_t>(id)];
+  }
+  const std::vector<Concept>& concepts() const { return concepts_; }
+
+  /// Concept ids for `lemma`, in sense order; empty when unknown.
+  /// Lemma lookup is case-insensitive and '_'-normalized.
+  const std::vector<ConceptId>& Senses(std::string_view lemma) const;
+  /// senses(w): the number of senses of `lemma` (0 when unknown).
+  int SenseCount(std::string_view lemma) const;
+  bool Contains(std::string_view lemma) const;
+
+  /// Max(senses(SN)): the maximum polysemy of any lemma (Proposition 1's
+  /// normalizer; 33 for "head" in WordNet 2.1).
+  int MaxPolysemy() const;
+
+  /// Replaces the ordering of `lemma`'s senses of part-of-speech `pos`
+  /// with `ordered`; senses of other parts of speech are regrouped in
+  /// n/v/a/r order around it. Intended for WNDB parsing, where the
+  /// index.<pos> files define canonical sense order. Fails unless
+  /// `ordered` is a permutation of the lemma's current senses of that
+  /// pos.
+  Status SetSenseOrder(std::string_view lemma, PartOfSpeech pos,
+                       const std::vector<ConceptId>& ordered);
+
+  /// Number of distinct lemmas.
+  size_t LemmaCount() const { return index_.size(); }
+
+  /// Targets of hypernym + instance-hypernym edges of `id`.
+  std::vector<ConceptId> Hypernyms(ConceptId id) const;
+  /// Targets of hyponym + instance-hyponym edges of `id`.
+  std::vector<ConceptId> Hyponyms(ConceptId id) const;
+
+  /// Taxonomic depth: shortest hypernym chain from `id` to a root
+  /// (a concept with no hypernyms). Roots have depth 0.
+  int Depth(ConceptId id) const;
+  /// The maximum taxonomic depth over the network.
+  int MaxDepth() const;
+
+  /// All hypernym-ancestors of `id` (including itself) with their
+  /// shortest hypernym-path distance from `id`.
+  std::unordered_map<ConceptId, int> AncestorDistances(ConceptId id) const;
+
+  /// Least common subsumer of `a` and `b` minimizing the summed path
+  /// length (ties broken toward greater depth). kInvalidConcept when
+  /// the two concepts share no ancestor.
+  ConceptId LeastCommonSubsumer(ConceptId a, ConceptId b) const;
+
+  /// Length (edges) of the shortest path from `a` to `b` through their
+  /// LCS; -1 when unrelated.
+  int HypernymPathLength(ConceptId a, ConceptId b) const;
+
+  /// Concepts grouped by semantic distance from `center` following all
+  /// relation edges: element r is the SN ring R_r(center); element 0 is
+  /// {center}. Used to build concept sphere neighborhoods (§3.5.2).
+  std::vector<std::vector<ConceptId>> Rings(ConceptId center,
+                                            int max_distance) const;
+
+  /// Cumulative frequency: freq(id) + the frequencies of all hyponym
+  /// descendants. Defined after FinalizeFrequencies().
+  double CumulativeFrequency(ConceptId id) const {
+    return cumulative_frequency_[static_cast<size_t>(id)];
+  }
+  /// Total cumulative frequency at taxonomy roots (the information
+  /// content normalizer N).
+  double TotalFrequency() const { return total_frequency_; }
+
+  /// Computes cumulative frequencies and depth caches. Must be called
+  /// after all concepts/edges/frequencies are in place and before any
+  /// similarity computation; safe to call repeatedly.
+  void FinalizeFrequencies();
+  bool finalized() const { return finalized_; }
+
+ private:
+  std::vector<Concept> concepts_;
+  std::unordered_map<std::string, std::vector<ConceptId>> index_;
+  std::vector<double> cumulative_frequency_;
+  mutable std::vector<int> depth_cache_;
+  double total_frequency_ = 0.0;
+  bool finalized_ = false;
+
+  static std::string NormalizeLemma(std::string_view lemma);
+};
+
+}  // namespace xsdf::wordnet
+
+#endif  // XSDF_WORDNET_SEMANTIC_NETWORK_H_

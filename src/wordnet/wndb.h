@@ -1,0 +1,59 @@
+#ifndef XSDF_WORDNET_WNDB_H_
+#define XSDF_WORDNET_WNDB_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "wordnet/semantic_network.h"
+
+namespace xsdf::wordnet {
+
+/// In-memory image of a WordNet database directory in the classic WNDB
+/// on-disk format: one `data.<pos>` / `index.<pos>` pair per part of
+/// speech plus a `cntlist.rev` with corpus tag counts. Keys are the
+/// standard file names ("data.noun", "index.noun", ..., "cntlist.rev").
+using WndbFiles = std::map<std::string, std::string>;
+
+/// Serializes `network` into WNDB files.
+///
+/// The emitted records follow the WNDB(5WN) grammar exactly:
+///
+///   data.pos:  synset_offset lex_filenum ss_type w_cnt word lex_id
+///              [word lex_id...] p_cnt [ptr...] | gloss
+///   ptr:       pointer_symbol synset_offset pos source/target
+///   index.pos: lemma pos synset_cnt p_cnt [ptr_symbol...] sense_cnt
+///              tagsense_cnt synset_offset [synset_offset...]
+///   cntlist.rev: sense_key sense_number tag_cnt
+///
+/// with 8-digit zero-padded decimal byte offsets, hexadecimal w_cnt and
+/// lex_id, 3-digit decimal p_cnt, and a 29-line license header (lines
+/// starting with two spaces) at the top of each data/index file, as in
+/// the real distribution. Byte offsets are true offsets into the
+/// emitted file contents.
+Result<WndbFiles> WriteWndb(const SemanticNetwork& network);
+
+/// Writes WNDB files into directory `dir` (created if missing).
+Status WriteWndbToDirectory(const SemanticNetwork& network,
+                            const std::string& dir);
+
+/// Parses WNDB files back into a semantic network. Sense ordering of
+/// each lemma follows the index.<pos> files; frequencies come from
+/// cntlist.rev (absent file means zero counts). Validates offsets,
+/// counts, pointer symbols, and cross-references, returning Corruption
+/// on any malformed record.
+Result<SemanticNetwork> ParseWndb(const WndbFiles& files);
+
+/// Reads the standard WNDB file set from directory `dir` and parses it.
+Result<SemanticNetwork> ParseWndbDirectory(const std::string& dir);
+
+/// Builds the WordNet sense key for sense `concept_id` of `lemma`
+/// (e.g. "state%1:03:00::"): lemma%ss_type:lex_filenum:lex_id:head:head_id
+/// with numeric ss_type (1=n 2=v 3=adj 4=adv).
+std::string MakeSenseKey(const SemanticNetwork& network, ConceptId id,
+                         const std::string& lemma, int lex_id);
+
+}  // namespace xsdf::wordnet
+
+#endif  // XSDF_WORDNET_WNDB_H_

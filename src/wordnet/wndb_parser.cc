@@ -1,0 +1,320 @@
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+#include "common/strings.h"
+#include "wordnet/wndb.h"
+
+namespace xsdf::wordnet {
+
+namespace {
+
+struct PendingPointer {
+  Relation relation;
+  char target_pos;
+  size_t target_offset;
+};
+
+struct ParsedSynset {
+  char pos_char;
+  size_t offset;
+  int lex_file;
+  std::vector<std::string> lemmas;
+  std::vector<int> lex_ids;
+  std::string gloss;
+  std::vector<PendingPointer> pointers;
+};
+
+/// Whitespace tokenizer over one record line (gloss excluded).
+class FieldReader {
+ public:
+  explicit FieldReader(std::string_view line) : line_(line) {}
+
+  Result<std::string> Next() {
+    while (pos_ < line_.size() && line_[pos_] == ' ') ++pos_;
+    if (pos_ >= line_.size()) {
+      return Status::Corruption("truncated WNDB record");
+    }
+    size_t begin = pos_;
+    while (pos_ < line_.size() && line_[pos_] != ' ') ++pos_;
+    return std::string(line_.substr(begin, pos_ - begin));
+  }
+
+  Result<long> NextInt(int base) {
+    auto field = Next();
+    if (!field.ok()) return field.status();
+    char* end = nullptr;
+    long value = std::strtol(field->c_str(), &end, base);
+    if (end == field->c_str() || *end != '\0') {
+      return Status::Corruption("malformed numeric field: " + *field);
+    }
+    return value;
+  }
+
+ private:
+  std::string_view line_;
+  size_t pos_ = 0;
+};
+
+Result<ParsedSynset> ParseDataRecord(std::string_view line,
+                                     size_t expected_offset) {
+  ParsedSynset synset;
+  // Split off the gloss.
+  size_t bar = line.find(" | ");
+  if (bar == std::string_view::npos) {
+    return Status::Corruption("WNDB data record lacks gloss separator");
+  }
+  std::string_view fields = line.substr(0, bar);
+  std::string_view gloss = line.substr(bar + 3);
+  while (!gloss.empty() && (gloss.back() == ' ' || gloss.back() == '\r')) {
+    gloss.remove_suffix(1);
+  }
+  synset.gloss = std::string(gloss);
+
+  FieldReader reader(fields);
+  auto offset = reader.NextInt(10);
+  if (!offset.ok()) return offset.status();
+  synset.offset = static_cast<size_t>(*offset);
+  if (synset.offset != expected_offset) {
+    return Status::Corruption(StrFormat(
+        "synset_offset %zu does not match its byte position %zu",
+        synset.offset, expected_offset));
+  }
+  auto lex_file = reader.NextInt(10);
+  if (!lex_file.ok()) return lex_file.status();
+  synset.lex_file = static_cast<int>(*lex_file);
+  auto ss_type = reader.Next();
+  if (!ss_type.ok()) return ss_type.status();
+  if (ss_type->size() != 1) {
+    return Status::Corruption("malformed ss_type: " + *ss_type);
+  }
+  synset.pos_char = (*ss_type)[0];
+
+  auto w_cnt = reader.NextInt(16);
+  if (!w_cnt.ok()) return w_cnt.status();
+  if (*w_cnt <= 0) return Status::Corruption("w_cnt must be positive");
+  for (long i = 0; i < *w_cnt; ++i) {
+    auto word = reader.Next();
+    if (!word.ok()) return word.status();
+    auto lex_id = reader.NextInt(16);
+    if (!lex_id.ok()) return lex_id.status();
+    synset.lemmas.push_back(std::move(*word));
+    synset.lex_ids.push_back(static_cast<int>(*lex_id));
+  }
+
+  auto p_cnt = reader.NextInt(10);
+  if (!p_cnt.ok()) return p_cnt.status();
+  for (long i = 0; i < *p_cnt; ++i) {
+    auto symbol = reader.Next();
+    if (!symbol.ok()) return symbol.status();
+    auto relation = RelationFromSymbol(*symbol);
+    if (!relation.ok()) return relation.status();
+    auto target_offset = reader.NextInt(10);
+    if (!target_offset.ok()) return target_offset.status();
+    auto target_pos = reader.Next();
+    if (!target_pos.ok()) return target_pos.status();
+    if (target_pos->size() != 1) {
+      return Status::Corruption("malformed pointer pos: " + *target_pos);
+    }
+    auto source_target = reader.Next();
+    if (!source_target.ok()) return source_target.status();
+    if (source_target->size() != 4) {
+      return Status::Corruption("malformed source/target field: " +
+                                *source_target);
+    }
+    synset.pointers.push_back(PendingPointer{
+        *relation, (*target_pos)[0],
+        static_cast<size_t>(*target_offset)});
+  }
+  return synset;
+}
+
+char CanonicalPosChar(char c) { return c == 's' ? 'a' : c; }
+
+}  // namespace
+
+Result<SemanticNetwork> ParseWndb(const WndbFiles& files) {
+  SemanticNetwork network;
+  // (pos char, byte offset) -> concept.
+  std::map<std::pair<char, size_t>, ConceptId> by_offset;
+  // (lemma, lex_file, lex_id, ss_type number) -> concept, for cntlist.
+  std::map<std::tuple<std::string, int, int, int>, ConceptId> by_sense_key;
+  std::vector<ParsedSynset> parsed;
+
+  static constexpr struct {
+    const char* suffix;
+    char pos_char;
+    int ss_type_number;
+  } kPosFiles[] = {
+      {"noun", 'n', 1}, {"verb", 'v', 2}, {"adj", 'a', 3}, {"adv", 'r', 4}};
+
+  // Pass 1: parse data files, create concepts.
+  for (const auto& pos_file : kPosFiles) {
+    auto it = files.find(std::string("data.") + pos_file.suffix);
+    if (it == files.end()) continue;
+    const std::string& contents = it->second;
+    size_t line_start = 0;
+    while (line_start < contents.size()) {
+      size_t line_end = contents.find('\n', line_start);
+      if (line_end == std::string::npos) line_end = contents.size();
+      std::string_view line(contents.data() + line_start,
+                            line_end - line_start);
+      if (!line.empty() && line[0] != ' ') {
+        auto synset = ParseDataRecord(line, line_start);
+        if (!synset.ok()) return synset.status();
+        if (CanonicalPosChar(synset->pos_char) != pos_file.pos_char) {
+          return Status::Corruption(
+              StrFormat("ss_type '%c' in data.%s", synset->pos_char,
+                        pos_file.suffix));
+        }
+        auto pos = PosFromChar(synset->pos_char);
+        if (!pos.ok()) return pos.status();
+        ConceptId id = network.AddConcept(*pos, synset->lemmas,
+                                          synset->gloss, synset->lex_file);
+        by_offset[{pos_file.pos_char, synset->offset}] = id;
+        for (size_t i = 0; i < synset->lemmas.size(); ++i) {
+          by_sense_key[{synset->lemmas[i], synset->lex_file,
+                        synset->lex_ids[i], pos_file.ss_type_number}] = id;
+        }
+        synset->pos_char = pos_file.pos_char;
+        parsed.push_back(std::move(*synset));
+      }
+      line_start = line_end + 1;
+    }
+  }
+
+  // Pass 2: resolve pointers (WNDB stores both directions explicitly,
+  // so inverses are not auto-added).
+  for (const ParsedSynset& synset : parsed) {
+    ConceptId source = by_offset.at({synset.pos_char, synset.offset});
+    for (const PendingPointer& ptr : synset.pointers) {
+      auto it = by_offset.find(
+          {CanonicalPosChar(ptr.target_pos), ptr.target_offset});
+      if (it == by_offset.end()) {
+        return Status::Corruption(StrFormat(
+            "pointer to unknown synset %c:%08zu", ptr.target_pos,
+            ptr.target_offset));
+      }
+      network.AddEdge(source, ptr.relation, it->second,
+                      /*add_inverse=*/false);
+    }
+  }
+
+  // Pass 3: index files fix sense ordering.
+  for (const auto& pos_file : kPosFiles) {
+    auto it = files.find(std::string("index.") + pos_file.suffix);
+    if (it == files.end()) continue;
+    std::istringstream in(it->second);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] == ' ') continue;
+      FieldReader reader(line);
+      auto lemma = reader.Next();
+      if (!lemma.ok()) return lemma.status();
+      auto pos_field = reader.Next();
+      if (!pos_field.ok()) return pos_field.status();
+      auto synset_cnt = reader.NextInt(10);
+      if (!synset_cnt.ok()) return synset_cnt.status();
+      auto p_cnt = reader.NextInt(10);
+      if (!p_cnt.ok()) return p_cnt.status();
+      for (long i = 0; i < *p_cnt; ++i) {
+        auto symbol = reader.Next();
+        if (!symbol.ok()) return symbol.status();
+        auto relation = RelationFromSymbol(*symbol);
+        if (!relation.ok()) return relation.status();
+      }
+      auto sense_cnt = reader.NextInt(10);
+      if (!sense_cnt.ok()) return sense_cnt.status();
+      auto tagsense_cnt = reader.NextInt(10);
+      if (!tagsense_cnt.ok()) return tagsense_cnt.status();
+      if (*sense_cnt != *synset_cnt) {
+        return Status::Corruption("sense_cnt != synset_cnt for lemma: " +
+                                  *lemma);
+      }
+      std::vector<ConceptId> ordered;
+      for (long i = 0; i < *sense_cnt; ++i) {
+        auto offset = reader.NextInt(10);
+        if (!offset.ok()) return offset.status();
+        auto target = by_offset.find(
+            {pos_file.pos_char, static_cast<size_t>(*offset)});
+        if (target == by_offset.end()) {
+          return Status::Corruption(StrFormat(
+              "index entry for '%s' references unknown offset %08ld",
+              lemma->c_str(), *offset));
+        }
+        ordered.push_back(target->second);
+      }
+      auto pos = PosFromChar(pos_file.pos_char);
+      if (!pos.ok()) return pos.status();
+      XSDF_RETURN_IF_ERROR(network.SetSenseOrder(*lemma, *pos, ordered));
+    }
+  }
+
+  // Pass 4: cntlist.rev frequencies.
+  auto cntlist_it = files.find("cntlist.rev");
+  if (cntlist_it != files.end()) {
+    std::istringstream in(cntlist_it->second);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      FieldReader reader(line);
+      auto sense_key = reader.Next();
+      if (!sense_key.ok()) return sense_key.status();
+      auto sense_number = reader.NextInt(10);
+      if (!sense_number.ok()) return sense_number.status();
+      auto tag_cnt = reader.NextInt(10);
+      if (!tag_cnt.ok()) return tag_cnt.status();
+      // sense_key = lemma%ss_type:lex_filenum:lex_id:head:head_id
+      size_t percent = sense_key->rfind('%');
+      if (percent == std::string::npos) {
+        return Status::Corruption("malformed sense key: " + *sense_key);
+      }
+      std::string lemma = sense_key->substr(0, percent);
+      std::vector<std::string> parts =
+          StrSplit(sense_key->substr(percent + 1), ':');
+      if (parts.size() != 5) {
+        return Status::Corruption("malformed sense key fields: " +
+                                  *sense_key);
+      }
+      int ss_type = std::atoi(parts[0].c_str());
+      int lex_file = std::atoi(parts[1].c_str());
+      int lex_id = std::atoi(parts[2].c_str());
+      auto target = by_sense_key.find({lemma, lex_file, lex_id, ss_type});
+      if (target == by_sense_key.end()) {
+        return Status::Corruption("cntlist sense key matches no synset: " +
+                                  *sense_key);
+      }
+      network.SetFrequency(target->second,
+                           static_cast<double>(*tag_cnt));
+    }
+  }
+
+  network.FinalizeFrequencies();
+  return network;
+}
+
+Result<SemanticNetwork> ParseWndbDirectory(const std::string& dir) {
+  WndbFiles files;
+  static constexpr const char* kNames[] = {
+      "data.noun",  "index.noun", "data.verb", "index.verb", "data.adj",
+      "index.adj",  "data.adv",   "index.adv", "cntlist.rev"};
+  bool any = false;
+  for (const char* name : kNames) {
+    std::filesystem::path path = std::filesystem::path(dir) / name;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) continue;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    files[name] = buffer.str();
+    any = true;
+  }
+  if (!any) {
+    return Status::NotFound("no WNDB files found in directory: " + dir);
+  }
+  return ParseWndb(files);
+}
+
+}  // namespace xsdf::wordnet

@@ -1,0 +1,234 @@
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+
+#include "common/strings.h"
+#include "wordnet/wndb.h"
+
+namespace xsdf::wordnet {
+
+namespace {
+
+constexpr PartOfSpeech kAllPos[] = {
+    PartOfSpeech::kNoun, PartOfSpeech::kVerb, PartOfSpeech::kAdjective,
+    PartOfSpeech::kAdverb};
+
+std::string PosFileSuffix(PartOfSpeech pos) {
+  switch (pos) {
+    case PartOfSpeech::kNoun:
+      return "noun";
+    case PartOfSpeech::kVerb:
+      return "verb";
+    case PartOfSpeech::kAdjective:
+      return "adj";
+    case PartOfSpeech::kAdverb:
+      return "adv";
+  }
+  return "noun";
+}
+
+int PosToSsTypeNumber(PartOfSpeech pos) {
+  switch (pos) {
+    case PartOfSpeech::kNoun:
+      return 1;
+    case PartOfSpeech::kVerb:
+      return 2;
+    case PartOfSpeech::kAdjective:
+      return 3;
+    case PartOfSpeech::kAdverb:
+      return 4;
+  }
+  return 1;
+}
+
+/// The real WNDB files open with a 29-line Princeton license block whose
+/// lines begin with two spaces and a line number; parsers skip any line
+/// starting with a space. We emit a faithful-format stand-in.
+std::string LicenseHeader() {
+  std::string header;
+  for (int i = 1; i <= 29; ++i) {
+    header += StrFormat(
+        "  %d This software and database is being provided to you, the "
+        "LICENSEE, by the XSDF mini-WordNet build in the WNDB exchange "
+        "format.  \n",
+        i);
+  }
+  return header;
+}
+
+/// lex_id values per (lemma, lex_file), assigned in concept-id order as
+/// the lexicographers' convention requires: the first occurrence of a
+/// lemma within a lexicographer file gets 0, the next 1, and so on.
+std::map<std::pair<std::string, int>, int> AssignLexIds(
+    const SemanticNetwork& network,
+    std::map<std::pair<ConceptId, std::string>, int>* lex_id_of) {
+  std::map<std::pair<std::string, int>, int> next_id;
+  for (const Concept& c : network.concepts()) {
+    for (const std::string& lemma : c.synonyms) {
+      int& counter = next_id[{lemma, c.lex_file}];
+      (*lex_id_of)[{c.id, lemma}] = counter;
+      ++counter;
+    }
+  }
+  return next_id;
+}
+
+struct SynsetLayout {
+  ConceptId id = kInvalidConcept;
+  size_t offset = 0;  // byte offset of the record in its data file
+};
+
+/// Renders one data.<pos> record. When `offsets` is null, 8-digit zero
+/// placeholders are used for every synset_offset (sizing pass).
+std::string RenderDataRecord(
+    const SemanticNetwork& network, const Concept& c,
+    const std::map<std::pair<ConceptId, std::string>, int>& lex_id_of,
+    const std::map<ConceptId, size_t>* offsets) {
+  auto offset_str = [&](ConceptId id) {
+    if (offsets == nullptr) return std::string("00000000");
+    return StrFormat("%08zu", offsets->at(id));
+  };
+  std::string rec = offset_str(c.id);
+  rec += StrFormat(" %02d %c", c.lex_file, PosToChar(c.pos));
+  rec += StrFormat(" %02x", static_cast<unsigned>(c.synonyms.size()));
+  for (const std::string& lemma : c.synonyms) {
+    rec += StrFormat(" %s %x", lemma.c_str(),
+                     static_cast<unsigned>(lex_id_of.at({c.id, lemma})));
+  }
+  rec += StrFormat(" %03d", static_cast<int>(c.edges.size()));
+  for (const Edge& edge : c.edges) {
+    const Concept& target = network.GetConcept(edge.target);
+    rec += StrFormat(" %s %s %c 0000",
+                     std::string(RelationToSymbol(edge.relation)).c_str(),
+                     offset_str(edge.target).c_str(), PosToChar(target.pos));
+  }
+  rec += " | ";
+  rec += c.gloss;
+  rec += "  \n";
+  return rec;
+}
+
+}  // namespace
+
+std::string MakeSenseKey(const SemanticNetwork& network, ConceptId id,
+                         const std::string& lemma, int lex_id) {
+  const Concept& c = network.GetConcept(id);
+  return StrFormat("%s%%%d:%02d:%02d::", lemma.c_str(),
+                   PosToSsTypeNumber(c.pos), c.lex_file, lex_id);
+}
+
+Result<WndbFiles> WriteWndb(const SemanticNetwork& network) {
+  WndbFiles files;
+  std::map<std::pair<ConceptId, std::string>, int> lex_id_of;
+  AssignLexIds(network, &lex_id_of);
+
+  // Pass 1: compute per-file offsets. Offsets are fixed-width, so record
+  // lengths do not change between the sizing and final passes.
+  std::map<ConceptId, size_t> offsets;
+  std::string header = LicenseHeader();
+  for (PartOfSpeech pos : kAllPos) {
+    size_t cursor = header.size();
+    for (const Concept& c : network.concepts()) {
+      if (c.pos != pos) continue;
+      offsets[c.id] = cursor;
+      cursor += RenderDataRecord(network, c, lex_id_of, nullptr).size();
+    }
+  }
+
+  // Pass 2: render data files with real offsets.
+  for (PartOfSpeech pos : kAllPos) {
+    std::string data = header;
+    bool any = false;
+    for (const Concept& c : network.concepts()) {
+      if (c.pos != pos) continue;
+      any = true;
+      if (data.size() != offsets.at(c.id)) {
+        return Status::Internal("offset bookkeeping mismatch for synset " +
+                                std::to_string(c.id));
+      }
+      data += RenderDataRecord(network, c, lex_id_of, &offsets);
+    }
+    if (any) files["data." + PosFileSuffix(pos)] = std::move(data);
+  }
+
+  // index.<pos>: sorted by lemma, sense offsets in the network's sense
+  // order.
+  for (PartOfSpeech pos : kAllPos) {
+    std::set<std::string> lemmas;
+    for (const Concept& c : network.concepts()) {
+      if (c.pos != pos) continue;
+      for (const std::string& lemma : c.synonyms) lemmas.insert(lemma);
+    }
+    if (lemmas.empty()) continue;
+    std::string index = header;
+    for (const std::string& lemma : lemmas) {
+      std::vector<ConceptId> senses;
+      for (ConceptId id : network.Senses(lemma)) {
+        if (network.GetConcept(id).pos == pos) senses.push_back(id);
+      }
+      // Distinct pointer symbols over all this lemma's synsets.
+      std::set<std::string> symbols;
+      int tagsense_cnt = 0;
+      for (ConceptId id : senses) {
+        for (const Edge& edge : network.GetConcept(id).edges) {
+          symbols.insert(std::string(RelationToSymbol(edge.relation)));
+        }
+        if (network.GetConcept(id).frequency > 0) ++tagsense_cnt;
+      }
+      index += StrFormat("%s %c %d %d", lemma.c_str(), PosToChar(pos),
+                         static_cast<int>(senses.size()),
+                         static_cast<int>(symbols.size()));
+      for (const std::string& symbol : symbols) {
+        index += " " + symbol;
+      }
+      index += StrFormat(" %d %d", static_cast<int>(senses.size()),
+                         tagsense_cnt);
+      for (ConceptId id : senses) {
+        index += StrFormat(" %08zu", offsets.at(id));
+      }
+      index += "  \n";
+    }
+    files["index." + PosFileSuffix(pos)] = std::move(index);
+  }
+
+  // cntlist.rev: one record per tagged sense of each lemma:
+  //   sense_key sense_number tag_cnt
+  std::string cntlist;
+  std::set<std::string> all_lemmas;
+  for (const Concept& c : network.concepts()) {
+    for (const std::string& lemma : c.synonyms) all_lemmas.insert(lemma);
+  }
+  for (const std::string& lemma : all_lemmas) {
+    const std::vector<ConceptId>& senses = network.Senses(lemma);
+    for (size_t i = 0; i < senses.size(); ++i) {
+      const Concept& c = network.GetConcept(senses[i]);
+      if (c.frequency <= 0) continue;
+      cntlist += StrFormat(
+          "%s %d %d\n",
+          MakeSenseKey(network, c.id, lemma, lex_id_of.at({c.id, lemma}))
+              .c_str(),
+          static_cast<int>(i + 1), static_cast<int>(c.frequency));
+    }
+  }
+  files["cntlist.rev"] = std::move(cntlist);
+  return files;
+}
+
+Status WriteWndbToDirectory(const SemanticNetwork& network,
+                            const std::string& dir) {
+  auto files = WriteWndb(network);
+  if (!files.ok()) return files.status();
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Status::IoError("cannot create directory: " + dir);
+  for (const auto& [name, contents] : *files) {
+    std::ofstream out(dir + "/" + name, std::ios::binary);
+    if (!out) return Status::IoError("cannot write file: " + name);
+    out << contents;
+  }
+  return Status::Ok();
+}
+
+}  // namespace xsdf::wordnet

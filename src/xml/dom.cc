@@ -1,0 +1,74 @@
+#include "xml/dom.h"
+
+namespace xsdf::xml {
+
+const std::string* Node::FindAttribute(std::string_view name) const {
+  for (const Attribute& attr : attributes_) {
+    if (attr.name == name) return &attr.value;
+  }
+  return nullptr;
+}
+
+Node* Node::AddChild(std::unique_ptr<Node> child) {
+  children_.push_back(std::move(child));
+  return children_.back().get();
+}
+
+Node* Node::AddElement(std::string name) {
+  auto child = std::make_unique<Node>(NodeKind::kElement);
+  child->set_name(std::move(name));
+  return AddChild(std::move(child));
+}
+
+Node* Node::AddText(std::string text) {
+  auto child = std::make_unique<Node>(NodeKind::kText);
+  child->set_text(std::move(text));
+  return AddChild(std::move(child));
+}
+
+const Node* Node::FindChildElement(std::string_view name) const {
+  for (const auto& child : children_) {
+    if (child->is_element() && child->name() == name) return child.get();
+  }
+  return nullptr;
+}
+
+std::vector<const Node*> Node::FindChildElements(
+    std::string_view name) const {
+  std::vector<const Node*> out;
+  for (const auto& child : children_) {
+    if (child->is_element() && child->name() == name) {
+      out.push_back(child.get());
+    }
+  }
+  return out;
+}
+
+std::string Node::InnerText() const {
+  std::string out;
+  if (is_text()) out += text_;
+  for (const auto& child : children_) out += child->InnerText();
+  return out;
+}
+
+size_t Node::ElementChildCount() const {
+  size_t n = 0;
+  for (const auto& child : children_) {
+    if (child->is_element()) ++n;
+  }
+  return n;
+}
+
+namespace {
+size_t CountElementsIn(const Node& node) {
+  size_t n = node.is_element() ? 1 : 0;
+  for (const auto& child : node.children()) n += CountElementsIn(*child);
+  return n;
+}
+}  // namespace
+
+size_t Document::CountElements() const {
+  return root_ ? CountElementsIn(*root_) : 0;
+}
+
+}  // namespace xsdf::xml

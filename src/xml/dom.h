@@ -1,0 +1,126 @@
+#ifndef XSDF_XML_DOM_H_
+#define XSDF_XML_DOM_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xsdf::xml {
+
+/// Kind of a DOM node produced by the parser.
+enum class NodeKind {
+  kElement,
+  kText,
+  kCData,
+  kComment,
+  kProcessingInstruction,
+};
+
+/// A single name="value" attribute on an element.
+struct Attribute {
+  std::string name;
+  std::string value;
+};
+
+/// One node of the parsed XML document (W3C DOM-inspired, trimmed to
+/// what XSDF consumes). Elements own their children; all other kinds
+/// are leaves.
+class Node {
+ public:
+  explicit Node(NodeKind kind) : kind_(kind) {}
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeKind kind() const { return kind_; }
+  bool is_element() const { return kind_ == NodeKind::kElement; }
+  bool is_text() const {
+    return kind_ == NodeKind::kText || kind_ == NodeKind::kCData;
+  }
+
+  /// Element tag name, or processing-instruction target.
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Character content for text/CDATA/comment/PI nodes.
+  const std::string& text() const { return text_; }
+  void set_text(std::string text) { text_ = std::move(text); }
+
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+  std::vector<Attribute>& mutable_attributes() { return attributes_; }
+  void AddAttribute(std::string name, std::string value) {
+    attributes_.push_back({std::move(name), std::move(value)});
+  }
+  /// Returns the value of attribute `name`, or nullptr when absent.
+  const std::string* FindAttribute(std::string_view name) const;
+
+  const std::vector<std::unique_ptr<Node>>& children() const {
+    return children_;
+  }
+  /// Appends `child` and returns a borrowed pointer to it.
+  Node* AddChild(std::unique_ptr<Node> child);
+  /// Creates, appends, and returns a new child element named `name`.
+  Node* AddElement(std::string name);
+  /// Creates and appends a text child holding `text`.
+  Node* AddText(std::string text);
+
+  /// First child element with the given tag name, or nullptr.
+  const Node* FindChildElement(std::string_view name) const;
+  /// All child elements with the given tag name.
+  std::vector<const Node*> FindChildElements(std::string_view name) const;
+
+  /// Concatenation of all descendant text content (no separators).
+  std::string InnerText() const;
+
+  /// Number of element children.
+  size_t ElementChildCount() const;
+
+ private:
+  NodeKind kind_;
+  std::string name_;
+  std::string text_;
+  std::vector<Attribute> attributes_;
+  std::vector<std::unique_ptr<Node>> children_;
+};
+
+/// A parsed XML document: optional declaration, prolog misc nodes, and
+/// exactly one root element.
+class Document {
+ public:
+  Document() = default;
+  Document(const Document&) = delete;
+  Document& operator=(const Document&) = delete;
+  Document(Document&&) = default;
+  Document& operator=(Document&&) = default;
+
+  const std::string& version() const { return version_; }
+  const std::string& encoding() const { return encoding_; }
+  void set_version(std::string v) { version_ = std::move(v); }
+  void set_encoding(std::string e) { encoding_ = std::move(e); }
+
+  const Node* root() const { return root_.get(); }
+  Node* mutable_root() { return root_.get(); }
+  void set_root(std::unique_ptr<Node> root) { root_ = std::move(root); }
+
+  /// Comments / PIs appearing before the root element.
+  const std::vector<std::unique_ptr<Node>>& prolog() const {
+    return prolog_;
+  }
+  void AddPrologNode(std::unique_ptr<Node> node) {
+    prolog_.push_back(std::move(node));
+  }
+
+  /// Total number of element nodes in the document.
+  size_t CountElements() const;
+
+ private:
+  std::string version_ = "1.0";
+  std::string encoding_;
+  std::unique_ptr<Node> root_;
+  std::vector<std::unique_ptr<Node>> prolog_;
+};
+
+}  // namespace xsdf::xml
+
+#endif  // XSDF_XML_DOM_H_

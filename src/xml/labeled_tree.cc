@@ -1,0 +1,212 @@
+#include "xml/labeled_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace xsdf::xml {
+
+NodeId LabeledTree::AddNode(NodeId parent, std::string label,
+                            TreeNodeKind kind, std::string raw) {
+  assert((parent == kInvalidNode) == nodes_.empty() &&
+         "first node must be the root; later nodes need a parent");
+  TreeNode node;
+  node.id = static_cast<NodeId>(nodes_.size());
+  node.label = std::move(label);
+  node.raw = std::move(raw);
+  node.kind = kind;
+  node.parent = parent;
+  if (parent != kInvalidNode) {
+    assert(parent >= 0 && static_cast<size_t>(parent) < nodes_.size());
+    node.depth = nodes_[static_cast<size_t>(parent)].depth + 1;
+    nodes_[static_cast<size_t>(parent)].children.push_back(node.id);
+  }
+  nodes_.push_back(std::move(node));
+  return nodes_.back().id;
+}
+
+int LabeledTree::DistinctChildLabelCount(NodeId id) const {
+  const TreeNode& n = node(id);
+  std::unordered_set<std::string> labels;
+  for (NodeId child : n.children) {
+    labels.insert(node(child).label);
+  }
+  return static_cast<int>(labels.size());
+}
+
+int LabeledTree::MaxDepth() const {
+  int max_depth = 0;
+  for (const TreeNode& n : nodes_) max_depth = std::max(max_depth, n.depth);
+  return max_depth;
+}
+
+int LabeledTree::MaxFanOut() const {
+  int max_fan_out = 0;
+  for (const TreeNode& n : nodes_) {
+    max_fan_out = std::max(max_fan_out, n.fan_out());
+  }
+  return max_fan_out;
+}
+
+int LabeledTree::MaxDensity() const {
+  int max_density = 0;
+  for (const TreeNode& n : nodes_) {
+    max_density = std::max(max_density, DistinctChildLabelCount(n.id));
+  }
+  return max_density;
+}
+
+NodeId LabeledTree::LowestCommonAncestor(NodeId a, NodeId b) const {
+  while (node(a).depth > node(b).depth) a = node(a).parent;
+  while (node(b).depth > node(a).depth) b = node(b).parent;
+  while (a != b) {
+    a = node(a).parent;
+    b = node(b).parent;
+  }
+  return a;
+}
+
+int LabeledTree::Distance(NodeId a, NodeId b) const {
+  NodeId lca = LowestCommonAncestor(a, b);
+  return node(a).depth + node(b).depth - 2 * node(lca).depth;
+}
+
+std::vector<std::vector<NodeId>> LabeledTree::Rings(
+    NodeId center, int max_distance) const {
+  std::vector<std::vector<NodeId>> rings;
+  rings.push_back({center});
+  std::vector<bool> visited(nodes_.size(), false);
+  visited[static_cast<size_t>(center)] = true;
+  std::vector<NodeId> frontier = {center};
+  for (int d = 1; d <= max_distance && !frontier.empty(); ++d) {
+    std::vector<NodeId> next;
+    for (NodeId id : frontier) {
+      const TreeNode& n = node(id);
+      auto visit = [&](NodeId neighbor) {
+        if (neighbor != kInvalidNode &&
+            !visited[static_cast<size_t>(neighbor)]) {
+          visited[static_cast<size_t>(neighbor)] = true;
+          next.push_back(neighbor);
+        }
+      };
+      visit(n.parent);
+      for (NodeId child : n.children) visit(child);
+    }
+    std::sort(next.begin(), next.end());
+    rings.push_back(next);
+    frontier = rings.back();
+  }
+  while (static_cast<int>(rings.size()) <= max_distance) {
+    rings.emplace_back();  // tree exhausted before max_distance
+  }
+  return rings;
+}
+
+std::vector<NodeId> LabeledTree::RootPath(NodeId id) const {
+  std::vector<NodeId> path;
+  for (NodeId cur = id; cur != kInvalidNode; cur = node(cur).parent) {
+    path.push_back(cur);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<NodeId> LabeledTree::Subtree(NodeId id) const {
+  std::vector<NodeId> out;
+  std::vector<NodeId> stack = {id};
+  while (!stack.empty()) {
+    NodeId cur = stack.back();
+    stack.pop_back();
+    out.push_back(cur);
+    const TreeNode& n = node(cur);
+    for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string DefaultLabelTransform(const std::string& tag) {
+  return AsciiToLower(tag);
+}
+
+std::vector<std::string> DefaultValueTokenizer(const std::string& value) {
+  std::vector<std::string> tokens =
+      StrSplitAny(value, " \t\r\n.,;:!?()[]{}'\"");
+  for (std::string& t : tokens) t = AsciiToLower(t);
+  return tokens;
+}
+
+struct Builder {
+  const TreeBuildOptions* options;
+  std::function<std::string(const std::string&)> label_transform;
+  std::function<std::vector<std::string>(const std::string&)> tokenizer;
+  LabeledTree tree;
+
+  void AddTokens(NodeId parent, const std::string& text) {
+    if (!options->include_values) return;
+    for (const std::string& token : tokenizer(text)) {
+      if (token.empty()) continue;
+      tree.AddNode(parent, token, TreeNodeKind::kToken, token);
+    }
+  }
+
+  void AddElement(NodeId parent, const Node& element) {
+    NodeId id = tree.AddNode(parent, label_transform(element.name()),
+                             TreeNodeKind::kElement, element.name());
+    // Attributes first, sorted by name (paper §3.1).
+    std::vector<const Attribute*> attrs;
+    attrs.reserve(element.attributes().size());
+    for (const Attribute& a : element.attributes()) attrs.push_back(&a);
+    std::sort(attrs.begin(), attrs.end(),
+              [](const Attribute* a, const Attribute* b) {
+                return a->name < b->name;
+              });
+    for (const Attribute* attr : attrs) {
+      NodeId attr_id = tree.AddNode(id, label_transform(attr->name),
+                                    TreeNodeKind::kAttribute, attr->name);
+      AddTokens(attr_id, attr->value);
+    }
+    // Then content: text tokens and sub-elements in document order.
+    for (const auto& child : element.children()) {
+      if (child->is_element()) {
+        AddElement(id, *child);
+      } else if (child->is_text()) {
+        AddTokens(id, child->text());
+      }
+    }
+  }
+};
+
+}  // namespace
+
+Result<LabeledTree> BuildLabeledTree(const Node& root_element,
+                                     const TreeBuildOptions& options) {
+  if (!root_element.is_element()) {
+    return Status::InvalidArgument(
+        "BuildLabeledTree requires an element node");
+  }
+  Builder builder;
+  builder.options = &options;
+  builder.label_transform =
+      options.label_transform ? options.label_transform
+                              : DefaultLabelTransform;
+  builder.tokenizer = options.value_tokenizer ? options.value_tokenizer
+                                              : DefaultValueTokenizer;
+  builder.AddElement(kInvalidNode, root_element);
+  return std::move(builder.tree);
+}
+
+Result<LabeledTree> BuildLabeledTree(const Document& doc,
+                                     const TreeBuildOptions& options) {
+  if (doc.root() == nullptr) {
+    return Status::InvalidArgument("document has no root element");
+  }
+  return BuildLabeledTree(*doc.root(), options);
+}
+
+}  // namespace xsdf::xml

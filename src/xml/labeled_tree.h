@@ -1,0 +1,128 @@
+#ifndef XSDF_XML_LABELED_TREE_H_
+#define XSDF_XML_LABELED_TREE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/dom.h"
+
+namespace xsdf::xml {
+
+/// Index of a node inside a LabeledTree (its preorder rank, the paper's
+/// `T[i]` notation).
+using NodeId = int;
+inline constexpr NodeId kInvalidNode = -1;
+
+/// What an XML construct a tree node was derived from.
+enum class TreeNodeKind {
+  kElement,    ///< an element tag
+  kAttribute,  ///< an attribute name
+  kToken,      ///< one token of an element/attribute text value
+};
+
+/// One node of a rooted ordered labeled tree (paper Definition 1).
+struct TreeNode {
+  NodeId id = kInvalidNode;         ///< preorder rank, T[i]
+  std::string label;                ///< T[i].l — preprocessed label
+  std::string raw;                  ///< original tag name / token text
+  TreeNodeKind kind = TreeNodeKind::kElement;
+  NodeId parent = kInvalidNode;
+  std::vector<NodeId> children;
+  int depth = 0;                    ///< T[i].d — edges from the root
+
+  /// T[i].f — the node's fan-out.
+  int fan_out() const { return static_cast<int>(children.size()); }
+};
+
+/// A rooted ordered labeled tree: the XML document model the XSDF
+/// algorithms operate on (paper Definition 1). Nodes are stored in
+/// preorder, so `node(i)` is exactly the paper's `T[i]`, and the root is
+/// `T[0]`.
+class LabeledTree {
+ public:
+  LabeledTree() = default;
+
+  /// Appends a node. The first added node must be the root
+  /// (`parent == kInvalidNode`); children must be added after their
+  /// parent and in preorder so that ids equal preorder ranks.
+  NodeId AddNode(NodeId parent, std::string label, TreeNodeKind kind,
+                 std::string raw = {});
+
+  bool empty() const { return nodes_.empty(); }
+  size_t size() const { return nodes_.size(); }
+  const TreeNode& node(NodeId id) const { return nodes_[static_cast<size_t>(id)]; }
+  NodeId root() const { return nodes_.empty() ? kInvalidNode : 0; }
+
+  const std::vector<TreeNode>& nodes() const { return nodes_; }
+
+  /// Number of children of `id` carrying distinct labels — the paper's
+  /// density factor x.f-bar (Proposition 3).
+  int DistinctChildLabelCount(NodeId id) const;
+
+  /// Max(depth(T)): the maximum node depth in the tree.
+  int MaxDepth() const;
+  /// Max(fan-out(T)): the maximum node fan-out in the tree.
+  int MaxFanOut() const;
+  /// Max(fan-out-bar(T)): the maximum distinct-child-label count.
+  int MaxDensity() const;
+
+  /// Number of edges on the path between `a` and `b` (Definition 4's
+  /// Dist), computed via the lowest common ancestor.
+  int Distance(NodeId a, NodeId b) const;
+
+  /// Lowest common ancestor of `a` and `b`.
+  NodeId LowestCommonAncestor(NodeId a, NodeId b) const;
+
+  /// Nodes grouped by distance from `center`: element r of the result
+  /// is the XML ring R_r(center) (Definition 4); element 0 is {center}.
+  /// Rings are computed up to `max_distance` inclusive via BFS over the
+  /// undirected tree adjacency.
+  std::vector<std::vector<NodeId>> Rings(NodeId center,
+                                         int max_distance) const;
+
+  /// Node ids on the path from the root down to `id`, inclusive
+  /// (the paper's root path, used by the RPD baseline).
+  std::vector<NodeId> RootPath(NodeId id) const;
+
+  /// All node ids in the subtree rooted at `id` (preorder).
+  std::vector<NodeId> Subtree(NodeId id) const;
+
+ private:
+  std::vector<TreeNode> nodes_;
+};
+
+/// Controls DOM -> LabeledTree conversion.
+struct TreeBuildOptions {
+  /// Include attribute/element text values as token leaf nodes
+  /// (structure-and-content); when false only tags are kept
+  /// (structure-only). See paper §3.1.
+  bool include_values = true;
+
+  /// Maps a raw tag name to one or more node labels. The default
+  /// lowercases the tag. XSDF's linguistic pre-processing (compound
+  /// splitting, stemming) is plugged in here by the core pipeline.
+  std::function<std::string(const std::string&)> label_transform;
+
+  /// Splits a text value into token labels (one leaf node each). The
+  /// default splits on whitespace and lowercases. XSDF's tokenizer,
+  /// stop-word filter, and stemmer are plugged in here.
+  std::function<std::vector<std::string>(const std::string&)>
+      value_tokenizer;
+};
+
+/// Converts a parsed DOM into the rooted ordered labeled tree of
+/// Definition 1: element nodes in document order, attribute nodes as
+/// children sorted by attribute name before all sub-elements, and text
+/// values tokenized into leaf token nodes.
+Result<LabeledTree> BuildLabeledTree(const Document& doc,
+                                     const TreeBuildOptions& options = {});
+
+/// Same, but starting from an element subtree.
+Result<LabeledTree> BuildLabeledTree(const Node& root_element,
+                                     const TreeBuildOptions& options = {});
+
+}  // namespace xsdf::xml
+
+#endif  // XSDF_XML_LABELED_TREE_H_

@@ -1,0 +1,483 @@
+#include "xml/parser.h"
+
+#include <cctype>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace xsdf::xml {
+
+namespace {
+
+bool IsNameStartChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == ':' || c == '-' || c == '.';
+}
+
+bool IsWhitespaceOnly(std::string_view text) {
+  for (char c : text) {
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+/// Single-pass cursor over the input with line/column tracking.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view input) : input_(input) {}
+
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  char PeekAt(size_t offset) const {
+    size_t p = pos_ + offset;
+    return p < input_.size() ? input_[p] : '\0';
+  }
+  size_t pos() const { return pos_; }
+  int line() const { return line_; }
+  int column() const { return column_; }
+
+  char Advance() {
+    char c = input_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  bool Match(std::string_view literal) {
+    if (input_.substr(pos_).substr(0, literal.size()) != literal) {
+      return false;
+    }
+    for (size_t i = 0; i < literal.size(); ++i) Advance();
+    return true;
+  }
+
+  bool LookingAt(std::string_view literal) const {
+    return input_.substr(pos_).substr(0, literal.size()) == literal;
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+  }
+
+  std::string_view Slice(size_t begin, size_t end) const {
+    return input_.substr(begin, end - begin);
+  }
+
+ private:
+  std::string_view input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+/// Recursive-descent parser over a Cursor.
+class Parser {
+ public:
+  Parser(std::string_view input, const ParseOptions& options)
+      : cursor_(input), options_(options) {}
+
+  Result<Document> Run() {
+    Document doc;
+    XSDF_RETURN_IF_ERROR(ParseProlog(&doc));
+    auto root = ParseElement();
+    if (!root.ok()) return root.status();
+    doc.set_root(std::move(root).value());
+    cursor_.SkipWhitespace();
+    // Trailing misc: comments and PIs are allowed after the root.
+    while (!cursor_.AtEnd()) {
+      if (cursor_.LookingAt("<!--")) {
+        XSDF_RETURN_IF_ERROR(SkipComment(nullptr));
+      } else if (cursor_.LookingAt("<?")) {
+        XSDF_RETURN_IF_ERROR(SkipProcessingInstruction(nullptr));
+      } else {
+        return Error("unexpected content after root element");
+      }
+      cursor_.SkipWhitespace();
+    }
+    return doc;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::Corruption(StrFormat("XML parse error at %d:%d: %s",
+                                        cursor_.line(), cursor_.column(),
+                                        what.c_str()));
+  }
+
+  Status ParseProlog(Document* doc) {
+    cursor_.SkipWhitespace();
+    // "<?xml" must be followed by whitespace to be the declaration —
+    // "<?xml-stylesheet ...?>" is an ordinary processing instruction.
+    if (cursor_.LookingAt("<?xml") &&
+        std::isspace(static_cast<unsigned char>(cursor_.PeekAt(5)))) {
+      XSDF_RETURN_IF_ERROR(ParseXmlDeclaration(doc));
+    }
+    cursor_.SkipWhitespace();
+    while (!cursor_.AtEnd()) {
+      if (cursor_.LookingAt("<!--")) {
+        XSDF_RETURN_IF_ERROR(SkipComment(doc));
+      } else if (cursor_.LookingAt("<!DOCTYPE")) {
+        XSDF_RETURN_IF_ERROR(SkipDoctype());
+      } else if (cursor_.LookingAt("<?")) {
+        XSDF_RETURN_IF_ERROR(SkipProcessingInstruction(doc));
+      } else {
+        break;
+      }
+      cursor_.SkipWhitespace();
+    }
+    if (cursor_.AtEnd() || cursor_.Peek() != '<') {
+      return Error("expected root element");
+    }
+    return Status::Ok();
+  }
+
+  Status ParseXmlDeclaration(Document* doc) {
+    cursor_.Match("<?xml");
+    while (!cursor_.AtEnd() && !cursor_.LookingAt("?>")) {
+      cursor_.SkipWhitespace();
+      if (cursor_.LookingAt("?>")) break;
+      auto name = ParseName();
+      if (!name.ok()) return name.status();
+      cursor_.SkipWhitespace();
+      if (cursor_.AtEnd() || cursor_.Peek() != '=') {
+        return Error("expected '=' in XML declaration");
+      }
+      cursor_.Advance();
+      cursor_.SkipWhitespace();
+      auto value = ParseQuotedValue();
+      if (!value.ok()) return value.status();
+      if (*name == "version") {
+        doc->set_version(std::move(value).value());
+      } else if (*name == "encoding") {
+        doc->set_encoding(std::move(value).value());
+      }
+      // `standalone` is accepted and ignored.
+    }
+    if (!cursor_.Match("?>")) return Error("unterminated XML declaration");
+    return Status::Ok();
+  }
+
+  Status SkipDoctype() {
+    cursor_.Match("<!DOCTYPE");
+    int bracket_depth = 0;
+    while (!cursor_.AtEnd()) {
+      char c = cursor_.Advance();
+      if (c == '[') {
+        ++bracket_depth;
+      } else if (c == ']') {
+        --bracket_depth;
+      } else if (c == '>' && bracket_depth == 0) {
+        return Status::Ok();
+      }
+    }
+    return Error("unterminated DOCTYPE declaration");
+  }
+
+  Status SkipComment(Document* doc) {
+    cursor_.Match("<!--");
+    size_t begin = cursor_.pos();
+    while (!cursor_.AtEnd()) {
+      if (cursor_.LookingAt("-->")) {
+        std::string content(cursor_.Slice(begin, cursor_.pos()));
+        cursor_.Match("-->");
+        if (options_.keep_comments && doc != nullptr) {
+          auto node = std::make_unique<Node>(NodeKind::kComment);
+          node->set_text(std::move(content));
+          doc->AddPrologNode(std::move(node));
+        }
+        return Status::Ok();
+      }
+      cursor_.Advance();
+    }
+    return Error("unterminated comment");
+  }
+
+  Status SkipProcessingInstruction(Document* doc) {
+    cursor_.Match("<?");
+    size_t begin = cursor_.pos();
+    while (!cursor_.AtEnd()) {
+      if (cursor_.LookingAt("?>")) {
+        std::string content(cursor_.Slice(begin, cursor_.pos()));
+        cursor_.Match("?>");
+        if (options_.keep_processing_instructions && doc != nullptr) {
+          auto node = std::make_unique<Node>(
+              NodeKind::kProcessingInstruction);
+          size_t space = content.find(' ');
+          node->set_name(content.substr(0, space));
+          if (space != std::string::npos) {
+            node->set_text(content.substr(space + 1));
+          }
+          doc->AddPrologNode(std::move(node));
+        }
+        return Status::Ok();
+      }
+      cursor_.Advance();
+    }
+    return Error("unterminated processing instruction");
+  }
+
+  Result<std::string> ParseName() {
+    if (cursor_.AtEnd() || !IsNameStartChar(cursor_.Peek())) {
+      return Error("expected name");
+    }
+    size_t begin = cursor_.pos();
+    while (!cursor_.AtEnd() && IsNameChar(cursor_.Peek())) {
+      cursor_.Advance();
+    }
+    return std::string(cursor_.Slice(begin, cursor_.pos()));
+  }
+
+  Result<std::string> ParseQuotedValue() {
+    if (cursor_.AtEnd() ||
+        (cursor_.Peek() != '"' && cursor_.Peek() != '\'')) {
+      return Error("expected quoted value");
+    }
+    char quote = cursor_.Advance();
+    size_t begin = cursor_.pos();
+    while (!cursor_.AtEnd() && cursor_.Peek() != quote) {
+      if (cursor_.Peek() == '<') {
+        return Error("'<' not allowed in attribute value");
+      }
+      cursor_.Advance();
+    }
+    if (cursor_.AtEnd()) return Error("unterminated attribute value");
+    std::string raw(cursor_.Slice(begin, cursor_.pos()));
+    cursor_.Advance();  // closing quote
+    return DecodeEntities(raw);
+  }
+
+  Result<std::unique_ptr<Node>> ParseElement() {
+    if (!cursor_.Match("<")) return Error("expected '<'");
+    auto name = ParseName();
+    if (!name.ok()) return name.status();
+    auto element = std::make_unique<Node>(NodeKind::kElement);
+    element->set_name(*name);
+
+    // Attributes.
+    while (true) {
+      cursor_.SkipWhitespace();
+      if (cursor_.AtEnd()) return Error("unterminated start tag");
+      if (cursor_.LookingAt("/>")) {
+        cursor_.Match("/>");
+        return element;
+      }
+      if (cursor_.Peek() == '>') {
+        cursor_.Advance();
+        break;
+      }
+      auto attr_name = ParseName();
+      if (!attr_name.ok()) return attr_name.status();
+      if (element->FindAttribute(*attr_name) != nullptr) {
+        return Error("duplicate attribute '" + *attr_name + "'");
+      }
+      cursor_.SkipWhitespace();
+      if (cursor_.AtEnd() || cursor_.Peek() != '=') {
+        return Error("expected '=' after attribute name");
+      }
+      cursor_.Advance();
+      cursor_.SkipWhitespace();
+      auto value = ParseQuotedValue();
+      if (!value.ok()) return value.status();
+      element->AddAttribute(std::move(*attr_name), std::move(*value));
+    }
+
+    // Content until the matching end tag.
+    XSDF_RETURN_IF_ERROR(ParseContent(element.get(), *name));
+    return element;
+  }
+
+  Status ParseContent(Node* element, const std::string& tag_name) {
+    std::string pending_text;
+    auto flush_text = [&]() -> Status {
+      if (pending_text.empty()) return Status::Ok();
+      if (!options_.discard_whitespace_text ||
+          !IsWhitespaceOnly(pending_text)) {
+        auto decoded = DecodeEntities(pending_text);
+        if (!decoded.ok()) return decoded.status();
+        element->AddText(std::move(decoded).value());
+      }
+      pending_text.clear();
+      return Status::Ok();
+    };
+
+    while (true) {
+      if (cursor_.AtEnd()) {
+        return Error("unterminated element '" + tag_name + "'");
+      }
+      if (cursor_.LookingAt("</")) {
+        XSDF_RETURN_IF_ERROR(flush_text());
+        cursor_.Match("</");
+        auto end_name = ParseName();
+        if (!end_name.ok()) return end_name.status();
+        cursor_.SkipWhitespace();
+        if (!cursor_.Match(">")) return Error("malformed end tag");
+        if (*end_name != tag_name) {
+          return Error("mismatched end tag: expected </" + tag_name +
+                       ">, got </" + *end_name + ">");
+        }
+        return Status::Ok();
+      }
+      if (cursor_.LookingAt("<![CDATA[")) {
+        XSDF_RETURN_IF_ERROR(flush_text());
+        cursor_.Match("<![CDATA[");
+        size_t begin = cursor_.pos();
+        while (!cursor_.AtEnd() && !cursor_.LookingAt("]]>")) {
+          cursor_.Advance();
+        }
+        if (cursor_.AtEnd()) return Error("unterminated CDATA section");
+        auto cdata = std::make_unique<Node>(NodeKind::kCData);
+        cdata->set_text(std::string(cursor_.Slice(begin, cursor_.pos())));
+        cursor_.Match("]]>");
+        element->AddChild(std::move(cdata));
+        continue;
+      }
+      if (cursor_.LookingAt("<!--")) {
+        XSDF_RETURN_IF_ERROR(flush_text());
+        cursor_.Match("<!--");
+        size_t begin = cursor_.pos();
+        while (!cursor_.AtEnd() && !cursor_.LookingAt("-->")) {
+          cursor_.Advance();
+        }
+        if (cursor_.AtEnd()) return Error("unterminated comment");
+        if (options_.keep_comments) {
+          auto comment = std::make_unique<Node>(NodeKind::kComment);
+          comment->set_text(
+              std::string(cursor_.Slice(begin, cursor_.pos())));
+          element->AddChild(std::move(comment));
+        }
+        cursor_.Match("-->");
+        continue;
+      }
+      if (cursor_.LookingAt("<?")) {
+        XSDF_RETURN_IF_ERROR(flush_text());
+        XSDF_RETURN_IF_ERROR(SkipProcessingInstruction(nullptr));
+        continue;
+      }
+      if (cursor_.Peek() == '<') {
+        XSDF_RETURN_IF_ERROR(flush_text());
+        auto child = ParseElement();
+        if (!child.ok()) return child.status();
+        element->AddChild(std::move(child).value());
+        continue;
+      }
+      pending_text.push_back(cursor_.Advance());
+    }
+  }
+
+  Cursor cursor_;
+  ParseOptions options_;
+};
+
+}  // namespace
+
+Result<std::string> DecodeEntities(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (c != '&') {
+      out.push_back(c);
+      ++i;
+      continue;
+    }
+    size_t semi = text.find(';', i + 1);
+    if (semi == std::string_view::npos) {
+      return Status::Corruption("unterminated entity reference");
+    }
+    std::string_view entity = text.substr(i + 1, semi - i - 1);
+    if (entity == "lt") {
+      out.push_back('<');
+    } else if (entity == "gt") {
+      out.push_back('>');
+    } else if (entity == "amp") {
+      out.push_back('&');
+    } else if (entity == "apos") {
+      out.push_back('\'');
+    } else if (entity == "quot") {
+      out.push_back('"');
+    } else if (!entity.empty() && entity[0] == '#') {
+      bool hex = entity.size() > 1 && (entity[1] == 'x' || entity[1] == 'X');
+      std::string_view digits = entity.substr(hex ? 2 : 1);
+      if (digits.empty()) {
+        return Status::Corruption("empty character reference");
+      }
+      unsigned long code = 0;
+      for (char d : digits) {
+        int v;
+        if (d >= '0' && d <= '9') {
+          v = d - '0';
+        } else if (hex && d >= 'a' && d <= 'f') {
+          v = d - 'a' + 10;
+        } else if (hex && d >= 'A' && d <= 'F') {
+          v = d - 'A' + 10;
+        } else {
+          return Status::Corruption("malformed character reference: &" +
+                                    std::string(entity) + ";");
+        }
+        code = code * (hex ? 16 : 10) + static_cast<unsigned long>(v);
+        if (code > 0x10FFFF) {
+          return Status::Corruption("character reference out of range");
+        }
+      }
+      // UTF-8 encode.
+      if (code < 0x80) {
+        out.push_back(static_cast<char>(code));
+      } else if (code < 0x800) {
+        out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+        out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+      } else if (code < 0x10000) {
+        out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+        out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+      } else {
+        out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+        out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+      }
+    } else {
+      return Status::Corruption("unknown entity reference: &" +
+                                std::string(entity) + ";");
+    }
+    i = semi + 1;
+  }
+  return out;
+}
+
+bool IsValidName(std::string_view name) {
+  if (name.empty()) return false;
+  if (!IsNameStartChar(name[0])) return false;
+  for (char c : name.substr(1)) {
+    if (!IsNameChar(c)) return false;
+  }
+  return true;
+}
+
+Result<Document> Parse(std::string_view input, const ParseOptions& options) {
+  Parser parser(input, options);
+  return parser.Run();
+}
+
+Result<Document> ParseFile(const std::string& path,
+                           const ParseOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return Parse(buffer.str(), options);
+}
+
+}  // namespace xsdf::xml

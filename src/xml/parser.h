@@ -1,0 +1,48 @@
+#ifndef XSDF_XML_PARSER_H_
+#define XSDF_XML_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "xml/dom.h"
+
+namespace xsdf::xml {
+
+/// Options controlling XML parsing.
+struct ParseOptions {
+  /// When true, text nodes consisting only of whitespace (typical
+  /// pretty-printing indentation) are dropped from the DOM.
+  bool discard_whitespace_text = true;
+  /// When true, comments are kept as DOM nodes; otherwise dropped.
+  bool keep_comments = false;
+  /// When true, processing instructions are kept; otherwise dropped.
+  bool keep_processing_instructions = false;
+};
+
+/// Parses an XML 1.0 document from `input`.
+///
+/// Supported: XML declaration, elements, attributes (single/double
+/// quoted), character data, CDATA sections, comments, processing
+/// instructions, DOCTYPE declarations (skipped, including internal
+/// subsets), the five predefined entities, and decimal/hex character
+/// references. Errors carry 1-based line/column positions.
+Result<Document> Parse(std::string_view input,
+                       const ParseOptions& options = {});
+
+/// Reads and parses the XML file at `path`.
+Result<Document> ParseFile(const std::string& path,
+                           const ParseOptions& options = {});
+
+/// Decodes the predefined entities and character references in `text`.
+/// Unknown entity references produce a Corruption error.
+Result<std::string> DecodeEntities(std::string_view text);
+
+/// True when `name` is a valid XML element/attribute name (ASCII subset
+/// of the XML Name production: letters, digits, '_', '-', '.', ':',
+/// not starting with a digit, '-' or '.').
+bool IsValidName(std::string_view name);
+
+}  // namespace xsdf::xml
+
+#endif  // XSDF_XML_PARSER_H_

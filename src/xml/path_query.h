@@ -1,0 +1,62 @@
+#ifndef XSDF_XML_PATH_QUERY_H_
+#define XSDF_XML_PATH_QUERY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/dom.h"
+#include "xml/labeled_tree.h"
+
+namespace xsdf::xml {
+
+/// One step of a parsed path query.
+struct PathStep {
+  std::string name;          ///< element name, or "*" wildcard
+  bool descendant = false;   ///< true when reached via "//"
+  /// Optional attribute predicate [@name] or [@name='value'].
+  std::string attribute;
+  std::string attribute_value;
+  bool has_attribute_predicate = false;
+  bool has_attribute_value = false;
+};
+
+/// A compiled path query over XML documents — the XPath subset used by
+/// XSDF's query-rewriting application:
+///
+///   /films/picture/star        absolute child steps
+///   //star                     descendant-or-self anywhere
+///   /films//star               mixed
+///   /films/*/cast              wildcard step
+///   //picture[@title]          attribute-presence predicate
+///   //movie[@year='1954']      attribute-value predicate
+///
+/// Compile once with Parse, evaluate against any Document.
+class PathQuery {
+ public:
+  /// Parses the query; Corruption on syntax errors.
+  static Result<PathQuery> Parse(std::string_view query);
+
+  /// All element nodes of `doc` matching the query, in document order.
+  std::vector<const Node*> Evaluate(const Document& doc) const;
+
+  /// Node ids of a labeled tree whose element labels match the query's
+  /// name steps (labels are compared post-preprocessing, so queries use
+  /// preprocessed names). Attribute predicates are not supported on
+  /// labeled trees.
+  std::vector<NodeId> Evaluate(const LabeledTree& tree) const;
+
+  const std::vector<PathStep>& steps() const { return steps_; }
+
+  /// The original query text.
+  const std::string& text() const { return text_; }
+
+ private:
+  std::vector<PathStep> steps_;
+  std::string text_;
+};
+
+}  // namespace xsdf::xml
+
+#endif  // XSDF_XML_PATH_QUERY_H_

@@ -1,0 +1,35 @@
+#ifndef XSDF_XML_SERIALIZER_H_
+#define XSDF_XML_SERIALIZER_H_
+
+#include <string>
+#include <string_view>
+
+#include "xml/dom.h"
+
+namespace xsdf::xml {
+
+/// Options controlling XML serialization.
+struct SerializeOptions {
+  /// Indent child elements by this many spaces per level; 0 emits a
+  /// single line.
+  int indent = 2;
+  /// Emit the `<?xml version=... ?>` declaration.
+  bool declaration = true;
+};
+
+/// Escapes the five XML special characters for character data.
+std::string EscapeText(std::string_view text);
+
+/// Escapes special characters for a double-quoted attribute value.
+std::string EscapeAttribute(std::string_view value);
+
+/// Serializes `node` (and its subtree) to XML text.
+std::string Serialize(const Node& node, const SerializeOptions& options = {});
+
+/// Serializes the whole document to XML text.
+std::string Serialize(const Document& doc,
+                      const SerializeOptions& options = {});
+
+}  // namespace xsdf::xml
+
+#endif  // XSDF_XML_SERIALIZER_H_

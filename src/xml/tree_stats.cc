@@ -1,0 +1,60 @@
+#include "xml/tree_stats.h"
+
+#include <algorithm>
+
+namespace xsdf::xml {
+
+TreeShape ComputeTreeShape(const LabeledTree& tree) {
+  TreeShape shape;
+  shape.node_count = static_cast<int>(tree.size());
+  if (tree.empty()) return shape;
+  double depth_sum = 0.0;
+  double fan_out_sum = 0.0;
+  double density_sum = 0.0;
+  for (const TreeNode& node : tree.nodes()) {
+    depth_sum += node.depth;
+    fan_out_sum += node.fan_out();
+    int density = tree.DistinctChildLabelCount(node.id);
+    density_sum += density;
+    shape.max_depth = std::max(shape.max_depth, node.depth);
+    shape.max_fan_out = std::max(shape.max_fan_out, node.fan_out());
+    shape.max_density = std::max(shape.max_density, density);
+  }
+  double n = static_cast<double>(tree.size());
+  shape.avg_depth = depth_sum / n;
+  shape.avg_fan_out = fan_out_sum / n;
+  shape.avg_density = density_sum / n;
+  return shape;
+}
+
+double StructDegree(const LabeledTree& tree, NodeId id,
+                    const StructDegreeWeights& weights) {
+  const TreeNode& node = tree.node(id);
+  int max_depth = tree.MaxDepth();
+  int max_fan_out = tree.MaxFanOut();
+  int max_density = tree.MaxDensity();
+  double depth_term =
+      max_depth > 0 ? static_cast<double>(node.depth) / max_depth : 0.0;
+  double fan_out_term =
+      max_fan_out > 0 ? static_cast<double>(node.fan_out()) / max_fan_out
+                      : 0.0;
+  double density_term =
+      max_density > 0
+          ? static_cast<double>(tree.DistinctChildLabelCount(id)) /
+                max_density
+          : 0.0;
+  return weights.depth * depth_term + weights.fan_out * fan_out_term +
+         weights.density * density_term;
+}
+
+double AverageStructDegree(const LabeledTree& tree,
+                           const StructDegreeWeights& weights) {
+  if (tree.empty()) return 0.0;
+  double sum = 0.0;
+  for (const TreeNode& node : tree.nodes()) {
+    sum += StructDegree(tree, node.id, weights);
+  }
+  return sum / static_cast<double>(tree.size());
+}
+
+}  // namespace xsdf::xml

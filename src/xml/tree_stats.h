@@ -1,0 +1,44 @@
+#ifndef XSDF_XML_TREE_STATS_H_
+#define XSDF_XML_TREE_STATS_H_
+
+#include "xml/labeled_tree.h"
+
+namespace xsdf::xml {
+
+/// Weights for the structural-richness degree of Eq. 14. The paper's
+/// experiments use equal thirds.
+struct StructDegreeWeights {
+  double depth = 1.0 / 3.0;
+  double fan_out = 1.0 / 3.0;
+  double density = 1.0 / 3.0;
+};
+
+/// Aggregate shape statistics of a labeled tree, used when
+/// characterizing datasets (paper Table 3).
+struct TreeShape {
+  int node_count = 0;
+  double avg_depth = 0.0;
+  int max_depth = 0;
+  double avg_fan_out = 0.0;
+  int max_fan_out = 0;
+  double avg_density = 0.0;
+  int max_density = 0;
+};
+
+/// Computes node-count / depth / fan-out / density aggregates for `tree`.
+TreeShape ComputeTreeShape(const LabeledTree& tree);
+
+/// Struct_Deg(x, T) of Eq. 14: the normalized structural richness of a
+/// single node — the weighted sum of its normalized depth, fan-out, and
+/// density. Returns a value in [0, 1] when the weights sum to 1.
+double StructDegree(const LabeledTree& tree, NodeId id,
+                    const StructDegreeWeights& weights = {});
+
+/// Struct_Deg averaged over all nodes of the tree (the per-document
+/// structure feature used to assign documents to Table 1 groups).
+double AverageStructDegree(const LabeledTree& tree,
+                           const StructDegreeWeights& weights = {});
+
+}  // namespace xsdf::xml
+
+#endif  // XSDF_XML_TREE_STATS_H_

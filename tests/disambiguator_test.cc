@@ -1,0 +1,223 @@
+// End-to-end tests of the XSDF pipeline (paper Figure 3): the Figure 1
+// running example, options behavior, compound assignment, semantic
+// tree serialization.
+
+#include <gtest/gtest.h>
+
+#include "core/disambiguator.h"
+#include "core/tree_builder.h"
+#include "datasets/generator.h"
+#include "wordnet/mini_wordnet.h"
+#include "xml/parser.h"
+
+namespace xsdf::core {
+namespace {
+
+using wordnet::SemanticNetwork;
+
+const SemanticNetwork& Network() {
+  static const SemanticNetwork* network = [] {
+    auto result = wordnet::BuildMiniWordNet();
+    return new SemanticNetwork(std::move(result).value());
+  }();
+  return *network;
+}
+
+const char* kFigure1Doc1 = R"(<?xml version="1.0"?>
+<films>
+  <picture title="Rear Window">
+    <director>Hitchcock</director>
+    <year>1954</year>
+    <genre>mystery</genre>
+    <cast><star>Stewart</star><star>Kelly</star></cast>
+    <plot>A wheelchair bound photographer spies on his neighbors</plot>
+  </picture>
+</films>)";
+
+/// Assignment for the first node with this label, or nullptr.
+const SenseAssignment* FindByLabel(const SemanticTree& result,
+                                   const std::string& label) {
+  for (const auto& node : result.tree.nodes()) {
+    if (node.label != label) continue;
+    auto it = result.assignments.find(node.id);
+    if (it != result.assignments.end()) return &it->second;
+  }
+  return nullptr;
+}
+
+std::string AssignedLabel(const SemanticTree& result,
+                          const std::string& label) {
+  const SenseAssignment* assignment = FindByLabel(result, label);
+  if (assignment == nullptr) return "<none>";
+  return Network().GetConcept(assignment->sense.primary).label();
+}
+
+TEST(DisambiguatorTest, PaperHeadlineExample) {
+  Disambiguator system(&Network());
+  auto result = system.RunOnXml(kFigure1Doc1);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // The paper's motivating claim: in this context "Kelly" refers to
+  // Grace Kelly, not Emmet (clown) or Gene (dancer).
+  EXPECT_EQ(AssignedLabel(*result, "kelly"), "grace_kelly");
+  EXPECT_EQ(AssignedLabel(*result, "stewart"), "james_stewart");
+  EXPECT_EQ(AssignedLabel(*result, "hitchcock"), "alfred_hitchcock");
+  // Structure labels.
+  EXPECT_EQ(AssignedLabel(*result, "star"), "star");
+  const SenseAssignment* star = FindByLabel(*result, "star");
+  ASSERT_NE(star, nullptr);
+  EXPECT_EQ(Network().GetConcept(star->sense.primary).gloss,
+            "an actor who plays a principal role");
+}
+
+TEST(DisambiguatorTest, MonosemousNodesScoreOne) {
+  Disambiguator system(&Network());
+  auto result = system.RunOnXml(kFigure1Doc1);
+  ASSERT_TRUE(result.ok());
+  const SenseAssignment* wheelchair = FindByLabel(*result, "wheelchair");
+  ASSERT_NE(wheelchair, nullptr);
+  EXPECT_EQ(wheelchair->candidate_count, 1);
+  EXPECT_DOUBLE_EQ(wheelchair->score, 1.0);
+}
+
+TEST(DisambiguatorTest, CompoundTagGetsSensePair) {
+  Disambiguator system(&Network());
+  auto result = system.RunOnXml(
+      "<movies><movie><MovieStar>Kelly</MovieStar></movie></movies>");
+  ASSERT_TRUE(result.ok());
+  const SenseAssignment* compound = FindByLabel(*result, "movie_star");
+  ASSERT_NE(compound, nullptr);
+  EXPECT_TRUE(compound->sense.is_compound());
+  // The primary token "movie" resolves among movie senses.
+  EXPECT_EQ(Network().GetConcept(compound->sense.primary).pos,
+            wordnet::PartOfSpeech::kNoun);
+}
+
+TEST(DisambiguatorTest, CollocationTagResolvesAsOneConcept) {
+  Disambiguator system(&Network());
+  auto result = system.RunOnXml(
+      "<actor><FirstName>Grace</FirstName></actor>");
+  ASSERT_TRUE(result.ok());
+  const SenseAssignment* first_name = FindByLabel(*result, "first_name");
+  ASSERT_NE(first_name, nullptr);
+  EXPECT_FALSE(first_name->sense.is_compound());
+  EXPECT_EQ(Network().GetConcept(first_name->sense.primary).label(),
+            "first_name");
+}
+
+TEST(DisambiguatorTest, ThresholdLimitsTargets) {
+  DisambiguatorOptions all;
+  DisambiguatorOptions selective;
+  selective.ambiguity_threshold = 0.05;
+  Disambiguator system_all(&Network(), all);
+  Disambiguator system_selective(&Network(), selective);
+  auto result_all = system_all.RunOnXml(kFigure1Doc1);
+  auto result_selective = system_selective.RunOnXml(kFigure1Doc1);
+  ASSERT_TRUE(result_all.ok());
+  ASSERT_TRUE(result_selective.ok());
+  EXPECT_LT(result_selective->assignments.size(),
+            result_all->assignments.size());
+}
+
+TEST(DisambiguatorTest, StructureOnlyDropsTokens) {
+  DisambiguatorOptions options;
+  options.include_values = false;
+  Disambiguator system(&Network(), options);
+  auto result = system.RunOnXml(kFigure1Doc1);
+  ASSERT_TRUE(result.ok());
+  for (const auto& node : result->tree.nodes()) {
+    EXPECT_NE(node.kind, xml::TreeNodeKind::kToken);
+  }
+  EXPECT_EQ(FindByLabel(*result, "kelly"), nullptr);
+}
+
+TEST(DisambiguatorTest, ProcessesProduceDifferentScores) {
+  DisambiguatorOptions concept_options;
+  concept_options.process = DisambiguationProcess::kConceptBased;
+  DisambiguatorOptions context_options;
+  context_options.process = DisambiguationProcess::kContextBased;
+  Disambiguator concept_system(&Network(), concept_options);
+  Disambiguator context_system(&Network(), context_options);
+  auto tree = BuildTreeFromXml(kFigure1Doc1, Network());
+  ASSERT_TRUE(tree.ok());
+  // Find the "cast" node.
+  xml::NodeId cast = xml::kInvalidNode;
+  for (const auto& node : tree->nodes()) {
+    if (node.label == "cast") cast = node.id;
+  }
+  ASSERT_NE(cast, xml::kInvalidNode);
+  auto concept_scores = concept_system.ScoreCandidates(*tree, cast);
+  auto context_scores = context_system.ScoreCandidates(*tree, cast);
+  ASSERT_EQ(concept_scores.size(), context_scores.size());
+  bool any_different = false;
+  for (size_t i = 0; i < concept_scores.size(); ++i) {
+    if (std::abs(concept_scores[i] - context_scores[i]) > 1e-9) {
+      any_different = true;
+    }
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(DisambiguatorTest, CombinedProcessBlends) {
+  DisambiguatorOptions options;
+  options.process = DisambiguationProcess::kCombined;
+  options.combination_weights = {0.5, 0.5};
+  Disambiguator system(&Network(), options);
+  auto result = system.RunOnXml(kFigure1Doc1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->assignments.empty());
+}
+
+TEST(DisambiguatorTest, DisambiguateNodeErrorsOnSenselessLabel) {
+  auto tree = BuildTreeFromXml("<zzunknownzz/>", Network());
+  ASSERT_TRUE(tree.ok());
+  Disambiguator system(&Network());
+  auto assignment = system.DisambiguateNode(*tree, 0);
+  ASSERT_FALSE(assignment.ok());
+  EXPECT_EQ(assignment.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DisambiguatorTest, MalformedXmlPropagatesError) {
+  Disambiguator system(&Network());
+  auto result = system.RunOnXml("<broken>");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(DisambiguatorTest, AmbiguityRecordedPerAssignment) {
+  Disambiguator system(&Network());
+  auto result = system.RunOnXml(kFigure1Doc1);
+  ASSERT_TRUE(result.ok());
+  const SenseAssignment* cast = FindByLabel(*result, "cast");
+  ASSERT_NE(cast, nullptr);
+  EXPECT_GT(cast->ambiguity, 0.0);
+  EXPECT_GT(cast->candidate_count, 1);
+}
+
+TEST(SemanticTreeXmlTest, SerializesAnnotations) {
+  Disambiguator system(&Network());
+  auto result = system.RunOnXml(kFigure1Doc1);
+  ASSERT_TRUE(result.ok());
+  std::string xml_out = SemanticTreeToXml(*result, Network());
+  // The output parses back and carries concept annotations.
+  auto reparsed = xml::Parse(xml_out);
+  ASSERT_TRUE(reparsed.ok()) << xml_out.substr(0, 400);
+  EXPECT_NE(xml_out.find("concept=\"grace_kelly\""), std::string::npos);
+  EXPECT_NE(xml_out.find("kind=\"token\""), std::string::npos);
+  EXPECT_NE(xml_out.find("gloss="), std::string::npos);
+}
+
+TEST(SemanticTreeXmlTest, Figure1SecondDocumentCompounds) {
+  auto docs = datasets::Figure1Documents();
+  ASSERT_EQ(docs.size(), 2u);
+  Disambiguator system(&Network());
+  auto result = system.RunOnXml(docs[1].xml);
+  ASSERT_TRUE(result.ok());
+  // directed_by (compound, "by" removed as stop word -> "direct")
+  // and first_name/last_name collocations all get assignments.
+  EXPECT_NE(FindByLabel(*result, "first_name"), nullptr);
+  EXPECT_NE(FindByLabel(*result, "last_name"), nullptr);
+  EXPECT_EQ(AssignedLabel(*result, "kelly"), "grace_kelly");
+}
+
+}  // namespace
+}  // namespace xsdf::core

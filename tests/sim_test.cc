@@ -1,0 +1,283 @@
+// Unit and property tests for the semantic similarity measures
+// (paper Definition 9): Wu-Palmer (edge-based), Lin (node-based),
+// normalized extended gloss overlap, their weighted combination, and
+// the measure registry. Property sweeps check range, symmetry, and
+// identity over sampled concept pairs of the mini-WordNet.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/combined.h"
+#include "sim/gloss_overlap.h"
+#include "sim/lin.h"
+#include "sim/measure.h"
+#include "sim/resnik.h"
+#include "sim/wu_palmer.h"
+#include "wordnet/mini_wordnet.h"
+
+namespace xsdf::sim {
+namespace {
+
+using wordnet::ConceptId;
+using wordnet::SemanticNetwork;
+
+const SemanticNetwork& Network() {
+  static const SemanticNetwork* network = [] {
+    auto result = wordnet::BuildMiniWordNet();
+    return new SemanticNetwork(std::move(result).value());
+  }();
+  return *network;
+}
+
+ConceptId Key(const char* key) {
+  auto id = wordnet::MiniWordNetConceptByKey(key);
+  EXPECT_TRUE(id.ok()) << key;
+  return *id;
+}
+
+TEST(WuPalmerTest, IdenticalConceptsScoreOne) {
+  WuPalmerMeasure measure;
+  EXPECT_DOUBLE_EQ(measure.Similarity(Network(), Key("actor.n"),
+                                      Key("actor.n")),
+                   1.0);
+}
+
+TEST(WuPalmerTest, CloserPairsScoreHigher) {
+  WuPalmerMeasure measure;
+  // actor/actress are taxonomic neighbors; actor/calorie are unrelated
+  // domains.
+  double close = measure.Similarity(Network(), Key("actor.n"),
+                                    Key("actress.n"));
+  double medium = measure.Similarity(Network(), Key("actor.n"),
+                                     Key("dancer.n"));
+  double far = measure.Similarity(Network(), Key("actor.n"),
+                                  Key("calorie.n"));
+  EXPECT_GT(close, medium);
+  EXPECT_GT(medium, far);
+}
+
+TEST(WuPalmerTest, MatchesClosedForm) {
+  // actress -> actor (1 edge); LCS(actor, actress) = actor.
+  const SemanticNetwork& network = Network();
+  ConceptId actor = Key("actor.n");
+  ConceptId actress = Key("actress.n");
+  int depth = network.Depth(actor);
+  WuPalmerMeasure measure;
+  EXPECT_NEAR(measure.Similarity(network, actor, actress),
+              2.0 * depth / (0.0 + 1.0 + 2.0 * depth), 1e-12);
+}
+
+TEST(WuPalmerTest, CrossPosIsZero) {
+  WuPalmerMeasure measure;
+  EXPECT_DOUBLE_EQ(measure.Similarity(Network(), Key("actor.n"),
+                                      Key("direct.film.v")),
+                   0.0);
+}
+
+TEST(LinTest, IdenticalConceptsScoreOne) {
+  LinMeasure measure;
+  EXPECT_DOUBLE_EQ(
+      measure.Similarity(Network(), Key("movie.n"), Key("movie.n")), 1.0);
+}
+
+TEST(LinTest, InformativeSubsumersScoreHigher) {
+  LinMeasure measure;
+  double siblings = measure.Similarity(Network(), Key("comedy.n"),
+                                       Key("tragedy.n"));
+  double distant = measure.Similarity(Network(), Key("comedy.n"),
+                                      Key("street.n"));
+  EXPECT_GT(siblings, distant);
+}
+
+TEST(LinTest, RootSubsumerGivesNearZero) {
+  LinMeasure measure;
+  // Concepts meeting only at entity share almost no information.
+  double sim = measure.Similarity(Network(), Key("calorie.n"),
+                                  Key("actress.n"));
+  EXPECT_LT(sim, 0.35);
+}
+
+TEST(GlossOverlapTest, IdenticalConceptsScoreOne) {
+  GlossOverlapMeasure measure;
+  EXPECT_DOUBLE_EQ(
+      measure.Similarity(Network(), Key("plot.story.n"),
+                         Key("plot.story.n")),
+      1.0);
+}
+
+TEST(GlossOverlapTest, PhraseOverlapScoreSquaresPhraseLength) {
+  // One shared 3-token phrase scores 9; three scattered shared tokens
+  // score 3.
+  EXPECT_DOUBLE_EQ(GlossOverlapMeasure::PhraseOverlapScore(
+                       {"a", "b", "c", "x"}, {"y", "a", "b", "c"}),
+                   9.0);
+  EXPECT_DOUBLE_EQ(GlossOverlapMeasure::PhraseOverlapScore(
+                       {"a", "q", "b", "r", "c"},
+                       {"c", "s", "a", "t", "b"}),
+                   3.0);
+  EXPECT_DOUBLE_EQ(
+      GlossOverlapMeasure::PhraseOverlapScore({"a"}, {"b"}), 0.0);
+  EXPECT_DOUBLE_EQ(GlossOverlapMeasure::PhraseOverlapScore({}, {"b"}),
+                   0.0);
+}
+
+TEST(GlossOverlapTest, ExtendedGlossIncludesRelatedGlosses) {
+  // The extended gloss of movie.n should mention tokens from its
+  // hyponyms/hypernyms (e.g. "documentary" gloss words), not only its
+  // own.
+  auto gloss = GlossOverlapMeasure::ExtendedGloss(Network(),
+                                                  Key("movie.n"));
+  EXPECT_GT(gloss.size(), 20u);
+}
+
+TEST(GlossOverlapTest, RelatedConceptsOverlapMore) {
+  GlossOverlapMeasure measure;
+  double related = measure.Similarity(Network(), Key("movie.n"),
+                                      Key("feature_film.n"));
+  double unrelated = measure.Similarity(Network(), Key("movie.n"),
+                                        Key("zip_code.n"));
+  EXPECT_GT(related, unrelated);
+}
+
+TEST(ResnikTest, DeeperSubsumersScoreHigher) {
+  ResnikMeasure measure;
+  // comedy/tragedy meet at dramatic composition (informative);
+  // comedy/street meet near the root (uninformative).
+  double siblings = measure.Similarity(Network(), Key("comedy.n"),
+                                       Key("tragedy.n"));
+  double distant = measure.Similarity(Network(), Key("comedy.n"),
+                                      Key("street.n"));
+  EXPECT_GT(siblings, distant);
+  EXPECT_GE(distant, 0.0);
+  EXPECT_LE(siblings, 1.0);
+}
+
+TEST(ResnikTest, SubsumerOnlyNotLemmaDepths) {
+  // Unlike Lin, Resnik depends only on the subsumer: two shallow
+  // siblings and two deep siblings under the same parent score the
+  // same subsumer IC.
+  ResnikMeasure resnik;
+  double a = resnik.Similarity(Network(), Key("comedy.n"),
+                               Key("tragedy.n"));
+  EXPECT_GT(a, 0.0);
+}
+
+TEST(CombinedTest, WeightsValidate) {
+  SimilarityWeights equal;
+  EXPECT_TRUE(equal.Valid());
+  SimilarityWeights bad{0.5, 0.5, 0.5};
+  EXPECT_FALSE(bad.Valid());
+  SimilarityWeights negative{-0.5, 1.0, 0.5};
+  EXPECT_FALSE(negative.Valid());
+  SimilarityWeights edge_only{1.0, 0.0, 0.0};
+  EXPECT_TRUE(edge_only.Valid());
+}
+
+TEST(CombinedTest, EqualsWeightedSumOfComponents) {
+  const SemanticNetwork& network = Network();
+  ConceptId a = Key("movie.n");
+  ConceptId b = Key("play.drama.n");
+  WuPalmerMeasure edge;
+  LinMeasure node;
+  GlossOverlapMeasure gloss;
+  CombinedMeasure combined(SimilarityWeights{0.5, 0.3, 0.2});
+  double expected = 0.5 * edge.Similarity(network, a, b) +
+                    0.3 * node.Similarity(network, a, b) +
+                    0.2 * gloss.Similarity(network, a, b);
+  EXPECT_NEAR(combined.Similarity(network, a, b), expected, 1e-12);
+}
+
+TEST(CombinedTest, CachesSymmetrically) {
+  CombinedMeasure measure;
+  const SemanticNetwork& network = Network();
+  ConceptId a = Key("actor.n");
+  ConceptId b = Key("movie.n");
+  double ab = measure.Similarity(network, a, b);
+  EXPECT_EQ(measure.CacheSize(), 1u);
+  double ba = measure.Similarity(network, b, a);
+  EXPECT_EQ(measure.CacheSize(), 1u);  // same entry reused
+  EXPECT_DOUBLE_EQ(ab, ba);
+  measure.ClearCache();
+  EXPECT_EQ(measure.CacheSize(), 0u);
+}
+
+TEST(CombinedTest, FromRegistryComposesByName) {
+  auto combined = CombinedMeasure::FromRegistry(
+      {{"wu-palmer", 0.5}, {"gloss-overlap", 0.5}});
+  ASSERT_TRUE(combined.ok());
+  const SemanticNetwork& network = Network();
+  ConceptId a = Key("actor.n");
+  ConceptId b = Key("actress.n");
+  WuPalmerMeasure edge;
+  GlossOverlapMeasure gloss;
+  double expected = 0.5 * edge.Similarity(network, a, b) +
+                    0.5 * gloss.Similarity(network, a, b);
+  EXPECT_NEAR((*combined)->Similarity(network, a, b), expected, 1e-12);
+}
+
+TEST(CombinedTest, FromRegistryRejectsBadInput) {
+  EXPECT_FALSE(CombinedMeasure::FromRegistry({{"wu-palmer", 0.7}}).ok());
+  EXPECT_FALSE(
+      CombinedMeasure::FromRegistry({{"no-such", 1.0}}).ok());
+  EXPECT_FALSE(
+      CombinedMeasure::FromRegistry({{"lin", -1.0}, {"lin", 2.0}}).ok());
+}
+
+TEST(MeasureRegistryTest, BuiltInsPresent) {
+  auto names = MeasureRegistry::Global().Names();
+  EXPECT_EQ(names, (std::vector<std::string>{"gloss-overlap", "lin",
+                                             "resnik", "wu-palmer"}));
+}
+
+TEST(MeasureRegistryTest, UserMeasuresCanRegister) {
+  class ConstantMeasure : public SimilarityMeasure {
+   public:
+    double Similarity(const SemanticNetwork&, ConceptId,
+                      ConceptId) const override {
+      return 0.5;
+    }
+    std::string name() const override { return "constant"; }
+  };
+  MeasureRegistry registry;
+  registry.Register("constant",
+                    [] { return std::make_unique<ConstantMeasure>(); });
+  auto measure = registry.Create("constant");
+  ASSERT_TRUE(measure.ok());
+  EXPECT_DOUBLE_EQ((*measure)->Similarity(Network(), 0, 1), 0.5);
+  EXPECT_FALSE(registry.Create("missing").ok());
+}
+
+// ---- Property sweep over sampled concept pairs ---------------------------
+
+class MeasurePropertyTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MeasurePropertyTest, RangeSymmetryIdentity) {
+  auto measure = MeasureRegistry::Global().Create(GetParam());
+  ASSERT_TRUE(measure.ok());
+  const SemanticNetwork& network = Network();
+  // Deterministic sample of concept pairs across the network.
+  const size_t n = network.size();
+  for (size_t i = 0; i < n; i += 23) {
+    ConceptId a = static_cast<ConceptId>(i);
+    // Identity.
+    EXPECT_DOUBLE_EQ((*measure)->Similarity(network, a, a), 1.0)
+        << GetParam() << " concept " << i;
+    for (size_t j = i + 7; j < n; j += 97) {
+      ConceptId b = static_cast<ConceptId>(j);
+      double ab = (*measure)->Similarity(network, a, b);
+      double ba = (*measure)->Similarity(network, b, a);
+      EXPECT_GE(ab, 0.0) << GetParam();
+      EXPECT_LE(ab, 1.0) << GetParam();
+      EXPECT_DOUBLE_EQ(ab, ba) << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMeasures, MeasurePropertyTest,
+                         ::testing::Values("wu-palmer", "lin",
+                                           "gloss-overlap", "resnik"));
+
+}  // namespace
+}  // namespace xsdf::sim

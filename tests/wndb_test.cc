@@ -1,0 +1,277 @@
+// Unit tests for the WNDB on-disk format: record grammar of the
+// emitted files, byte-offset integrity, sense keys, the full write ->
+// parse round trip on the mini-WordNet, and corruption detection on
+// malformed inputs.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "wordnet/mini_wordnet.h"
+#include "wordnet/wndb.h"
+
+namespace xsdf::wordnet {
+namespace {
+
+SemanticNetwork SmallNetwork() {
+  SemanticNetwork network;
+  ConceptId entity = network.AddConcept(
+      PartOfSpeech::kNoun, {"entity"},
+      "that which is perceived to have its own distinct existence", 3);
+  ConceptId person = network.AddConcept(
+      PartOfSpeech::kNoun, {"person", "someone"}, "a human being", 18);
+  ConceptId state1 = network.AddConcept(
+      PartOfSpeech::kNoun, {"state"}, "a politically organized body", 14);
+  ConceptId state2 = network.AddConcept(
+      PartOfSpeech::kNoun, {"state"}, "the way something is", 26);
+  ConceptId run = network.AddConcept(
+      PartOfSpeech::kVerb, {"run"}, "move fast on foot", 30);
+  network.AddEdge(person, Relation::kHypernym, entity);
+  network.AddEdge(state1, Relation::kHypernym, entity);
+  network.AddEdge(state2, Relation::kHypernym, entity);
+  network.SetFrequency(person, 50);
+  network.SetFrequency(state1, 20);
+  network.SetFrequency(run, 7);
+  network.FinalizeFrequencies();
+  return network;
+}
+
+TEST(WndbWriterTest, EmitsExpectedFiles) {
+  auto files = WriteWndb(SmallNetwork());
+  ASSERT_TRUE(files.ok());
+  EXPECT_TRUE(files->count("data.noun"));
+  EXPECT_TRUE(files->count("index.noun"));
+  EXPECT_TRUE(files->count("data.verb"));
+  EXPECT_TRUE(files->count("index.verb"));
+  EXPECT_TRUE(files->count("cntlist.rev"));
+  EXPECT_FALSE(files->count("data.adj"));  // no adjectives in fixture
+}
+
+TEST(WndbWriterTest, HeaderLinesStartWithSpaces) {
+  auto files = WriteWndb(SmallNetwork());
+  ASSERT_TRUE(files.ok());
+  const std::string& data = files->at("data.noun");
+  EXPECT_EQ(data.substr(0, 2), "  ");
+  // 29 header lines, like the Princeton license block.
+  size_t header_lines = 0;
+  size_t pos = 0;
+  while (pos < data.size() && data[pos] == ' ') {
+    header_lines++;
+    pos = data.find('\n', pos) + 1;
+  }
+  EXPECT_EQ(header_lines, 29u);
+}
+
+TEST(WndbWriterTest, OffsetsAreTrueBytePositions) {
+  auto files = WriteWndb(SmallNetwork());
+  ASSERT_TRUE(files.ok());
+  const std::string& data = files->at("data.noun");
+  size_t pos = 0;
+  int records = 0;
+  while (pos < data.size()) {
+    size_t end = data.find('\n', pos);
+    if (end == std::string::npos) break;
+    if (data[pos] != ' ') {
+      // The record's first field must equal its byte offset.
+      EXPECT_EQ(std::stoul(data.substr(pos, 8)), pos);
+      ++records;
+    }
+    pos = end + 1;
+  }
+  EXPECT_EQ(records, 4);  // four noun synsets
+}
+
+TEST(WndbWriterTest, RecordGrammar) {
+  auto files = WriteWndb(SmallNetwork());
+  ASSERT_TRUE(files.ok());
+  const std::string& data = files->at("data.noun");
+  // Find the "person" record.
+  size_t pos = data.find(" 18 n 02 person 0 someone 0 ");
+  ASSERT_NE(pos, std::string::npos) << data;
+  // It has exactly one pointer (hypernym to entity, in data.noun).
+  size_t rec_start = data.rfind('\n', pos) + 1;
+  size_t rec_end = data.find('\n', pos);
+  std::string record = data.substr(rec_start, rec_end - rec_start);
+  EXPECT_NE(record.find(" 001 @ "), std::string::npos) << record;
+  EXPECT_NE(record.find(" | a human being"), std::string::npos);
+}
+
+TEST(WndbWriterTest, IndexListsSenseOffsets) {
+  auto files = WriteWndb(SmallNetwork());
+  ASSERT_TRUE(files.ok());
+  const std::string& index = files->at("index.noun");
+  // "state" has two senses -> synset_cnt 2 and two offsets.
+  size_t pos = index.find("state n 2 ");
+  ASSERT_NE(pos, std::string::npos) << index;
+}
+
+TEST(WndbWriterTest, CntlistUsesSenseKeys) {
+  auto files = WriteWndb(SmallNetwork());
+  ASSERT_TRUE(files.ok());
+  const std::string& cntlist = files->at("cntlist.rev");
+  EXPECT_NE(cntlist.find("person%1:18:00:: 1 50"), std::string::npos)
+      << cntlist;
+  EXPECT_NE(cntlist.find("state%1:14:00:: 1 20"), std::string::npos);
+  EXPECT_NE(cntlist.find("run%2:30:00:: 1 7"), std::string::npos);
+}
+
+TEST(WndbRoundTripTest, SmallNetwork) {
+  SemanticNetwork original = SmallNetwork();
+  auto files = WriteWndb(original);
+  ASSERT_TRUE(files.ok());
+  auto parsed = ParseWndb(*files);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), original.size());
+  EXPECT_EQ(parsed->SenseCount("state"), 2);
+  EXPECT_EQ(parsed->SenseCount("person"), 1);
+  // Frequencies survive via cntlist.
+  ConceptId person = parsed->Senses("person")[0];
+  EXPECT_DOUBLE_EQ(parsed->GetConcept(person).frequency, 50.0);
+  // Relations survive with both directions.
+  ConceptId entity = parsed->Senses("entity")[0];
+  EXPECT_EQ(parsed->Hypernyms(person), (std::vector<ConceptId>{entity}));
+  EXPECT_EQ(parsed->Hyponyms(entity).size(), 3u);
+  // Glosses survive.
+  EXPECT_EQ(parsed->GetConcept(person).gloss, "a human being");
+  // Lexicographer files survive.
+  EXPECT_EQ(parsed->GetConcept(person).lex_file, 18);
+}
+
+TEST(WndbRoundTripTest, MiniWordNetFullFidelity) {
+  auto original = BuildMiniWordNet();
+  ASSERT_TRUE(original.ok());
+  auto round_tripped = BuildMiniWordNetViaWndb();
+  ASSERT_TRUE(round_tripped.ok()) << round_tripped.status().ToString();
+  ASSERT_EQ(round_tripped->size(), original->size());
+  EXPECT_EQ(round_tripped->LemmaCount(), original->LemmaCount());
+  EXPECT_EQ(round_tripped->MaxPolysemy(), original->MaxPolysemy());
+  EXPECT_EQ(round_tripped->MaxDepth(), original->MaxDepth());
+  // Spot-check concept-level fidelity across the whole network: the
+  // writer emits synsets in id order per pos, and the parser reads
+  // noun/verb/adj/adv files in that order, so ids are grouped by pos.
+  // Compare by (pos, gloss) multiset via per-lemma sense inventories.
+  for (const char* lemma : {"head", "state", "kelly", "movie", "play",
+                            "star", "price", "club", "menu", "plant"}) {
+    ASSERT_EQ(round_tripped->SenseCount(lemma),
+              original->SenseCount(lemma))
+        << lemma;
+    const auto& a = original->Senses(lemma);
+    const auto& b = round_tripped->Senses(lemma);
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(original->GetConcept(a[i]).gloss,
+                round_tripped->GetConcept(b[i]).gloss)
+          << lemma << " sense " << i;
+      EXPECT_EQ(original->GetConcept(a[i]).frequency,
+                round_tripped->GetConcept(b[i]).frequency);
+      EXPECT_EQ(original->GetConcept(a[i]).edges.size(),
+                round_tripped->GetConcept(b[i]).edges.size());
+    }
+  }
+}
+
+TEST(WndbDirectoryTest, WriteAndParseDirectory) {
+  std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "xsdf_wndb_test";
+  std::filesystem::remove_all(dir);
+  SemanticNetwork network = SmallNetwork();
+  ASSERT_TRUE(WriteWndbToDirectory(network, dir.string()).ok());
+  EXPECT_TRUE(std::filesystem::exists(dir / "data.noun"));
+  EXPECT_TRUE(std::filesystem::exists(dir / "index.noun"));
+  EXPECT_TRUE(std::filesystem::exists(dir / "cntlist.rev"));
+  auto parsed = ParseWndbDirectory(dir.string());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->size(), network.size());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(WndbDirectoryTest, MissingDirectoryIsNotFound) {
+  auto parsed = ParseWndbDirectory("/nonexistent/path/xyz");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kNotFound);
+}
+
+// ---- Corruption detection ------------------------------------------------
+
+WndbFiles ValidFiles() {
+  auto files = WriteWndb(SmallNetwork());
+  return *files;
+}
+
+TEST(WndbCorruptionTest, WrongOffsetDetected) {
+  WndbFiles files = ValidFiles();
+  std::string& data = files["data.noun"];
+  size_t record = data.find('\n', data.rfind("  ", data.find("| "))) ;
+  // Flip the first digit of the first record's offset field.
+  size_t pos = 0;
+  while (data[pos] == ' ') pos = data.find('\n', pos) + 1;
+  data[pos] = data[pos] == '9' ? '8' : '9';
+  (void)record;
+  auto parsed = ParseWndb(files);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kCorruption);
+}
+
+TEST(WndbCorruptionTest, MissingGlossSeparator) {
+  WndbFiles files = ValidFiles();
+  std::string& data = files["data.noun"];
+  size_t bar = data.find(" | ");
+  ASSERT_NE(bar, std::string::npos);
+  data[bar + 1] = '#';
+  EXPECT_FALSE(ParseWndb(files).ok());
+}
+
+TEST(WndbCorruptionTest, UnknownPointerSymbol) {
+  WndbFiles files = ValidFiles();
+  std::string& data = files["data.noun"];
+  size_t ptr = data.find(" @ ");
+  ASSERT_NE(ptr, std::string::npos);
+  data[ptr + 1] = '?';
+  auto parsed = ParseWndb(files);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kCorruption);
+}
+
+TEST(WndbCorruptionTest, DanglingPointerTarget) {
+  WndbFiles files = ValidFiles();
+  std::string& data = files["data.noun"];
+  size_t ptr = data.find(" @ ");
+  ASSERT_NE(ptr, std::string::npos);
+  // Overwrite the 8-digit target offset with a bogus one.
+  data.replace(ptr + 3, 8, "99999999");
+  auto parsed = ParseWndb(files);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kCorruption);
+}
+
+TEST(WndbCorruptionTest, MalformedCntlistKey) {
+  WndbFiles files = ValidFiles();
+  files["cntlist.rev"] = "person-without-percent 1 50\n";
+  auto parsed = ParseWndb(files);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kCorruption);
+}
+
+TEST(WndbCorruptionTest, CntlistKeyForUnknownSynset) {
+  WndbFiles files = ValidFiles();
+  files["cntlist.rev"] = "ghost%1:03:00:: 1 5\n";
+  EXPECT_FALSE(ParseWndb(files).ok());
+}
+
+TEST(WndbCorruptionTest, IndexReferencesUnknownOffset) {
+  WndbFiles files = ValidFiles();
+  std::string& index = files["index.noun"];
+  size_t pos = index.find_last_of(' ');
+  // Replace the final sense offset with garbage.
+  index.replace(index.rfind(' ', index.size() - 4) + 1, 8, "12345678");
+  (void)pos;
+  EXPECT_FALSE(ParseWndb(files).ok());
+}
+
+TEST(WndbCorruptionTest, TruncatedRecord) {
+  WndbFiles files;
+  files["data.noun"] = "00000000 03 n\n";
+  EXPECT_FALSE(ParseWndb(files).ok());
+}
+
+}  // namespace
+}  // namespace xsdf::wordnet

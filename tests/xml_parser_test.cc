@@ -1,0 +1,273 @@
+// Unit tests for the from-scratch XML parser: well-formed documents,
+// entities, CDATA, comments, DOCTYPE skipping, and a parameterized
+// sweep of malformed inputs that must produce Corruption errors with
+// positions.
+
+#include <gtest/gtest.h>
+
+#include "xml/dom.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xsdf::xml {
+namespace {
+
+TEST(XmlParserTest, MinimalDocument) {
+  auto doc = Parse("<root/>");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  ASSERT_NE(doc->root(), nullptr);
+  EXPECT_EQ(doc->root()->name(), "root");
+  EXPECT_TRUE(doc->root()->children().empty());
+}
+
+TEST(XmlParserTest, Declaration) {
+  auto doc = Parse("<?xml version=\"1.1\" encoding=\"UTF-8\"?><r/>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->version(), "1.1");
+  EXPECT_EQ(doc->encoding(), "UTF-8");
+}
+
+TEST(XmlParserTest, NestedElementsPreserveOrder) {
+  auto doc = Parse("<a><b/><c/><b/></a>");
+  ASSERT_TRUE(doc.ok());
+  const Node* root = doc->root();
+  ASSERT_EQ(root->children().size(), 3u);
+  EXPECT_EQ(root->children()[0]->name(), "b");
+  EXPECT_EQ(root->children()[1]->name(), "c");
+  EXPECT_EQ(root->children()[2]->name(), "b");
+}
+
+TEST(XmlParserTest, Attributes) {
+  auto doc = Parse("<movie year=\"1954\" title='Rear Window'/>");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->root()->attributes().size(), 2u);
+  EXPECT_EQ(*doc->root()->FindAttribute("year"), "1954");
+  EXPECT_EQ(*doc->root()->FindAttribute("title"), "Rear Window");
+  EXPECT_EQ(doc->root()->FindAttribute("missing"), nullptr);
+}
+
+TEST(XmlParserTest, TextContent) {
+  auto doc = Parse("<d>Hitchcock</d>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root()->InnerText(), "Hitchcock");
+}
+
+TEST(XmlParserTest, MixedContent) {
+  auto doc = Parse("<p>before<b>bold</b>after</p>");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->root()->children().size(), 3u);
+  EXPECT_TRUE(doc->root()->children()[0]->is_text());
+  EXPECT_TRUE(doc->root()->children()[1]->is_element());
+  EXPECT_EQ(doc->root()->InnerText(), "beforeboldafter");
+}
+
+TEST(XmlParserTest, WhitespaceTextDiscardedByDefault) {
+  auto doc = Parse("<a>\n  <b/>\n</a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root()->children().size(), 1u);
+}
+
+TEST(XmlParserTest, WhitespaceTextKeptWhenRequested) {
+  ParseOptions options;
+  options.discard_whitespace_text = false;
+  auto doc = Parse("<a>\n  <b/>\n</a>", options);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root()->children().size(), 3u);
+}
+
+TEST(XmlParserTest, PredefinedEntities) {
+  auto doc = Parse("<t>a &lt; b &amp;&amp; c &gt; d &quot;&apos;</t>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root()->InnerText(), "a < b && c > d \"'");
+}
+
+TEST(XmlParserTest, EntitiesInAttributes) {
+  auto doc = Parse("<t a=\"x &amp; y &lt;z&gt;\"/>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(*doc->root()->FindAttribute("a"), "x & y <z>");
+}
+
+TEST(XmlParserTest, DecimalCharacterReference) {
+  auto doc = Parse("<t>&#65;&#66;</t>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root()->InnerText(), "AB");
+}
+
+TEST(XmlParserTest, HexCharacterReference) {
+  auto doc = Parse("<t>&#x41;&#x6a;</t>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root()->InnerText(), "Aj");
+}
+
+TEST(XmlParserTest, Utf8CharacterReference) {
+  auto doc = Parse("<t>&#233;</t>");  // e-acute -> 2-byte UTF-8
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root()->InnerText(), "\xC3\xA9");
+}
+
+TEST(XmlParserTest, CData) {
+  auto doc = Parse("<t><![CDATA[<not> parsed & raw]]></t>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root()->InnerText(), "<not> parsed & raw");
+  EXPECT_EQ(doc->root()->children()[0]->kind(), NodeKind::kCData);
+}
+
+TEST(XmlParserTest, CommentsDroppedByDefault) {
+  auto doc = Parse("<t><!-- hidden --><b/></t>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root()->children().size(), 1u);
+}
+
+TEST(XmlParserTest, CommentsKeptWhenRequested) {
+  ParseOptions options;
+  options.keep_comments = true;
+  auto doc = Parse("<t><!-- hidden --></t>", options);
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->root()->children().size(), 1u);
+  EXPECT_EQ(doc->root()->children()[0]->kind(), NodeKind::kComment);
+  EXPECT_EQ(doc->root()->children()[0]->text(), " hidden ");
+}
+
+TEST(XmlParserTest, DoctypeSkipped) {
+  auto doc = Parse(
+      "<!DOCTYPE note [<!ELEMENT note (#PCDATA)>]>\n<note>x</note>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root()->name(), "note");
+}
+
+TEST(XmlParserTest, ProcessingInstructionSkipped) {
+  auto doc = Parse("<?xml-stylesheet href=\"s.css\"?><r><?php x?></r>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(doc->root()->children().empty());
+}
+
+TEST(XmlParserTest, SelfClosingWithAttributes) {
+  auto doc = Parse("<a><b x=\"1\"/><b x=\"2\"/></a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root()->ElementChildCount(), 2u);
+}
+
+TEST(XmlParserTest, TrailingCommentAllowed) {
+  auto doc = Parse("<r/><!-- trailing -->");
+  EXPECT_TRUE(doc.ok());
+}
+
+TEST(XmlParserTest, DeepNesting) {
+  std::string xml;
+  for (int i = 0; i < 200; ++i) xml += "<n>";
+  xml += "x";
+  for (int i = 0; i < 200; ++i) xml += "</n>";
+  auto doc = Parse(xml);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->CountElements(), 200u);
+}
+
+TEST(XmlParserTest, FindChildElements) {
+  auto doc = Parse("<cast><star>a</star><extra/><star>b</star></cast>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root()->FindChildElements("star").size(), 2u);
+  EXPECT_NE(doc->root()->FindChildElement("extra"), nullptr);
+  EXPECT_EQ(doc->root()->FindChildElement("nope"), nullptr);
+}
+
+TEST(XmlParserTest, ErrorPositionsReported) {
+  auto doc = Parse("<a>\n  <b>\n</a>");
+  ASSERT_FALSE(doc.ok());
+  // The mismatched end tag is on line 3.
+  EXPECT_NE(doc.status().message().find("3:"), std::string::npos)
+      << doc.status().ToString();
+}
+
+// ---- Parameterized malformed-input sweep -------------------------------
+
+class MalformedXmlTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MalformedXmlTest, ReportsCorruption) {
+  auto doc = Parse(GetParam());
+  ASSERT_FALSE(doc.ok()) << "input: " << GetParam();
+  EXPECT_EQ(doc.status().code(), StatusCode::kCorruption);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, MalformedXmlTest,
+    ::testing::Values(
+        "",                                // no root
+        "just text",                       // no element
+        "<a>",                             // unterminated element
+        "<a></b>",                         // mismatched end tag
+        "<a><b></a></b>",                  // crossed nesting
+        "<a x=1/>",                        // unquoted attribute
+        "<a x=\"1/>",                      // unterminated attribute
+        "<a x=\"1\" x=\"2\"/>",            // duplicate attribute
+        "<a><![CDATA[never closed</a>",    // unterminated CDATA
+        "<a><!-- never closed</a>",        // unterminated comment
+        "<1tag/>",                         // invalid name start
+        "<a>&unknown;</a>",                // unknown entity
+        "<a>&#xZZ;</a>",                   // bad char reference
+        "<a>&#1114112;</a>",               // out-of-range reference
+        "<a/><b/>",                        // two roots
+        "<a b=\"<\"/>",                    // '<' in attribute value
+        "<!DOCTYPE unterminated [<x>"));   // unterminated DOCTYPE
+
+TEST(XmlValidNameTest, AcceptsAndRejects) {
+  EXPECT_TRUE(IsValidName("tag"));
+  EXPECT_TRUE(IsValidName("_tag"));
+  EXPECT_TRUE(IsValidName("ns:tag"));
+  EXPECT_TRUE(IsValidName("a-b.c_d1"));
+  EXPECT_FALSE(IsValidName(""));
+  EXPECT_FALSE(IsValidName("1tag"));
+  EXPECT_FALSE(IsValidName("-tag"));
+  EXPECT_FALSE(IsValidName("tag with space"));
+}
+
+TEST(XmlSerializerTest, EscapesText) {
+  EXPECT_EQ(EscapeText("a<b>&c"), "a&lt;b&gt;&amp;c");
+  EXPECT_EQ(EscapeAttribute("say \"hi\" & <go>"),
+            "say &quot;hi&quot; &amp; &lt;go&gt;");
+}
+
+TEST(XmlSerializerTest, RoundTripPreservesStructure) {
+  const char* xml =
+      "<films><picture title=\"Rear &amp; Window\">"
+      "<director>Hitchcock</director><cast><star>Kelly</star></cast>"
+      "</picture></films>";
+  auto doc = Parse(xml);
+  ASSERT_TRUE(doc.ok());
+  std::string serialized = Serialize(*doc);
+  auto doc2 = Parse(serialized);
+  ASSERT_TRUE(doc2.ok()) << serialized;
+  EXPECT_EQ(doc2->root()->name(), "films");
+  const Node* picture = doc2->root()->FindChildElement("picture");
+  ASSERT_NE(picture, nullptr);
+  EXPECT_EQ(*picture->FindAttribute("title"), "Rear & Window");
+  EXPECT_EQ(picture->FindChildElement("director")->InnerText(),
+            "Hitchcock");
+}
+
+TEST(XmlSerializerTest, CompactModeSingleLine) {
+  auto doc = Parse("<a><b>x</b></a>");
+  SerializeOptions options;
+  options.indent = 0;
+  options.declaration = false;
+  EXPECT_EQ(Serialize(*doc, options), "<a><b>x</b></a>");
+}
+
+TEST(XmlSerializerTest, EmptyElementSelfCloses) {
+  auto doc = Parse("<a><b></b></a>");
+  SerializeOptions options;
+  options.indent = 0;
+  options.declaration = false;
+  EXPECT_EQ(Serialize(*doc, options), "<a><b/></a>");
+}
+
+TEST(XmlSerializerTest, DoubleRoundTripIsStable) {
+  auto doc = Parse("<a x=\"1\"><b>text</b><c/><d>more text</d></a>");
+  ASSERT_TRUE(doc.ok());
+  std::string once = Serialize(*doc);
+  auto doc2 = Parse(once);
+  ASSERT_TRUE(doc2.ok());
+  EXPECT_EQ(Serialize(*doc2), once);
+}
+
+}  // namespace
+}  // namespace xsdf::xml

@@ -1,0 +1,238 @@
+// xsdf — command-line front end to the XSDF library.
+//
+//   xsdf disambiguate <file.xml> [radius]   annotate a document and
+//                                           print the semantic tree
+//   xsdf ambiguity <file.xml>               rank nodes by Amb_Deg
+//   xsdf query <file.xml> <path>            evaluate an XPath-lite query
+//   xsdf expand <keyword> <file.xml>        in-context query expansion
+//   xsdf network-stats                      mini-WordNet statistics
+//   xsdf export-wndb <dir>                  write the lexicon as WNDB
+//
+// Reads the bundled mini-WordNet; point XSDF_WNDB_DIR at a WNDB
+// directory (e.g. a real WordNet dict/) to use that instead.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/ambiguity.h"
+#include "core/disambiguator.h"
+#include "core/tree_builder.h"
+#include "wordnet/mini_wordnet.h"
+#include "wordnet/wndb.h"
+#include "xml/parser.h"
+#include "xml/path_query.h"
+
+namespace {
+
+using xsdf::wordnet::SemanticNetwork;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: xsdf <command> [args]\n"
+      "  disambiguate <file.xml> [radius]  annotate and print semantic tree\n"
+      "  ambiguity <file.xml>              rank nodes by ambiguity degree\n"
+      "  query <file.xml> <path>           evaluate an XPath-lite query\n"
+      "  expand <keyword> <file.xml>       context-aware term expansion\n"
+      "  network-stats                     semantic network statistics\n"
+      "  export-wndb <dir>                 write lexicon as WNDB files\n"
+      "env: XSDF_WNDB_DIR=<dir> loads a WNDB directory instead of the\n"
+      "     bundled mini-WordNet\n");
+  return 2;
+}
+
+xsdf::Result<SemanticNetwork> LoadNetwork() {
+  const char* dir = std::getenv("XSDF_WNDB_DIR");
+  if (dir != nullptr && dir[0] != '\0') {
+    return xsdf::wordnet::ParseWndbDirectory(dir);
+  }
+  return xsdf::wordnet::BuildMiniWordNet();
+}
+
+int CmdDisambiguate(const SemanticNetwork& network, const char* path,
+                    int radius) {
+  auto doc = xsdf::xml::ParseFile(path);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "%s\n", doc.status().ToString().c_str());
+    return 1;
+  }
+  xsdf::core::DisambiguatorOptions options;
+  options.sphere_radius = radius;
+  xsdf::core::Disambiguator system(&network, options);
+  auto result = system.Run(*doc);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", SemanticTreeToXml(*result, network).c_str());
+  std::fprintf(stderr, "%zu nodes, %zu disambiguated\n",
+               result->tree.size(), result->assignments.size());
+  return 0;
+}
+
+int CmdAmbiguity(const SemanticNetwork& network, const char* path) {
+  auto doc = xsdf::xml::ParseFile(path);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "%s\n", doc.status().ToString().c_str());
+    return 1;
+  }
+  auto tree = xsdf::core::BuildTree(*doc, network);
+  if (!tree.ok()) {
+    std::fprintf(stderr, "%s\n", tree.status().ToString().c_str());
+    return 1;
+  }
+  struct Row {
+    xsdf::xml::NodeId id;
+    double degree;
+  };
+  std::vector<Row> rows;
+  for (const auto& node : tree->nodes()) {
+    rows.push_back(
+        {node.id, xsdf::core::AmbiguityDegree(*tree, node.id, network)});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.degree > b.degree; });
+  std::printf("%-6s %-16s %-8s %-8s %s\n", "node", "label", "senses",
+              "depth", "Amb_Deg");
+  for (const Row& row : rows) {
+    const auto& node = tree->node(row.id);
+    int senses = 0;
+    for (const auto& token :
+         xsdf::core::LabelSenseTokens(network, node.label)) {
+      senses += network.SenseCount(token);
+    }
+    std::printf("%-6d %-16s %-8d %-8d %.4f\n", row.id,
+                node.label.c_str(), senses, node.depth, row.degree);
+  }
+  return 0;
+}
+
+int CmdQuery(const char* path, const char* query_text) {
+  auto doc = xsdf::xml::ParseFile(path);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "%s\n", doc.status().ToString().c_str());
+    return 1;
+  }
+  auto query = xsdf::xml::PathQuery::Parse(query_text);
+  if (!query.ok()) {
+    std::fprintf(stderr, "%s\n", query.status().ToString().c_str());
+    return 1;
+  }
+  auto results = query->Evaluate(*doc);
+  for (const xsdf::xml::Node* node : results) {
+    std::printf("<%s> %s\n", node->name().c_str(),
+                node->InnerText().c_str());
+  }
+  std::fprintf(stderr, "%zu matches\n", results.size());
+  return 0;
+}
+
+int CmdExpand(const SemanticNetwork& network, const char* keyword,
+              const char* path) {
+  auto doc = xsdf::xml::ParseFile(path);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "%s\n", doc.status().ToString().c_str());
+    return 1;
+  }
+  xsdf::core::Disambiguator system(&network);
+  auto result = system.Run(*doc);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::string lowered;
+  for (const char* p = keyword; *p; ++p) {
+    lowered.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(*p))));
+  }
+  bool found = false;
+  for (const auto& node : result->tree.nodes()) {
+    if (node.label != lowered) continue;
+    auto it = result->assignments.find(node.id);
+    if (it == result->assignments.end()) continue;
+    found = true;
+    const auto& c = network.GetConcept(it->second.sense.primary);
+    std::printf("sense in context: %s — %s\nexpansion:", c.label().c_str(),
+                c.gloss.c_str());
+    for (const std::string& synonym : c.synonyms) {
+      if (synonym != lowered) std::printf(" %s", synonym.c_str());
+    }
+    for (const auto& edge : c.edges) {
+      if (edge.relation == xsdf::wordnet::Relation::kHypernym) {
+        std::printf(" %s",
+                    network.GetConcept(edge.target).label().c_str());
+      }
+    }
+    std::printf("\n");
+    break;
+  }
+  if (!found) {
+    std::fprintf(stderr, "keyword '%s' not found in document\n", keyword);
+    return 1;
+  }
+  return 0;
+}
+
+int CmdNetworkStats(const SemanticNetwork& network) {
+  std::printf("concepts:     %zu\n", network.size());
+  std::printf("lemmas:       %zu\n", network.LemmaCount());
+  std::printf("max polysemy: %d\n", network.MaxPolysemy());
+  std::printf("max depth:    %d\n", network.MaxDepth());
+  size_t edges = 0;
+  int by_pos[4] = {0, 0, 0, 0};
+  for (const auto& c : network.concepts()) {
+    edges += c.edges.size();
+    by_pos[static_cast<int>(c.pos)]++;
+  }
+  std::printf("edges:        %zu\n", edges);
+  std::printf("nouns/verbs/adjs/advs: %d/%d/%d/%d\n", by_pos[0], by_pos[1],
+              by_pos[2], by_pos[3]);
+  return 0;
+}
+
+int CmdExportWndb(const SemanticNetwork& network, const char* dir) {
+  auto status = xsdf::wordnet::WriteWndbToDirectory(network, dir);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("WNDB files written to %s\n", dir);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  auto network = LoadNetwork();
+  if (!network.ok()) {
+    std::fprintf(stderr, "cannot load semantic network: %s\n",
+                 network.status().ToString().c_str());
+    return 1;
+  }
+  const std::string command = argv[1];
+  if (command == "disambiguate" && argc >= 3) {
+    int radius = argc >= 4 ? std::atoi(argv[3]) : 2;
+    return CmdDisambiguate(*network, argv[2], radius);
+  }
+  if (command == "ambiguity" && argc == 3) {
+    return CmdAmbiguity(*network, argv[2]);
+  }
+  if (command == "query" && argc == 4) {
+    return CmdQuery(argv[2], argv[3]);
+  }
+  if (command == "expand" && argc == 4) {
+    return CmdExpand(*network, argv[2], argv[3]);
+  }
+  if (command == "network-stats") {
+    return CmdNetworkStats(*network);
+  }
+  if (command == "export-wndb" && argc == 3) {
+    return CmdExportWndb(*network, argv[2]);
+  }
+  return Usage();
+}

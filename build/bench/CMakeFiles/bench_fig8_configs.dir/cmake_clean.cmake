@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_configs.dir/bench_fig8_configs.cc.o"
+  "CMakeFiles/bench_fig8_configs.dir/bench_fig8_configs.cc.o.d"
+  "bench_fig8_configs"
+  "bench_fig8_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table3_datasets.cc" "bench/CMakeFiles/bench_table3_datasets.dir/bench_table3_datasets.cc.o" "gcc" "bench/CMakeFiles/bench_table3_datasets.dir/bench_table3_datasets.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/xsdf_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/xsdf_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/xsdf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xsdf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/wordnet/CMakeFiles/xsdf_wordnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/xsdf_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xsdf_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xsdf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_expansion.dir/query_expansion.cpp.o"
+  "CMakeFiles/query_expansion.dir/query_expansion.cpp.o.d"
+  "query_expansion"
+  "query_expansion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semantic_clustering.dir/semantic_clustering.cpp.o"
+  "CMakeFiles/semantic_clustering.dir/semantic_clustering.cpp.o.d"
+  "semantic_clustering"
+  "semantic_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semantic_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

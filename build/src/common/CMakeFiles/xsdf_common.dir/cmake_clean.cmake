@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsdf_common.dir/status.cc.o"
+  "CMakeFiles/xsdf_common.dir/status.cc.o.d"
+  "CMakeFiles/xsdf_common.dir/strings.cc.o"
+  "CMakeFiles/xsdf_common.dir/strings.cc.o.d"
+  "libxsdf_common.a"
+  "libxsdf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsdf_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ambiguity.cc" "src/core/CMakeFiles/xsdf_core.dir/ambiguity.cc.o" "gcc" "src/core/CMakeFiles/xsdf_core.dir/ambiguity.cc.o.d"
+  "/root/repo/src/core/baselines.cc" "src/core/CMakeFiles/xsdf_core.dir/baselines.cc.o" "gcc" "src/core/CMakeFiles/xsdf_core.dir/baselines.cc.o.d"
+  "/root/repo/src/core/context_vector.cc" "src/core/CMakeFiles/xsdf_core.dir/context_vector.cc.o" "gcc" "src/core/CMakeFiles/xsdf_core.dir/context_vector.cc.o.d"
+  "/root/repo/src/core/disambiguator.cc" "src/core/CMakeFiles/xsdf_core.dir/disambiguator.cc.o" "gcc" "src/core/CMakeFiles/xsdf_core.dir/disambiguator.cc.o.d"
+  "/root/repo/src/core/query_rewriter.cc" "src/core/CMakeFiles/xsdf_core.dir/query_rewriter.cc.o" "gcc" "src/core/CMakeFiles/xsdf_core.dir/query_rewriter.cc.o.d"
+  "/root/repo/src/core/scores.cc" "src/core/CMakeFiles/xsdf_core.dir/scores.cc.o" "gcc" "src/core/CMakeFiles/xsdf_core.dir/scores.cc.o.d"
+  "/root/repo/src/core/tree_builder.cc" "src/core/CMakeFiles/xsdf_core.dir/tree_builder.cc.o" "gcc" "src/core/CMakeFiles/xsdf_core.dir/tree_builder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/xsdf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/wordnet/CMakeFiles/xsdf_wordnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/xsdf_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xsdf_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xsdf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

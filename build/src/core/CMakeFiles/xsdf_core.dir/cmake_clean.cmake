@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsdf_core.dir/ambiguity.cc.o"
+  "CMakeFiles/xsdf_core.dir/ambiguity.cc.o.d"
+  "CMakeFiles/xsdf_core.dir/baselines.cc.o"
+  "CMakeFiles/xsdf_core.dir/baselines.cc.o.d"
+  "CMakeFiles/xsdf_core.dir/context_vector.cc.o"
+  "CMakeFiles/xsdf_core.dir/context_vector.cc.o.d"
+  "CMakeFiles/xsdf_core.dir/disambiguator.cc.o"
+  "CMakeFiles/xsdf_core.dir/disambiguator.cc.o.d"
+  "CMakeFiles/xsdf_core.dir/query_rewriter.cc.o"
+  "CMakeFiles/xsdf_core.dir/query_rewriter.cc.o.d"
+  "CMakeFiles/xsdf_core.dir/scores.cc.o"
+  "CMakeFiles/xsdf_core.dir/scores.cc.o.d"
+  "CMakeFiles/xsdf_core.dir/tree_builder.cc.o"
+  "CMakeFiles/xsdf_core.dir/tree_builder.cc.o.d"
+  "libxsdf_core.a"
+  "libxsdf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsdf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

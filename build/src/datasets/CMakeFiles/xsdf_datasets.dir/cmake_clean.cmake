@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsdf_datasets.dir/generators.cc.o"
+  "CMakeFiles/xsdf_datasets.dir/generators.cc.o.d"
+  "libxsdf_datasets.a"
+  "libxsdf_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsdf_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsdf_eval.dir/experiment.cc.o"
+  "CMakeFiles/xsdf_eval.dir/experiment.cc.o.d"
+  "CMakeFiles/xsdf_eval.dir/gold.cc.o"
+  "CMakeFiles/xsdf_eval.dir/gold.cc.o.d"
+  "CMakeFiles/xsdf_eval.dir/metrics.cc.o"
+  "CMakeFiles/xsdf_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/xsdf_eval.dir/raters.cc.o"
+  "CMakeFiles/xsdf_eval.dir/raters.cc.o.d"
+  "libxsdf_eval.a"
+  "libxsdf_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsdf_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

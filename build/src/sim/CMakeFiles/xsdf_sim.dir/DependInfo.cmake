@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/combined.cc" "src/sim/CMakeFiles/xsdf_sim.dir/combined.cc.o" "gcc" "src/sim/CMakeFiles/xsdf_sim.dir/combined.cc.o.d"
+  "/root/repo/src/sim/gloss_overlap.cc" "src/sim/CMakeFiles/xsdf_sim.dir/gloss_overlap.cc.o" "gcc" "src/sim/CMakeFiles/xsdf_sim.dir/gloss_overlap.cc.o.d"
+  "/root/repo/src/sim/lin.cc" "src/sim/CMakeFiles/xsdf_sim.dir/lin.cc.o" "gcc" "src/sim/CMakeFiles/xsdf_sim.dir/lin.cc.o.d"
+  "/root/repo/src/sim/measure.cc" "src/sim/CMakeFiles/xsdf_sim.dir/measure.cc.o" "gcc" "src/sim/CMakeFiles/xsdf_sim.dir/measure.cc.o.d"
+  "/root/repo/src/sim/resnik.cc" "src/sim/CMakeFiles/xsdf_sim.dir/resnik.cc.o" "gcc" "src/sim/CMakeFiles/xsdf_sim.dir/resnik.cc.o.d"
+  "/root/repo/src/sim/wu_palmer.cc" "src/sim/CMakeFiles/xsdf_sim.dir/wu_palmer.cc.o" "gcc" "src/sim/CMakeFiles/xsdf_sim.dir/wu_palmer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wordnet/CMakeFiles/xsdf_wordnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/xsdf_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xsdf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsdf_sim.dir/combined.cc.o"
+  "CMakeFiles/xsdf_sim.dir/combined.cc.o.d"
+  "CMakeFiles/xsdf_sim.dir/gloss_overlap.cc.o"
+  "CMakeFiles/xsdf_sim.dir/gloss_overlap.cc.o.d"
+  "CMakeFiles/xsdf_sim.dir/lin.cc.o"
+  "CMakeFiles/xsdf_sim.dir/lin.cc.o.d"
+  "CMakeFiles/xsdf_sim.dir/measure.cc.o"
+  "CMakeFiles/xsdf_sim.dir/measure.cc.o.d"
+  "CMakeFiles/xsdf_sim.dir/resnik.cc.o"
+  "CMakeFiles/xsdf_sim.dir/resnik.cc.o.d"
+  "CMakeFiles/xsdf_sim.dir/wu_palmer.cc.o"
+  "CMakeFiles/xsdf_sim.dir/wu_palmer.cc.o.d"
+  "libxsdf_sim.a"
+  "libxsdf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsdf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

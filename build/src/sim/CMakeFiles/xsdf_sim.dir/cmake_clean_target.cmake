@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxsdf_sim.a"
+)

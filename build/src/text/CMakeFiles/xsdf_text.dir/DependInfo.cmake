@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/compound.cc" "src/text/CMakeFiles/xsdf_text.dir/compound.cc.o" "gcc" "src/text/CMakeFiles/xsdf_text.dir/compound.cc.o.d"
+  "/root/repo/src/text/porter_stemmer.cc" "src/text/CMakeFiles/xsdf_text.dir/porter_stemmer.cc.o" "gcc" "src/text/CMakeFiles/xsdf_text.dir/porter_stemmer.cc.o.d"
+  "/root/repo/src/text/preprocess.cc" "src/text/CMakeFiles/xsdf_text.dir/preprocess.cc.o" "gcc" "src/text/CMakeFiles/xsdf_text.dir/preprocess.cc.o.d"
+  "/root/repo/src/text/stopwords.cc" "src/text/CMakeFiles/xsdf_text.dir/stopwords.cc.o" "gcc" "src/text/CMakeFiles/xsdf_text.dir/stopwords.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/text/CMakeFiles/xsdf_text.dir/tokenizer.cc.o" "gcc" "src/text/CMakeFiles/xsdf_text.dir/tokenizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xsdf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsdf_text.dir/compound.cc.o"
+  "CMakeFiles/xsdf_text.dir/compound.cc.o.d"
+  "CMakeFiles/xsdf_text.dir/porter_stemmer.cc.o"
+  "CMakeFiles/xsdf_text.dir/porter_stemmer.cc.o.d"
+  "CMakeFiles/xsdf_text.dir/preprocess.cc.o"
+  "CMakeFiles/xsdf_text.dir/preprocess.cc.o.d"
+  "CMakeFiles/xsdf_text.dir/stopwords.cc.o"
+  "CMakeFiles/xsdf_text.dir/stopwords.cc.o.d"
+  "CMakeFiles/xsdf_text.dir/tokenizer.cc.o"
+  "CMakeFiles/xsdf_text.dir/tokenizer.cc.o.d"
+  "libxsdf_text.a"
+  "libxsdf_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsdf_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wordnet/lexicon_domains.cc" "src/wordnet/CMakeFiles/xsdf_wordnet.dir/lexicon_domains.cc.o" "gcc" "src/wordnet/CMakeFiles/xsdf_wordnet.dir/lexicon_domains.cc.o.d"
+  "/root/repo/src/wordnet/lexicon_extra.cc" "src/wordnet/CMakeFiles/xsdf_wordnet.dir/lexicon_extra.cc.o" "gcc" "src/wordnet/CMakeFiles/xsdf_wordnet.dir/lexicon_extra.cc.o.d"
+  "/root/repo/src/wordnet/lexicon_names.cc" "src/wordnet/CMakeFiles/xsdf_wordnet.dir/lexicon_names.cc.o" "gcc" "src/wordnet/CMakeFiles/xsdf_wordnet.dir/lexicon_names.cc.o.d"
+  "/root/repo/src/wordnet/lexicon_scaffold.cc" "src/wordnet/CMakeFiles/xsdf_wordnet.dir/lexicon_scaffold.cc.o" "gcc" "src/wordnet/CMakeFiles/xsdf_wordnet.dir/lexicon_scaffold.cc.o.d"
+  "/root/repo/src/wordnet/mini_wordnet.cc" "src/wordnet/CMakeFiles/xsdf_wordnet.dir/mini_wordnet.cc.o" "gcc" "src/wordnet/CMakeFiles/xsdf_wordnet.dir/mini_wordnet.cc.o.d"
+  "/root/repo/src/wordnet/semantic_network.cc" "src/wordnet/CMakeFiles/xsdf_wordnet.dir/semantic_network.cc.o" "gcc" "src/wordnet/CMakeFiles/xsdf_wordnet.dir/semantic_network.cc.o.d"
+  "/root/repo/src/wordnet/wndb_parser.cc" "src/wordnet/CMakeFiles/xsdf_wordnet.dir/wndb_parser.cc.o" "gcc" "src/wordnet/CMakeFiles/xsdf_wordnet.dir/wndb_parser.cc.o.d"
+  "/root/repo/src/wordnet/wndb_writer.cc" "src/wordnet/CMakeFiles/xsdf_wordnet.dir/wndb_writer.cc.o" "gcc" "src/wordnet/CMakeFiles/xsdf_wordnet.dir/wndb_writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xsdf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

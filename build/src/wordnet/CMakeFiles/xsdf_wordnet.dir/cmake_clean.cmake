@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsdf_wordnet.dir/lexicon_domains.cc.o"
+  "CMakeFiles/xsdf_wordnet.dir/lexicon_domains.cc.o.d"
+  "CMakeFiles/xsdf_wordnet.dir/lexicon_extra.cc.o"
+  "CMakeFiles/xsdf_wordnet.dir/lexicon_extra.cc.o.d"
+  "CMakeFiles/xsdf_wordnet.dir/lexicon_names.cc.o"
+  "CMakeFiles/xsdf_wordnet.dir/lexicon_names.cc.o.d"
+  "CMakeFiles/xsdf_wordnet.dir/lexicon_scaffold.cc.o"
+  "CMakeFiles/xsdf_wordnet.dir/lexicon_scaffold.cc.o.d"
+  "CMakeFiles/xsdf_wordnet.dir/mini_wordnet.cc.o"
+  "CMakeFiles/xsdf_wordnet.dir/mini_wordnet.cc.o.d"
+  "CMakeFiles/xsdf_wordnet.dir/semantic_network.cc.o"
+  "CMakeFiles/xsdf_wordnet.dir/semantic_network.cc.o.d"
+  "CMakeFiles/xsdf_wordnet.dir/wndb_parser.cc.o"
+  "CMakeFiles/xsdf_wordnet.dir/wndb_parser.cc.o.d"
+  "CMakeFiles/xsdf_wordnet.dir/wndb_writer.cc.o"
+  "CMakeFiles/xsdf_wordnet.dir/wndb_writer.cc.o.d"
+  "libxsdf_wordnet.a"
+  "libxsdf_wordnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsdf_wordnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

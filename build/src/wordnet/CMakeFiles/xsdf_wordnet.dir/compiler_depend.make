@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for xsdf_wordnet.
+# This may be replaced when dependencies are built.

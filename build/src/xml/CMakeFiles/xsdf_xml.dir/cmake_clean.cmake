@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsdf_xml.dir/dom.cc.o"
+  "CMakeFiles/xsdf_xml.dir/dom.cc.o.d"
+  "CMakeFiles/xsdf_xml.dir/labeled_tree.cc.o"
+  "CMakeFiles/xsdf_xml.dir/labeled_tree.cc.o.d"
+  "CMakeFiles/xsdf_xml.dir/parser.cc.o"
+  "CMakeFiles/xsdf_xml.dir/parser.cc.o.d"
+  "CMakeFiles/xsdf_xml.dir/path_query.cc.o"
+  "CMakeFiles/xsdf_xml.dir/path_query.cc.o.d"
+  "CMakeFiles/xsdf_xml.dir/serializer.cc.o"
+  "CMakeFiles/xsdf_xml.dir/serializer.cc.o.d"
+  "CMakeFiles/xsdf_xml.dir/tree_stats.cc.o"
+  "CMakeFiles/xsdf_xml.dir/tree_stats.cc.o.d"
+  "libxsdf_xml.a"
+  "libxsdf_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsdf_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/context_vector_test.dir/context_vector_test.cc.o"
+  "CMakeFiles/context_vector_test.dir/context_vector_test.cc.o.d"
+  "context_vector_test"
+  "context_vector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/context_vector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

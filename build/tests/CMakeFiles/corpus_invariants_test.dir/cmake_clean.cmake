@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corpus_invariants_test.dir/corpus_invariants_test.cc.o"
+  "CMakeFiles/corpus_invariants_test.dir/corpus_invariants_test.cc.o.d"
+  "corpus_invariants_test"
+  "corpus_invariants_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corpus_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_rewriter_test.dir/query_rewriter_test.cc.o"
+  "CMakeFiles/query_rewriter_test.dir/query_rewriter_test.cc.o.d"
+  "query_rewriter_test"
+  "query_rewriter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_rewriter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scores_test.dir/scores_test.cc.o"
+  "CMakeFiles/scores_test.dir/scores_test.cc.o.d"
+  "scores_test"
+  "scores_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scores_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

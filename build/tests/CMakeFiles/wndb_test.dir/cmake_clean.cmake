@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wndb_test.dir/wndb_test.cc.o"
+  "CMakeFiles/wndb_test.dir/wndb_test.cc.o.d"
+  "wndb_test"
+  "wndb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wndb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

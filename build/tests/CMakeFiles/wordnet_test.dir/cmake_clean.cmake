@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wordnet_test.dir/wordnet_test.cc.o"
+  "CMakeFiles/wordnet_test.dir/wordnet_test.cc.o.d"
+  "wordnet_test"
+  "wordnet_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wordnet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_tree_test.dir/xml_tree_test.cc.o"
+  "CMakeFiles/xml_tree_test.dir/xml_tree_test.cc.o.d"
+  "xml_tree_test"
+  "xml_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

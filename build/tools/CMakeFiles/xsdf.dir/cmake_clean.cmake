@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsdf.dir/xsdf_cli.cc.o"
+  "CMakeFiles/xsdf.dir/xsdf_cli.cc.o.d"
+  "xsdf"
+  "xsdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_network_stats "/root/repo/build/tools/xsdf" "network-stats")
+set_tests_properties(cli_network_stats PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_usage "/root/repo/build/tools/xsdf")
+set_tests_properties(cli_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_disambiguate "/root/repo/build/tools/xsdf" "disambiguate" "/root/repo/build/cli_fixture.xml")
+set_tests_properties(cli_disambiguate PROPERTIES  PASS_REGULAR_EXPRESSION "grace_kelly" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_ambiguity "/root/repo/build/tools/xsdf" "ambiguity" "/root/repo/build/cli_fixture.xml")
+set_tests_properties(cli_ambiguity PROPERTIES  PASS_REGULAR_EXPRESSION "Amb_Deg" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_query "/root/repo/build/tools/xsdf" "query" "/root/repo/build/cli_fixture.xml" "//star")
+set_tests_properties(cli_query PROPERTIES  PASS_REGULAR_EXPRESSION "Kelly" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_export_wndb "/root/repo/build/tools/xsdf" "export-wndb" "/root/repo/build/wndb_export_test")
+set_tests_properties(cli_export_wndb PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")

@@ -13,7 +13,17 @@ Disambiguator::Disambiguator(const wordnet::SemanticNetwork* network,
                              DisambiguatorOptions options)
     : network_(network),
       options_(options),
-      measure_(options.similarity_weights) {}
+      measure_(options.similarity_weights) {
+  measure_.set_external_cache(options_.similarity_cache);
+}
+
+std::vector<SenseCandidate> Disambiguator::CandidatesFor(
+    const std::string& label) const {
+  if (options_.sense_inventory != nullptr) {
+    return options_.sense_inventory->Candidates(*network_, label);
+  }
+  return EnumerateCandidates(*network_, label);
+}
 
 CombinationWeights Disambiguator::EffectiveCombination() const {
   switch (options_.process) {
@@ -30,8 +40,7 @@ CombinationWeights Disambiguator::EffectiveCombination() const {
 std::vector<double> Disambiguator::ScoreCandidates(
     const xml::LabeledTree& tree, xml::NodeId id) const {
   const std::string& label = tree.node(id).label;
-  std::vector<SenseCandidate> candidates =
-      EnumerateCandidates(*network_, label);
+  std::vector<SenseCandidate> candidates = CandidatesFor(label);
   Sphere sphere = BuildXmlSphere(tree, id, options_.sphere_radius,
                                  options_.structure_only_context);
   ContextVector vector(sphere, options_.bag_of_words_context);
@@ -78,8 +87,7 @@ std::vector<double> Disambiguator::ScoreCandidates(
 Result<SenseAssignment> Disambiguator::DisambiguateNode(
     const xml::LabeledTree& tree, xml::NodeId id) const {
   const std::string& label = tree.node(id).label;
-  std::vector<SenseCandidate> candidates =
-      EnumerateCandidates(*network_, label);
+  std::vector<SenseCandidate> candidates = CandidatesFor(label);
   if (candidates.empty()) {
     return Status::NotFound("label has no senses in the network: " + label);
   }

@@ -19,6 +19,21 @@ namespace xsdf::core {
 /// both per Eq. 13 using the combination weights.
 enum class DisambiguationProcess { kConceptBased, kContextBased, kCombined };
 
+/// Pluggable provider of a label's candidate senses. The default path
+/// calls EnumerateCandidates() on every node; a provider can memoize it
+/// (lemma -> candidates is a pure function of the network). A provider
+/// shared across threads must be internally thread-safe; the runtime
+/// layer supplies a sharded LRU implementation with hit/miss counters.
+class SenseInventory {
+ public:
+  virtual ~SenseInventory() = default;
+
+  /// Candidate senses of a preprocessed node label, in
+  /// EnumerateCandidates() order.
+  virtual std::vector<SenseCandidate> Candidates(
+      const wordnet::SemanticNetwork& network, const std::string& label) = 0;
+};
+
 /// Everything the user can tune (the paper's Motivation 4): ambiguity
 /// weights + selection threshold, sphere radius (context size),
 /// semantic similarity measure weights, and the process combination.
@@ -59,6 +74,16 @@ struct DisambiguatorOptions {
   /// resolving low-signal contexts toward the corpus-dominant sense —
   /// the standard knowledge-based WSD backoff. 0 disables it.
   double frequency_prior = 0.15;
+
+  /// Non-owning shared caches (both optional; installed by the runtime
+  /// engine). `similarity_cache` replaces the combined measure's
+  /// private memo table; `sense_inventory` replaces direct
+  /// EnumerateCandidates() calls. Either may be shared across many
+  /// Disambiguator instances/threads, in which case it must be
+  /// thread-safe. They never change results — only where memoized
+  /// values live.
+  sim::SimilarityCacheHook* similarity_cache = nullptr;
+  SenseInventory* sense_inventory = nullptr;
 };
 
 /// The sense assigned to one target node.
@@ -111,6 +136,7 @@ class Disambiguator {
 
  private:
   CombinationWeights EffectiveCombination() const;
+  std::vector<SenseCandidate> CandidatesFor(const std::string& label) const;
 
   const wordnet::SemanticNetwork* network_;
   DisambiguatorOptions options_;

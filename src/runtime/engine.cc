@@ -1,0 +1,161 @@
+#include "runtime/engine.h"
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/strings.h"
+
+namespace xsdf::runtime {
+
+/// Completion bookkeeping for one RunBatch() call. Workers write each
+/// result into its own pre-sized slot (no two jobs share an index, so
+/// no data race) and the last one signals the waiting producer.
+struct DisambiguationEngine::Batch {
+  explicit Batch(size_t job_count)
+      : results(job_count), remaining(job_count) {}
+
+  std::vector<DocumentResult> results;
+  std::mutex mu;
+  std::condition_variable done;
+  size_t remaining;
+
+  void Complete(DocumentResult result) {
+    size_t index = result.index;
+    std::lock_guard<std::mutex> lock(mu);
+    results[index] = std::move(result);
+    // Notify while still holding the lock: the waiter in RunBatch()
+    // destroys this Batch as soon as it observes remaining == 0, so an
+    // unlocked notify could touch a destroyed condition variable.
+    if (--remaining == 0) done.notify_all();
+  }
+};
+
+DisambiguationEngine::DisambiguationEngine(
+    const wordnet::SemanticNetwork* network, EngineOptions options)
+    : network_(network),
+      options_(options),
+      queue_(options.queue_capacity) {
+  if (options_.threads < 1) options_.threads = 1;
+  if (options_.enable_similarity_cache) {
+    similarity_cache_ = std::make_unique<SimilarityCache>(
+        options_.similarity_cache_capacity,
+        options_.similarity_cache_shards,
+        options_.disambiguator.similarity_weights);
+    options_.disambiguator.similarity_cache = similarity_cache_.get();
+  }
+  if (options_.enable_sense_cache) {
+    sense_cache_ = std::make_unique<SenseInventoryCache>(
+        options_.sense_cache_capacity, options_.sense_cache_shards);
+    options_.disambiguator.sense_inventory = sense_cache_.get();
+  }
+  workers_.reserve(static_cast<size_t>(options_.threads));
+  for (int i = 0; i < options_.threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+DisambiguationEngine::~DisambiguationEngine() {
+  queue_.Close();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void DisambiguationEngine::WorkerLoop() {
+  // Per-worker scratch: the Disambiguator (and its CombinedMeasure
+  // component measures) is private to this thread; only the network
+  // and the engine caches are shared.
+  core::Disambiguator disambiguator(network_, options_.disambiguator);
+  while (auto item = queue_.Pop()) {
+    DocumentResult result = Process(disambiguator, item->job);
+    documents_.fetch_add(1, std::memory_order_relaxed);
+    if (result.ok) {
+      nodes_.fetch_add(result.node_count, std::memory_order_relaxed);
+      assignments_.fetch_add(result.assignment_count,
+                             std::memory_order_relaxed);
+    } else {
+      failures_.fetch_add(1, std::memory_order_relaxed);
+    }
+    item->batch->Complete(std::move(result));
+  }
+}
+
+DocumentResult DisambiguationEngine::Process(
+    const core::Disambiguator& disambiguator,
+    const DocumentJob& job) const {
+  DocumentResult result;
+  result.index = job.index;
+  result.name = job.name;
+  auto semantic_tree = disambiguator.RunOnXml(job.xml);
+  if (!semantic_tree.ok()) {
+    result.error = semantic_tree.status().ToString();
+    return result;
+  }
+  result.ok = true;
+  result.node_count = semantic_tree->tree.size();
+  result.assignment_count = semantic_tree->assignments.size();
+  result.semantic_xml = core::SemanticTreeToXml(*semantic_tree, *network_);
+  return result;
+}
+
+std::vector<DocumentResult> DisambiguationEngine::RunBatch(
+    std::vector<DocumentJob> jobs) {
+  if (jobs.empty()) return {};
+  Batch batch(jobs.size());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].index = i;
+    WorkItem item{std::move(jobs[i]), &batch};
+    if (!queue_.Push(std::move(item))) {
+      // Queue closed mid-batch (engine shutting down): record the
+      // failure locally so the wait below still terminates.
+      DocumentResult result;
+      result.index = i;
+      result.error = "engine shut down before the job ran";
+      batch.Complete(std::move(result));
+    }
+  }
+  std::unique_lock<std::mutex> lock(batch.mu);
+  batch.done.wait(lock, [&] { return batch.remaining == 0; });
+  return std::move(batch.results);
+}
+
+EngineStats DisambiguationEngine::stats() const {
+  EngineStats stats;
+  stats.documents = documents_.load(std::memory_order_relaxed);
+  stats.failures = failures_.load(std::memory_order_relaxed);
+  stats.nodes = nodes_.load(std::memory_order_relaxed);
+  stats.assignments = assignments_.load(std::memory_order_relaxed);
+  if (similarity_cache_) stats.similarity_cache = similarity_cache_->GetStats();
+  if (sense_cache_) stats.sense_cache = sense_cache_->GetStats();
+  return stats;
+}
+
+void DisambiguationEngine::ResetCounters() {
+  documents_.store(0, std::memory_order_relaxed);
+  failures_.store(0, std::memory_order_relaxed);
+  nodes_.store(0, std::memory_order_relaxed);
+  assignments_.store(0, std::memory_order_relaxed);
+  if (similarity_cache_) similarity_cache_->ResetCounters();
+  if (sense_cache_) sense_cache_->ResetCounters();
+}
+
+std::string FormatEngineStats(const EngineStats& stats) {
+  auto cache_line = [](const CacheStats& cache) {
+    if (cache.capacity == 0) return std::string("off");
+    return StrFormat("%.1f%% hit (%llu/%llu), %llu evicted, %zu/%zu entries",
+                     100.0 * cache.HitRate(),
+                     static_cast<unsigned long long>(cache.hits),
+                     static_cast<unsigned long long>(cache.lookups()),
+                     static_cast<unsigned long long>(cache.evictions),
+                     cache.entries, cache.capacity);
+  };
+  return StrFormat(
+      "%llu docs (%llu failed), %llu nodes, %llu senses | sim cache: %s | "
+      "sense cache: %s",
+      static_cast<unsigned long long>(stats.documents),
+      static_cast<unsigned long long>(stats.failures),
+      static_cast<unsigned long long>(stats.nodes),
+      static_cast<unsigned long long>(stats.assignments),
+      cache_line(stats.similarity_cache).c_str(),
+      cache_line(stats.sense_cache).c_str());
+}
+
+}  // namespace xsdf::runtime

@@ -1,0 +1,130 @@
+#ifndef XSDF_RUNTIME_ENGINE_H_
+#define XSDF_RUNTIME_ENGINE_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/disambiguator.h"
+#include "runtime/job_queue.h"
+#include "runtime/sense_inventory_cache.h"
+#include "runtime/similarity_cache.h"
+#include "runtime/stats.h"
+#include "wordnet/semantic_network.h"
+
+namespace xsdf::runtime {
+
+/// One document to disambiguate: a display name plus the XML text.
+/// `index` is the slot the result lands in; RunBatch() assigns it from
+/// the job's position, so callers only fill name and xml.
+struct DocumentJob {
+  size_t index = 0;
+  std::string name;
+  std::string xml;
+};
+
+/// The outcome for one job. Results of a batch are ordered by job
+/// index regardless of which worker ran what when — the scheduling
+/// order never leaks into the output, which is what makes N-worker
+/// runs byte-identical to 1-worker runs.
+struct DocumentResult {
+  size_t index = 0;
+  std::string name;
+  bool ok = false;
+  std::string error;           ///< status text when !ok
+  std::string semantic_xml;    ///< SemanticTreeToXml() of the output
+  size_t node_count = 0;       ///< labeled-tree nodes
+  size_t assignment_count = 0; ///< disambiguated nodes
+};
+
+struct EngineOptions {
+  /// Fixed worker-pool size (clamped to >= 1).
+  int threads = 4;
+  /// Bounded MPMC job-queue capacity; producers block when full.
+  size_t queue_capacity = 64;
+
+  /// Shared sharded LRU fronting sim::CombinedMeasure, keyed on
+  /// (concept pair, measure weights). Off = each worker keeps the
+  /// measure's private unbounded memo (the pre-runtime behavior).
+  bool enable_similarity_cache = true;
+  size_t similarity_cache_capacity = 1 << 16;
+  size_t similarity_cache_shards = 16;
+
+  /// Shared sense-inventory cache (label -> candidate senses).
+  bool enable_sense_cache = true;
+  size_t sense_cache_capacity = 4096;
+  size_t sense_cache_shards = 8;
+
+  /// Pipeline configuration applied by every worker.
+  core::DisambiguatorOptions disambiguator;
+};
+
+/// A concurrent batch-disambiguation runtime: one immutable
+/// SemanticNetwork shared read-only across a fixed pool of workers,
+/// which pull DocumentJobs from a bounded MPMC queue and run the full
+/// XSDF pipeline (parse -> select -> sphere contexts -> disambiguate
+/// -> serialize) with per-worker scratch state (each worker owns its
+/// Disambiguator). The pairwise-similarity and sense-inventory caches
+/// are shared across workers and persist across batches, so repeated
+/// corpora run hot.
+///
+/// The network must outlive the engine and be finalized()
+/// (FinalizeFrequencies() makes all const accessors pure reads — see
+/// the SemanticNetwork thread-safety contract).
+///
+/// RunBatch() may be called repeatedly; results are deterministic:
+/// identical jobs + options produce byte-identical semantic_xml for
+/// any worker count, because every document is processed independently
+/// and caches only memoize pure functions.
+class DisambiguationEngine {
+ public:
+  explicit DisambiguationEngine(const wordnet::SemanticNetwork* network,
+                                EngineOptions options = {});
+  ~DisambiguationEngine();
+
+  DisambiguationEngine(const DisambiguationEngine&) = delete;
+  DisambiguationEngine& operator=(const DisambiguationEngine&) = delete;
+
+  /// Runs every job through the pool and blocks until all are done.
+  /// The returned vector is parallel to `jobs` (result[i] is jobs[i]).
+  std::vector<DocumentResult> RunBatch(std::vector<DocumentJob> jobs);
+
+  /// Point-in-time snapshot of lifetime counters and cache state.
+  EngineStats stats() const;
+
+  /// Zeroes document and cache hit/miss/eviction counters; cache
+  /// *contents* are retained (so the next pass measures warm rates).
+  void ResetCounters();
+
+  const EngineOptions& options() const { return options_; }
+  int thread_count() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  struct Batch;
+  struct WorkItem {
+    DocumentJob job;
+    Batch* batch = nullptr;
+  };
+
+  void WorkerLoop();
+  DocumentResult Process(const core::Disambiguator& disambiguator,
+                         const DocumentJob& job) const;
+
+  const wordnet::SemanticNetwork* network_;
+  EngineOptions options_;
+  std::unique_ptr<SimilarityCache> similarity_cache_;
+  std::unique_ptr<SenseInventoryCache> sense_cache_;
+  BoundedJobQueue<WorkItem> queue_;
+  std::vector<std::thread> workers_;
+
+  std::atomic<uint64_t> documents_{0};
+  std::atomic<uint64_t> failures_{0};
+  std::atomic<uint64_t> nodes_{0};
+  std::atomic<uint64_t> assignments_{0};
+};
+
+}  // namespace xsdf::runtime
+
+#endif  // XSDF_RUNTIME_ENGINE_H_

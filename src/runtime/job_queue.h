@@ -1,0 +1,84 @@
+#ifndef XSDF_RUNTIME_JOB_QUEUE_H_
+#define XSDF_RUNTIME_JOB_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace xsdf::runtime {
+
+/// A bounded multi-producer/multi-consumer queue (mutex + two condition
+/// variables). Push blocks while the queue is full; Pop blocks while it
+/// is empty. Close() wakes everyone: pending items still drain, then
+/// Pop returns nullopt — the worker shutdown signal.
+template <typename T>
+class BoundedJobQueue {
+ public:
+  explicit BoundedJobQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedJobQueue(const BoundedJobQueue&) = delete;
+  BoundedJobQueue& operator=(const BoundedJobQueue&) = delete;
+
+  /// Blocks until there is room (or the queue closes). Returns false —
+  /// and drops `item` — when the queue is closed.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available (or the queue closes and
+  /// drains). Returns nullopt only when closed and empty.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Idempotent; after this, Push fails and Pop drains then ends.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace xsdf::runtime
+
+#endif  // XSDF_RUNTIME_JOB_QUEUE_H_

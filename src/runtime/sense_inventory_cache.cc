@@ -1,0 +1,18 @@
+#include "runtime/sense_inventory_cache.h"
+
+#include "core/scores.h"
+
+namespace xsdf::runtime {
+
+SenseInventoryCache::SenseInventoryCache(size_t capacity,
+                                         size_t shard_count)
+    : cache_(capacity, shard_count) {}
+
+std::vector<core::SenseCandidate> SenseInventoryCache::Candidates(
+    const wordnet::SemanticNetwork& network, const std::string& label) {
+  return cache_.GetOrCompute(label, [&] {
+    return core::EnumerateCandidates(network, label);
+  });
+}
+
+}  // namespace xsdf::runtime

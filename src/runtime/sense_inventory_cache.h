@@ -1,0 +1,36 @@
+#ifndef XSDF_RUNTIME_SENSE_INVENTORY_CACHE_H_
+#define XSDF_RUNTIME_SENSE_INVENTORY_CACHE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/disambiguator.h"
+#include "runtime/sharded_lru_cache.h"
+#include "runtime/stats.h"
+
+namespace xsdf::runtime {
+
+/// Thread-safe sharded LRU over the sense inventory (preprocessed node
+/// label -> candidate senses). Label -> candidates is a pure function
+/// of the semantic network, so one cache instance must only ever be
+/// used with a single network (the engine's contract — it owns one
+/// network and one of these).
+class SenseInventoryCache : public core::SenseInventory {
+ public:
+  explicit SenseInventoryCache(size_t capacity, size_t shard_count = 8);
+
+  std::vector<core::SenseCandidate> Candidates(
+      const wordnet::SemanticNetwork& network,
+      const std::string& label) override;
+
+  CacheStats GetStats() const { return cache_.GetStats(); }
+  void ResetCounters() { cache_.ResetCounters(); }
+  void Clear() { cache_.Clear(); }
+
+ private:
+  ShardedLruCache<std::string, std::vector<core::SenseCandidate>> cache_;
+};
+
+}  // namespace xsdf::runtime
+
+#endif  // XSDF_RUNTIME_SENSE_INVENTORY_CACHE_H_

@@ -1,0 +1,51 @@
+#include "runtime/similarity_cache.h"
+
+#include <cstring>
+
+namespace xsdf::runtime {
+
+namespace {
+
+/// SplitMix64 finalizer — cheap, well-distributed 64-bit mixing.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t DoubleBits(double value) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+SimilarityCache::SimilarityCache(size_t capacity, size_t shard_count,
+                                 const sim::SimilarityWeights& weights)
+    : weights_fp_(WeightsFingerprint(weights)),
+      cache_(capacity, shard_count) {}
+
+uint64_t SimilarityCache::WeightsFingerprint(
+    const sim::SimilarityWeights& weights) {
+  uint64_t fp = Mix64(DoubleBits(weights.edge));
+  fp = Mix64(fp ^ DoubleBits(weights.node));
+  fp = Mix64(fp ^ DoubleBits(weights.gloss));
+  return fp;
+}
+
+bool SimilarityCache::Lookup(uint64_t pair_key, double* value) {
+  return cache_.Lookup(Key{pair_key, weights_fp_}, value);
+}
+
+void SimilarityCache::Insert(uint64_t pair_key, double value) {
+  cache_.Insert(Key{pair_key, weights_fp_}, value);
+}
+
+size_t SimilarityCache::KeyHash::operator()(const Key& key) const {
+  return static_cast<size_t>(Mix64(key.pair ^ key.weights_fp));
+}
+
+}  // namespace xsdf::runtime

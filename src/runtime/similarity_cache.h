@@ -1,0 +1,54 @@
+#ifndef XSDF_RUNTIME_SIMILARITY_CACHE_H_
+#define XSDF_RUNTIME_SIMILARITY_CACHE_H_
+
+#include <cstdint>
+
+#include "runtime/sharded_lru_cache.h"
+#include "runtime/stats.h"
+#include "sim/combined.h"
+
+namespace xsdf::runtime {
+
+/// Thread-safe sharded LRU memo for sim::CombinedMeasure, shared by
+/// every worker of an engine. Entries are keyed on (concept pair,
+/// measure weights): the pair key comes from the measure through the
+/// SimilarityCacheHook interface, and the weights fingerprint is fixed
+/// at construction — so one store can safely back measures with
+/// different weight configurations (distinct fingerprints never
+/// collide on equality, whatever their hash).
+class SimilarityCache : public sim::SimilarityCacheHook {
+ public:
+  SimilarityCache(size_t capacity, size_t shard_count,
+                  const sim::SimilarityWeights& weights);
+
+  bool Lookup(uint64_t pair_key, double* value) override;
+  void Insert(uint64_t pair_key, double value) override;
+
+  CacheStats GetStats() const { return cache_.GetStats(); }
+  void ResetCounters() { cache_.ResetCounters(); }
+  void Clear() { cache_.Clear(); }
+
+  /// 64-bit fingerprint of a weight configuration (bit-exact on the
+  /// three component weights).
+  static uint64_t WeightsFingerprint(const sim::SimilarityWeights& weights);
+
+ private:
+  struct Key {
+    uint64_t pair = 0;
+    uint64_t weights_fp = 0;
+
+    friend bool operator==(const Key& a, const Key& b) {
+      return a.pair == b.pair && a.weights_fp == b.weights_fp;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& key) const;
+  };
+
+  uint64_t weights_fp_;
+  ShardedLruCache<Key, double, KeyHash> cache_;
+};
+
+}  // namespace xsdf::runtime
+
+#endif  // XSDF_RUNTIME_SIMILARITY_CACHE_H_

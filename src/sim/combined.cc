@@ -45,20 +45,34 @@ Result<std::unique_ptr<CombinedMeasure>> CombinedMeasure::FromRegistry(
   return combined;
 }
 
+uint64_t CombinedMeasure::PairKey(wordnet::ConceptId a,
+                                 wordnet::ConceptId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+         static_cast<uint32_t>(b);
+}
+
 double CombinedMeasure::Similarity(const wordnet::SemanticNetwork& network,
                                    wordnet::ConceptId a,
                                    wordnet::ConceptId b) const {
-  if (a > b) std::swap(a, b);
-  uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
-                 static_cast<uint32_t>(b);
-  auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
+  const uint64_t key = PairKey(a, b);
+  if (external_cache_ != nullptr) {
+    double cached = 0.0;
+    if (external_cache_->Lookup(key, &cached)) return cached;
+  } else {
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+  }
   double sim = 0.0;
   for (const auto& [measure, weight] : components_) {
     if (weight > 0.0) sim += weight * measure->Similarity(network, a, b);
   }
   if (sim > 1.0) sim = 1.0;
-  cache_.emplace(key, sim);
+  if (external_cache_ != nullptr) {
+    external_cache_->Insert(key, sim);
+  } else {
+    cache_.emplace(key, sim);
+  }
   return sim;
 }
 

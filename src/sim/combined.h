@@ -19,6 +19,23 @@ struct SimilarityWeights {
   bool Valid() const;
 };
 
+/// Pluggable memo store for combined similarity values, keyed on the
+/// packed symmetric concept-pair key (min id in the high 32 bits). An
+/// implementation shared across threads must be internally thread-safe;
+/// the runtime layer provides a sharded LRU implementation keyed on
+/// (concept pair, measure weights) with hit/miss accounting. Lookup and
+/// Insert may race benignly: similarity is deterministic, so a duplicate
+/// compute-and-insert stores the same value.
+class SimilarityCacheHook {
+ public:
+  virtual ~SimilarityCacheHook() = default;
+
+  /// Returns true and sets `*value` when `pair_key` is cached.
+  virtual bool Lookup(uint64_t pair_key, double* value) = 0;
+  /// Stores `value` under `pair_key`.
+  virtual void Insert(uint64_t pair_key, double value) = 0;
+};
+
 /// Definition 9: Sim(c1, c2) = w_Edge * Sim_Edge + w_Node * Sim_Node
 /// + w_Gloss * Sim_Gloss. Results are memoized per concept pair, which
 /// matters because disambiguation evaluates the same pairs repeatedly
@@ -43,6 +60,21 @@ class CombinedMeasure : public SimilarityMeasure {
   void ClearCache() const { cache_.clear(); }
   size_t CacheSize() const { return cache_.size(); }
 
+  /// Installs a non-owning external memo store that replaces the
+  /// private per-instance table (which is not thread-safe and grows
+  /// unboundedly). While set, the private table is neither read nor
+  /// written, so the external store sees every lookup — its hit/miss
+  /// counters account exactly for this measure's traffic. Pass nullptr
+  /// to restore the private table.
+  void set_external_cache(SimilarityCacheHook* cache) {
+    external_cache_ = cache;
+  }
+  SimilarityCacheHook* external_cache() const { return external_cache_; }
+
+  /// The packed symmetric cache key (shared with SimilarityCacheHook
+  /// implementations): smaller concept id in the high 32 bits.
+  static uint64_t PairKey(wordnet::ConceptId a, wordnet::ConceptId b);
+
  private:
   struct RawTag {};
   explicit CombinedMeasure(RawTag) {}  // registry path: no defaults
@@ -51,6 +83,7 @@ class CombinedMeasure : public SimilarityMeasure {
   std::vector<std::pair<std::unique_ptr<SimilarityMeasure>, double>>
       components_;
   mutable std::unordered_map<uint64_t, double> cache_;
+  SimilarityCacheHook* external_cache_ = nullptr;
 };
 
 }  // namespace xsdf::sim

@@ -407,6 +407,13 @@ void SemanticNetwork::FinalizeFrequencies() {
     }
   }
   if (total_frequency_ <= 0.0) total_frequency_ = 1.0;
+
+  // Precompute every taxonomic depth eagerly. Depth() memoizes lazily
+  // into a mutable cache, which is fine single-threaded but a data race
+  // when a finalized network is shared read-only across worker threads
+  // (the runtime engine's contract); filling the cache here makes every
+  // const member a pure read afterwards.
+  for (const Concept& c : concepts_) Depth(c.id);
   finalized_ = true;
 }
 

@@ -87,6 +87,14 @@ struct Concept {
 /// weighted variant's concept frequencies. Also provides the taxonomy
 /// utilities the similarity measures need (depth, subsumers, cumulative
 /// information-content counts).
+///
+/// Thread-safety contract: a *finalized* network (FinalizeFrequencies()
+/// called after the last mutation) is immutable, and every const member
+/// is a pure read — safe to share across any number of threads without
+/// synchronization. FinalizeFrequencies() eagerly fills the internal
+/// depth cache so no const accessor writes afterwards. Mutating members
+/// (AddConcept, AddEdge, SetFrequency, SetSenseOrder) must never run
+/// concurrently with readers.
 class SemanticNetwork {
  public:
   SemanticNetwork() = default;

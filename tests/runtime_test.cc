@@ -1,0 +1,383 @@
+// Tests for the concurrent batch-disambiguation runtime: the sharded
+// mutex-striped LRU cache (capacity, eviction order, exact concurrent
+// hit counting), the bounded MPMC job queue, the shared similarity and
+// sense-inventory caches, and the engine's determinism guarantee —
+// the same corpus run with 1 and 8 workers must produce byte-identical
+// semantic trees, and both must match the plain single-threaded
+// library path.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/disambiguator.h"
+#include "core/scores.h"
+#include "datasets/generator.h"
+#include "runtime/engine.h"
+#include "runtime/job_queue.h"
+#include "runtime/sense_inventory_cache.h"
+#include "runtime/sharded_lru_cache.h"
+#include "runtime/similarity_cache.h"
+#include "wordnet/mini_wordnet.h"
+
+namespace xsdf::runtime {
+namespace {
+
+const wordnet::SemanticNetwork& Network() {
+  static const wordnet::SemanticNetwork* network = [] {
+    auto result = wordnet::BuildMiniWordNet();
+    return new wordnet::SemanticNetwork(std::move(result).value());
+  }();
+  return *network;
+}
+
+// ======================= ShardedLruCache ==========================
+
+TEST(ShardedLruCacheTest, InsertThenLookup) {
+  ShardedLruCache<int, int> cache(/*capacity=*/64);
+  int value = 0;
+  EXPECT_FALSE(cache.Lookup(1, &value));
+  cache.Insert(1, 10);
+  ASSERT_TRUE(cache.Lookup(1, &value));
+  EXPECT_EQ(value, 10);
+  CacheStats stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(ShardedLruCacheTest, EvictsLeastRecentlyUsedFirst) {
+  // One shard makes recency order global and eviction deterministic.
+  ShardedLruCache<int, int> cache(/*capacity=*/3, /*shard_count=*/1);
+  cache.Insert(1, 1);
+  cache.Insert(2, 2);
+  cache.Insert(3, 3);
+  // Touch 1 so 2 becomes the LRU entry, then overflow.
+  int value = 0;
+  ASSERT_TRUE(cache.Lookup(1, &value));
+  cache.Insert(4, 4);
+  EXPECT_FALSE(cache.Lookup(2, &value)) << "LRU entry should be evicted";
+  EXPECT_TRUE(cache.Lookup(1, &value));
+  EXPECT_TRUE(cache.Lookup(3, &value));
+  EXPECT_TRUE(cache.Lookup(4, &value));
+  EXPECT_EQ(cache.GetStats().evictions, 1u);
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(ShardedLruCacheTest, InsertOverwritesAndRefreshes) {
+  ShardedLruCache<int, int> cache(/*capacity=*/2, /*shard_count=*/1);
+  cache.Insert(1, 10);
+  cache.Insert(2, 20);
+  cache.Insert(1, 11);  // overwrite: 2 is now LRU
+  cache.Insert(3, 30);
+  int value = 0;
+  EXPECT_FALSE(cache.Lookup(2, &value));
+  ASSERT_TRUE(cache.Lookup(1, &value));
+  EXPECT_EQ(value, 11);
+}
+
+TEST(ShardedLruCacheTest, CapacitySplitsAcrossShards) {
+  ShardedLruCache<int, int> cache(/*capacity=*/64, /*shard_count=*/8);
+  for (int i = 0; i < 1000; ++i) cache.Insert(i, i);
+  EXPECT_LE(cache.size(), 64u);
+  EXPECT_GT(cache.GetStats().evictions, 0u);
+}
+
+TEST(ShardedLruCacheTest, ResetCountersKeepsEntries) {
+  ShardedLruCache<int, int> cache(/*capacity=*/16);
+  cache.Insert(1, 1);
+  int value = 0;
+  EXPECT_TRUE(cache.Lookup(1, &value));
+  cache.ResetCounters();
+  CacheStats stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_TRUE(cache.Lookup(1, &value));
+}
+
+TEST(ShardedLruCacheTest, GetOrComputeComputesOnce) {
+  ShardedLruCache<int, int> cache(/*capacity=*/16);
+  int computed = 0;
+  auto compute = [&] {
+    ++computed;
+    return 7;
+  };
+  EXPECT_EQ(cache.GetOrCompute(5, compute), 7);
+  EXPECT_EQ(cache.GetOrCompute(5, compute), 7);
+  EXPECT_EQ(computed, 1);
+}
+
+TEST(ShardedLruCacheTest, ConcurrentHitCountingIsExact) {
+  // N threads hammer a cache whose working set fits entirely, so after
+  // the warm-up insert every lookup is a hit and the aggregate
+  // counters must account for every single operation.
+  constexpr int kThreads = 8;
+  constexpr int kKeys = 64;
+  constexpr int kRounds = 500;
+  ShardedLruCache<int, int> cache(/*capacity=*/kKeys * 2,
+                                  /*shard_count=*/16);
+  for (int k = 0; k < kKeys; ++k) cache.Insert(k, k);
+  cache.ResetCounters();
+
+  std::atomic<uint64_t> observed_hits{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      uint64_t mine = 0;
+      int value = 0;
+      for (int r = 0; r < kRounds; ++r) {
+        for (int k = 0; k < kKeys; ++k) {
+          if (cache.Lookup(k, &value)) ++mine;
+        }
+      }
+      observed_hits.fetch_add(mine);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const uint64_t expected =
+      static_cast<uint64_t>(kThreads) * kRounds * kKeys;
+  CacheStats stats = cache.GetStats();
+  EXPECT_EQ(observed_hits.load(), expected);
+  EXPECT_EQ(stats.hits, expected);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.hits + stats.misses, expected);
+}
+
+// ======================== BoundedJobQueue =========================
+
+TEST(BoundedJobQueueTest, FifoWithinCapacity) {
+  BoundedJobQueue<int> queue(4);
+  EXPECT_TRUE(queue.Push(1));
+  EXPECT_TRUE(queue.Push(2));
+  EXPECT_EQ(queue.Pop().value(), 1);
+  EXPECT_EQ(queue.Pop().value(), 2);
+}
+
+TEST(BoundedJobQueueTest, CloseDrainsThenEnds) {
+  BoundedJobQueue<int> queue(4);
+  queue.Push(1);
+  queue.Push(2);
+  queue.Close();
+  EXPECT_FALSE(queue.Push(3));
+  EXPECT_EQ(queue.Pop().value(), 1);
+  EXPECT_EQ(queue.Pop().value(), 2);
+  EXPECT_FALSE(queue.Pop().has_value());
+}
+
+TEST(BoundedJobQueueTest, BlockingProducersAndConsumersDeliverAll) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 250;
+  BoundedJobQueue<int> queue(8);  // far smaller than the item count
+  std::atomic<long> sum{0};
+  std::atomic<int> count{0};
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (auto item = queue.Pop()) {
+        sum.fetch_add(*item);
+        count.fetch_add(1);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(queue.Push(p * kPerProducer + i));
+      }
+    });
+  }
+  for (std::thread& thread : producers) thread.join();
+  queue.Close();
+  for (std::thread& thread : consumers) thread.join();
+
+  const int total = kProducers * kPerProducer;
+  EXPECT_EQ(count.load(), total);
+  EXPECT_EQ(sum.load(), static_cast<long>(total) * (total - 1) / 2);
+}
+
+// ==================== Similarity / sense caches ===================
+
+TEST(SimilarityCacheTest, RoundTripsThroughHookInterface) {
+  SimilarityCache cache(/*capacity=*/128, /*shard_count=*/4,
+                        sim::SimilarityWeights{});
+  sim::SimilarityCacheHook* hook = &cache;
+  double value = 0.0;
+  EXPECT_FALSE(hook->Lookup(42, &value));
+  hook->Insert(42, 0.75);
+  ASSERT_TRUE(hook->Lookup(42, &value));
+  EXPECT_DOUBLE_EQ(value, 0.75);
+  CacheStats stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(SimilarityCacheTest, WeightFingerprintsDistinguishConfigs) {
+  sim::SimilarityWeights thirds{};
+  sim::SimilarityWeights edge_only{1.0, 0.0, 0.0};
+  EXPECT_NE(SimilarityCache::WeightsFingerprint(thirds),
+            SimilarityCache::WeightsFingerprint(edge_only));
+  EXPECT_EQ(SimilarityCache::WeightsFingerprint(thirds),
+            SimilarityCache::WeightsFingerprint(sim::SimilarityWeights{}));
+}
+
+TEST(SimilarityCacheTest, MeasureUsesExternalCache) {
+  const auto& network = Network();
+  sim::CombinedMeasure measure;
+  SimilarityCache cache(/*capacity=*/1024, /*shard_count=*/4,
+                        measure.weights());
+  measure.set_external_cache(&cache);
+  auto star = network.Senses("star");
+  ASSERT_GE(star.size(), 2u);
+  double first = measure.Similarity(network, star[0], star[1]);
+  double second = measure.Similarity(network, star[0], star[1]);
+  EXPECT_DOUBLE_EQ(first, second);
+  CacheStats stats = cache.GetStats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(measure.CacheSize(), 0u) << "private memo must stay unused";
+}
+
+TEST(SenseInventoryCacheTest, MatchesEnumerateCandidates) {
+  const auto& network = Network();
+  SenseInventoryCache cache(/*capacity=*/256);
+  for (const char* label : {"star", "movie", "title", "director"}) {
+    auto expected = core::EnumerateCandidates(network, label);
+    auto cold = cache.Candidates(network, label);
+    auto warm = cache.Candidates(network, label);
+    EXPECT_EQ(cold, expected) << label;
+    EXPECT_EQ(warm, expected) << label;
+  }
+  CacheStats stats = cache.GetStats();
+  EXPECT_EQ(stats.misses, 4u);
+  EXPECT_EQ(stats.hits, 4u);
+}
+
+// =========================== Engine ===============================
+
+std::vector<DocumentJob> TestCorpus() {
+  std::vector<DocumentJob> jobs;
+  for (const auto& doc : datasets::Figure1Documents()) {
+    jobs.push_back({0, doc.name, doc.xml});
+  }
+  // Two generator families keep the corpus varied but the test fast.
+  const auto& generators = datasets::AllDatasets();
+  for (size_t g = 0; g < 2 && g < generators.size(); ++g) {
+    for (const auto& doc : generators[g]->Generate(/*seed=*/7)) {
+      jobs.push_back({0, doc.name, doc.xml});
+    }
+  }
+  return jobs;
+}
+
+std::vector<std::string> RunWithThreads(int threads, bool caches_on) {
+  EngineOptions options;
+  options.threads = threads;
+  options.enable_similarity_cache = caches_on;
+  options.enable_sense_cache = caches_on;
+  DisambiguationEngine engine(&Network(), options);
+  std::vector<DocumentResult> results = engine.RunBatch(TestCorpus());
+  std::vector<std::string> trees;
+  trees.reserve(results.size());
+  for (const auto& result : results) {
+    EXPECT_TRUE(result.ok) << result.name << ": " << result.error;
+    trees.push_back(result.semantic_xml);
+  }
+  return trees;
+}
+
+TEST(DisambiguationEngineTest, OneAndEightWorkersAreByteIdentical) {
+  std::vector<std::string> one = RunWithThreads(1, /*caches_on=*/true);
+  std::vector<std::string> eight = RunWithThreads(8, /*caches_on=*/true);
+  ASSERT_EQ(one.size(), eight.size());
+  for (size_t i = 0; i < one.size(); ++i) {
+    EXPECT_EQ(one[i], eight[i]) << "document " << i;
+  }
+}
+
+TEST(DisambiguationEngineTest, CachesDoNotChangeResults) {
+  std::vector<std::string> on = RunWithThreads(4, /*caches_on=*/true);
+  std::vector<std::string> off = RunWithThreads(4, /*caches_on=*/false);
+  EXPECT_EQ(on, off);
+}
+
+TEST(DisambiguationEngineTest, MatchesSingleThreadedLibraryPath) {
+  std::vector<DocumentJob> jobs = TestCorpus();
+  std::vector<std::string> engine_trees =
+      RunWithThreads(8, /*caches_on=*/true);
+  core::Disambiguator disambiguator(&Network());
+  ASSERT_EQ(engine_trees.size(), jobs.size());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    auto semantic_tree = disambiguator.RunOnXml(jobs[i].xml);
+    ASSERT_TRUE(semantic_tree.ok()) << jobs[i].name;
+    EXPECT_EQ(engine_trees[i],
+              core::SemanticTreeToXml(*semantic_tree, Network()))
+        << jobs[i].name;
+  }
+}
+
+TEST(DisambiguationEngineTest, ResultsKeepJobOrderAndMetadata) {
+  EngineOptions options;
+  options.threads = 4;
+  DisambiguationEngine engine(&Network(), options);
+  std::vector<DocumentJob> jobs = TestCorpus();
+  std::vector<DocumentResult> results = engine.RunBatch(jobs);
+  ASSERT_EQ(results.size(), jobs.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].index, i);
+    EXPECT_EQ(results[i].name, jobs[i].name);
+    EXPECT_GT(results[i].node_count, 0u);
+  }
+  EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.documents, jobs.size());
+  EXPECT_EQ(stats.failures, 0u);
+  EXPECT_GT(stats.assignments, 0u);
+}
+
+TEST(DisambiguationEngineTest, SecondPassRunsHot) {
+  EngineOptions options;
+  options.threads = 4;
+  DisambiguationEngine engine(&Network(), options);
+  std::vector<DocumentJob> jobs = TestCorpus();
+  engine.RunBatch(jobs);
+  engine.ResetCounters();
+  engine.RunBatch(jobs);
+  EngineStats stats = engine.stats();
+  EXPECT_GT(stats.similarity_cache.lookups(), 0u);
+  EXPECT_GT(stats.similarity_cache.HitRate(), 0.5)
+      << "warm second pass must mostly hit the similarity cache";
+  EXPECT_GT(stats.sense_cache.HitRate(), 0.5);
+}
+
+TEST(DisambiguationEngineTest, MalformedDocumentFailsAlone) {
+  EngineOptions options;
+  options.threads = 2;
+  DisambiguationEngine engine(&Network(), options);
+  std::vector<DocumentJob> jobs;
+  jobs.push_back({0, "good", "<films><star>Kelly</star></films>"});
+  jobs.push_back({0, "bad", "<films><unclosed></films>"});
+  jobs.push_back({0, "also_good", "<films><star>Stewart</star></films>"});
+  std::vector<DocumentResult> results = engine.RunBatch(jobs);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok);
+  EXPECT_FALSE(results[1].ok);
+  EXPECT_FALSE(results[1].error.empty());
+  EXPECT_TRUE(results[2].ok);
+  EXPECT_EQ(engine.stats().failures, 1u);
+}
+
+TEST(DisambiguationEngineTest, EmptyBatchReturnsEmpty) {
+  DisambiguationEngine engine(&Network(), {});
+  EXPECT_TRUE(engine.RunBatch({}).empty());
+}
+
+}  // namespace
+}  // namespace xsdf::runtime

@@ -2,25 +2,35 @@
 //
 //   xsdf disambiguate <file.xml> [radius]   annotate a document and
 //                                           print the semantic tree
+//   xsdf batch <dir|filelist> [flags]       concurrent batch mode
+//   xsdf gen-corpus <dir> [--seed S]        write the example corpus
 //   xsdf ambiguity <file.xml>               rank nodes by Amb_Deg
 //   xsdf query <file.xml> <path>            evaluate an XPath-lite query
 //   xsdf expand <keyword> <file.xml>        in-context query expansion
 //   xsdf network-stats                      mini-WordNet statistics
 //   xsdf export-wndb <dir>                  write the lexicon as WNDB
 //
-// Reads the bundled mini-WordNet; point XSDF_WNDB_DIR at a WNDB
-// directory (e.g. a real WordNet dict/) to use that instead.
+// The semantic network is loaded exactly once per process, lazily, on
+// the first command that needs it; every subcommand receives it by
+// reference. Reads the bundled mini-WordNet; point XSDF_WNDB_DIR at a
+// WNDB directory (e.g. a real WordNet dict/) to use that instead.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/ambiguity.h"
 #include "core/disambiguator.h"
 #include "core/tree_builder.h"
+#include "datasets/generator.h"
+#include "runtime/engine.h"
 #include "wordnet/mini_wordnet.h"
 #include "wordnet/wndb.h"
 #include "xml/parser.h"
@@ -28,6 +38,7 @@
 
 namespace {
 
+namespace fs = std::filesystem;
 using xsdf::wordnet::SemanticNetwork;
 
 int Usage() {
@@ -35,6 +46,16 @@ int Usage() {
       stderr,
       "usage: xsdf <command> [args]\n"
       "  disambiguate <file.xml> [radius]  annotate and print semantic tree\n"
+      "  batch <dir|filelist> [flags]      disambiguate a corpus "
+      "concurrently\n"
+      "      --threads N   worker threads (default 4)\n"
+      "      --radius D    sphere radius (default 2)\n"
+      "      --passes P    runs over the corpus; caches stay warm "
+      "(default 1)\n"
+      "      --no-cache    disable the shared similarity/sense caches\n"
+      "      --quiet       suppress per-document trees on stdout\n"
+      "  gen-corpus <dir> [--seed S]       write the generated example "
+      "corpus\n"
       "  ambiguity <file.xml>              rank nodes by ambiguity degree\n"
       "  query <file.xml> <path>           evaluate an XPath-lite query\n"
       "  expand <keyword> <file.xml>       context-aware term expansion\n"
@@ -45,12 +66,37 @@ int Usage() {
   return 2;
 }
 
-xsdf::Result<SemanticNetwork> LoadNetwork() {
-  const char* dir = std::getenv("XSDF_WNDB_DIR");
-  if (dir != nullptr && dir[0] != '\0') {
-    return xsdf::wordnet::ParseWndbDirectory(dir);
+/// Loads the semantic network on first use and caches it for the rest
+/// of the process; returns nullptr (after printing the error) when
+/// loading fails.
+const SemanticNetwork* GetNetwork() {
+  static xsdf::Result<SemanticNetwork> network = [] {
+    const char* dir = std::getenv("XSDF_WNDB_DIR");
+    if (dir != nullptr && dir[0] != '\0') {
+      return xsdf::wordnet::ParseWndbDirectory(dir);
+    }
+    return xsdf::wordnet::BuildMiniWordNet();
+  }();
+  if (!network.ok()) {
+    std::fprintf(stderr, "cannot load semantic network: %s\n",
+                 network.status().ToString().c_str());
+    return nullptr;
   }
-  return xsdf::wordnet::BuildMiniWordNet();
+  return &*network;
+}
+
+/// Parses the integer value of a `--flag N` pair; false on a missing
+/// or non-numeric value.
+bool ParseIntValue(const std::vector<std::string>& args, size_t* i,
+                   int* out) {
+  if (*i + 1 >= args.size()) return false;
+  ++*i;
+  const std::string& text = args[*i];
+  char* end = nullptr;
+  long value = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') return false;
+  *out = static_cast<int>(value);
+  return true;
 }
 
 int CmdDisambiguate(const SemanticNetwork& network, const char* path,
@@ -71,6 +117,179 @@ int CmdDisambiguate(const SemanticNetwork& network, const char* path,
   std::printf("%s\n", SemanticTreeToXml(*result, network).c_str());
   std::fprintf(stderr, "%zu nodes, %zu disambiguated\n",
                result->tree.size(), result->assignments.size());
+  return 0;
+}
+
+/// Collects the batch inputs: every *.xml under a directory (sorted by
+/// path for a deterministic job order), or the non-empty lines of a
+/// file-list file.
+bool CollectBatchInputs(const std::string& input,
+                        std::vector<std::string>* paths) {
+  std::error_code ec;
+  if (fs::is_directory(input, ec)) {
+    for (const auto& entry : fs::directory_iterator(input, ec)) {
+      if (!entry.is_regular_file()) continue;
+      if (entry.path().extension() == ".xml") {
+        paths->push_back(entry.path().string());
+      }
+    }
+    if (ec) {
+      std::fprintf(stderr, "cannot read directory %s: %s\n", input.c_str(),
+                   ec.message().c_str());
+      return false;
+    }
+    std::sort(paths->begin(), paths->end());
+    return true;
+  }
+  std::ifstream list(input);
+  if (!list) {
+    std::fprintf(stderr, "cannot open %s\n", input.c_str());
+    return false;
+  }
+  std::string line;
+  while (std::getline(list, line)) {
+    if (!line.empty()) paths->push_back(line);
+  }
+  return true;
+}
+
+int CmdBatch(const SemanticNetwork& network,
+             const std::vector<std::string>& args) {
+  std::string input;
+  int threads = 4;
+  int radius = 2;
+  int passes = 1;
+  bool no_cache = false;
+  bool quiet = false;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--threads") {
+      if (!ParseIntValue(args, &i, &threads)) return Usage();
+    } else if (arg == "--radius") {
+      if (!ParseIntValue(args, &i, &radius)) return Usage();
+    } else if (arg == "--passes") {
+      if (!ParseIntValue(args, &i, &passes)) return Usage();
+    } else if (arg == "--no-cache") {
+      no_cache = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return Usage();
+    } else if (input.empty()) {
+      input = arg;
+    } else {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+      return Usage();
+    }
+  }
+  if (input.empty() || threads < 1 || passes < 1) return Usage();
+
+  std::vector<std::string> paths;
+  if (!CollectBatchInputs(input, &paths)) return 1;
+  if (paths.empty()) {
+    std::fprintf(stderr, "no .xml inputs under %s\n", input.c_str());
+    return 1;
+  }
+
+  std::vector<xsdf::runtime::DocumentJob> jobs;
+  jobs.reserve(paths.size());
+  for (const std::string& path : paths) {
+    std::ifstream file(path, std::ios::binary);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 1;
+    }
+    std::ostringstream content;
+    content << file.rdbuf();
+    jobs.push_back({0, path, content.str()});
+  }
+
+  xsdf::runtime::EngineOptions options;
+  options.threads = threads;
+  options.disambiguator.sphere_radius = radius;
+  options.enable_similarity_cache = !no_cache;
+  options.enable_sense_cache = !no_cache;
+  xsdf::runtime::DisambiguationEngine engine(&network, options);
+
+  bool any_failed = false;
+  for (int pass = 1; pass <= passes; ++pass) {
+    engine.ResetCounters();  // per-pass stats; cache contents stay warm
+    auto start = std::chrono::steady_clock::now();
+    std::vector<xsdf::runtime::DocumentResult> results =
+        engine.RunBatch(jobs);
+    double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    for (const auto& result : results) {
+      if (!result.ok) {
+        any_failed = true;
+        std::fprintf(stderr, "%s: %s\n", result.name.c_str(),
+                     result.error.c_str());
+        continue;
+      }
+      if (!quiet) {
+        std::printf("<!-- %s -->\n%s\n", result.name.c_str(),
+                    result.semantic_xml.c_str());
+      }
+    }
+    std::fprintf(
+        stderr, "pass %d/%d: %zu docs in %.0f ms (%.1f docs/s) | %s\n",
+        pass, passes, results.size(), seconds * 1e3,
+        seconds > 0 ? static_cast<double>(results.size()) / seconds : 0.0,
+        FormatEngineStats(engine.stats()).c_str());
+  }
+  return any_failed ? 1 : 0;
+}
+
+int CmdGenCorpus(const std::vector<std::string>& args) {
+  std::string dir;
+  int seed = 42;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--seed") {
+      if (!ParseIntValue(args, &i, &seed)) return Usage();
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return Usage();
+    } else if (dir.empty()) {
+      dir = arg;
+    } else {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+      return Usage();
+    }
+  }
+  if (dir.empty()) return Usage();
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create %s: %s\n", dir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+  size_t written = 0;
+  auto write_doc = [&](const xsdf::datasets::GeneratedDocument& doc) {
+    fs::path path = fs::path(dir) / doc.name;
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.string().c_str());
+      return false;
+    }
+    out << doc.xml;
+    ++written;
+    return true;
+  };
+  for (const auto* generator : xsdf::datasets::AllDatasets()) {
+    for (const auto& doc :
+         generator->Generate(static_cast<uint64_t>(seed))) {
+      if (!write_doc(doc)) return 1;
+    }
+  }
+  for (const auto& doc : xsdf::datasets::Figure1Documents()) {
+    if (!write_doc(doc)) return 1;
+  }
+  std::printf("%zu documents written to %s\n", written, dir.c_str());
   return 0;
 }
 
@@ -208,31 +427,58 @@ int CmdExportWndb(const SemanticNetwork& network, const char* dir) {
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
-  auto network = LoadNetwork();
-  if (!network.ok()) {
-    std::fprintf(stderr, "cannot load semantic network: %s\n",
-                 network.status().ToString().c_str());
-    return 1;
-  }
   const std::string command = argv[1];
-  if (command == "disambiguate" && argc >= 3) {
-    int radius = argc >= 4 ? std::atoi(argv[3]) : 2;
-    return CmdDisambiguate(*network, argv[2], radius);
+  std::vector<std::string> rest(argv + 2, argv + argc);
+
+  // Commands that do not touch the semantic network.
+  if (command == "query") {
+    if (rest.size() != 2) return Usage();
+    return CmdQuery(rest[0].c_str(), rest[1].c_str());
   }
-  if (command == "ambiguity" && argc == 3) {
-    return CmdAmbiguity(*network, argv[2]);
+  if (command == "gen-corpus") {
+    return CmdGenCorpus(rest);
   }
-  if (command == "query" && argc == 4) {
-    return CmdQuery(argv[2], argv[3]);
+
+  const SemanticNetwork* network = nullptr;
+  auto require_network = [&]() -> const SemanticNetwork* {
+    if (network == nullptr) network = GetNetwork();
+    return network;
+  };
+
+  if (command == "disambiguate") {
+    if (rest.empty() || rest.size() > 2) return Usage();
+    int radius = 2;
+    if (rest.size() == 2) {
+      char* end = nullptr;
+      radius = static_cast<int>(std::strtol(rest[1].c_str(), &end, 10));
+      if (end == rest[1].c_str() || *end != '\0') return Usage();
+    }
+    if (require_network() == nullptr) return 1;
+    return CmdDisambiguate(*network, rest[0].c_str(), radius);
   }
-  if (command == "expand" && argc == 4) {
-    return CmdExpand(*network, argv[2], argv[3]);
+  if (command == "batch") {
+    if (require_network() == nullptr) return 1;
+    return CmdBatch(*network, rest);
+  }
+  if (command == "ambiguity") {
+    if (rest.size() != 1) return Usage();
+    if (require_network() == nullptr) return 1;
+    return CmdAmbiguity(*network, rest[0].c_str());
+  }
+  if (command == "expand") {
+    if (rest.size() != 2) return Usage();
+    if (require_network() == nullptr) return 1;
+    return CmdExpand(*network, rest[0].c_str(), rest[1].c_str());
   }
   if (command == "network-stats") {
+    if (!rest.empty()) return Usage();
+    if (require_network() == nullptr) return 1;
     return CmdNetworkStats(*network);
   }
-  if (command == "export-wndb" && argc == 3) {
-    return CmdExportWndb(*network, argv[2]);
+  if (command == "export-wndb") {
+    if (rest.size() != 1) return Usage();
+    if (require_network() == nullptr) return 1;
+    return CmdExportWndb(*network, rest[0].c_str());
   }
   return Usage();
 }

@@ -1,0 +1,256 @@
+// Microbenchmark for the interned id-based similarity kernels: ns/pair
+// for each measure over deterministic random concept pairs of the
+// mini-WordNet, legacy string-path kernels vs the precomputed-table
+// kernels, plus the warm path (CombinedMeasure through a primed
+// SimilarityCache, i.e. the steady-state cost at >99% hit rates).
+// Results go to stdout and to a JSON file (argv[1] when it is not a
+// flag, default BENCH_sim_kernels.json).
+//
+// `--smoke` skips the timing loops and only verifies that every fast
+// kernel reproduces its legacy score bit-for-bit on the sampled pairs
+// (nonzero exit on any mismatch) — cheap enough for CI.
+
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/similarity_cache.h"
+#include "sim/combined.h"
+#include "sim/gloss_overlap.h"
+#include "sim/lin.h"
+#include "sim/resnik.h"
+#include "sim/wu_palmer.h"
+#include "wordnet/mini_wordnet.h"
+
+namespace {
+
+using xsdf::wordnet::ConceptId;
+using xsdf::wordnet::SemanticNetwork;
+
+std::vector<std::pair<ConceptId, ConceptId>> SamplePairs(
+    const SemanticNetwork& network, size_t count) {
+  std::mt19937 rng(20150324);
+  std::uniform_int_distribution<int> pick(
+      0, static_cast<int>(network.size()) - 1);
+  std::vector<std::pair<ConceptId, ConceptId>> pairs;
+  pairs.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    pairs.emplace_back(pick(rng), pick(rng));
+  }
+  return pairs;
+}
+
+/// Best-of-`rounds` ns/pair for `fn(a, b)`; the score checksum defeats
+/// dead-code elimination and is printed once per kernel.
+template <typename Fn>
+double TimePairs(const std::vector<std::pair<ConceptId, ConceptId>>& pairs,
+                 int rounds, double* checksum, Fn&& fn) {
+  double best_ns = 0.0;
+  for (int round = 0; round < rounds; ++round) {
+    double sum = 0.0;
+    auto start = std::chrono::steady_clock::now();
+    for (const auto& [a, b] : pairs) sum += fn(a, b);
+    double ns = std::chrono::duration<double, std::nano>(
+                    std::chrono::steady_clock::now() - start)
+                    .count() /
+                static_cast<double>(pairs.size());
+    if (round == 0 || ns < best_ns) best_ns = ns;
+    *checksum = sum;
+  }
+  return best_ns;
+}
+
+struct KernelResult {
+  std::string name;
+  double legacy_ns = 0.0;
+  double fast_ns = 0.0;
+  double speedup() const {
+    return fast_ns > 0.0 ? legacy_ns / fast_ns : 0.0;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* json_path = "BENCH_sim_kernels.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      json_path = argv[i];
+    }
+  }
+
+  auto network_result = xsdf::wordnet::BuildMiniWordNet();
+  if (!network_result.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 network_result.status().ToString().c_str());
+    return 1;
+  }
+  const SemanticNetwork& network = *network_result;
+
+  const size_t pair_count = smoke ? 500 : 4000;
+  auto pairs = SamplePairs(network, pair_count);
+
+  xsdf::sim::WuPalmerMeasure wu_palmer;
+  xsdf::sim::ResnikMeasure resnik;
+  xsdf::sim::LinMeasure lin;
+  xsdf::sim::GlossOverlapMeasure gloss;
+
+  // Bit-exact equivalence gate: every fast kernel must reproduce its
+  // legacy score on every sampled pair. Run in both modes — a
+  // benchmark comparing two kernels that disagree is meaningless.
+  struct Check {
+    const char* name;
+    double (*fast)(const SemanticNetwork&, ConceptId, ConceptId);
+    double (*legacy)(const SemanticNetwork&, ConceptId, ConceptId);
+  };
+  auto wu_fast = [](const SemanticNetwork& n, ConceptId a, ConceptId b) {
+    return xsdf::sim::WuPalmerMeasure().Similarity(n, a, b);
+  };
+  auto resnik_fast = [](const SemanticNetwork& n, ConceptId a,
+                        ConceptId b) {
+    return xsdf::sim::ResnikMeasure().Similarity(n, a, b);
+  };
+  auto lin_fast = [](const SemanticNetwork& n, ConceptId a, ConceptId b) {
+    return xsdf::sim::LinMeasure().Similarity(n, a, b);
+  };
+  auto gloss_fast = [](const SemanticNetwork& n, ConceptId a,
+                       ConceptId b) {
+    return xsdf::sim::GlossOverlapMeasure().Similarity(n, a, b);
+  };
+  const Check checks[] = {
+      {"wu_palmer", wu_fast, &xsdf::sim::WuPalmerMeasure::LegacySimilarity},
+      {"resnik", resnik_fast, &xsdf::sim::ResnikMeasure::LegacySimilarity},
+      {"lin", lin_fast, &xsdf::sim::LinMeasure::LegacySimilarity},
+      {"gloss_overlap", gloss_fast,
+       &xsdf::sim::GlossOverlapMeasure::LegacySimilarity},
+  };
+  size_t mismatches = 0;
+  for (const Check& check : checks) {
+    for (const auto& [a, b] : pairs) {
+      double fast = check.fast(network, a, b);
+      double legacy = check.legacy(network, a, b);
+      if (std::bit_cast<uint64_t>(fast) !=
+          std::bit_cast<uint64_t>(legacy)) {
+        std::fprintf(stderr,
+                     "%s mismatch on (%d, %d): fast=%.17g legacy=%.17g\n",
+                     check.name, a, b, fast, legacy);
+        ++mismatches;
+      }
+    }
+  }
+  if (mismatches > 0) {
+    std::fprintf(stderr, "%zu kernel mismatches\n", mismatches);
+    return 1;
+  }
+  std::printf("equivalence: %zu pairs x 4 kernels bit-identical\n",
+              pairs.size());
+  if (smoke) return 0;
+
+  const int rounds = 5;
+  double checksum = 0.0;
+  std::vector<KernelResult> results;
+
+  KernelResult wu{"wu_palmer"};
+  wu.legacy_ns = TimePairs(pairs, rounds, &checksum,
+                           [&](ConceptId a, ConceptId b) {
+                             return xsdf::sim::WuPalmerMeasure::
+                                 LegacySimilarity(network, a, b);
+                           });
+  wu.fast_ns = TimePairs(pairs, rounds, &checksum,
+                         [&](ConceptId a, ConceptId b) {
+                           return wu_palmer.Similarity(network, a, b);
+                         });
+  results.push_back(wu);
+
+  KernelResult re{"resnik"};
+  re.legacy_ns = TimePairs(pairs, rounds, &checksum,
+                           [&](ConceptId a, ConceptId b) {
+                             return xsdf::sim::ResnikMeasure::
+                                 LegacySimilarity(network, a, b);
+                           });
+  re.fast_ns = TimePairs(pairs, rounds, &checksum,
+                         [&](ConceptId a, ConceptId b) {
+                           return resnik.Similarity(network, a, b);
+                         });
+  results.push_back(re);
+
+  KernelResult li{"lin"};
+  li.legacy_ns = TimePairs(pairs, rounds, &checksum,
+                           [&](ConceptId a, ConceptId b) {
+                             return xsdf::sim::LinMeasure::LegacySimilarity(
+                                 network, a, b);
+                           });
+  li.fast_ns = TimePairs(pairs, rounds, &checksum,
+                         [&](ConceptId a, ConceptId b) {
+                           return lin.Similarity(network, a, b);
+                         });
+  results.push_back(li);
+
+  KernelResult gl{"gloss_overlap"};
+  gl.legacy_ns = TimePairs(pairs, rounds, &checksum,
+                           [&](ConceptId a, ConceptId b) {
+                             return xsdf::sim::GlossOverlapMeasure::
+                                 LegacySimilarity(network, a, b);
+                           });
+  gl.fast_ns = TimePairs(pairs, rounds, &checksum,
+                         [&](ConceptId a, ConceptId b) {
+                           return gloss.Similarity(network, a, b);
+                         });
+  results.push_back(gl);
+
+  // Warm path: CombinedMeasure through a primed shared SimilarityCache
+  // — the cost of a cache hit, which dominates steady-state batches.
+  xsdf::sim::SimilarityWeights weights;
+  xsdf::sim::CombinedMeasure combined(weights);
+  xsdf::runtime::SimilarityCache cache(1 << 18, 16, weights);
+  combined.set_external_cache(&cache);
+  for (const auto& [a, b] : pairs) combined.Similarity(network, a, b);
+  double warm_ns = TimePairs(pairs, rounds, &checksum,
+                             [&](ConceptId a, ConceptId b) {
+                               return combined.Similarity(network, a, b);
+                             });
+
+  std::printf("%zu pairs, best of %d rounds (checksum %.6f)\n",
+              pairs.size(), rounds, checksum);
+  std::printf("%-14s %14s %14s %9s\n", "kernel", "legacy ns/pair",
+              "fast ns/pair", "speedup");
+  for (const KernelResult& r : results) {
+    std::printf("%-14s %14.1f %14.1f %8.2fx\n", r.name.c_str(),
+                r.legacy_ns, r.fast_ns, r.speedup());
+  }
+  std::printf("%-14s %14s %14.1f\n", "combined-warm", "-", warm_ns);
+
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::FILE* json = std::fopen(json_path, "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"pairs\": %zu,\n", pairs.size());
+  std::fprintf(json, "  \"rounds\": %d,\n", rounds);
+  std::fprintf(json, "  \"hardware_threads\": %u,\n", cores);
+  std::fprintf(json, "  \"combined_warm_hit_ns_per_pair\": %.1f,\n",
+               warm_ns);
+  std::fprintf(json, "  \"kernels\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const KernelResult& r = results[i];
+    std::fprintf(json,
+                 "    {\"name\": \"%s\", \"legacy_ns_per_pair\": %.1f, "
+                 "\"fast_ns_per_pair\": %.1f, \"speedup\": %.2f}%s\n",
+                 r.name.c_str(), r.legacy_ns, r.fast_ns, r.speedup(),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("results written to %s\n", json_path);
+  return 0;
+}

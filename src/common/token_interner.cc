@@ -1,0 +1,20 @@
+#include "common/token_interner.h"
+
+namespace xsdf {
+
+uint32_t TokenInterner::Intern(std::string_view token) {
+  auto it = map_.find(token);
+  if (it != map_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(spellings_.size());
+  auto [inserted, ok] = map_.emplace(std::string(token), id);
+  (void)ok;
+  spellings_.push_back(&inserted->first);
+  return id;
+}
+
+uint32_t TokenInterner::Find(std::string_view token) const {
+  auto it = map_.find(token);
+  return it == map_.end() ? kNotFound : it->second;
+}
+
+}  // namespace xsdf

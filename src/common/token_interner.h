@@ -1,0 +1,61 @@
+#ifndef XSDF_COMMON_TOKEN_INTERNER_H_
+#define XSDF_COMMON_TOKEN_INTERNER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace xsdf {
+
+/// Maps distinct token spellings (lemmas, gloss words) to contiguous
+/// `uint32_t` ids, assigned in first-intern order. The similarity
+/// kernels operate on these ids instead of strings: id equality is
+/// spelling equality (the mapping is injective), so token comparison
+/// is one integer compare and id sets index directly into flat arrays.
+///
+/// Lookup is heterogeneous (`std::string_view`): neither Find() nor a
+/// re-Intern() of a known token allocates. Spellings are stored in the
+/// map's nodes, whose addresses are stable, so Spelling() references
+/// stay valid across further interning.
+///
+/// Thread-safety: Intern() mutates; Find()/Spelling()/size() are pure
+/// reads. An interner that is no longer being mutated is safe to share
+/// across threads (the SemanticNetwork finalization contract).
+class TokenInterner {
+ public:
+  /// Sentinel returned by Find() for unknown tokens.
+  static constexpr uint32_t kNotFound = 0xFFFFFFFFu;
+
+  /// Id of `token`, interning it when new.
+  uint32_t Intern(std::string_view token);
+
+  /// Id of `token`, or kNotFound; never allocates.
+  uint32_t Find(std::string_view token) const;
+
+  /// The spelling interned under `id` (valid for id < size()).
+  const std::string& Spelling(uint32_t id) const {
+    return *spellings_[id];
+  }
+
+  /// Number of distinct tokens interned.
+  size_t size() const { return spellings_.size(); }
+
+ private:
+  struct Hash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  std::unordered_map<std::string, uint32_t, Hash, std::equal_to<>> map_;
+  /// id -> spelling; points at map_ keys (node addresses are stable).
+  std::vector<const std::string*> spellings_;
+};
+
+}  // namespace xsdf
+
+#endif  // XSDF_COMMON_TOKEN_INTERNER_H_

@@ -17,6 +17,8 @@ ContextVector::ContextVector(const Sphere& sphere,
   if (sphere.members.empty()) return;
   // Freq(l, S) = sum of structural proximities of members labelled l.
   std::unordered_map<std::string, double> freq;
+  freq.reserve(sphere.members.size());
+  weights_.reserve(sphere.members.size());
   for (const SphereMember& member : sphere.members) {
     freq[member.label] +=
         uniform_proximity
@@ -69,6 +71,9 @@ Sphere BuildXmlSphere(const xml::LabeledTree& tree, xml::NodeId center,
   Sphere sphere;
   sphere.radius = radius;
   std::vector<std::vector<xml::NodeId>> rings = tree.Rings(center, radius);
+  size_t total = 0;
+  for (const auto& ring : rings) total += ring.size();
+  sphere.members.reserve(total);
   for (int d = 0; d < static_cast<int>(rings.size()); ++d) {
     for (xml::NodeId id : rings[static_cast<size_t>(d)]) {
       if (exclude_tokens && id != center &&
@@ -87,6 +92,9 @@ Sphere BuildConceptSphere(const wordnet::SemanticNetwork& network,
   sphere.radius = radius;
   std::vector<std::vector<wordnet::ConceptId>> rings =
       network.Rings(center, radius);
+  size_t total = 0;
+  for (const auto& ring : rings) total += ring.size();
+  sphere.members.reserve(total);
   for (int d = 0; d < static_cast<int>(rings.size()); ++d) {
     for (wordnet::ConceptId id : rings[static_cast<size_t>(d)]) {
       sphere.members.push_back({network.GetConcept(id).label(), d});

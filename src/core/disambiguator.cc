@@ -39,18 +39,35 @@ CombinationWeights Disambiguator::EffectiveCombination() const {
 
 std::vector<double> Disambiguator::ScoreCandidates(
     const xml::LabeledTree& tree, xml::NodeId id) const {
-  const std::string& label = tree.node(id).label;
-  std::vector<SenseCandidate> candidates = CandidatesFor(label);
+  return ScoreCandidatesImpl(tree, id,
+                             CandidatesFor(tree.node(id).label));
+}
+
+std::vector<double> Disambiguator::ScoreCandidatesImpl(
+    const xml::LabeledTree& tree, xml::NodeId id,
+    const std::vector<SenseCandidate>& candidates) const {
   Sphere sphere = BuildXmlSphere(tree, id, options_.sphere_radius,
                                  options_.structure_only_context);
   ContextVector vector(sphere, options_.bag_of_words_context);
   CombinationWeights combo = EffectiveCombination();
+  // Resolve the sphere's labels against the sense inventory once; every
+  // candidate scores against the same resolved context.
+  ResolvedContext resolved(*network_, sphere, vector);
   std::vector<double> scores;
   scores.reserve(candidates.size());
   for (const SenseCandidate& candidate : candidates) {
-    scores.push_back(CombinedScore(*network_, measure_, candidate, sphere,
-                                   vector, options_.sphere_radius, combo,
-                                   options_.vector_similarity));
+    double score = 0.0;
+    if (combo.concept_weight > 0.0) {
+      score += combo.concept_weight *
+               resolved.Score(*network_, measure_, candidate);
+    }
+    if (combo.context_weight > 0.0) {
+      score += combo.context_weight *
+               ContextScore(*network_, candidate, vector,
+                            options_.sphere_radius,
+                            options_.vector_similarity);
+    }
+    scores.push_back(score);
   }
   if (options_.frequency_prior > 0.0 && !candidates.empty()) {
     // Most-frequent-sense prior from SN-bar, normalized within the
@@ -101,7 +118,7 @@ Result<SenseAssignment> Disambiguator::DisambiguateNode(
     assignment.score = 1.0;
     return assignment;
   }
-  std::vector<double> scores = ScoreCandidates(tree, id);
+  std::vector<double> scores = ScoreCandidatesImpl(tree, id, candidates);
   size_t best = 0;
   for (size_t i = 1; i < scores.size(); ++i) {
     if (scores[i] > scores[best]) best = i;

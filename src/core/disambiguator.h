@@ -138,6 +138,13 @@ class Disambiguator {
   CombinationWeights EffectiveCombination() const;
   std::vector<SenseCandidate> CandidatesFor(const std::string& label) const;
 
+  /// Scores an already-enumerated candidate list, resolving the node's
+  /// sphere context once for all candidates (DisambiguateNode passes
+  /// the list it fetched, avoiding a second sense-inventory lookup).
+  std::vector<double> ScoreCandidatesImpl(
+      const xml::LabeledTree& tree, xml::NodeId id,
+      const std::vector<SenseCandidate>& candidates) const;
+
   const wordnet::SemanticNetwork* network_;
   DisambiguatorOptions options_;
   sim::CombinedMeasure measure_;

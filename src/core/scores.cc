@@ -1,61 +1,84 @@
 #include "core/scores.h"
 
 #include <algorithm>
+#include <string_view>
+#include <unordered_map>
 
 #include "core/tree_builder.h"
 
 namespace xsdf::core {
 
-namespace {
-
-/// Best similarity between one candidate sense and any sense of a
-/// context token; 0 when the token is unknown.
-double MaxTokenSimilarity(const wordnet::SemanticNetwork& network,
-                          const sim::CombinedMeasure& measure,
-                          wordnet::ConceptId sense,
-                          const std::string& token) {
-  double best = 0.0;
-  for (wordnet::ConceptId other : network.Senses(token)) {
-    best = std::max(best, measure.Similarity(network, sense, other));
-  }
-  return best;
-}
-
-/// Similarity between a (possibly compound) candidate and one context
-/// label. For simple context labels the compound candidate is compared
-/// exactly per Eq. 10: max over context senses of the average of the
-/// two token-sense similarities. For compound context labels each
-/// context token is matched independently and the results averaged.
-double CandidateContextSimilarity(const wordnet::SemanticNetwork& network,
-                                  const sim::CombinedMeasure& measure,
-                                  const SenseCandidate& candidate,
-                                  const std::string& context_label) {
-  std::vector<std::string> tokens =
-      LabelSenseTokens(network, context_label);
-  if (tokens.empty()) return 0.0;
-
-  double total = 0.0;
-  int counted = 0;
-  for (const std::string& token : tokens) {
-    const std::vector<wordnet::ConceptId>& senses = network.Senses(token);
-    if (senses.empty()) continue;
-    double best = 0.0;
-    for (wordnet::ConceptId other : senses) {
-      double sim = measure.Similarity(network, candidate.primary, other);
-      if (candidate.is_compound()) {
-        sim = (sim +
-               measure.Similarity(network, candidate.secondary, other)) /
-              2.0;
-      }
-      best = std::max(best, sim);
+ResolvedContext::ResolvedContext(const wordnet::SemanticNetwork& network,
+                                 const Sphere& sphere,
+                                 const ContextVector& vector)
+    : sphere_size_(sphere.size()) {
+  std::unordered_map<std::string_view, uint32_t> index;
+  index.reserve(sphere.members.size());
+  members_.reserve(sphere.members.size());
+  bool center_skipped = false;
+  for (const SphereMember& member : sphere.members) {
+    if (!center_skipped && member.distance == 0) {
+      center_skipped = true;  // skip exactly the center occurrence
+      continue;
     }
-    total += best;
-    ++counted;
+    auto [it, inserted] =
+        index.emplace(member.label, static_cast<uint32_t>(labels_.size()));
+    if (inserted) {
+      ResolvedLabel resolved;
+      for (const std::string& token :
+           LabelSenseTokens(network, member.label)) {
+        const std::vector<wordnet::ConceptId>& senses =
+            network.Senses(token);
+        if (!senses.empty()) {
+          resolved.token_senses.emplace_back(senses.data(), senses.size());
+        }
+      }
+      labels_.push_back(std::move(resolved));
+    }
+    members_.push_back({it->second, vector.Weight(member.label)});
   }
-  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
 }
 
-}  // namespace
+double ResolvedContext::Score(const wordnet::SemanticNetwork& network,
+                              const sim::CombinedMeasure& measure,
+                              const SenseCandidate& candidate) const {
+  if (sphere_size_ == 0) return 0.0;
+  // Similarity between the candidate and each distinct context label.
+  // For simple context labels a compound candidate is compared exactly
+  // per Eq. 10: max over context senses of the average of the two
+  // token-sense similarities. For compound context labels each context
+  // token is matched independently and the results averaged.
+  thread_local std::vector<double> label_sims;
+  label_sims.assign(labels_.size(), 0.0);
+  for (size_t li = 0; li < labels_.size(); ++li) {
+    double total = 0.0;
+    int counted = 0;
+    for (std::span<const wordnet::ConceptId> senses :
+         labels_[li].token_senses) {
+      double best = 0.0;
+      for (wordnet::ConceptId other : senses) {
+        double sim = measure.Similarity(network, candidate.primary, other);
+        if (candidate.is_compound()) {
+          sim = (sim +
+                 measure.Similarity(network, candidate.secondary, other)) /
+                2.0;
+        }
+        best = std::max(best, sim);
+      }
+      total += best;
+      ++counted;
+    }
+    label_sims[li] =
+        counted == 0 ? 0.0 : total / static_cast<double>(counted);
+  }
+  double sum = 0.0;
+  for (const Member& member : members_) {
+    double sim = label_sims[member.label_index];
+    if (sim <= 0.0) continue;
+    sum += sim * member.weight;
+  }
+  return sum / static_cast<double>(sphere_size_);
+}
 
 std::vector<SenseCandidate> EnumerateCandidates(
     const wordnet::SemanticNetwork& network, const std::string& label) {
@@ -89,21 +112,8 @@ double ConceptScore(const wordnet::SemanticNetwork& network,
                     const sim::CombinedMeasure& measure,
                     const SenseCandidate& candidate, const Sphere& sphere,
                     const ContextVector& vector) {
-  if (sphere.members.empty()) return 0.0;
-  double sum = 0.0;
-  bool center_skipped = false;
-  for (const SphereMember& member : sphere.members) {
-    if (!center_skipped && member.distance == 0) {
-      center_skipped = true;  // skip exactly the center occurrence
-      continue;
-    }
-    double sim =
-        CandidateContextSimilarity(network, measure, candidate,
-                                   member.label);
-    if (sim <= 0.0) continue;
-    sum += sim * vector.Weight(member.label);
-  }
-  return sum / static_cast<double>(sphere.size());
+  ResolvedContext resolved(network, sphere, vector);
+  return resolved.Score(network, measure, candidate);
 }
 
 double ContextScore(const wordnet::SemanticNetwork& network,

@@ -1,6 +1,8 @@
 #ifndef XSDF_CORE_SCORES_H_
 #define XSDF_CORE_SCORES_H_
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/context_vector.h"
@@ -31,12 +33,50 @@ struct SenseCandidate {
 std::vector<SenseCandidate> EnumerateCandidates(
     const wordnet::SemanticNetwork& network, const std::string& label);
 
+/// A sphere context resolved against the sense inventory once, so that
+/// scoring N candidates does the label-token split and Senses() lookups
+/// a single time instead of N times per sphere member. Distinct labels
+/// collapse to one entry; each candidate's per-label similarity is
+/// computed once and reused for every member carrying that label
+/// (recomputation is deterministic, so reuse is bit-identical).
+///
+/// Holds references into `network`'s sense index — build, score, and
+/// discard while the network is unchanged (never across AddConcept).
+class ResolvedContext {
+ public:
+  ResolvedContext(const wordnet::SemanticNetwork& network,
+                  const Sphere& sphere, const ContextVector& vector);
+
+  /// Concept_Score(candidate, sphere, vector) — bit-identical to the
+  /// free-function ConceptScore() over the same sphere and vector.
+  double Score(const wordnet::SemanticNetwork& network,
+               const sim::CombinedMeasure& measure,
+               const SenseCandidate& candidate) const;
+
+ private:
+  /// One distinct sphere label: the sense lists of its sense-bearing
+  /// tokens (empty when no token has a sense — scores 0).
+  struct ResolvedLabel {
+    std::vector<std::span<const wordnet::ConceptId>> token_senses;
+  };
+  /// One sphere member (center occurrence already removed).
+  struct Member {
+    uint32_t label_index = 0;  ///< into labels_
+    double weight = 0.0;       ///< vector.Weight(label)
+  };
+
+  std::vector<ResolvedLabel> labels_;
+  std::vector<Member> members_;
+  int sphere_size_ = 0;
+};
+
 /// Concept_Score(s_p, S_d(x), SN-bar) of Definition 8 (and its
 /// compound extension Eq. 10): the average over context nodes of the
 /// maximum candidate-to-context-sense similarity, scaled by each
 /// context node's context-vector weight. The center node itself is not
 /// scored against (its own label's best sense is the candidate itself,
-/// a constant across candidates).
+/// a constant across candidates). One-shot wrapper over
+/// ResolvedContext; build the latter directly to score many candidates.
 double ConceptScore(const wordnet::SemanticNetwork& network,
                     const sim::CombinedMeasure& measure,
                     const SenseCandidate& candidate, const Sphere& sphere,

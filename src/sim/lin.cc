@@ -18,9 +18,9 @@ double InformationContent(const wordnet::SemanticNetwork& network,
 
 }  // namespace
 
-double LinMeasure::Similarity(const wordnet::SemanticNetwork& network,
-                              wordnet::ConceptId a,
-                              wordnet::ConceptId b) const {
+double LinMeasure::LegacySimilarity(const wordnet::SemanticNetwork& network,
+                                    wordnet::ConceptId a,
+                                    wordnet::ConceptId b) {
   if (a == b) return 1.0;
   // Most informative common subsumer.
   auto da = network.AncestorDistances(a);
@@ -35,6 +35,38 @@ double LinMeasure::Similarity(const wordnet::SemanticNetwork& network,
   if (best_ic < 0.0) return 0.0;  // unrelated
   double denom = InformationContent(network, a) +
                  InformationContent(network, b);
+  if (denom <= 0.0) return 0.0;
+  double sim = 2.0 * best_ic / denom;
+  return sim > 1.0 ? 1.0 : sim;
+}
+
+double LinMeasure::Similarity(const wordnet::SemanticNetwork& network,
+                              wordnet::ConceptId a,
+                              wordnet::ConceptId b) const {
+  if (a == b) return 1.0;
+  if (!network.finalized()) return LegacySimilarity(network, a, b);
+  // Most informative common subsumer via a sorted-ancestor merge over
+  // the precomputed tables (see ResnikMeasure::Similarity for why this
+  // is bit-identical to the legacy hash-map walk).
+  std::span<const wordnet::AncestorEntry> aa = network.Ancestors(a);
+  std::span<const wordnet::AncestorEntry> ab = network.Ancestors(b);
+  double best_ic = -1.0;
+  size_t i = 0, j = 0;
+  while (i < aa.size() && j < ab.size()) {
+    if (aa[i].id < ab[j].id) {
+      ++i;
+    } else if (ab[j].id < aa[i].id) {
+      ++j;
+    } else {
+      double ic = network.InformationContentOf(aa[i].id);
+      if (ic > best_ic) best_ic = ic;
+      ++i;
+      ++j;
+    }
+  }
+  if (best_ic < 0.0) return 0.0;  // unrelated
+  double denom = network.InformationContentOf(a) +
+                 network.InformationContentOf(b);
   if (denom <= 0.0) return 0.0;
   double sim = 2.0 * best_ic / denom;
   return sim > 1.0 ? 1.0 : sim;

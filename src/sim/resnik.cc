@@ -5,9 +5,9 @@
 
 namespace xsdf::sim {
 
-double ResnikMeasure::Similarity(const wordnet::SemanticNetwork& network,
-                                 wordnet::ConceptId a,
-                                 wordnet::ConceptId b) const {
+double ResnikMeasure::LegacySimilarity(
+    const wordnet::SemanticNetwork& network, wordnet::ConceptId a,
+    wordnet::ConceptId b) {
   if (a == b) return 1.0;
   auto da = network.AncestorDistances(a);
   auto db = network.AncestorDistances(b);
@@ -23,6 +23,37 @@ double ResnikMeasure::Similarity(const wordnet::SemanticNetwork& network,
   }
   if (best_ic < 0.0) return 0.0;  // unrelated
   double ic_max = -std::log(1.0 / total);
+  if (ic_max <= 0.0) return 0.0;
+  return std::min(1.0, best_ic / ic_max);
+}
+
+double ResnikMeasure::Similarity(const wordnet::SemanticNetwork& network,
+                                 wordnet::ConceptId a,
+                                 wordnet::ConceptId b) const {
+  if (a == b) return 1.0;
+  if (!network.finalized()) return LegacySimilarity(network, a, b);
+  double total = network.TotalFrequency();
+  if (total <= 0.0) return 0.0;
+  // Most informative common subsumer via a sorted-ancestor merge; the
+  // IC table holds exactly the doubles the legacy path recomputed per
+  // pair, and max() is order-independent, so scores are bit-identical.
+  std::span<const wordnet::AncestorEntry> aa = network.Ancestors(a);
+  std::span<const wordnet::AncestorEntry> ab = network.Ancestors(b);
+  double best_ic = -1.0;
+  size_t i = 0, j = 0;
+  while (i < aa.size() && j < ab.size()) {
+    if (aa[i].id < ab[j].id) {
+      ++i;
+    } else if (ab[j].id < aa[i].id) {
+      ++j;
+    } else {
+      best_ic = std::max(best_ic, network.InformationContentOf(aa[i].id));
+      ++i;
+      ++j;
+    }
+  }
+  if (best_ic < 0.0) return 0.0;  // unrelated
+  double ic_max = network.MaxInformationContent();
   if (ic_max <= 0.0) return 0.0;
   return std::min(1.0, best_ic / ic_max);
 }

@@ -1,10 +1,12 @@
 #include "sim/wu_palmer.h"
 
+#include <limits>
+
 namespace xsdf::sim {
 
-double WuPalmerMeasure::Similarity(const wordnet::SemanticNetwork& network,
-                                   wordnet::ConceptId a,
-                                   wordnet::ConceptId b) const {
+double WuPalmerMeasure::LegacySimilarity(
+    const wordnet::SemanticNetwork& network, wordnet::ConceptId a,
+    wordnet::ConceptId b) {
   if (a == b) return 1.0;
   wordnet::ConceptId lcs = network.LeastCommonSubsumer(a, b);
   if (lcs == wordnet::kInvalidConcept) return 0.0;
@@ -17,6 +19,45 @@ double WuPalmerMeasure::Similarity(const wordnet::SemanticNetwork& network,
       static_cast<double>(len_a + len_b + 2 * depth_lcs);
   if (denominator <= 0.0) return 0.0;  // both are roots and disjoint
   return (2.0 * depth_lcs) / denominator;
+}
+
+double WuPalmerMeasure::Similarity(const wordnet::SemanticNetwork& network,
+                                   wordnet::ConceptId a,
+                                   wordnet::ConceptId b) const {
+  if (a == b) return 1.0;
+  if (!network.finalized()) return LegacySimilarity(network, a, b);
+  // LCS = common ancestor minimizing len_a + len_b (ties toward depth),
+  // found by merging the two id-sorted ancestor arrays. The score only
+  // depends on (best_sum, best_depth), both invariant under how ties on
+  // the subsumer identity are broken — so this matches the legacy path
+  // bit for bit.
+  std::span<const wordnet::AncestorEntry> aa = network.Ancestors(a);
+  std::span<const wordnet::AncestorEntry> ab = network.Ancestors(b);
+  int best_sum = std::numeric_limits<int>::max();
+  int best_depth = -1;
+  size_t i = 0, j = 0;
+  while (i < aa.size() && j < ab.size()) {
+    if (aa[i].id < ab[j].id) {
+      ++i;
+    } else if (ab[j].id < aa[i].id) {
+      ++j;
+    } else {
+      int sum = static_cast<int>(aa[i].distance + ab[j].distance);
+      int depth = network.Depth(aa[i].id);
+      if (sum < best_sum || (sum == best_sum && depth > best_depth)) {
+        best_sum = sum;
+        best_depth = depth;
+      }
+      ++i;
+      ++j;
+    }
+  }
+  if (best_depth < 0 && best_sum == std::numeric_limits<int>::max()) {
+    return 0.0;  // no common ancestor
+  }
+  double denominator = static_cast<double>(best_sum + 2 * best_depth);
+  if (denominator <= 0.0) return 0.0;  // both are roots and disjoint
+  return (2.0 * best_depth) / denominator;
 }
 
 }  // namespace xsdf::sim

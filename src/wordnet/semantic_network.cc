@@ -3,8 +3,13 @@
 #include <algorithm>
 #include <cassert>
 #include <cctype>
+#include <cmath>
 #include <deque>
 #include <limits>
+
+#include "text/porter_stemmer.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
 
 namespace xsdf::wordnet {
 
@@ -127,15 +132,32 @@ Relation InverseRelation(Relation relation) {
 }
 
 std::string SemanticNetwork::NormalizeLemma(std::string_view lemma) {
-  std::string out(lemma);
-  for (char& c : out) {
+  std::string out;
+  NormalizeLemmaInto(lemma, &out);
+  return out;
+}
+
+void SemanticNetwork::NormalizeLemmaInto(std::string_view lemma,
+                                         std::string* out) {
+  out->assign(lemma);
+  for (char& c : *out) {
     if (c == ' ' || c == '-') {
       c = '_';
     } else {
       c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
     }
   }
-  return out;
+}
+
+std::vector<ConceptId>* SemanticNetwork::FindSenses(
+    std::string_view normalized) {
+  uint32_t token = interner_.Find(normalized);
+  if (token == TokenInterner::kNotFound ||
+      token >= senses_by_token_.size() ||
+      senses_by_token_[token].empty()) {
+    return nullptr;
+  }
+  return &senses_by_token_[token];
 }
 
 ConceptId SemanticNetwork::AddConcept(PartOfSpeech pos,
@@ -149,7 +171,13 @@ ConceptId SemanticNetwork::AddConcept(PartOfSpeech pos,
   node.lex_file = lex_file;
   for (std::string& lemma : synonyms) {
     lemma = NormalizeLemma(lemma);
-    index_[lemma].push_back(node.id);
+    uint32_t token = interner_.Intern(lemma);
+    if (token >= senses_by_token_.size()) {
+      senses_by_token_.resize(static_cast<size_t>(token) + 1);
+    }
+    std::vector<ConceptId>& senses = senses_by_token_[token];
+    if (senses.empty()) ++lemma_count_;
+    senses.push_back(node.id);
   }
   node.synonyms = std::move(synonyms);
   concepts_.push_back(std::move(node));
@@ -185,8 +213,17 @@ void SemanticNetwork::SetFrequency(ConceptId id, double frequency) {
 const std::vector<ConceptId>& SemanticNetwork::Senses(
     std::string_view lemma) const {
   static const std::vector<ConceptId> kEmpty;
-  auto it = index_.find(NormalizeLemma(lemma));
-  return it == index_.end() ? kEmpty : it->second;
+  // Normalize into a reused per-thread buffer: lemma lookup is the
+  // innermost string operation of the disambiguation hot path and must
+  // not allocate per query.
+  thread_local std::string buffer;
+  NormalizeLemmaInto(lemma, &buffer);
+  uint32_t token = interner_.Find(buffer);
+  if (token == TokenInterner::kNotFound ||
+      token >= senses_by_token_.size()) {
+    return kEmpty;
+  }
+  return senses_by_token_[token];
 }
 
 int SemanticNetwork::SenseCount(std::string_view lemma) const {
@@ -199,7 +236,7 @@ bool SemanticNetwork::Contains(std::string_view lemma) const {
 
 int SemanticNetwork::MaxPolysemy() const {
   size_t max_senses = 0;
-  for (const auto& [lemma, senses] : index_) {
+  for (const std::vector<ConceptId>& senses : senses_by_token_) {
     max_senses = std::max(max_senses, senses.size());
   }
   return static_cast<int>(max_senses);
@@ -208,11 +245,11 @@ int SemanticNetwork::MaxPolysemy() const {
 Status SemanticNetwork::SetSenseOrder(std::string_view lemma,
                                       PartOfSpeech pos,
                                       const std::vector<ConceptId>& ordered) {
-  auto it = index_.find(NormalizeLemma(lemma));
-  if (it == index_.end()) {
+  std::vector<ConceptId>* found = FindSenses(NormalizeLemma(lemma));
+  if (found == nullptr) {
     return Status::NotFound("unknown lemma: " + std::string(lemma));
   }
-  std::vector<ConceptId>& senses = it->second;
+  std::vector<ConceptId>& senses = *found;
   std::vector<ConceptId> current_pos_senses;
   for (ConceptId id : senses) {
     if (GetConcept(id).pos == pos) current_pos_senses.push_back(id);
@@ -359,17 +396,30 @@ std::vector<std::vector<ConceptId>> SemanticNetwork::Rings(
     ConceptId center, int max_distance) const {
   std::vector<std::vector<ConceptId>> rings;
   rings.push_back({center});
-  std::vector<bool> visited(concepts_.size(), false);
-  visited[static_cast<size_t>(center)] = true;
+  // Reused per-thread visited set: concept spheres are rebuilt for
+  // every candidate of every node, and a fresh N-bit allocation per
+  // call dominated the context-based process. Epoch stamping makes
+  // clearing O(1).
+  thread_local std::vector<uint32_t> stamps;
+  thread_local uint32_t epoch = 0;
+  if (stamps.size() < concepts_.size()) stamps.resize(concepts_.size(), 0);
+  if (++epoch == 0) {  // wrapped: every stale stamp could collide
+    std::fill(stamps.begin(), stamps.end(), 0u);
+    epoch = 1;
+  }
+  auto visit = [&](ConceptId id) {
+    uint32_t& stamp = stamps[static_cast<size_t>(id)];
+    if (stamp == epoch) return false;
+    stamp = epoch;
+    return true;
+  };
+  visit(center);
   std::vector<ConceptId> frontier = {center};
   for (int d = 1; d <= max_distance && !frontier.empty(); ++d) {
     std::vector<ConceptId> next;
     for (ConceptId id : frontier) {
       for (const Edge& edge : GetConcept(id).edges) {
-        if (!visited[static_cast<size_t>(edge.target)]) {
-          visited[static_cast<size_t>(edge.target)] = true;
-          next.push_back(edge.target);
-        }
+        if (visit(edge.target)) next.push_back(edge.target);
       }
     }
     std::sort(next.begin(), next.end());
@@ -414,6 +464,86 @@ void SemanticNetwork::FinalizeFrequencies() {
   // (the runtime engine's contract); filling the cache here makes every
   // const member a pure read afterwards.
   for (const Concept& c : concepts_) Depth(c.id);
+
+  // ---- Kernel tables -----------------------------------------------
+  // Ancestor arrays: the per-pair LCS searches of the taxonomy
+  // measures become a merge of two id-sorted arrays.
+  ancestor_offsets_.assign(n + 1, 0);
+  ancestor_entries_.clear();
+  for (const Concept& c : concepts_) {
+    size_t begin = ancestor_entries_.size();
+    for (const auto& [ancestor, dist] : AncestorDistances(c.id)) {
+      ancestor_entries_.push_back(
+          {ancestor, static_cast<int32_t>(dist)});
+    }
+    std::sort(ancestor_entries_.begin() + static_cast<long>(begin),
+              ancestor_entries_.end(),
+              [](const AncestorEntry& x, const AncestorEntry& y) {
+                return x.id < y.id;
+              });
+    ancestor_offsets_[static_cast<size_t>(c.id) + 1] =
+        ancestor_entries_.size();
+  }
+
+  // Information content, with exactly the per-pair expression the
+  // node-based measures used to evaluate inline (bit-identical reads).
+  information_content_.assign(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double p = cumulative_frequency_[i] / total_frequency_;
+    information_content_[i] =
+        (p <= 0.0 || p >= 1.0) ? 0.0 : -std::log(p);
+  }
+  max_information_content_ = -std::log(1.0 / total_frequency_);
+
+  // Extended-gloss token bags: build the same combined gloss string
+  // sim::GlossOverlapMeasure::ExtendedGloss() builds (own gloss plus
+  // the glosses of taxonomic/meronymic neighbors), run it through the
+  // same tokenize -> stop-word -> stem pipeline once, and intern the
+  // result — per-pair gloss scoring never touches a string again.
+  gloss_offsets_.assign(n + 1, 0);
+  gloss_tokens_.clear();
+  gloss_bag_offsets_.assign(n + 1, 0);
+  gloss_bag_tokens_.clear();
+  std::string combined;
+  std::vector<uint32_t> bag;
+  for (const Concept& c : concepts_) {
+    combined = c.gloss;
+    for (const Edge& edge : c.edges) {
+      switch (edge.relation) {
+        case Relation::kHypernym:
+        case Relation::kInstanceHypernym:
+        case Relation::kHyponym:
+        case Relation::kInstanceHyponym:
+        case Relation::kMemberMeronym:
+        case Relation::kPartMeronym:
+        case Relation::kSubstanceMeronym:
+        case Relation::kMemberHolonym:
+        case Relation::kPartHolonym:
+        case Relation::kSubstanceHolonym:
+          combined += ' ';
+          combined += GetConcept(edge.target).gloss;
+          break;
+        default:
+          break;
+      }
+    }
+    std::vector<std::string> tokens = text::Tokenize(combined);
+    tokens = text::RemoveStopWords(tokens);
+    bag.clear();
+    for (std::string& token : tokens) {
+      uint32_t id = interner_.Intern(text::PorterStem(token));
+      gloss_tokens_.push_back(id);
+      bag.push_back(id);
+    }
+    gloss_offsets_[static_cast<size_t>(c.id) + 1] = gloss_tokens_.size();
+    std::sort(bag.begin(), bag.end());
+    bag.erase(std::unique(bag.begin(), bag.end()), bag.end());
+    gloss_bag_tokens_.insert(gloss_bag_tokens_.end(), bag.begin(),
+                             bag.end());
+    gloss_bag_offsets_[static_cast<size_t>(c.id) + 1] =
+        gloss_bag_tokens_.size();
+  }
+
   finalized_ = true;
 }
 

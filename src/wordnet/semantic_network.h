@@ -1,6 +1,8 @@
 #ifndef XSDF_WORDNET_SEMANTIC_NETWORK_H_
 #define XSDF_WORDNET_SEMANTIC_NETWORK_H_
 
+#include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -8,6 +10,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/token_interner.h"
 
 namespace xsdf::wordnet {
 
@@ -50,6 +53,16 @@ Result<Relation> RelationFromSymbol(std::string_view symbol);
 /// The inverse relation (hypernym <-> hyponym, holonym <-> meronym,
 /// symmetric relations map to themselves).
 Relation InverseRelation(Relation relation);
+
+/// One hypernym-ancestor of a concept in its precomputed ancestor
+/// table: the ancestor id and its shortest hypernym-path distance from
+/// the concept. Tables are sorted by ancestor id, so LCS-style queries
+/// over two concepts are a linear merge of two sorted arrays instead
+/// of repeated upward graph walks.
+struct AncestorEntry {
+  ConceptId id = kInvalidConcept;
+  int32_t distance = 0;
+};
 
 /// One typed edge out of a concept.
 struct Edge {
@@ -122,7 +135,10 @@ class SemanticNetwork {
   const std::vector<Concept>& concepts() const { return concepts_; }
 
   /// Concept ids for `lemma`, in sense order; empty when unknown.
-  /// Lemma lookup is case-insensitive and '_'-normalized.
+  /// Lemma lookup is case-insensitive and '_'-normalized; the lemma is
+  /// normalized into a thread-local buffer and looked up through the
+  /// interner's heterogeneous index, so no per-query string is
+  /// allocated. The returned reference is invalidated by AddConcept.
   const std::vector<ConceptId>& Senses(std::string_view lemma) const;
   /// senses(w): the number of senses of `lemma` (0 when unknown).
   int SenseCount(std::string_view lemma) const;
@@ -142,7 +158,12 @@ class SemanticNetwork {
                        const std::vector<ConceptId>& ordered);
 
   /// Number of distinct lemmas.
-  size_t LemmaCount() const { return index_.size(); }
+  size_t LemmaCount() const { return lemma_count_; }
+
+  /// The token interner shared by the lemma index and the precomputed
+  /// gloss token bags: lemma and gloss-token spellings map to the same
+  /// contiguous uint32_t id space.
+  const TokenInterner& interner() const { return interner_; }
 
   /// Targets of hypernym + instance-hypernym edges of `id`.
   std::vector<ConceptId> Hypernyms(ConceptId id) const;
@@ -183,21 +204,85 @@ class SemanticNetwork {
   /// content normalizer N).
   double TotalFrequency() const { return total_frequency_; }
 
-  /// Computes cumulative frequencies and depth caches. Must be called
-  /// after all concepts/edges/frequencies are in place and before any
-  /// similarity computation; safe to call repeatedly.
+  // ---- Precomputed kernel tables (defined once finalized()) --------
+  //
+  // FinalizeFrequencies() freezes the network into dense id-based
+  // tables so the similarity hot path (Wu-Palmer / Resnik / Lin /
+  // gloss overlap) is table lookups and sorted-array merges instead of
+  // per-pair graph traversal and gloss re-tokenization.
+
+  /// Hypernym ancestors of `id` (including itself at distance 0) with
+  /// shortest hypernym-path distances, sorted by ancestor id.
+  std::span<const AncestorEntry> Ancestors(ConceptId id) const {
+    size_t i = static_cast<size_t>(id);
+    return {ancestor_entries_.data() + ancestor_offsets_[i],
+            ancestor_offsets_[i + 1] - ancestor_offsets_[i]};
+  }
+
+  /// The extended-gloss token sequence of `id` (own gloss + glosses of
+  /// directly related concepts, tokenized, stop-word filtered, stemmed,
+  /// interned), in text order — the id-level equivalent of
+  /// sim::GlossOverlapMeasure::ExtendedGloss().
+  std::span<const uint32_t> GlossTokens(ConceptId id) const {
+    size_t i = static_cast<size_t>(id);
+    return {gloss_tokens_.data() + gloss_offsets_[i],
+            gloss_offsets_[i + 1] - gloss_offsets_[i]};
+  }
+
+  /// Sorted set of distinct extended-gloss token ids of `id`; lets the
+  /// gloss kernel prove zero overlap with one linear intersection pass
+  /// before running the quadratic phrase DP.
+  std::span<const uint32_t> GlossTokenBag(ConceptId id) const {
+    size_t i = static_cast<size_t>(id);
+    return {gloss_bag_tokens_.data() + gloss_bag_offsets_[i],
+            gloss_bag_offsets_[i + 1] - gloss_bag_offsets_[i]};
+  }
+
+  /// IC(c) = -log(CumulativeFrequency(c) / TotalFrequency()), clamped
+  /// to 0 at the roots — precomputed with exactly the expression the
+  /// node-based measures historically evaluated per pair, so table
+  /// reads are bit-identical to recomputation.
+  double InformationContentOf(ConceptId id) const {
+    return information_content_[static_cast<size_t>(id)];
+  }
+  /// -log(1 / TotalFrequency()): the Resnik normalizer.
+  double MaxInformationContent() const { return max_information_content_; }
+
+  /// Computes cumulative frequencies, depth caches, and the kernel
+  /// tables above (ancestor arrays, information content, interned
+  /// extended-gloss token bags). Must be called after all concepts/
+  /// edges/frequencies are in place and before any similarity
+  /// computation; safe to call repeatedly.
   void FinalizeFrequencies();
   bool finalized() const { return finalized_; }
 
  private:
   std::vector<Concept> concepts_;
-  std::unordered_map<std::string, std::vector<ConceptId>> index_;
+  /// Lemma/gloss-token spellings -> contiguous ids; senses_by_token_
+  /// maps a token id to the concept ids whose synonyms contain it
+  /// (empty for gloss-only tokens).
+  TokenInterner interner_;
+  std::vector<std::vector<ConceptId>> senses_by_token_;
+  size_t lemma_count_ = 0;
   std::vector<double> cumulative_frequency_;
   mutable std::vector<int> depth_cache_;
   double total_frequency_ = 0.0;
   bool finalized_ = false;
 
+  // Kernel tables (CSR layout, rebuilt by FinalizeFrequencies()).
+  std::vector<size_t> ancestor_offsets_;
+  std::vector<AncestorEntry> ancestor_entries_;
+  std::vector<size_t> gloss_offsets_;
+  std::vector<uint32_t> gloss_tokens_;
+  std::vector<size_t> gloss_bag_offsets_;
+  std::vector<uint32_t> gloss_bag_tokens_;
+  std::vector<double> information_content_;
+  double max_information_content_ = 0.0;
+
   static std::string NormalizeLemma(std::string_view lemma);
+  static void NormalizeLemmaInto(std::string_view lemma, std::string* out);
+  /// The mutable sense list of a normalized lemma, or nullptr.
+  std::vector<ConceptId>* FindSenses(std::string_view normalized);
 };
 
 }  // namespace xsdf::wordnet

@@ -99,6 +99,55 @@ TEST(ShardedLruCacheTest, ResetCountersKeepsEntries) {
   EXPECT_TRUE(cache.Lookup(1, &value));
 }
 
+TEST(ShardedLruCacheTest, CoarsePromotionSkipsSplicesButCountsHits) {
+  // promote_every=2: only every second hit refreshes recency, so a key
+  // touched once between inserts can still be the eviction victim.
+  ShardedLruCache<int, int> cache(/*capacity=*/3, /*shard_count=*/1,
+                                  /*promote_every=*/2);
+  cache.Insert(1, 1);
+  cache.Insert(2, 2);
+  cache.Insert(3, 3);
+  int value = 0;
+  // First hit on 1 is not promoted (hit 1 of 2), so 1 stays LRU.
+  ASSERT_TRUE(cache.Lookup(1, &value));
+  cache.Insert(4, 4);
+  EXPECT_FALSE(cache.Lookup(1, &value)) << "unpromoted key evicted";
+  CacheStats stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.evictions, 1u);
+}
+
+TEST(SimilarityCacheTest, EvictsDeterministicallyWhenASetOverflows) {
+  // Tiny table (64 slots = 16 sets x 4 ways): inserting far more keys
+  // than slots must overwrite, keep exact counters, and keep every
+  // readable value correct (a stale value for a key is impossible —
+  // the mixed key is bijective, so a slot's key identifies its value).
+  SimilarityCache cache(/*capacity=*/1, /*stripe_count=*/2,
+                        sim::SimilarityWeights{});
+  constexpr uint64_t kKeys = 1024;
+  for (uint64_t k = 1; k <= kKeys; ++k) {
+    cache.Insert(k, static_cast<double>(k) * 0.5);
+  }
+  CacheStats stats = cache.GetStats();
+  EXPECT_EQ(stats.capacity, 64u);
+  EXPECT_LE(stats.entries, stats.capacity);
+  EXPECT_GT(stats.evictions, 0u);
+  size_t found = 0;
+  for (uint64_t k = 1; k <= kKeys; ++k) {
+    double value = 0.0;
+    if (cache.Lookup(k, &value)) {
+      EXPECT_DOUBLE_EQ(value, static_cast<double>(k) * 0.5) << k;
+      ++found;
+    }
+  }
+  EXPECT_GT(found, 0u);
+  EXPECT_LE(found, stats.capacity);
+  stats = cache.GetStats();
+  EXPECT_EQ(stats.hits + stats.misses, kKeys);
+  EXPECT_EQ(stats.hits, found);
+}
+
 TEST(ShardedLruCacheTest, GetOrComputeComputesOnce) {
   ShardedLruCache<int, int> cache(/*capacity=*/16);
   int computed = 0;

@@ -1,0 +1,206 @@
+// Equivalence tests for the interned id-based similarity kernels: the
+// precomputed tables (token interner, gloss token sequences/bags,
+// ancestor arrays, IC table) must reproduce the legacy string-path
+// scores *bit for bit* on randomized concept pairs, and the batch
+// runtime built on top must stay byte-identical across worker counts.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/token_interner.h"
+#include "runtime/engine.h"
+#include "sim/combined.h"
+#include "sim/gloss_overlap.h"
+#include "sim/lin.h"
+#include "sim/resnik.h"
+#include "sim/wu_palmer.h"
+#include "wordnet/mini_wordnet.h"
+#include "wordnet/semantic_network.h"
+
+namespace xsdf {
+namespace {
+
+using wordnet::ConceptId;
+using wordnet::SemanticNetwork;
+
+const SemanticNetwork& Network() {
+  static const SemanticNetwork* network = [] {
+    auto result = wordnet::BuildMiniWordNet();
+    return new SemanticNetwork(std::move(result).value());
+  }();
+  return *network;
+}
+
+uint64_t Bits(double value) { return std::bit_cast<uint64_t>(value); }
+
+/// Deterministic sample of concept pairs covering the whole id range.
+std::vector<std::pair<ConceptId, ConceptId>> SamplePairs(size_t count) {
+  std::mt19937 rng(20150324);  // EDBT'15 vintage, fixed across runs
+  std::uniform_int_distribution<int> pick(
+      0, static_cast<int>(Network().size()) - 1);
+  std::vector<std::pair<ConceptId, ConceptId>> pairs;
+  pairs.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    pairs.emplace_back(pick(rng), pick(rng));
+  }
+  return pairs;
+}
+
+TEST(TokenInternerTest, InternAssignsContiguousIdsAndDeduplicates) {
+  TokenInterner interner;
+  EXPECT_EQ(interner.Intern("alpha"), 0u);
+  EXPECT_EQ(interner.Intern("beta"), 1u);
+  EXPECT_EQ(interner.Intern("alpha"), 0u);
+  EXPECT_EQ(interner.size(), 2u);
+  EXPECT_EQ(interner.Spelling(0), "alpha");
+  EXPECT_EQ(interner.Spelling(1), "beta");
+}
+
+TEST(TokenInternerTest, FindIsHeterogeneousAndNonMutating) {
+  TokenInterner interner;
+  interner.Intern("gamma");
+  std::string_view view = "gamma";
+  EXPECT_EQ(interner.Find(view), 0u);
+  EXPECT_EQ(interner.Find("absent"), TokenInterner::kNotFound);
+  EXPECT_EQ(interner.size(), 1u);  // Find never interns
+}
+
+TEST(SemanticNetworkTest, SensesNormalizesWithoutAllocatingPerQuery) {
+  const SemanticNetwork& network = Network();
+  const std::vector<ConceptId>& lower = network.Senses("actor");
+  ASSERT_FALSE(lower.empty());
+  // Case folding and space/hyphen -> underscore happen in a reused
+  // buffer; all variants resolve to the same sense list object.
+  EXPECT_EQ(&network.Senses("Actor"), &lower);
+  EXPECT_EQ(&network.Senses("ACTOR"), &lower);
+  EXPECT_TRUE(network.Senses("no such lemma anywhere").empty());
+}
+
+TEST(SemanticNetworkTest, AncestorTableMatchesAncestorDistances) {
+  const SemanticNetwork& network = Network();
+  for (ConceptId id = 0; id < static_cast<ConceptId>(network.size());
+       ++id) {
+    auto legacy = network.AncestorDistances(id);
+    auto table = network.Ancestors(id);
+    ASSERT_EQ(table.size(), legacy.size()) << "concept " << id;
+    ConceptId previous = wordnet::kInvalidConcept;
+    for (const wordnet::AncestorEntry& entry : table) {
+      EXPECT_GT(entry.id, previous) << "table not sorted, concept " << id;
+      previous = entry.id;
+      auto it = legacy.find(entry.id);
+      ASSERT_NE(it, legacy.end()) << "concept " << id;
+      EXPECT_EQ(entry.distance, it->second) << "concept " << id;
+    }
+  }
+}
+
+TEST(SemanticNetworkTest, GlossTokensSpellOutTheLegacyExtendedGloss) {
+  const SemanticNetwork& network = Network();
+  for (ConceptId id = 0; id < static_cast<ConceptId>(network.size());
+       ++id) {
+    std::vector<std::string> legacy =
+        sim::GlossOverlapMeasure::ExtendedGloss(network, id);
+    auto tokens = network.GlossTokens(id);
+    ASSERT_EQ(tokens.size(), legacy.size()) << "concept " << id;
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      EXPECT_EQ(network.interner().Spelling(tokens[i]), legacy[i])
+          << "concept " << id << " token " << i;
+    }
+    auto bag = network.GlossTokenBag(id);
+    for (size_t i = 1; i < bag.size(); ++i) {
+      EXPECT_LT(bag[i - 1], bag[i]) << "bag not sorted+unique, " << id;
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, WuPalmerIsBitIdenticalToLegacy) {
+  const SemanticNetwork& network = Network();
+  sim::WuPalmerMeasure measure;
+  for (auto [a, b] : SamplePairs(400)) {
+    EXPECT_EQ(Bits(measure.Similarity(network, a, b)),
+              Bits(sim::WuPalmerMeasure::LegacySimilarity(network, a, b)))
+        << "pair (" << a << ", " << b << ")";
+  }
+}
+
+TEST(KernelEquivalenceTest, ResnikIsBitIdenticalToLegacy) {
+  const SemanticNetwork& network = Network();
+  sim::ResnikMeasure measure;
+  for (auto [a, b] : SamplePairs(400)) {
+    EXPECT_EQ(Bits(measure.Similarity(network, a, b)),
+              Bits(sim::ResnikMeasure::LegacySimilarity(network, a, b)))
+        << "pair (" << a << ", " << b << ")";
+  }
+}
+
+TEST(KernelEquivalenceTest, LinIsBitIdenticalToLegacy) {
+  const SemanticNetwork& network = Network();
+  sim::LinMeasure measure;
+  for (auto [a, b] : SamplePairs(400)) {
+    EXPECT_EQ(Bits(measure.Similarity(network, a, b)),
+              Bits(sim::LinMeasure::LegacySimilarity(network, a, b)))
+        << "pair (" << a << ", " << b << ")";
+  }
+}
+
+TEST(KernelEquivalenceTest, GlossOverlapIsBitIdenticalToLegacy) {
+  const SemanticNetwork& network = Network();
+  sim::GlossOverlapMeasure measure;
+  for (auto [a, b] : SamplePairs(400)) {
+    EXPECT_EQ(
+        Bits(measure.Similarity(network, a, b)),
+        Bits(sim::GlossOverlapMeasure::LegacySimilarity(network, a, b)))
+        << "pair (" << a << ", " << b << ")";
+  }
+}
+
+TEST(KernelEquivalenceTest, CombinedIsBitIdenticalToLegacySum) {
+  const SemanticNetwork& network = Network();
+  sim::SimilarityWeights weights;  // equal thirds, the paper default
+  sim::CombinedMeasure measure(weights);
+  for (auto [a, b] : SamplePairs(400)) {
+    // Same component order (edge, node, gloss) as CombinedMeasure.
+    double legacy =
+        weights.edge * sim::WuPalmerMeasure::LegacySimilarity(network, a, b) +
+        weights.node * sim::LinMeasure::LegacySimilarity(network, a, b) +
+        weights.gloss *
+            sim::GlossOverlapMeasure::LegacySimilarity(network, a, b);
+    if (legacy > 1.0) legacy = 1.0;
+    EXPECT_EQ(Bits(measure.Similarity(network, a, b)), Bits(legacy))
+        << "pair (" << a << ", " << b << ")";
+  }
+}
+
+TEST(BatchDeterminismTest, EightWorkersMatchOneWorkerByteForByte) {
+  const SemanticNetwork& network = Network();
+  std::vector<runtime::DocumentJob> jobs;
+  for (int i = 0; i < 12; ++i) {
+    runtime::DocumentJob job;
+    job.name = "doc" + std::to_string(i);
+    job.xml =
+        "<movie><actor>star</actor><director>film maker</director>"
+        "<review>the play was a hit with critics</review></movie>";
+    jobs.push_back(job);
+  }
+  auto run = [&](int threads) {
+    runtime::EngineOptions options;
+    options.threads = threads;
+    runtime::DisambiguationEngine engine(&network, options);
+    return engine.RunBatch(jobs);
+  };
+  std::vector<runtime::DocumentResult> one = run(1);
+  std::vector<runtime::DocumentResult> eight = run(8);
+  ASSERT_EQ(one.size(), eight.size());
+  for (size_t i = 0; i < one.size(); ++i) {
+    EXPECT_TRUE(one[i].ok);
+    EXPECT_EQ(one[i].semantic_xml, eight[i].semantic_xml) << "doc " << i;
+  }
+}
+
+}  // namespace
+}  // namespace xsdf

@@ -1,7 +1,9 @@
 // Throughput benchmark for the concurrent batch-disambiguation
 // runtime: docs/sec over the generated 10-family corpus at 1/2/4/8
 // worker threads, with the shared similarity/sense caches on and off,
-// plus a warm (second-pass) measurement at the peak thread count.
+// plus a warm (second-pass) measurement at the peak thread count and
+// an instrumented-vs-uninstrumented comparison (metrics registry +
+// trace session attached) that quantifies observability overhead.
 // Results go to stdout as a table and to a JSON file (argv[1],
 // default BENCH_runtime.json) so later PRs have a perf trajectory.
 
@@ -12,6 +14,8 @@
 #include <vector>
 
 #include "datasets/generator.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/engine.h"
 #include "wordnet/mini_wordnet.h"
 
@@ -47,11 +51,15 @@ struct RunResult {
 
 RunResult Measure(const xsdf::wordnet::SemanticNetwork& network,
                   const std::vector<DocumentJob>& jobs, int threads,
-                  bool cache, bool warm) {
+                  bool cache, bool warm,
+                  xsdf::obs::MetricsRegistry* metrics = nullptr,
+                  xsdf::obs::TraceSession* trace = nullptr) {
   EngineOptions options;
   options.threads = threads;
   options.enable_similarity_cache = cache;
   options.enable_sense_cache = cache;
+  options.metrics = metrics;
+  options.trace = trace;
   DisambiguationEngine engine(&network, options);
   if (warm) {
     engine.RunBatch(jobs);  // prime the caches; not measured
@@ -132,6 +140,32 @@ int main(int argc, char** argv) {
   double speedup = base > 0 ? four / base : 0.0;
   std::printf("speedup 4 threads vs 1 (cache on): %.2fx\n", speedup);
 
+  // Observability overhead: the same 4-thread cached run with both
+  // sinks attached. Back-to-back single runs are noisy at this corpus
+  // size, so each side takes the best of three.
+  double plain_best = 0.0;
+  double instrumented_best = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    RunResult plain = Measure(network, jobs, 4, /*cache=*/true,
+                              /*warm=*/false);
+    if (plain.docs_per_sec > plain_best) plain_best = plain.docs_per_sec;
+    xsdf::obs::MetricsRegistry metrics;
+    xsdf::obs::TraceSession trace;
+    RunResult instrumented = Measure(network, jobs, 4, /*cache=*/true,
+                                     /*warm=*/false, &metrics, &trace);
+    if (instrumented.docs_per_sec > instrumented_best) {
+      instrumented_best = instrumented.docs_per_sec;
+    }
+  }
+  double overhead_pct =
+      plain_best > 0
+          ? 100.0 * (plain_best - instrumented_best) / plain_best
+          : 0.0;
+  std::printf(
+      "observability: %.1f docs/s plain, %.1f docs/s instrumented "
+      "(%.1f%% overhead)\n",
+      plain_best, instrumented_best, overhead_pct);
+
   std::FILE* json = std::fopen(json_path, "w");
   if (json == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", json_path);
@@ -140,6 +174,12 @@ int main(int argc, char** argv) {
   std::fprintf(json, "{\n  \"corpus_docs\": %zu,\n", jobs.size());
   std::fprintf(json, "  \"hardware_threads\": %u,\n", cores);
   std::fprintf(json, "  \"speedup_4t_vs_1t_cache_on\": %.3f,\n", speedup);
+  std::fprintf(json, "  \"uninstrumented_docs_per_sec\": %.2f,\n",
+               plain_best);
+  std::fprintf(json, "  \"instrumented_docs_per_sec\": %.2f,\n",
+               instrumented_best);
+  std::fprintf(json, "  \"observability_overhead_pct\": %.2f,\n",
+               overhead_pct);
   std::fprintf(json, "  \"runs\": [\n");
   for (size_t i = 0; i < results.size(); ++i) {
     const RunResult& r = results[i];

@@ -1,6 +1,7 @@
 #include "core/disambiguator.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/strings.h"
 #include "core/tree_builder.h"
@@ -15,6 +16,20 @@ Disambiguator::Disambiguator(const wordnet::SemanticNetwork* network,
       options_(options),
       measure_(options.similarity_weights) {
   measure_.set_external_cache(options_.similarity_cache);
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry* m = options_.metrics;
+    ins_.select_us = m->GetHistogram("stage.select_us");
+    ins_.context_us = m->GetHistogram("stage.context_us");
+    ins_.score_us = m->GetHistogram("stage.score_us");
+    ins_.node_ambiguity_pct = m->GetHistogram(
+        "core.node_ambiguity_pct",
+        {10, 20, 30, 40, 50, 60, 70, 80, 90, 100});
+    ins_.node_candidates = m->GetHistogram(
+        "core.node_candidates", {1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64});
+    ins_.node_margin_milli = m->GetHistogram(
+        "core.node_top2_margin_milli",
+        {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000});
+  }
 }
 
 std::vector<SenseCandidate> Disambiguator::CandidatesFor(
@@ -45,7 +60,9 @@ std::vector<double> Disambiguator::ScoreCandidates(
 
 std::vector<double> Disambiguator::ScoreCandidatesImpl(
     const xml::LabeledTree& tree, xml::NodeId id,
-    const std::vector<SenseCandidate>& candidates) const {
+    const std::vector<SenseCandidate>& candidates, StageAccum* accum,
+    NodeAudit* audit) const {
+  const uint64_t t_start = accum != nullptr ? obs::MonotonicNowNs() : 0;
   Sphere sphere = BuildXmlSphere(tree, id, options_.sphere_radius,
                                  options_.structure_only_context);
   ContextVector vector(sphere, options_.bag_of_words_context);
@@ -53,19 +70,35 @@ std::vector<double> Disambiguator::ScoreCandidatesImpl(
   // Resolve the sphere's labels against the sense inventory once; every
   // candidate scores against the same resolved context.
   ResolvedContext resolved(*network_, sphere, vector);
+  uint64_t t_context = 0;
+  if (accum != nullptr) {
+    t_context = obs::MonotonicNowNs();
+    accum->context_ns += t_context - t_start;
+  }
   std::vector<double> scores;
   scores.reserve(candidates.size());
   for (const SenseCandidate& candidate : candidates) {
+    // Keep the accumulation order exactly as the un-audited path had
+    // it — audit capture must stay bit-identical.
     double score = 0.0;
+    double concept_part = 0.0;
+    double context_part = 0.0;
     if (combo.concept_weight > 0.0) {
-      score += combo.concept_weight *
-               resolved.Score(*network_, measure_, candidate);
+      concept_part = resolved.Score(*network_, measure_, candidate);
+      score += combo.concept_weight * concept_part;
     }
     if (combo.context_weight > 0.0) {
-      score += combo.context_weight *
-               ContextScore(*network_, candidate, vector,
-                            options_.sphere_radius,
-                            options_.vector_similarity);
+      context_part = ContextScore(*network_, candidate, vector,
+                                  options_.sphere_radius,
+                                  options_.vector_similarity);
+      score += combo.context_weight * context_part;
+    }
+    if (audit != nullptr) {
+      CandidateAudit entry;
+      entry.sense = candidate;
+      entry.concept_score = concept_part;
+      entry.context_score = context_part;
+      audit->candidates.push_back(entry);
     }
     scores.push_back(score);
   }
@@ -93,17 +126,35 @@ std::vector<double> Disambiguator::ScoreCandidatesImpl(
     }
     if (max_freq > 0.0) {
       for (size_t i = 0; i < candidates.size(); ++i) {
-        scores[i] += options_.frequency_prior *
-                     candidate_frequency(candidates[i]) / max_freq;
+        const double prior = options_.frequency_prior *
+                             candidate_frequency(candidates[i]) / max_freq;
+        scores[i] += prior;
+        if (audit != nullptr) audit->candidates[i].prior = prior;
       }
     }
+  }
+  if (audit != nullptr) {
+    for (size_t i = 0; i < scores.size(); ++i) {
+      audit->candidates[i].total = scores[i];
+    }
+  }
+  if (accum != nullptr) {
+    accum->score_ns += obs::MonotonicNowNs() - t_context;
   }
   return scores;
 }
 
 Result<SenseAssignment> Disambiguator::DisambiguateNode(
     const xml::LabeledTree& tree, xml::NodeId id) const {
+  return DisambiguateNodeImpl(tree, id, nullptr, nullptr);
+}
+
+Result<SenseAssignment> Disambiguator::DisambiguateNodeImpl(
+    const xml::LabeledTree& tree, xml::NodeId id, StageAccum* accum,
+    NodeAudit* audit) const {
   const std::string& label = tree.node(id).label;
+  obs::Span node_span(options_.trace, "node",
+                      options_.trace != nullptr ? label : std::string());
   std::vector<SenseCandidate> candidates = CandidatesFor(label);
   if (candidates.empty()) {
     return Status::NotFound("label has no senses in the network: " + label);
@@ -113,30 +164,93 @@ Result<SenseAssignment> Disambiguator::DisambiguateNode(
   assignment.candidate_count = static_cast<int>(candidates.size());
   assignment.ambiguity = AmbiguityDegree(tree, id, *network_,
                                          options_.ambiguity_weights);
+  if (ins_.node_candidates != nullptr) {
+    ins_.node_candidates->Record(candidates.size());
+  }
+  if (ins_.node_ambiguity_pct != nullptr) {
+    ins_.node_ambiguity_pct->Record(
+        static_cast<uint64_t>(std::lround(assignment.ambiguity * 100.0)));
+  }
+  if (audit != nullptr) {
+    audit->node = id;
+    audit->label = label;
+    audit->ambiguity = assignment.ambiguity;
+  }
   if (candidates.size() == 1) {
     assignment.sense = candidates[0];
     assignment.score = 1.0;
+    if (audit != nullptr) {
+      CandidateAudit only;
+      only.sense = candidates[0];
+      only.total = 1.0;
+      audit->candidates.push_back(only);
+      audit->chosen_index = 0;
+    }
     return assignment;
   }
-  std::vector<double> scores = ScoreCandidatesImpl(tree, id, candidates);
+  std::vector<double> scores =
+      ScoreCandidatesImpl(tree, id, candidates, accum, audit);
   size_t best = 0;
   for (size_t i = 1; i < scores.size(); ++i) {
     if (scores[i] > scores[best]) best = i;
+  }
+  double runner_up = 0.0;
+  bool have_runner_up = false;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (i == best) continue;
+    if (!have_runner_up || scores[i] > runner_up) {
+      runner_up = scores[i];
+      have_runner_up = true;
+    }
+  }
+  const double margin = have_runner_up ? scores[best] - runner_up : 0.0;
+  if (ins_.node_margin_milli != nullptr) {
+    ins_.node_margin_milli->Record(static_cast<uint64_t>(
+        std::lround(std::max(margin, 0.0) * 1000.0)));
+  }
+  if (audit != nullptr) {
+    audit->chosen_index = static_cast<int>(best);
+    audit->margin = margin;
   }
   assignment.sense = candidates[best];
   assignment.score = scores[best];
   return assignment;
 }
 
+Result<NodeAudit> Disambiguator::ExplainNode(const xml::LabeledTree& tree,
+                                             xml::NodeId id) const {
+  NodeAudit audit;
+  auto assignment = DisambiguateNodeImpl(tree, id, nullptr, &audit);
+  if (!assignment.ok()) return assignment.status();
+  return audit;
+}
+
 Result<SemanticTree> Disambiguator::RunOnTree(xml::LabeledTree tree) const {
   SemanticTree result;
-  std::vector<xml::NodeId> targets =
-      SelectTargetNodes(tree, *network_, options_.ambiguity_threshold,
-                        options_.ambiguity_weights);
+  StageAccum accum;
+  StageAccum* acc =
+      (ins_.context_us != nullptr || ins_.score_us != nullptr) ? &accum
+                                                               : nullptr;
+  std::vector<xml::NodeId> targets;
+  {
+    obs::StageTimer timer(ins_.select_us, options_.trace, "select");
+    targets = SelectTargetNodes(tree, *network_, options_.ambiguity_threshold,
+                                options_.ambiguity_weights);
+  }
   for (xml::NodeId id : targets) {
-    auto assignment = DisambiguateNode(tree, id);
+    auto assignment = DisambiguateNodeImpl(tree, id, acc, nullptr);
     if (!assignment.ok()) continue;  // senseless labels stay untouched
     result.assignments.emplace(id, std::move(assignment).value());
+  }
+  if (acc != nullptr) {
+    // One sample per document: where this document's disambiguation
+    // time went, split between context construction and scoring.
+    if (ins_.context_us != nullptr) {
+      ins_.context_us->Record((accum.context_ns + 500) / 1000);
+    }
+    if (ins_.score_us != nullptr) {
+      ins_.score_us->Record((accum.score_ns + 500) / 1000);
+    }
   }
   result.tree = std::move(tree);
   return result;
@@ -210,6 +324,64 @@ std::string SemanticTreeToXml(const SemanticTree& semantic_tree,
   }
   doc.set_root(std::move(root));
   return xml::Serialize(doc);
+}
+
+namespace {
+
+void AppendSenseJson(obs::JsonWriter* writer, const SenseCandidate& sense,
+                     const wordnet::SemanticNetwork& network) {
+  const wordnet::Concept& c = network.GetConcept(sense.primary);
+  writer->Key("concept_id").Value(static_cast<int64_t>(sense.primary));
+  writer->Key("concept").Value(c.label());
+  writer->Key("gloss").Value(c.gloss);
+  if (sense.is_compound()) {
+    const wordnet::Concept& c2 = network.GetConcept(sense.secondary);
+    writer->Key("concept2_id").Value(static_cast<int64_t>(sense.secondary));
+    writer->Key("concept2").Value(c2.label());
+  }
+}
+
+}  // namespace
+
+void AppendNodeAuditFields(obs::JsonWriter* writer, const NodeAudit& audit,
+                           const wordnet::SemanticNetwork& network) {
+  writer->Key("node").Value(static_cast<int64_t>(audit.node));
+  writer->Key("label").Value(audit.label);
+  writer->Key("ambiguity").Value(audit.ambiguity);
+  writer->Key("candidate_count")
+      .Value(static_cast<int64_t>(audit.candidates.size()));
+  writer->Key("margin").Value(audit.margin);
+  if (audit.chosen_index >= 0 &&
+      static_cast<size_t>(audit.chosen_index) < audit.candidates.size()) {
+    const CandidateAudit& chosen =
+        audit.candidates[static_cast<size_t>(audit.chosen_index)];
+    writer->Key("chosen").BeginObject();
+    AppendSenseJson(writer, chosen.sense, network);
+    writer->Key("score").Value(chosen.total);
+    writer->EndObject();
+  }
+  writer->Key("candidates").BeginArray();
+  for (size_t i = 0; i < audit.candidates.size(); ++i) {
+    const CandidateAudit& candidate = audit.candidates[i];
+    writer->BeginObject();
+    AppendSenseJson(writer, candidate.sense, network);
+    writer->Key("concept_score").Value(candidate.concept_score);
+    writer->Key("context_score").Value(candidate.context_score);
+    writer->Key("prior").Value(candidate.prior);
+    writer->Key("total").Value(candidate.total);
+    writer->Key("chosen").Value(static_cast<int>(i) == audit.chosen_index);
+    writer->EndObject();
+  }
+  writer->EndArray();
+}
+
+std::string NodeAuditToJson(const NodeAudit& audit,
+                            const wordnet::SemanticNetwork& network) {
+  obs::JsonWriter writer;
+  writer.BeginObject();
+  AppendNodeAuditFields(&writer, audit, network);
+  writer.EndObject();
+  return writer.TakeString();
 }
 
 }  // namespace xsdf::core

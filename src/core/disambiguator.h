@@ -8,6 +8,9 @@
 #include "common/result.h"
 #include "core/ambiguity.h"
 #include "core/scores.h"
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/combined.h"
 #include "wordnet/semantic_network.h"
 #include "xml/dom.h"
@@ -84,6 +87,18 @@ struct DisambiguatorOptions {
   /// values live.
   sim::SimilarityCacheHook* similarity_cache = nullptr;
   SenseInventory* sense_inventory = nullptr;
+
+  /// Optional observability sinks (non-owning; both may be shared
+  /// across Disambiguator instances — they are internally
+  /// thread-safe). `metrics` receives the per-stage latency histograms
+  /// (stage.select_us / stage.context_us / stage.score_us, recorded
+  /// per document) and the per-node distributions (ambiguity degree,
+  /// candidate count, top-2 score margin). `trace` receives spans for
+  /// the select stage and for every disambiguated node. Instrumentation
+  /// never changes results; with both null the pipeline does not even
+  /// read the clock.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceSession* trace = nullptr;
 };
 
 /// The sense assigned to one target node.
@@ -93,6 +108,33 @@ struct SenseAssignment {
   double score = 0.0;         ///< its (combined) score
   double ambiguity = 0.0;     ///< the node's Amb_Deg
   int candidate_count = 0;    ///< size of the sense inventory examined
+};
+
+/// Audit record of one candidate sense considered for a node: the raw
+/// process components (before Eq. 13 weighting and prior smoothing)
+/// plus the final score the argmax saw. With the frequency prior
+/// active, `total` is the top-normalized weighted score plus `prior`;
+/// without it, total = w_concept * concept_score + w_context *
+/// context_score exactly as DisambiguateNode computed it.
+struct CandidateAudit {
+  SenseCandidate sense;
+  double concept_score = 0.0;  ///< Concept_Score (Definition 8 / Eq. 10)
+  double context_score = 0.0;  ///< Context_Score (Definition 10 / Eq. 12)
+  double prior = 0.0;          ///< frequency-prior contribution
+  double total = 0.0;          ///< final score used by the argmax
+};
+
+/// The full per-node disambiguation audit trail: every candidate with
+/// its score decomposition, which one won, and by how much. Produced
+/// by Disambiguator::ExplainNode(); the chosen sense is byte-identical
+/// to what DisambiguateNode() assigns for the same tree and options.
+struct NodeAudit {
+  xml::NodeId node = xml::kInvalidNode;
+  std::string label;           ///< preprocessed node label
+  double ambiguity = 0.0;      ///< Amb_Deg of the node
+  std::vector<CandidateAudit> candidates;
+  int chosen_index = -1;       ///< into `candidates`
+  double margin = 0.0;         ///< total(top1) - total(top2); 0 if single
 };
 
 /// The semantic XML tree: the input labeled tree plus a concept
@@ -134,20 +176,55 @@ class Disambiguator {
   std::vector<double> ScoreCandidates(const xml::LabeledTree& tree,
                                       xml::NodeId id) const;
 
+  /// Disambiguates one node and returns the full audit trail: every
+  /// candidate with its concept/context/prior score decomposition and
+  /// the chosen index. The chosen sense and scores are byte-identical
+  /// to DisambiguateNode() on the same tree — audit capture never
+  /// perturbs the computation. NotFound when the label is senseless.
+  Result<NodeAudit> ExplainNode(const xml::LabeledTree& tree,
+                                xml::NodeId id) const;
+
  private:
+  /// Per-document accumulators for the stage histograms: context
+  /// covers sphere + context-vector + sense resolution, score covers
+  /// the candidate scoring loop (incl. the frequency prior).
+  struct StageAccum {
+    uint64_t context_ns = 0;
+    uint64_t score_ns = 0;
+  };
+  /// Handles resolved once against options_.metrics (all null without
+  /// a registry, making every record site a dead branch).
+  struct Instruments {
+    obs::Histogram* select_us = nullptr;
+    obs::Histogram* context_us = nullptr;
+    obs::Histogram* score_us = nullptr;
+    obs::Histogram* node_ambiguity_pct = nullptr;
+    obs::Histogram* node_candidates = nullptr;
+    obs::Histogram* node_margin_milli = nullptr;
+  };
+
   CombinationWeights EffectiveCombination() const;
   std::vector<SenseCandidate> CandidatesFor(const std::string& label) const;
+
+  /// DisambiguateNode with optional stage-time accumulation and audit
+  /// capture (both null on the plain path).
+  Result<SenseAssignment> DisambiguateNodeImpl(const xml::LabeledTree& tree,
+                                               xml::NodeId id,
+                                               StageAccum* accum,
+                                               NodeAudit* audit) const;
 
   /// Scores an already-enumerated candidate list, resolving the node's
   /// sphere context once for all candidates (DisambiguateNode passes
   /// the list it fetched, avoiding a second sense-inventory lookup).
   std::vector<double> ScoreCandidatesImpl(
       const xml::LabeledTree& tree, xml::NodeId id,
-      const std::vector<SenseCandidate>& candidates) const;
+      const std::vector<SenseCandidate>& candidates,
+      StageAccum* accum = nullptr, NodeAudit* audit = nullptr) const;
 
   const wordnet::SemanticNetwork* network_;
   DisambiguatorOptions options_;
   sim::CombinedMeasure measure_;
+  Instruments ins_;
 };
 
 /// Renders a semantic tree as an annotated XML document: one element
@@ -156,6 +233,17 @@ class Disambiguator {
 /// "semantically augmented XML tree" deliverable of the paper abstract.
 std::string SemanticTreeToXml(const SemanticTree& semantic_tree,
                               const wordnet::SemanticNetwork& network);
+
+/// Writes a NodeAudit's fields (label, ambiguity, candidates with
+/// concept labels/glosses resolved against `network`, chosen sense,
+/// margin) into an already-open JSON object — callers add their own
+/// context keys (file, path) around it. See also NodeAuditToJson().
+void AppendNodeAuditFields(obs::JsonWriter* writer, const NodeAudit& audit,
+                           const wordnet::SemanticNetwork& network);
+
+/// A NodeAudit as a standalone JSON object (the `xsdf explain` record).
+std::string NodeAuditToJson(const NodeAudit& audit,
+                            const wordnet::SemanticNetwork& network);
 
 }  // namespace xsdf::core
 

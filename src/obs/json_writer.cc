@@ -1,0 +1,145 @@
+#include "obs/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace xsdf::obs {
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::Prefix() {
+  if (needs_comma_) out_.push_back(',');
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  Prefix();
+  out_.push_back('{');
+  needs_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  out_.push_back('}');
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  Prefix();
+  out_.push_back('[');
+  needs_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  out_.push_back(']');
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  Prefix();
+  out_.push_back('"');
+  out_ += JsonEscape(key);
+  out_ += "\":";
+  needs_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::string_view text) {
+  Prefix();
+  out_.push_back('"');
+  out_ += JsonEscape(text);
+  out_.push_back('"');
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(uint64_t number) {
+  Prefix();
+  out_ += StrFormat("%llu", static_cast<unsigned long long>(number));
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(int64_t number) {
+  Prefix();
+  out_ += StrFormat("%lld", static_cast<long long>(number));
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(double number) {
+  Prefix();
+  if (!std::isfinite(number)) {
+    // JSON has no Infinity/NaN; metric exporters should never produce
+    // them, but degrade to null rather than emit invalid output.
+    out_ += "null";
+  } else if (number == std::floor(number) && std::fabs(number) < 1e15) {
+    out_ += StrFormat("%.0f", number);
+  } else {
+    out_ += StrFormat("%.9g", number);
+  }
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(bool flag) {
+  Prefix();
+  out_ += flag ? "true" : "false";
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  Prefix();
+  out_ += "null";
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Raw(std::string_view text) {
+  Prefix();
+  out_ += text;
+  needs_comma_ = true;
+  return *this;
+}
+
+}  // namespace xsdf::obs

@@ -1,0 +1,60 @@
+#ifndef XSDF_OBS_JSON_WRITER_H_
+#define XSDF_OBS_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xsdf::obs {
+
+/// Returns `text` with JSON string escapes applied (quotes, backslash,
+/// control characters); the result is safe between double quotes.
+std::string JsonEscape(std::string_view text);
+
+/// A minimal streaming JSON writer: explicit Begin/End calls, automatic
+/// comma placement, string escaping. It does not validate nesting
+/// beyond what comma bookkeeping needs — callers own well-formedness
+/// (every exporter in this repo writes a fixed shape).
+///
+/// Numbers: unsigned/signed integers print exactly; Value(double)
+/// prints integral doubles without a fraction and everything else with
+/// enough digits to round-trip a metric value. Raw() escapes nothing —
+/// use it for pre-formatted numbers (e.g. fixed-point timestamps).
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Writes an object key (quoted + escaped); the next call must write
+  /// its value.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& Value(std::string_view text);
+  JsonWriter& Value(const char* text) { return Value(std::string_view(text)); }
+  JsonWriter& Value(uint64_t number);
+  JsonWriter& Value(int64_t number);
+  JsonWriter& Value(int number) { return Value(static_cast<int64_t>(number)); }
+  JsonWriter& Value(double number);
+  JsonWriter& Value(bool flag);
+  JsonWriter& Null();
+
+  /// Emits `text` verbatim in value position (caller formats it).
+  JsonWriter& Raw(std::string_view text);
+
+  const std::string& str() const { return out_; }
+  std::string TakeString() { return std::move(out_); }
+
+ private:
+  /// Emits the separating comma when the previous sibling finished.
+  void Prefix();
+
+  std::string out_;
+  bool needs_comma_ = false;
+};
+
+}  // namespace xsdf::obs
+
+#endif  // XSDF_OBS_JSON_WRITER_H_

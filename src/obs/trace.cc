@@ -1,0 +1,102 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "obs/json_writer.h"
+
+namespace xsdf::obs {
+
+namespace {
+
+std::atomic<uint64_t> g_next_session_id{1};
+
+}  // namespace
+
+TraceSession::TraceSession()
+    : id_(g_next_session_id.fetch_add(1, std::memory_order_relaxed)),
+      start_ns_(MonotonicNowNs()) {}
+
+TraceSession::ThreadLog* TraceSession::GetThreadLog() {
+  thread_local uint64_t cached_session_id = 0;
+  thread_local ThreadLog* cached_log = nullptr;
+  if (cached_session_id != id_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    logs_.push_back(std::make_unique<ThreadLog>());
+    logs_.back()->tid_ = static_cast<int>(logs_.size());
+    cached_log = logs_.back().get();
+    cached_session_id = id_;
+  }
+  return cached_log;
+}
+
+std::vector<TraceSession::ExportedEvent> TraceSession::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ExportedEvent> events;
+  for (const auto& log : logs_) {
+    for (const Event& event : log->events_) {
+      ExportedEvent exported;
+      exported.name = event.name;
+      exported.arg = event.arg;
+      exported.ts_ns = event.ts_ns;
+      exported.dur_ns = event.dur_ns;
+      exported.tid = log->tid_;
+      exported.thread_name = log->name_;
+      events.push_back(std::move(exported));
+    }
+  }
+  return events;
+}
+
+size_t TraceSession::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& log : logs_) total += log->events_.size();
+  return total;
+}
+
+std::string TraceSession::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("traceEvents").BeginArray();
+  for (const auto& log : logs_) {
+    if (!log->name_.empty()) {
+      writer.BeginObject();
+      writer.Key("ph").Value("M");
+      writer.Key("name").Value("thread_name");
+      writer.Key("pid").Value(1);
+      writer.Key("tid").Value(log->tid_);
+      writer.Key("args").BeginObject();
+      writer.Key("name").Value(log->name_);
+      writer.EndObject();
+      writer.EndObject();
+    }
+    for (const Event& event : log->events_) {
+      writer.BeginObject();
+      writer.Key("ph").Value("X");
+      writer.Key("name").Value(event.name);
+      writer.Key("cat").Value("xsdf");
+      writer.Key("pid").Value(1);
+      writer.Key("tid").Value(log->tid_);
+      // Chrome trace timestamps are microseconds; keep ns precision in
+      // the fraction.
+      writer.Key("ts").Raw(
+          StrFormat("%.3f", static_cast<double>(event.ts_ns) / 1000.0));
+      writer.Key("dur").Raw(
+          StrFormat("%.3f", static_cast<double>(event.dur_ns) / 1000.0));
+      if (!event.arg.empty()) {
+        writer.Key("args").BeginObject();
+        writer.Key("arg").Value(event.arg);
+        writer.EndObject();
+      }
+      writer.EndObject();
+    }
+  }
+  writer.EndArray();
+  writer.Key("displayTimeUnit").Value("ms");
+  writer.EndObject();
+  return writer.TakeString();
+}
+
+}  // namespace xsdf::obs

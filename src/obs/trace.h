@@ -1,0 +1,174 @@
+#ifndef XSDF_OBS_TRACE_H_
+#define XSDF_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace xsdf::obs {
+
+/// Monotonic wall time in nanoseconds (arbitrary epoch) — the clock
+/// every span and stage timer in this module reads.
+inline uint64_t MonotonicNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Collects completed spans from many threads and renders them as
+/// Chrome trace-event JSON (chrome://tracing, Perfetto).
+///
+/// Each recording thread owns a private append-only event buffer (a
+/// ThreadLog, registered on first use through a thread-local lookup),
+/// so the record path takes no lock and touches no shared cache line —
+/// the session mutex guards only registration and export. One log maps
+/// to one `tid` in the exported trace.
+///
+/// Export (Snapshot/ToJson/event_count) reads every buffer without
+/// synchronizing against writers: call it only while recording threads
+/// are quiescent — for the engine, any time between RunBatch() calls.
+class TraceSession {
+ public:
+  /// One completed span, relative to the session start.
+  struct Event {
+    const char* name;  ///< static-storage span name
+    std::string arg;   ///< optional detail (document name, label)
+    uint64_t ts_ns;    ///< span start, ns since session start
+    uint64_t dur_ns;
+  };
+
+  /// An exported event, detached from the session (for tests and
+  /// programmatic inspection).
+  struct ExportedEvent {
+    std::string name;
+    std::string arg;
+    uint64_t ts_ns = 0;
+    uint64_t dur_ns = 0;
+    int tid = 0;
+    std::string thread_name;
+  };
+
+  /// One thread's private span buffer. Only the owning thread calls
+  /// Add/set_name; the session reads it during export.
+  class ThreadLog {
+   public:
+    void Add(const char* name, uint64_t ts_ns, uint64_t dur_ns,
+             std::string arg = {}) {
+      events_.push_back(Event{name, std::move(arg), ts_ns, dur_ns});
+    }
+    void set_name(std::string name) { name_ = std::move(name); }
+    int tid() const { return tid_; }
+
+   private:
+    friend class TraceSession;
+    int tid_ = 0;
+    std::string name_;
+    std::vector<Event> events_;
+  };
+
+  TraceSession();
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// The calling thread's log, registered on first call. The lookup is
+  /// one thread-local compare after registration. A thread that
+  /// alternates between sessions re-registers (gets a fresh log) each
+  /// time it switches — cheap, and correct even when a session address
+  /// is reused, because the check is on a process-unique session id.
+  ThreadLog* GetThreadLog();
+
+  /// Nanoseconds since the session was constructed (span timestamps).
+  uint64_t NowNs() const {
+    return MonotonicNowNs() - start_ns_;
+  }
+
+  /// All recorded events (quiescent callers only; see class comment).
+  std::vector<ExportedEvent> Snapshot() const;
+
+  /// Chrome trace-event JSON: one complete ("ph":"X") event per span
+  /// with µs timestamps, plus thread_name metadata per named log —
+  /// the `--trace-out` file format.
+  std::string ToJson() const;
+
+  size_t event_count() const;
+
+ private:
+  const uint64_t id_;
+  const uint64_t start_ns_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<ThreadLog>> logs_;
+};
+
+/// RAII span: records [construction, destruction) into `session` under
+/// `name`. A null session makes it a true no-op (no clock read).
+class Span {
+ public:
+  Span(TraceSession* session, const char* name, std::string arg = {})
+      : session_(session), name_(name) {
+    if (session_ == nullptr) return;
+    log_ = session_->GetThreadLog();
+    arg_ = std::move(arg);
+    start_ns_ = session_->NowNs();
+  }
+  ~Span() {
+    if (session_ == nullptr) return;
+    log_->Add(name_, start_ns_, session_->NowNs() - start_ns_,
+              std::move(arg_));
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  TraceSession* session_;
+  TraceSession::ThreadLog* log_ = nullptr;
+  const char* name_;
+  std::string arg_;
+  uint64_t start_ns_ = 0;
+};
+
+/// Times one pipeline stage into both sinks at once: an optional
+/// latency histogram (microseconds) and an optional trace span. With
+/// both sinks null it does nothing — not even a clock read — which is
+/// what keeps fully un-instrumented runs at baseline speed.
+class StageTimer {
+ public:
+  StageTimer(Histogram* hist_us, TraceSession* trace, const char* name,
+             std::string arg = {})
+      : hist_(hist_us), trace_(trace), name_(name) {
+    if (hist_ == nullptr && trace_ == nullptr) return;
+    if (trace_ != nullptr) log_ = trace_->GetThreadLog();
+    arg_ = std::move(arg);
+    start_ns_ = trace_ != nullptr ? trace_->NowNs() : MonotonicNowNs();
+  }
+  ~StageTimer() {
+    if (hist_ == nullptr && trace_ == nullptr) return;
+    const uint64_t end_ns =
+        trace_ != nullptr ? trace_->NowNs() : MonotonicNowNs();
+    const uint64_t dur_ns = end_ns - start_ns_;
+    if (hist_ != nullptr) hist_->Record((dur_ns + 500) / 1000);
+    if (trace_ != nullptr) {
+      log_->Add(name_, start_ns_, dur_ns, std::move(arg_));
+    }
+  }
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+ private:
+  Histogram* hist_;
+  TraceSession* trace_;
+  TraceSession::ThreadLog* log_ = nullptr;
+  const char* name_;
+  std::string arg_;
+  uint64_t start_ns_ = 0;
+};
+
+}  // namespace xsdf::obs
+
+#endif  // XSDF_OBS_TRACE_H_

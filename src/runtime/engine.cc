@@ -4,6 +4,8 @@
 #include <mutex>
 
 #include "common/strings.h"
+#include "core/tree_builder.h"
+#include "xml/parser.h"
 
 namespace xsdf::runtime {
 
@@ -34,8 +36,27 @@ DisambiguationEngine::DisambiguationEngine(
     const wordnet::SemanticNetwork* network, EngineOptions options)
     : network_(network),
       options_(options),
+      trace_(options.trace),
       queue_(options.queue_capacity) {
   if (options_.threads < 1) options_.threads = 1;
+  // Workers construct their Disambiguators from these options, so the
+  // sinks reach the core stages too.
+  options_.disambiguator.metrics = options_.metrics;
+  options_.disambiguator.trace = options_.trace;
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry* m = options_.metrics;
+    ins_.documents = m->GetCounter("engine.documents");
+    ins_.failures = m->GetCounter("engine.failures");
+    ins_.nodes = m->GetCounter("engine.nodes");
+    ins_.assignments = m->GetCounter("engine.assignments");
+    ins_.job_wait_us = m->GetHistogram("engine.job_wait_us");
+    ins_.job_run_us = m->GetHistogram("engine.job_run_us");
+    ins_.queue_depth = m->GetHistogram(
+        "engine.queue_depth", {0, 1, 2, 4, 8, 16, 32, 64, 128, 256});
+    ins_.parse_us = m->GetHistogram("stage.parse_us");
+    ins_.tree_build_us = m->GetHistogram("stage.tree_build_us");
+    ins_.serialize_us = m->GetHistogram("stage.serialize_us");
+  }
   if (options_.enable_similarity_cache) {
     similarity_cache_ = std::make_unique<SimilarityCache>(
         options_.similarity_cache_capacity,
@@ -50,7 +71,7 @@ DisambiguationEngine::DisambiguationEngine(
   }
   workers_.reserve(static_cast<size_t>(options_.threads));
   for (int i = 0; i < options_.threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -59,20 +80,44 @@ DisambiguationEngine::~DisambiguationEngine() {
   for (std::thread& worker : workers_) worker.join();
 }
 
-void DisambiguationEngine::WorkerLoop() {
+void DisambiguationEngine::WorkerLoop(int worker_index) {
+  if (trace_ != nullptr) {
+    // Register this worker's span buffer up front so the exported
+    // trace has one stable tid (and name) per worker.
+    trace_->GetThreadLog()->set_name(StrFormat("worker-%d", worker_index));
+  }
   // Per-worker scratch: the Disambiguator (and its CombinedMeasure
   // component measures) is private to this thread; only the network
   // and the engine caches are shared.
   core::Disambiguator disambiguator(network_, options_.disambiguator);
   while (auto item = queue_.Pop()) {
+    if (ins_.queue_depth != nullptr) {
+      ins_.queue_depth->Record(queue_.size());
+    }
+    if (ins_.job_wait_us != nullptr && item->enqueue_ns != 0) {
+      ins_.job_wait_us->Record(
+          (obs::MonotonicNowNs() - item->enqueue_ns + 500) / 1000);
+    }
+    const uint64_t run_start =
+        ins_.job_run_us != nullptr ? obs::MonotonicNowNs() : 0;
     DocumentResult result = Process(disambiguator, item->job);
+    if (ins_.job_run_us != nullptr) {
+      ins_.job_run_us->Record((obs::MonotonicNowNs() - run_start + 500) /
+                              1000);
+    }
     documents_.fetch_add(1, std::memory_order_relaxed);
+    if (ins_.documents != nullptr) ins_.documents->Increment();
     if (result.ok) {
       nodes_.fetch_add(result.node_count, std::memory_order_relaxed);
       assignments_.fetch_add(result.assignment_count,
                              std::memory_order_relaxed);
+      if (ins_.nodes != nullptr) ins_.nodes->Increment(result.node_count);
+      if (ins_.assignments != nullptr) {
+        ins_.assignments->Increment(result.assignment_count);
+      }
     } else {
       failures_.fetch_add(1, std::memory_order_relaxed);
+      if (ins_.failures != nullptr) ins_.failures->Increment();
     }
     item->batch->Complete(std::move(result));
   }
@@ -84,7 +129,28 @@ DocumentResult DisambiguationEngine::Process(
   DocumentResult result;
   result.index = job.index;
   result.name = job.name;
-  auto semantic_tree = disambiguator.RunOnXml(job.xml);
+  // The pipeline stages are run individually (rather than through
+  // RunOnXml) so each gets its own span and latency histogram; the
+  // composition is identical, so results are byte-for-byte the same.
+  obs::Span doc_span(trace_, "document", job.name);
+  xsdf::Result<xml::Document> doc = [&] {
+    obs::StageTimer timer(ins_.parse_us, trace_, "parse");
+    return xml::Parse(job.xml);
+  }();
+  if (!doc.ok()) {
+    result.error = doc.status().ToString();
+    return result;
+  }
+  xsdf::Result<xml::LabeledTree> tree = [&] {
+    obs::StageTimer timer(ins_.tree_build_us, trace_, "tree_build");
+    return core::BuildTree(*doc, *network_,
+                           options_.disambiguator.include_values);
+  }();
+  if (!tree.ok()) {
+    result.error = tree.status().ToString();
+    return result;
+  }
+  auto semantic_tree = disambiguator.RunOnTree(std::move(tree).value());
   if (!semantic_tree.ok()) {
     result.error = semantic_tree.status().ToString();
     return result;
@@ -92,7 +158,10 @@ DocumentResult DisambiguationEngine::Process(
   result.ok = true;
   result.node_count = semantic_tree->tree.size();
   result.assignment_count = semantic_tree->assignments.size();
-  result.semantic_xml = core::SemanticTreeToXml(*semantic_tree, *network_);
+  {
+    obs::StageTimer timer(ins_.serialize_us, trace_, "serialize");
+    result.semantic_xml = core::SemanticTreeToXml(*semantic_tree, *network_);
+  }
   return result;
 }
 
@@ -103,6 +172,7 @@ std::vector<DocumentResult> DisambiguationEngine::RunBatch(
   for (size_t i = 0; i < jobs.size(); ++i) {
     jobs[i].index = i;
     WorkItem item{std::move(jobs[i]), &batch};
+    if (ins_.job_wait_us != nullptr) item.enqueue_ns = obs::MonotonicNowNs();
     if (!queue_.Push(std::move(item))) {
       // Queue closed mid-batch (engine shutting down): record the
       // failure locally so the wait below still terminates.
@@ -128,6 +198,27 @@ EngineStats DisambiguationEngine::stats() const {
   return stats;
 }
 
+void DisambiguationEngine::PublishStatsToMetrics() {
+  if (options_.metrics == nullptr) return;
+  obs::MetricsRegistry* m = options_.metrics;
+  EngineStats s = stats();
+  auto publish_cache = [m](const char* prefix, const CacheStats& cache) {
+    auto set = [&](const char* field, uint64_t value) {
+      m->GetGauge(StrFormat("%s.%s", prefix, field))
+          ->Set(static_cast<int64_t>(value));
+    };
+    set("hits", cache.hits);
+    set("misses", cache.misses);
+    set("evictions", cache.evictions);
+    set("read_retries", cache.read_retries);
+    set("write_collisions", cache.write_collisions);
+    set("entries", cache.entries);
+    set("capacity", cache.capacity);
+  };
+  publish_cache("cache.similarity", s.similarity_cache);
+  publish_cache("cache.sense", s.sense_cache);
+}
+
 void DisambiguationEngine::ResetCounters() {
   documents_.store(0, std::memory_order_relaxed);
   failures_.store(0, std::memory_order_relaxed);
@@ -140,12 +231,20 @@ void DisambiguationEngine::ResetCounters() {
 std::string FormatEngineStats(const EngineStats& stats) {
   auto cache_line = [](const CacheStats& cache) {
     if (cache.capacity == 0) return std::string("off");
-    return StrFormat("%.1f%% hit (%llu/%llu), %llu evicted, %zu/%zu entries",
-                     100.0 * cache.HitRate(),
-                     static_cast<unsigned long long>(cache.hits),
-                     static_cast<unsigned long long>(cache.lookups()),
-                     static_cast<unsigned long long>(cache.evictions),
-                     cache.entries, cache.capacity);
+    std::string line = StrFormat(
+        "%.1f%% hit (%llu/%llu), %llu evicted, %zu/%zu entries",
+        100.0 * cache.HitRate(),
+        static_cast<unsigned long long>(cache.hits),
+        static_cast<unsigned long long>(cache.lookups()),
+        static_cast<unsigned long long>(cache.evictions),
+        cache.entries, cache.capacity);
+    if (cache.read_retries != 0 || cache.write_collisions != 0) {
+      line += StrFormat(
+          ", %llu seq retries, %llu write collisions",
+          static_cast<unsigned long long>(cache.read_retries),
+          static_cast<unsigned long long>(cache.write_collisions));
+    }
+    return line;
   };
   return StrFormat(
       "%llu docs (%llu failed), %llu nodes, %llu senses | sim cache: %s | "

@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "core/disambiguator.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/job_queue.h"
 #include "runtime/sense_inventory_cache.h"
 #include "runtime/similarity_cache.h"
@@ -59,6 +61,18 @@ struct EngineOptions {
 
   /// Pipeline configuration applied by every worker.
   core::DisambiguatorOptions disambiguator;
+
+  /// Optional observability sinks (non-owning; must outlive the
+  /// engine). They are propagated to every worker's Disambiguator.
+  /// With a registry attached the engine records per-stage latency
+  /// histograms (stage.parse_us / tree_build_us / serialize_us, plus
+  /// the core stages), queue behavior (engine.job_wait_us /
+  /// job_run_us / queue_depth) and lifetime counters; with a trace
+  /// session attached every worker emits per-document spans under its
+  /// own tid. Both null (the default) keeps the hot path free of even
+  /// clock reads.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceSession* trace = nullptr;
 };
 
 /// A concurrent batch-disambiguation runtime: one immutable
@@ -96,7 +110,16 @@ class DisambiguationEngine {
 
   /// Zeroes document and cache hit/miss/eviction counters; cache
   /// *contents* are retained (so the next pass measures warm rates).
+  /// The attached metrics registry (if any) is NOT reset — its
+  /// counters/histograms aggregate across passes by design.
   void ResetCounters();
+
+  /// Publishes the current EngineStats snapshot (documents, caches —
+  /// including seqlock retry/collision counters) as gauges into the
+  /// attached metrics registry; no-op without one. Call before
+  /// exporting the registry so cache state lands in the same file as
+  /// the latency histograms.
+  void PublishStatsToMetrics();
 
   const EngineOptions& options() const { return options_; }
   int thread_count() const { return static_cast<int>(workers_.size()); }
@@ -106,14 +129,31 @@ class DisambiguationEngine {
   struct WorkItem {
     DocumentJob job;
     Batch* batch = nullptr;
+    uint64_t enqueue_ns = 0;  ///< MonotonicNowNs() at Push; 0 = untimed
+  };
+  /// Engine-level instrument handles, resolved once against
+  /// options_.metrics (all null without a registry).
+  struct Instruments {
+    obs::Counter* documents = nullptr;
+    obs::Counter* failures = nullptr;
+    obs::Counter* nodes = nullptr;
+    obs::Counter* assignments = nullptr;
+    obs::Histogram* job_wait_us = nullptr;
+    obs::Histogram* job_run_us = nullptr;
+    obs::Histogram* queue_depth = nullptr;
+    obs::Histogram* parse_us = nullptr;
+    obs::Histogram* tree_build_us = nullptr;
+    obs::Histogram* serialize_us = nullptr;
   };
 
-  void WorkerLoop();
+  void WorkerLoop(int worker_index);
   DocumentResult Process(const core::Disambiguator& disambiguator,
                          const DocumentJob& job) const;
 
   const wordnet::SemanticNetwork* network_;
   EngineOptions options_;
+  Instruments ins_;
+  obs::TraceSession* trace_ = nullptr;
   std::unique_ptr<SimilarityCache> similarity_cache_;
   std::unique_ptr<SenseInventoryCache> sense_cache_;
   BoundedJobQueue<WorkItem> queue_;

@@ -70,6 +70,7 @@ bool SimilarityCache::Lookup(uint64_t pair_key, double* value) {
   // writer overlapped. Retries are rare (writes are <1% of traffic).
   bool found = false;
   uint64_t bits = 0;
+  uint64_t retries = 0;  // flushed as one fetch_add below
   for (;;) {
     uint64_t before = set.seq.load(std::memory_order_acquire);
     if ((before & 1) == 0) {
@@ -84,8 +85,12 @@ bool SimilarityCache::Lookup(uint64_t pair_key, double* value) {
       std::atomic_thread_fence(std::memory_order_acquire);
       if (set.seq.load(std::memory_order_relaxed) == before) break;
     }
+    ++retries;
   }
   Stripe& stripe = StripeFor(set_index);
+  if (retries != 0) {
+    stripe.read_retries.fetch_add(retries, std::memory_order_relaxed);
+  }
   if (!found) {
     stripe.misses.fetch_add(1, std::memory_order_relaxed);
     return false;
@@ -102,6 +107,7 @@ void SimilarityCache::Insert(uint64_t pair_key, double value) {
   Set& set = sets_[set_index];
   // Writer lock: bump seq to odd. Readers retry while it is odd.
   uint64_t seq = set.seq.load(std::memory_order_relaxed);
+  uint64_t collisions = 0;
   for (;;) {
     if ((seq & 1) == 0 &&
         set.seq.compare_exchange_weak(seq, seq + 1,
@@ -109,6 +115,8 @@ void SimilarityCache::Insert(uint64_t pair_key, double value) {
                                       std::memory_order_relaxed)) {
       break;
     }
+    ++collisions;
+    if ((seq & 1) != 0) seq = set.seq.load(std::memory_order_relaxed);
   }
   size_t way = kWays;     // chosen slot
   size_t empty = kWays;   // first empty way, if any
@@ -121,6 +129,9 @@ void SimilarityCache::Insert(uint64_t pair_key, double value) {
     if (k == 0 && empty == kWays) empty = w;
   }
   Stripe& stripe = StripeFor(set_index);
+  if (collisions != 0) {
+    stripe.write_collisions.fetch_add(collisions, std::memory_order_relaxed);
+  }
   if (way == kWays) {
     if (empty != kWays) {
       way = empty;
@@ -147,6 +158,10 @@ CacheStats SimilarityCache::GetStats() const {
     stats.misses += stripes_[i].misses.load(std::memory_order_relaxed);
     stats.evictions +=
         stripes_[i].evictions.load(std::memory_order_relaxed);
+    stats.read_retries +=
+        stripes_[i].read_retries.load(std::memory_order_relaxed);
+    stats.write_collisions +=
+        stripes_[i].write_collisions.load(std::memory_order_relaxed);
     fills += stripes_[i].fills.load(std::memory_order_relaxed);
   }
   stats.entries = static_cast<size_t>(fills);
@@ -166,6 +181,8 @@ void SimilarityCache::ResetCounters() {
     stripes_[i].hits.store(0, std::memory_order_relaxed);
     stripes_[i].misses.store(0, std::memory_order_relaxed);
     stripes_[i].evictions.store(0, std::memory_order_relaxed);
+    stripes_[i].read_retries.store(0, std::memory_order_relaxed);
+    stripes_[i].write_collisions.store(0, std::memory_order_relaxed);
     stripes_[i].fills.store(i == 0 ? occupied : 0,
                             std::memory_order_relaxed);
   }

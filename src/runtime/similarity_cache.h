@@ -70,6 +70,8 @@ class SimilarityCache : public sim::SimilarityCacheHook {
     std::atomic<uint64_t> misses{0};
     std::atomic<uint64_t> evictions{0};
     std::atomic<uint64_t> fills{0};  ///< empty ways claimed
+    std::atomic<uint64_t> read_retries{0};      ///< seqlock reads redone
+    std::atomic<uint64_t> write_collisions{0};  ///< seq-CAS acquire misses
   };
 
   uint64_t MixKey(uint64_t pair_key) const;

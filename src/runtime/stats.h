@@ -14,6 +14,12 @@ struct CacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t evictions = 0;
+  /// Seqlock contention counters (always 0 for mutex-sharded caches):
+  /// `read_retries` counts lookup validation rounds discarded because a
+  /// writer overlapped; `write_collisions` counts failed attempts to
+  /// take a set's sequence lock (another writer held it).
+  uint64_t read_retries = 0;
+  uint64_t write_collisions = 0;
   size_t entries = 0;
   size_t capacity = 0;
   size_t shards = 0;

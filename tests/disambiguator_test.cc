@@ -206,6 +206,113 @@ TEST(SemanticTreeXmlTest, SerializesAnnotations) {
   EXPECT_NE(xml_out.find("gloss="), std::string::npos);
 }
 
+// =================== ExplainNode audit trail ======================
+
+TEST(ExplainNodeTest, ReproducesDisambiguateNodeExactly) {
+  // The acceptance bar for `xsdf explain`: on every node the audit's
+  // chosen sense, score, and ambiguity are byte-identical to what the
+  // batch pipeline assigns — audit capture must not perturb the
+  // floating-point accumulation.
+  auto tree = BuildTreeFromXml(kFigure1Doc1, Network());
+  ASSERT_TRUE(tree.ok());
+  Disambiguator system(&Network());
+  size_t audited = 0;
+  for (const auto& node : tree->nodes()) {
+    auto assignment = system.DisambiguateNode(*tree, node.id);
+    auto audit = system.ExplainNode(*tree, node.id);
+    ASSERT_EQ(assignment.ok(), audit.ok()) << node.label;
+    if (!assignment.ok()) continue;
+    ++audited;
+    ASSERT_GE(audit->chosen_index, 0) << node.label;
+    ASSERT_LT(static_cast<size_t>(audit->chosen_index),
+              audit->candidates.size());
+    const CandidateAudit& chosen =
+        audit->candidates[static_cast<size_t>(audit->chosen_index)];
+    EXPECT_EQ(chosen.sense.primary, assignment->sense.primary)
+        << node.label;
+    EXPECT_EQ(chosen.sense.secondary, assignment->sense.secondary)
+        << node.label;
+    EXPECT_EQ(chosen.total, assignment->score) << node.label;  // bit-exact
+    EXPECT_EQ(audit->ambiguity, assignment->ambiguity) << node.label;
+    EXPECT_EQ(audit->candidates.size(),
+              static_cast<size_t>(assignment->candidate_count));
+    EXPECT_EQ(audit->node, node.id);
+    EXPECT_EQ(audit->label, node.label);
+  }
+  EXPECT_GT(audited, 5u) << "expected several disambiguated nodes";
+}
+
+TEST(ExplainNodeTest, MarginSeparatesTopTwoCandidates) {
+  auto tree = BuildTreeFromXml(kFigure1Doc1, Network());
+  ASSERT_TRUE(tree.ok());
+  Disambiguator system(&Network());
+  for (const auto& node : tree->nodes()) {
+    if (node.label != "star") continue;
+    auto audit = system.ExplainNode(*tree, node.id);
+    ASSERT_TRUE(audit.ok());
+    ASSERT_GT(audit->candidates.size(), 1u);
+    EXPECT_GT(audit->margin, 0.0);
+    const CandidateAudit& chosen =
+        audit->candidates[static_cast<size_t>(audit->chosen_index)];
+    // margin = chosen.total - best runner-up, so no other candidate
+    // may come closer than the reported margin.
+    for (size_t i = 0; i < audit->candidates.size(); ++i) {
+      if (static_cast<int>(i) == audit->chosen_index) continue;
+      EXPECT_LE(audit->candidates[i].total + audit->margin,
+                chosen.total + 1e-12);
+    }
+    break;
+  }
+}
+
+TEST(ExplainNodeTest, SingleCandidateAuditsAsScoreOne) {
+  auto tree = BuildTreeFromXml(kFigure1Doc1, Network());
+  ASSERT_TRUE(tree.ok());
+  Disambiguator system(&Network());
+  for (const auto& node : tree->nodes()) {
+    if (node.label != "wheelchair") continue;
+    auto audit = system.ExplainNode(*tree, node.id);
+    ASSERT_TRUE(audit.ok());
+    ASSERT_EQ(audit->candidates.size(), 1u);
+    EXPECT_EQ(audit->chosen_index, 0);
+    EXPECT_DOUBLE_EQ(audit->candidates[0].total, 1.0);
+    EXPECT_DOUBLE_EQ(audit->margin, 0.0);
+    break;
+  }
+}
+
+TEST(ExplainNodeTest, SenselessLabelReturnsNotFound) {
+  auto tree = BuildTreeFromXml("<zzunknownzz/>", Network());
+  ASSERT_TRUE(tree.ok());
+  Disambiguator system(&Network());
+  auto audit = system.ExplainNode(*tree, 0);
+  ASSERT_FALSE(audit.ok());
+  EXPECT_EQ(audit.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ExplainNodeTest, JsonRenderingCarriesTheDecomposition) {
+  auto tree = BuildTreeFromXml(kFigure1Doc1, Network());
+  ASSERT_TRUE(tree.ok());
+  Disambiguator system(&Network());
+  for (const auto& node : tree->nodes()) {
+    if (node.label != "star") continue;
+    auto audit = system.ExplainNode(*tree, node.id);
+    ASSERT_TRUE(audit.ok());
+    std::string json = NodeAuditToJson(*audit, Network());
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_NE(json.find("\"label\":\"star\""), std::string::npos) << json;
+    EXPECT_NE(json.find("\"concept_score\":"), std::string::npos);
+    EXPECT_NE(json.find("\"context_score\":"), std::string::npos);
+    EXPECT_NE(json.find("\"prior\":"), std::string::npos);
+    EXPECT_NE(json.find("\"chosen\":{"), std::string::npos);
+    EXPECT_NE(json.find("\"margin\":"), std::string::npos);
+    EXPECT_NE(json.find("an actor who plays a principal role"),
+              std::string::npos)
+        << "chosen gloss missing";
+    break;
+  }
+}
+
 TEST(SemanticTreeXmlTest, Figure1SecondDocumentCompounds) {
   auto docs = datasets::Figure1Documents();
   ASSERT_EQ(docs.size(), 2u);

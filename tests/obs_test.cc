@@ -1,0 +1,345 @@
+// Tests for the observability layer: metrics registry (counters,
+// gauges, fixed-bucket histograms with striped hot paths), snapshot
+// merging, JSON export, and the Chrome-trace span recorder.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace xsdf::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// JsonWriter
+
+TEST(JsonWriterTest, EscapesStrings) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(JsonEscape(std::string("a\x01z")), "a\\u0001z");
+}
+
+TEST(JsonWriterTest, WritesNestedStructure) {
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("name");
+  writer.Value("x\"y");
+  writer.Key("values");
+  writer.BeginArray();
+  writer.Value(uint64_t{1});
+  writer.Value(int64_t{-2});
+  writer.Value(2.5);
+  writer.Value(true);
+  writer.Null();
+  writer.EndArray();
+  writer.Key("nested");
+  writer.BeginObject();
+  writer.EndObject();
+  writer.EndObject();
+  EXPECT_EQ(writer.str(),
+            "{\"name\":\"x\\\"y\",\"values\":[1,-2,2.5,true,null],"
+            "\"nested\":{}}");
+}
+
+TEST(JsonWriterTest, IntegralDoublesPrintWithoutFraction) {
+  JsonWriter writer;
+  writer.BeginArray();
+  writer.Value(3.0);
+  writer.Value(0.25);
+  writer.EndArray();
+  EXPECT_EQ(writer.str(), "[3,0.25]");
+}
+
+// ---------------------------------------------------------------------------
+// Counter / Gauge
+
+TEST(CounterTest, ConcurrentIncrementsAreExact) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.Value(), uint64_t{kThreads} * kPerThread);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.Value(), 0);
+  gauge.Set(42);
+  EXPECT_EQ(gauge.Value(), 42);
+  gauge.Add(-50);
+  EXPECT_EQ(gauge.Value(), -8);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpperBounds) {
+  Histogram histogram({10, 20, 30});
+  // Bucket i holds values <= bounds[i]; the extra trailing bucket holds
+  // overflow. Boundary values land in the lower bucket.
+  histogram.Record(0);
+  histogram.Record(10);   // bucket 0 (inclusive)
+  histogram.Record(11);   // bucket 1
+  histogram.Record(20);   // bucket 1 (inclusive)
+  histogram.Record(30);   // bucket 2 (inclusive)
+  histogram.Record(31);   // overflow
+  histogram.Record(1000); // overflow
+  HistogramSnapshot snap = histogram.Snapshot();
+  ASSERT_EQ(snap.bounds, (std::vector<uint64_t>{10, 20, 30}));
+  ASSERT_EQ(snap.counts.size(), 4u);
+  EXPECT_EQ(snap.counts[0], 2u);
+  EXPECT_EQ(snap.counts[1], 2u);
+  EXPECT_EQ(snap.counts[2], 1u);
+  EXPECT_EQ(snap.counts[3], 2u);
+  EXPECT_EQ(snap.count, 7u);
+  EXPECT_EQ(snap.sum, 0u + 10 + 11 + 20 + 30 + 31 + 1000);
+  EXPECT_EQ(snap.max, 1000u);
+}
+
+TEST(HistogramTest, NormalizesUnsortedDuplicatedBounds) {
+  Histogram histogram({30, 10, 20, 10});
+  EXPECT_EQ(histogram.bounds(), (std::vector<uint64_t>{10, 20, 30}));
+}
+
+TEST(HistogramTest, ConcurrentRecordingTotalsAreExact) {
+  Histogram histogram({1, 2, 5, 10, 100});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        histogram.Record(static_cast<uint64_t>((i + t) % 12));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  HistogramSnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.count, uint64_t{kThreads} * kPerThread);
+  uint64_t bucket_total = 0;
+  for (uint64_t c : snap.counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, snap.count);
+  EXPECT_EQ(snap.max, 11u);
+}
+
+TEST(HistogramTest, SnapshotMergeSumsBucketsAndRejectsMismatch) {
+  Histogram a({10, 20});
+  Histogram b({10, 20});
+  a.Record(5);
+  a.Record(25);
+  b.Record(15);
+  b.Record(100);
+  HistogramSnapshot merged = a.Snapshot();
+  ASSERT_TRUE(merged.Merge(b.Snapshot()));
+  EXPECT_EQ(merged.count, 4u);
+  EXPECT_EQ(merged.sum, 5u + 25 + 15 + 100);
+  EXPECT_EQ(merged.max, 100u);
+  EXPECT_EQ(merged.counts, (std::vector<uint64_t>{1, 1, 2}));
+
+  Histogram mismatched({1, 2, 3});
+  HistogramSnapshot copy = merged;
+  EXPECT_FALSE(merged.Merge(mismatched.Snapshot()));
+  EXPECT_EQ(merged.counts, copy.counts);  // unchanged on failure
+}
+
+TEST(HistogramTest, ApproxPercentile) {
+  Histogram histogram({10, 20, 30});
+  for (int i = 0; i < 50; ++i) histogram.Record(5);
+  for (int i = 0; i < 49; ++i) histogram.Record(15);
+  histogram.Record(500);
+  HistogramSnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.ApproxPercentile(0.25), 10u);
+  EXPECT_EQ(snap.ApproxPercentile(0.75), 20u);
+  EXPECT_EQ(snap.ApproxPercentile(1.0), 500u);  // overflow reports max
+  EXPECT_EQ(HistogramSnapshot{}.ApproxPercentile(0.5), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+TEST(MetricsRegistryTest, SameNameReturnsSameInstrument) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("c");
+  EXPECT_EQ(counter, registry.GetCounter("c"));
+  Gauge* gauge = registry.GetGauge("g");
+  EXPECT_EQ(gauge, registry.GetGauge("g"));
+  Histogram* histogram = registry.GetHistogram("h", {1, 2, 3});
+  EXPECT_EQ(histogram, registry.GetHistogram("h"));
+  // First registration wins: the original bounds survive.
+  EXPECT_EQ(histogram->bounds(), (std::vector<uint64_t>{1, 2, 3}));
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedAndMergeable) {
+  MetricsRegistry a;
+  a.GetCounter("z")->Increment(3);
+  a.GetCounter("a")->Increment(1);
+  a.GetGauge("depth")->Set(7);
+  a.GetHistogram("lat", {10})->Record(4);
+
+  MetricsSnapshot snap = a.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].first, "a");
+  EXPECT_EQ(snap.counters[1].first, "z");
+
+  MetricsRegistry b;
+  b.GetCounter("z")->Increment(10);
+  b.GetCounter("only_b")->Increment(2);
+  b.GetHistogram("lat", {10})->Record(40);
+  ASSERT_TRUE(snap.Merge(b.Snapshot()));
+  uint64_t z_total = 0;
+  uint64_t only_b = 0;
+  for (const auto& [name, value] : snap.counters) {
+    if (name == "z") z_total = value;
+    if (name == "only_b") only_b = value;
+  }
+  EXPECT_EQ(z_total, 13u);
+  EXPECT_EQ(only_b, 2u);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 2u);
+
+  MetricsRegistry mismatched;
+  mismatched.GetHistogram("lat", {99});
+  EXPECT_FALSE(snap.Merge(mismatched.Snapshot()));
+}
+
+TEST(MetricsRegistryTest, ResetZeroesCountersButKeepsGauges) {
+  MetricsRegistry registry;
+  registry.GetCounter("c")->Increment(5);
+  registry.GetGauge("g")->Set(9);
+  registry.GetHistogram("h")->Record(3);
+  registry.Reset();
+  EXPECT_EQ(registry.GetCounter("c")->Value(), 0u);
+  EXPECT_EQ(registry.GetGauge("g")->Value(), 9);
+  EXPECT_EQ(registry.GetHistogram("h")->Snapshot().count, 0u);
+}
+
+TEST(MetricsRegistryTest, ToJsonHasFixedShape) {
+  MetricsRegistry registry;
+  registry.GetCounter("docs")->Increment(2);
+  registry.GetGauge("depth")->Set(-1);
+  registry.GetHistogram("lat", {10, 20})->Record(15);
+  std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"counters\":{\"docs\":2}"), std::string::npos);
+  EXPECT_NE(json.find("\"depth\":-1"), std::string::npos);
+  EXPECT_NE(json.find("\"bounds\":[10,20]"), std::string::npos);
+  EXPECT_NE(json.find("\"counts\":[0,1,0]"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+// ---------------------------------------------------------------------------
+// TraceSession / Span / StageTimer
+
+TEST(TraceTest, SpansRecordPerThreadWithStableTids) {
+  TraceSession session;
+  {
+    Span span(&session, "main_work", "doc-a");
+  }
+  std::thread worker([&session] {
+    session.GetThreadLog()->set_name("worker-0");
+    Span outer(&session, "outer");
+    Span inner(&session, "inner");
+  });
+  worker.join();
+
+  std::vector<TraceSession::ExportedEvent> events = session.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(session.event_count(), 3u);
+  int main_tid = -1;
+  int worker_tid = -1;
+  for (const auto& event : events) {
+    if (event.name == "main_work") {
+      main_tid = event.tid;
+      EXPECT_EQ(event.arg, "doc-a");
+    } else {
+      worker_tid = event.tid;
+      EXPECT_EQ(event.thread_name, "worker-0");
+    }
+  }
+  EXPECT_NE(main_tid, -1);
+  EXPECT_NE(worker_tid, -1);
+  EXPECT_NE(main_tid, worker_tid);
+}
+
+TEST(TraceTest, NestedSpansAreContained) {
+  TraceSession session;
+  {
+    Span outer(&session, "outer");
+    Span inner(&session, "inner");
+  }  // inner destructs first
+  std::vector<TraceSession::ExportedEvent> events = session.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  const auto& inner = events[0];  // completion order
+  const auto& outer = events[1];
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_GE(inner.ts_ns, outer.ts_ns);
+  EXPECT_LE(inner.ts_ns + inner.dur_ns, outer.ts_ns + outer.dur_ns);
+}
+
+TEST(TraceTest, NullSessionSpanIsANoOp) {
+  Span span(nullptr, "nothing");
+  StageTimer timer(nullptr, nullptr, "nothing");
+  // Nothing to assert beyond "does not crash": the null path must not
+  // dereference a session or touch a clock.
+}
+
+TEST(TraceTest, ToJsonIsChromeTraceShaped) {
+  TraceSession session;
+  session.GetThreadLog()->set_name("main");
+  {
+    Span span(&session, "stage", "with \"quotes\"");
+  }
+  std::string json = session.ToJson();
+  EXPECT_EQ(json.find("{\"traceEvents\":["), 0u);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"stage\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);  // thread_name
+  EXPECT_NE(json.find("with \\\"quotes\\\""), std::string::npos);
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(TraceTest, StageTimerFeedsHistogramAndTrace) {
+  TraceSession session;
+  Histogram histogram({1000000});  // one huge bucket, in µs
+  {
+    StageTimer timer(&histogram, &session, "stage");
+  }
+  {
+    StageTimer histogram_only(&histogram, nullptr, "stage");
+  }
+  EXPECT_EQ(histogram.Snapshot().count, 2u);
+  EXPECT_EQ(session.event_count(), 1u);
+}
+
+TEST(TraceTest, FreshSessionGetsFreshThreadLogs) {
+  // A thread that records into session A and then session B must not
+  // keep writing into A's buffer (the thread-local cache is keyed on a
+  // process-unique session id).
+  TraceSession a;
+  { Span span(&a, "in_a"); }
+  TraceSession b;
+  { Span span(&b, "in_b"); }
+  ASSERT_EQ(a.event_count(), 1u);
+  ASSERT_EQ(b.event_count(), 1u);
+  EXPECT_EQ(a.Snapshot()[0].name, "in_a");
+  EXPECT_EQ(b.Snapshot()[0].name, "in_b");
+}
+
+}  // namespace
+}  // namespace xsdf::obs

@@ -8,12 +8,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/disambiguator.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "core/scores.h"
 #include "datasets/generator.h"
 #include "runtime/engine.h"
@@ -426,6 +429,161 @@ TEST(DisambiguationEngineTest, MalformedDocumentFailsAlone) {
 TEST(DisambiguationEngineTest, EmptyBatchReturnsEmpty) {
   DisambiguationEngine engine(&Network(), {});
   EXPECT_TRUE(engine.RunBatch({}).empty());
+}
+
+// ====================== Seqlock contention ========================
+
+TEST(SimilarityCacheTest, ContendedWritersSurfaceRetryAndCollisionCounts) {
+  // Minimum capacity (64 slots = 16 sets) so every thread lands on a
+  // handful of sets; four writer threads hammer the same keys while
+  // two readers poll them, which forces both flavors of seqlock
+  // contention. The counters are statistical, so loop rounds until
+  // both are nonzero — bounded so a pathological scheduler fails the
+  // test instead of hanging it.
+  sim::SimilarityWeights weights;
+  SimilarityCache cache(/*capacity=*/64, /*stripe_count=*/4, weights);
+  constexpr int kWriters = 4;
+  constexpr int kReaders = 2;
+  constexpr int kOpsPerRound = 4000;
+  constexpr int kMaxRounds = 200;
+  CacheStats stats;
+  for (int round = 0; round < kMaxRounds; ++round) {
+    std::vector<std::thread> threads;
+    for (int w = 0; w < kWriters; ++w) {
+      threads.emplace_back([&cache, w] {
+        for (int i = 0; i < kOpsPerRound; ++i) {
+          // All writers cycle the same small key set -> same seqlock.
+          cache.Insert(static_cast<uint64_t>(i % 8 + 1),
+                       static_cast<double>(w + i));
+        }
+      });
+    }
+    for (int r = 0; r < kReaders; ++r) {
+      threads.emplace_back([&cache] {
+        double value = 0.0;
+        for (int i = 0; i < kOpsPerRound; ++i) {
+          cache.Lookup(static_cast<uint64_t>(i % 8 + 1), &value);
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    stats = cache.GetStats();
+    if (stats.read_retries > 0 && stats.write_collisions > 0) break;
+  }
+  EXPECT_GT(stats.write_collisions, 0u)
+      << "four writers on the same sets never collided on the seqlock";
+  EXPECT_GT(stats.read_retries, 0u)
+      << "readers never observed an in-flight writer";
+  // The counters surface through the formatted stats line.
+  EngineStats engine_stats;
+  engine_stats.similarity_cache = stats;
+  engine_stats.sense_cache.capacity = 1;
+  std::string line = FormatEngineStats(engine_stats);
+  EXPECT_NE(line.find("seq retries"), std::string::npos) << line;
+  EXPECT_NE(line.find("write collisions"), std::string::npos) << line;
+}
+
+TEST(SimilarityCacheTest, UncontendedTrafficReportsZeroContention) {
+  sim::SimilarityWeights weights;
+  SimilarityCache cache(/*capacity=*/1024, /*stripe_count=*/4, weights);
+  double value = 0.0;
+  for (uint64_t key = 1; key <= 200; ++key) {
+    cache.Insert(key, 1.5);
+    ASSERT_TRUE(cache.Lookup(key, &value));
+  }
+  CacheStats stats = cache.GetStats();
+  EXPECT_EQ(stats.read_retries, 0u);
+  EXPECT_EQ(stats.write_collisions, 0u);
+  cache.ResetCounters();
+  stats = cache.GetStats();
+  EXPECT_EQ(stats.read_retries, 0u);
+  EXPECT_EQ(stats.write_collisions, 0u);
+}
+
+// ================== Engine observability hooks ====================
+
+TEST(DisambiguationEngineTest, MetricsRegistryCapturesBatch) {
+  obs::MetricsRegistry metrics;
+  EngineOptions options;
+  options.threads = 2;
+  options.metrics = &metrics;
+  DisambiguationEngine engine(&Network(), options);
+  std::vector<DocumentJob> jobs = TestCorpus();
+  std::vector<DocumentResult> results = engine.RunBatch(jobs);
+  for (const auto& result : results) ASSERT_TRUE(result.ok) << result.name;
+
+  // Registry counters agree with the engine's own atomics.
+  EngineStats stats = engine.stats();
+  EXPECT_EQ(metrics.GetCounter("engine.documents")->Value(),
+            stats.documents);
+  EXPECT_EQ(metrics.GetCounter("engine.nodes")->Value(), stats.nodes);
+  EXPECT_EQ(metrics.GetCounter("engine.assignments")->Value(),
+            stats.assignments);
+  EXPECT_EQ(metrics.GetCounter("engine.failures")->Value(), 0u);
+
+  // Every document contributes one sample to each per-stage histogram.
+  for (const char* name :
+       {"stage.parse_us", "stage.tree_build_us", "stage.select_us",
+        "stage.serialize_us", "engine.job_wait_us", "engine.job_run_us"}) {
+    EXPECT_EQ(metrics.GetHistogram(name)->Snapshot().count, jobs.size())
+        << name;
+  }
+  EXPECT_GT(metrics.GetHistogram("core.node_candidates")->Snapshot().count,
+            0u);
+
+  // Cache gauges appear after publishing.
+  engine.PublishStatsToMetrics();
+  EXPECT_EQ(static_cast<uint64_t>(
+                metrics.GetGauge("cache.similarity.hits")->Value()),
+            stats.similarity_cache.hits);
+  EXPECT_EQ(static_cast<uint64_t>(
+                metrics.GetGauge("cache.sense.capacity")->Value()),
+            stats.sense_cache.capacity);
+}
+
+TEST(DisambiguationEngineTest, TraceSessionRecordsOneTidPerWorker) {
+  obs::TraceSession trace;
+  EngineOptions options;
+  options.threads = 3;
+  options.trace = &trace;
+  DisambiguationEngine engine(&Network(), options);
+  std::vector<DocumentJob> jobs = TestCorpus();
+  engine.RunBatch(jobs);
+
+  std::vector<obs::TraceSession::ExportedEvent> events = trace.Snapshot();
+  ASSERT_FALSE(events.empty());
+  size_t documents = 0;
+  std::vector<int> tids;
+  for (const auto& event : events) {
+    if (event.name == "document") ++documents;
+    EXPECT_TRUE(event.thread_name.rfind("worker-", 0) == 0)
+        << "unexpected unnamed recording thread (tid " << event.tid << ")";
+    if (std::find(tids.begin(), tids.end(), event.tid) == tids.end()) {
+      tids.push_back(event.tid);
+    }
+    // Spans must lie within the session timeline.
+    EXPECT_GE(event.dur_ns, 0u);
+  }
+  EXPECT_EQ(documents, jobs.size());
+  EXPECT_LE(tids.size(), 3u);  // at most one tid per worker
+}
+
+TEST(DisambiguationEngineTest, SinksDoNotChangeResults) {
+  std::vector<std::string> plain = RunWithThreads(4, /*caches_on=*/true);
+
+  obs::MetricsRegistry metrics;
+  obs::TraceSession trace;
+  EngineOptions options;
+  options.threads = 4;
+  options.metrics = &metrics;
+  options.trace = &trace;
+  DisambiguationEngine engine(&Network(), options);
+  std::vector<DocumentResult> results = engine.RunBatch(TestCorpus());
+  ASSERT_EQ(results.size(), plain.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok) << results[i].name;
+    EXPECT_EQ(results[i].semantic_xml, plain[i]) << "document " << i;
+  }
 }
 
 }  // namespace

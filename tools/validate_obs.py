@@ -1,0 +1,287 @@
+#!/usr/bin/env python3
+"""Validates the xsdf observability exports (CI gate).
+
+Subcommands:
+  metrics FILE           --metrics-out JSON: schema + histogram invariants
+  trace FILE             --trace-out JSON: schema + span timeline invariants
+  explain BATCH EXPLAIN  `xsdf explain` output vs `xsdf batch` stdout:
+                         the audited chosen sense must be byte-identical
+                         to the concept the batch pipeline assigned
+
+Uses only the standard library; the schema files under tools/schemas/
+are a small JSON-Schema subset (type / required / properties /
+additionalProperties / items / minimum) interpreted here directly so the
+checked-in schema stays the single source of truth for the file shapes.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+SCHEMA_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "schemas")
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "number": (int, float),
+    "integer": int,
+    "boolean": bool,
+}
+
+
+def check_schema(value, schema, path="$"):
+    """Returns a list of violation messages (empty = conforming)."""
+    errors = []
+    expected = schema.get("type")
+    if expected is not None:
+        python_type = _TYPES[expected]
+        ok = isinstance(value, python_type)
+        if expected in ("integer", "number") and isinstance(value, bool):
+            ok = False  # bool is an int subclass; reject it as a number
+        if expected == "number" and isinstance(value, int):
+            ok = True
+        if not ok:
+            return [f"{path}: expected {expected}, got {type(value).__name__}"]
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        minimum = schema.get("minimum")
+        if minimum is not None and value < minimum:
+            errors.append(f"{path}: {value} below minimum {minimum}")
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key '{key}'")
+        properties = schema.get("properties", {})
+        additional = schema.get("additionalProperties", True)
+        for key, child in value.items():
+            child_path = f"{path}.{key}"
+            if key in properties:
+                errors.extend(check_schema(child, properties[key], child_path))
+            elif isinstance(additional, dict):
+                errors.extend(check_schema(child, additional, child_path))
+            elif additional is False:
+                errors.append(f"{path}: unexpected key '{key}'")
+    if isinstance(value, list):
+        items = schema.get("items")
+        if isinstance(items, dict):
+            for i, child in enumerate(value):
+                errors.extend(check_schema(child, items, f"{path}[{i}]"))
+    return errors
+
+
+def load_json(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def fail(messages):
+    for message in messages:
+        print(f"FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def validate_metrics(args):
+    data = load_json(args.file)
+    errors = check_schema(data, load_json(os.path.join(SCHEMA_DIR, "metrics.schema.json")))
+
+    for name, histogram in data.get("histograms", {}).items():
+        bounds = histogram.get("bounds", [])
+        counts = histogram.get("counts", [])
+        if sorted(set(bounds)) != bounds:
+            errors.append(f"histogram {name}: bounds not strictly increasing")
+        if len(counts) != len(bounds) + 1:
+            errors.append(
+                f"histogram {name}: {len(counts)} buckets for {len(bounds)} bounds"
+            )
+        if sum(counts) != histogram.get("count", -1):
+            errors.append(f"histogram {name}: bucket sum != count")
+
+    # The engine instruments the batch pipeline end to end; a metrics
+    # file from a successful batch run must carry all of these.
+    required_counters = ["engine.documents", "engine.nodes", "engine.assignments"]
+    required_histograms = [
+        "stage.parse_us",
+        "stage.tree_build_us",
+        "stage.select_us",
+        "stage.context_us",
+        "stage.score_us",
+        "stage.serialize_us",
+        "engine.job_wait_us",
+        "engine.job_run_us",
+        "engine.queue_depth",
+        "core.node_ambiguity_pct",
+        "core.node_candidates",
+        "core.node_top2_margin_milli",
+    ]
+    for name in required_counters:
+        if name not in data.get("counters", {}):
+            errors.append(f"missing counter {name}")
+    for name in required_histograms:
+        if name not in data.get("histograms", {}):
+            errors.append(f"missing histogram {name}")
+    documents = data.get("counters", {}).get("engine.documents", 0)
+    if documents <= 0:
+        errors.append("engine.documents is zero — batch recorded nothing")
+    for stage in ("stage.parse_us", "engine.job_run_us"):
+        count = data.get("histograms", {}).get(stage, {}).get("count", 0)
+        if count != documents:
+            errors.append(
+                f"{stage}: {count} samples for {documents} documents"
+            )
+    if errors:
+        return fail(errors)
+    print(
+        f"OK: metrics file valid ({len(data['counters'])} counters, "
+        f"{len(data['gauges'])} gauges, {len(data['histograms'])} histograms)"
+    )
+    return 0
+
+
+def validate_trace(args):
+    data = load_json(args.file)
+    errors = check_schema(data, load_json(os.path.join(SCHEMA_DIR, "trace.schema.json")))
+
+    spans = [e for e in data.get("traceEvents", []) if e.get("ph") == "X"]
+    metadata = [e for e in data.get("traceEvents", []) if e.get("ph") == "M"]
+    if not spans:
+        errors.append("no complete ('X') spans in trace")
+    for i, span in enumerate(spans):
+        if "ts" not in span or "dur" not in span:
+            errors.append(f"span {i} ({span.get('name')}): missing ts/dur")
+
+    # Per-worker timeline sanity: a worker processes one document at a
+    # time, so its document spans must not overlap, and stage spans must
+    # nest inside a document span on the same tid.
+    by_tid = {}
+    for span in spans:
+        by_tid.setdefault(span["tid"], []).append(span)
+    for tid, tid_spans in sorted(by_tid.items()):
+        documents = sorted(
+            (s for s in tid_spans if s["name"] == "document"),
+            key=lambda s: s["ts"],
+        )
+        for a, b in zip(documents, documents[1:]):
+            if a["ts"] + a["dur"] > b["ts"] + 1e-6:
+                errors.append(
+                    f"tid {tid}: document spans overlap at ts={b['ts']}"
+                )
+        for span in tid_spans:
+            if span["name"] == "document":
+                continue
+            inside = any(
+                d["ts"] - 1e-3 <= span["ts"]
+                and span["ts"] + span["dur"] <= d["ts"] + d["dur"] + 1e-3
+                for d in documents
+            )
+            if documents and not inside:
+                errors.append(
+                    f"tid {tid}: '{span['name']}' span at ts={span['ts']} "
+                    "outside every document span"
+                )
+
+    named_tids = {
+        e["tid"]
+        for e in metadata
+        if e.get("name") == "thread_name"
+        and e.get("args", {}).get("name", "").startswith("worker-")
+    }
+    unnamed = sorted(set(by_tid) - named_tids)
+    if unnamed:
+        errors.append(f"tids without a worker thread_name: {unnamed}")
+    if args.workers is not None and len(by_tid) > args.workers:
+        errors.append(
+            f"{len(by_tid)} recording tids for --workers {args.workers}"
+        )
+    if errors:
+        return fail(errors)
+    print(
+        f"OK: trace valid ({len(spans)} spans across {len(by_tid)} worker "
+        "threads)"
+    )
+    return 0
+
+
+def batch_concepts(batch_path, document):
+    """concept_id per preorder node index, parsed from batch stdout.
+
+    Batch output interleaves `<!-- name -->` comment headers with each
+    document's semantic tree; `<node ...>` elements appear in preorder,
+    so the Nth one is exactly tree node N — the same ids `xsdf explain`
+    reports.
+    """
+    with open(batch_path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    sections = re.split(r"<!--\s*(.*?)\s*-->", text)
+    # re.split yields [prefix, name1, body1, name2, body2, ...]
+    body = None
+    for name, section in zip(sections[1::2], sections[2::2]):
+        if name == document or os.path.basename(name) == os.path.basename(document):
+            body = section
+            break
+    if body is None:
+        raise SystemExit(f"FAIL: document '{document}' not in {batch_path}")
+    concepts = {}
+    for index, match in enumerate(re.finditer(r"<node\b([^>]*)>", body)):
+        attrs = match.group(1)
+        concept = re.search(r'concept_id="(\d+)"', attrs)
+        if concept:
+            concepts[index] = int(concept.group(1))
+    return concepts
+
+
+def validate_explain(args):
+    explain = load_json(args.explain)
+    concepts = batch_concepts(args.batch, explain["file"])
+    errors = []
+    compared = 0
+    for audit in explain.get("nodes", []):
+        node = audit["node"]
+        chosen = audit.get("chosen")
+        if chosen is None:
+            continue
+        if node not in concepts:
+            # Explain audits any node with candidate senses; batch only
+            # annotates selected targets. Absence is fine — a *different*
+            # concept is not.
+            continue
+        compared += 1
+        if concepts[node] != chosen["concept_id"]:
+            errors.append(
+                f"node {node} ('{audit.get('label')}'): batch assigned "
+                f"concept {concepts[node]}, explain chose "
+                f"{chosen['concept_id']}"
+            )
+    if compared == 0:
+        errors.append("no overlapping nodes between batch and explain output")
+    if errors:
+        return fail(errors)
+    print(f"OK: explain matches batch on {compared} node(s)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    metrics = commands.add_parser("metrics")
+    metrics.add_argument("file")
+    metrics.set_defaults(handler=validate_metrics)
+
+    trace = commands.add_parser("trace")
+    trace.add_argument("file")
+    trace.add_argument("--workers", type=int, default=None)
+    trace.set_defaults(handler=validate_trace)
+
+    explain = commands.add_parser("explain")
+    explain.add_argument("batch", help="captured `xsdf batch` stdout")
+    explain.add_argument("explain", help="`xsdf explain` JSON output")
+    explain.set_defaults(handler=validate_explain)
+
+    args = parser.parse_args()
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

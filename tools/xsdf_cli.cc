@@ -16,12 +16,14 @@
 // WNDB directory (e.g. a real WordNet dict/) to use that instead.
 
 #include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -30,6 +32,9 @@
 #include "core/disambiguator.h"
 #include "core/tree_builder.h"
 #include "datasets/generator.h"
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/engine.h"
 #include "wordnet/mini_wordnet.h"
 #include "wordnet/wndb.h"
@@ -54,6 +59,17 @@ int Usage() {
       "(default 1)\n"
       "      --no-cache    disable the shared similarity/sense caches\n"
       "      --quiet       suppress per-document trees on stdout\n"
+      "      --metrics-out FILE  write counters + latency histograms as "
+      "JSON\n"
+      "      --trace-out FILE    write Chrome trace-event JSON "
+      "(Perfetto)\n"
+      "  explain <file.xml> <node> [--radius D]\n"
+      "                                    per-node disambiguation audit "
+      "as JSON;\n"
+      "                                    <node> is a numeric node id or "
+      "a\n"
+      "                                    tag path like films/picture/"
+      "director\n"
       "  gen-corpus <dir> [--seed S]       write the generated example "
       "corpus\n"
       "  ambiguity <file.xml>              rank nodes by ambiguity degree\n"
@@ -97,6 +113,25 @@ bool ParseIntValue(const std::vector<std::string>& args, size_t* i,
   if (end == text.c_str() || *end != '\0') return false;
   *out = static_cast<int>(value);
   return true;
+}
+
+/// Parses the value of a `--flag VALUE` pair; false when missing.
+bool ParseStringValue(const std::vector<std::string>& args, size_t* i,
+                      std::string* out) {
+  if (*i + 1 >= args.size()) return false;
+  ++*i;
+  *out = args[*i];
+  return !out->empty();
+}
+
+bool WriteTextFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << content;
+  return static_cast<bool>(out);
 }
 
 int CmdDisambiguate(const SemanticNetwork& network, const char* path,
@@ -161,6 +196,8 @@ int CmdBatch(const SemanticNetwork& network,
   int passes = 1;
   bool no_cache = false;
   bool quiet = false;
+  std::string metrics_out;
+  std::string trace_out;
   for (size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
     if (arg == "--threads") {
@@ -173,6 +210,10 @@ int CmdBatch(const SemanticNetwork& network,
       no_cache = true;
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--metrics-out") {
+      if (!ParseStringValue(args, &i, &metrics_out)) return Usage();
+    } else if (arg == "--trace-out") {
+      if (!ParseStringValue(args, &i, &trace_out)) return Usage();
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return Usage();
@@ -183,7 +224,9 @@ int CmdBatch(const SemanticNetwork& network,
       return Usage();
     }
   }
-  if (input.empty() || threads < 1 || passes < 1) return Usage();
+  if (input.empty() || threads < 1 || passes < 1 || radius < 1) {
+    return Usage();
+  }
 
   std::vector<std::string> paths;
   if (!CollectBatchInputs(input, &paths)) return 1;
@@ -205,11 +248,24 @@ int CmdBatch(const SemanticNetwork& network,
     jobs.push_back({0, path, content.str()});
   }
 
+  // The sinks exist only when requested, so a plain batch run keeps
+  // the instrumentation-free hot path (no clock reads, no recording).
+  std::unique_ptr<xsdf::obs::MetricsRegistry> metrics;
+  std::unique_ptr<xsdf::obs::TraceSession> trace;
+  if (!metrics_out.empty()) {
+    metrics = std::make_unique<xsdf::obs::MetricsRegistry>();
+  }
+  if (!trace_out.empty()) {
+    trace = std::make_unique<xsdf::obs::TraceSession>();
+  }
+
   xsdf::runtime::EngineOptions options;
   options.threads = threads;
   options.disambiguator.sphere_radius = radius;
   options.enable_similarity_cache = !no_cache;
   options.enable_sense_cache = !no_cache;
+  options.metrics = metrics.get();
+  options.trace = trace.get();
   xsdf::runtime::DisambiguationEngine engine(&network, options);
 
   bool any_failed = false;
@@ -240,7 +296,161 @@ int CmdBatch(const SemanticNetwork& network,
         seconds > 0 ? static_cast<double>(results.size()) / seconds : 0.0,
         FormatEngineStats(engine.stats()).c_str());
   }
+
+  // Export after the last pass: workers are idle (blocked on the
+  // queue), so the trace snapshot sees a quiescent recording state.
+  if (metrics != nullptr) {
+    engine.PublishStatsToMetrics();
+    if (!WriteTextFile(metrics_out, metrics->ToJson())) return 1;
+    std::fprintf(stderr, "metrics written to %s\n", metrics_out.c_str());
+  }
+  if (trace != nullptr) {
+    if (!WriteTextFile(trace_out, trace->ToJson())) return 1;
+    std::fprintf(stderr, "trace (%zu events) written to %s\n",
+                 trace->event_count(), trace_out.c_str());
+  }
   return any_failed ? 1 : 0;
+}
+
+/// Resolves an `xsdf explain` node designator against a labeled tree:
+/// either a numeric NodeId, or a slash-separated path whose components
+/// match each node's raw tag/token text or preprocessed label
+/// (case-insensitively) along the node's root path. A leading slash
+/// anchors the path at the root; otherwise it matches a root-path
+/// suffix, so `director` finds every <director> node. Returns matches
+/// in preorder.
+std::vector<xsdf::xml::NodeId> ResolveNodeQuery(
+    const xsdf::xml::LabeledTree& tree, const std::string& query) {
+  std::vector<xsdf::xml::NodeId> matches;
+  if (query.empty()) return matches;
+
+  bool all_digits = true;
+  for (char c : query) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) all_digits = false;
+  }
+  if (all_digits) {
+    int id = std::atoi(query.c_str());
+    if (id >= 0 && static_cast<size_t>(id) < tree.size()) {
+      matches.push_back(id);
+    }
+    return matches;
+  }
+
+  const bool anchored = query[0] == '/';
+  std::vector<std::string> components;
+  std::string component;
+  for (size_t pos = anchored ? 1 : 0; pos <= query.size(); ++pos) {
+    if (pos == query.size() || query[pos] == '/') {
+      if (!component.empty()) components.push_back(component);
+      component.clear();
+    } else {
+      component.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(query[pos]))));
+    }
+  }
+  if (components.empty()) return matches;
+
+  auto node_matches = [&](xsdf::xml::NodeId id, const std::string& want) {
+    const xsdf::xml::TreeNode& node = tree.node(id);
+    std::string raw = node.raw;
+    for (char& c : raw) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    return raw == want || node.label == want;
+  };
+  for (const xsdf::xml::TreeNode& node : tree.nodes()) {
+    std::vector<xsdf::xml::NodeId> path = tree.RootPath(node.id);
+    if (path.size() < components.size()) continue;
+    if (anchored && path.size() != components.size()) continue;
+    size_t offset = path.size() - components.size();
+    bool ok = true;
+    for (size_t c = 0; c < components.size() && ok; ++c) {
+      ok = node_matches(path[offset + c], components[c]);
+    }
+    if (ok) matches.push_back(node.id);
+  }
+  return matches;
+}
+
+int CmdExplain(const SemanticNetwork& network,
+               const std::vector<std::string>& args) {
+  std::string file;
+  std::string query;
+  int radius = 2;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--radius") {
+      if (!ParseIntValue(args, &i, &radius)) return Usage();
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return Usage();
+    } else if (file.empty()) {
+      file = arg;
+    } else if (query.empty()) {
+      query = arg;
+    } else {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+      return Usage();
+    }
+  }
+  if (file.empty() || query.empty() || radius < 1) return Usage();
+
+  auto doc = xsdf::xml::ParseFile(file.c_str());
+  if (!doc.ok()) {
+    std::fprintf(stderr, "%s\n", doc.status().ToString().c_str());
+    return 1;
+  }
+  // Same options as `xsdf batch` (the caches only move memoized values
+  // around), so the audited choice reproduces the batch output exactly.
+  xsdf::core::DisambiguatorOptions options;
+  options.sphere_radius = radius;
+  auto tree =
+      xsdf::core::BuildTree(*doc, network, options.include_values);
+  if (!tree.ok()) {
+    std::fprintf(stderr, "%s\n", tree.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<xsdf::xml::NodeId> matches = ResolveNodeQuery(*tree, query);
+  if (matches.empty()) {
+    std::fprintf(stderr, "no node matches '%s' in %s\n", query.c_str(),
+                 file.c_str());
+    return 1;
+  }
+
+  xsdf::core::Disambiguator system(&network, options);
+  xsdf::obs::JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("file");
+  writer.Value(file);
+  writer.Key("query");
+  writer.Value(query);
+  writer.Key("radius");
+  writer.Value(radius);
+  writer.Key("nodes");
+  writer.BeginArray();
+  size_t explained = 0;
+  for (xsdf::xml::NodeId id : matches) {
+    auto audit = system.ExplainNode(*tree, id);
+    if (!audit.ok()) continue;  // senseless label: nothing to audit
+    writer.BeginObject();
+    AppendNodeAuditFields(&writer, *audit, network);
+    writer.EndObject();
+    ++explained;
+  }
+  writer.EndArray();
+  writer.Key("matches");
+  writer.Value(static_cast<uint64_t>(matches.size()));
+  writer.Key("explained");
+  writer.Value(static_cast<uint64_t>(explained));
+  writer.EndObject();
+  std::printf("%s\n", writer.str().c_str());
+  if (explained == 0) {
+    std::fprintf(stderr,
+                 "%zu node(s) matched but none has candidate senses\n",
+                 matches.size());
+    return 1;
+  }
+  return 0;
 }
 
 int CmdGenCorpus(const std::vector<std::string>& args) {
@@ -451,7 +661,9 @@ int main(int argc, char** argv) {
     if (rest.size() == 2) {
       char* end = nullptr;
       radius = static_cast<int>(std::strtol(rest[1].c_str(), &end, 10));
-      if (end == rest[1].c_str() || *end != '\0') return Usage();
+      if (end == rest[1].c_str() || *end != '\0' || radius < 1) {
+        return Usage();
+      }
     }
     if (require_network() == nullptr) return 1;
     return CmdDisambiguate(*network, rest[0].c_str(), radius);
@@ -459,6 +671,10 @@ int main(int argc, char** argv) {
   if (command == "batch") {
     if (require_network() == nullptr) return 1;
     return CmdBatch(*network, rest);
+  }
+  if (command == "explain") {
+    if (require_network() == nullptr) return 1;
+    return CmdExplain(*network, rest);
   }
   if (command == "ambiguity") {
     if (rest.size() != 1) return Usage();

@@ -1,0 +1,10 @@
+// libFuzzer entry point for the LabeledTree construction + query
+// oracle (see harnesses.cc). Input layout: one option-flag byte, then
+// an XML document.
+
+#include "harnesses.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  xsdf::fuzz::DriveLabeledTree(data, size);
+  return 0;
+}

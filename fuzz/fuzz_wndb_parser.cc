@@ -1,0 +1,36 @@
+// libFuzzer entry point for the WNDB parser oracle (see harnesses.cc),
+// with a structured mutator: instead of flipping raw bytes, the
+// mutator rewrites whole fields of valid records (numeric nudges,
+// pointer-symbol swaps, field drops/duplication, truncation), so
+// coverage reaches the per-field validation logic instead of dying at
+// the first header check. libFuzzer still interleaves its own byte
+// mutations via the MutateBytes fallback inside MutateWndbContainer
+// and the occasional raw pass below.
+
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/rng.h"
+#include "harnesses.h"
+#include "prop/generators.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  xsdf::fuzz::DriveWndbParser(data, size);
+  return 0;
+}
+
+extern "C" size_t LLVMFuzzerCustomMutator(uint8_t* data, size_t size,
+                                          size_t max_size,
+                                          unsigned int seed) {
+  xsdf::Rng rng(seed);
+  std::string_view input(reinterpret_cast<const char*>(data), size);
+  std::string out =
+      rng.Bernoulli(0.15)
+          ? xsdf::propgen::MutateBytes(rng, input.empty() ? "x" : input,
+                                       1 + static_cast<int>(rng.UniformInt(4)))
+          : xsdf::propgen::MutateWndbContainer(rng, input);
+  if (out.size() > max_size) out.resize(max_size);
+  std::memcpy(data, out.data(), out.size());
+  return out.size();
+}

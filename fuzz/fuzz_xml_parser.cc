@@ -1,0 +1,13 @@
+// libFuzzer entry point for the XML parser oracle (see harnesses.cc).
+//
+//   clang:  cmake -B build-fuzz -DXSDF_FUZZ=ON -DXSDF_ASAN_UBSAN=ON
+//           ./build-fuzz/fuzz/fuzz_xml_parser fuzz/corpus/xml
+//   gcc:    the same target builds with a standalone replay main();
+//           pass corpus files as arguments to replay them.
+
+#include "harnesses.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  xsdf::fuzz::DriveXmlParser(data, size);
+  return 0;
+}

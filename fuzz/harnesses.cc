@@ -1,0 +1,167 @@
+#include "harnesses.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "prop/generators.h"
+#include "wordnet/wndb.h"
+#include "xml/labeled_tree.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xsdf::fuzz {
+namespace {
+
+/// Fuzz-time parse limits: small enough that pathological inputs fail
+/// fast instead of timing out the fuzzer, large enough to not mask the
+/// interesting parser states.
+xml::ParseOptions FuzzXmlOptions() {
+  xml::ParseOptions options;
+  options.discard_whitespace_text = false;
+  options.limits.max_input_bytes = 1u << 20;
+  options.limits.max_depth = 64;
+  options.limits.max_attributes_per_element = 256;
+  options.limits.max_entity_references = 1u << 12;
+  return options;
+}
+
+[[noreturn]] void OracleFailure(const char* target, const char* what,
+                                const std::string& detail) {
+  std::fprintf(stderr, "[%s] ORACLE VIOLATION: %s\n%s\n", target, what,
+               detail.c_str());
+  std::abort();
+}
+
+std::string_view AsText(const uint8_t* data, size_t size) {
+  return {reinterpret_cast<const char*>(data), size};
+}
+
+}  // namespace
+
+void DriveXmlParser(const uint8_t* data, size_t size) {
+  auto doc = xml::Parse(AsText(data, size), FuzzXmlOptions());
+  if (!doc.ok()) {
+    if (doc.status().ToString().empty()) {
+      OracleFailure("xml", "rejection without a message", "");
+    }
+    return;
+  }
+  xml::SerializeOptions ser;
+  ser.indent = 0;
+  std::string s1 = xml::Serialize(*doc, ser);
+  auto reparsed = xml::Parse(s1, FuzzXmlOptions());
+  if (!reparsed.ok()) {
+    OracleFailure("xml", "accepted document, rejected its serialization",
+                  reparsed.status().ToString() + "\nserialized:\n" + s1);
+  }
+  std::string diff;
+  if (!propgen::StructurallyEqual(*doc, *reparsed, &diff)) {
+    OracleFailure("xml", "round trip changed the document",
+                  diff + "\nserialized:\n" + s1);
+  }
+  if (xml::Serialize(*reparsed, ser) != s1) {
+    OracleFailure("xml", "serialization is not a fixed point", s1);
+  }
+  if (doc->root() != nullptr) {
+    auto tree = xml::BuildLabeledTree(*doc);
+    if (!tree.ok()) {
+      OracleFailure("xml", "parsed document failed tree construction",
+                    tree.status().ToString());
+    }
+    Status audit = tree->Validate();
+    if (!audit.ok()) {
+      OracleFailure("xml", "labeled tree failed its structural audit",
+                    audit.ToString());
+    }
+  }
+}
+
+void DriveWndbParser(const uint8_t* data, size_t size) {
+  if (size > (1u << 20)) return;  // keep the fuzzer fast
+  wordnet::WndbFiles files = propgen::UnpackWndbContainer(AsText(data, size));
+  auto parsed = wordnet::ParseWndb(files);
+  if (!parsed.ok()) {
+    if (parsed.status().ToString().empty()) {
+      OracleFailure("wndb", "rejection without a message", "");
+    }
+    return;
+  }
+  // Differential idempotence. Write(Parse(input)) is compared against
+  // Write(Parse(Write(Parse(input)))) rather than against the input:
+  // the first round trip may canonicalize (lemma normalization, sense
+  // regrouping), but after that the codec must be a fixed point.
+  auto files2 = wordnet::WriteWndb(*parsed);
+  if (!files2.ok()) {
+    OracleFailure("wndb", "accepted network failed to serialize",
+                  files2.status().ToString());
+  }
+  auto parsed2 = wordnet::ParseWndb(*files2);
+  if (!parsed2.ok()) {
+    OracleFailure("wndb", "rewrite of accepted input was rejected",
+                  parsed2.status().ToString());
+  }
+  auto files3 = wordnet::WriteWndb(*parsed2);
+  if (!files3.ok()) {
+    OracleFailure("wndb", "second rewrite failed",
+                  files3.status().ToString());
+  }
+  if (*files2 != *files3) {
+    for (const auto& [name, contents] : *files2) {
+      if (!files3->count(name) || files3->at(name) != contents) {
+        OracleFailure("wndb", "codec is not a fixed point", name);
+      }
+    }
+    OracleFailure("wndb", "codec is not a fixed point", "file set drift");
+  }
+}
+
+void DriveLabeledTree(const uint8_t* data, size_t size) {
+  if (size < 1) return;
+  uint8_t flags = data[0];
+  xml::ParseOptions po = FuzzXmlOptions();
+  po.discard_whitespace_text = (flags & 1) != 0;
+  po.keep_comments = (flags & 2) != 0;
+  auto doc = xml::Parse(AsText(data + 1, size - 1), po);
+  if (!doc.ok() || doc->root() == nullptr) return;
+  xml::TreeBuildOptions to;
+  to.include_values = (flags & 4) != 0;
+  auto tree = xml::BuildLabeledTree(*doc, to);
+  if (!tree.ok()) {
+    OracleFailure("tree", "parsed document failed tree construction",
+                  tree.status().ToString());
+  }
+  Status audit = tree->Validate();
+  if (!audit.ok()) {
+    OracleFailure("tree", "structural audit failed", audit.ToString());
+  }
+  // Exercise the full query surface; inputs are derived from the flag
+  // byte so replay is deterministic. Every call must terminate and stay
+  // in bounds (ASan/UBSan watch the rest).
+  size_t n = tree->size();
+  if (n == 0) return;
+  auto a = static_cast<xml::NodeId>(flags % n);
+  auto b = static_cast<xml::NodeId>((flags / 7 + size) % n);
+  xml::NodeId lca = tree->LowestCommonAncestor(a, b);
+  int distance = tree->Distance(a, b);
+  if (distance < 0) {
+    OracleFailure("tree", "negative node distance", std::to_string(distance));
+  }
+  if (tree->node(lca).depth > tree->node(a).depth ||
+      tree->node(lca).depth > tree->node(b).depth) {
+    OracleFailure("tree", "LCA deeper than its descendants", "");
+  }
+  tree->Rings(a, 1 + flags % 4);
+  if (tree->RootPath(b).empty()) {
+    OracleFailure("tree", "empty root path", "");
+  }
+  if (tree->Subtree(0).size() != n) {
+    OracleFailure("tree", "root subtree does not cover the tree", "");
+  }
+  tree->MaxDepth();
+  tree->MaxFanOut();
+  tree->MaxDensity();
+}
+
+}  // namespace xsdf::fuzz

@@ -1,0 +1,34 @@
+#ifndef XSDF_FUZZ_HARNESSES_H_
+#define XSDF_FUZZ_HARNESSES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+/// The fuzzing oracles, one per target. Each consumes one flat input
+/// buffer and either returns normally or aborts the process on an
+/// oracle violation (a crash under libFuzzer, a test failure under the
+/// standalone driver and fuzz_regression_test). They live in a plain
+/// library, separate from the LLVMFuzzerTestOneInput wrappers, so the
+/// exact same code runs under libFuzzer, under the gcc standalone
+/// replay driver, and inside plain ctest replaying the checked-in
+/// regression corpus.
+namespace xsdf::fuzz {
+
+/// xml::Parse under fuzz limits; accepted documents must round-trip
+/// (serialize -> reparse -> structurally equal, serialization a fixed
+/// point) and build a LabeledTree that passes Validate().
+void DriveXmlParser(const uint8_t* data, size_t size);
+
+/// wordnet::ParseWndb over a "%%file" container (see
+/// propgen::UnpackWndbContainer); accepted networks must re-serialize,
+/// and the rewrite must be a parse/write fixed point.
+void DriveWndbParser(const uint8_t* data, size_t size);
+
+/// LabeledTree construction and query surface: first byte selects
+/// options, the rest is XML; a built tree must pass Validate() and
+/// every query (LCA, distance, rings, paths) must terminate.
+void DriveLabeledTree(const uint8_t* data, size_t size);
+
+}  // namespace xsdf::fuzz
+
+#endif  // XSDF_FUZZ_HARNESSES_H_

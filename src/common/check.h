@@ -1,0 +1,37 @@
+#ifndef XSDF_COMMON_CHECK_H_
+#define XSDF_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace xsdf::internal {
+
+[[noreturn]] inline void InvariantFailure(const char* expr, const char* file,
+                                          int line, const char* msg) {
+  std::fprintf(stderr, "XSDF invariant failed at %s:%d: %s (%s)\n", file,
+               line, expr, msg);
+  std::abort();
+}
+
+}  // namespace xsdf::internal
+
+/// Checked-build-only invariant: aborts with a message when `cond` is
+/// false in debug (and sanitizer) builds, compiles to nothing under
+/// NDEBUG. Use it for programmer-error preconditions on hot paths where
+/// the release build must stay recoverable (callers get a documented
+/// error value instead of a crash). Never use it to validate external
+/// input — that is what `common::Status` is for.
+#ifdef NDEBUG
+#define XSDF_DCHECK(cond, msg) \
+  do {                         \
+  } while (false)
+#else
+#define XSDF_DCHECK(cond, msg)                                            \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::xsdf::internal::InvariantFailure(#cond, __FILE__, __LINE__, msg); \
+    }                                                                     \
+  } while (false)
+#endif
+
+#endif  // XSDF_COMMON_CHECK_H_

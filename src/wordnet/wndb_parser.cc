@@ -1,6 +1,8 @@
+#include <cerrno>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <tuple>
@@ -11,6 +13,18 @@
 namespace xsdf::wordnet {
 
 namespace {
+
+// Hardening bounds for hostile inputs. The grammar's own fixed-width
+// fields stay well inside these (WordNet 3.0 tops out at w_cnt 28 and
+// p_cnt in the hundreds); anything beyond is corruption, not data, and
+// rejecting it early keeps per-record work proportional to the line.
+constexpr size_t kMaxTotalInputBytes = 256u << 20;
+constexpr long kMaxWordsPerSynset = 255;    // w_cnt is two hex digits
+constexpr long kMaxPointersPerSynset = 999; // p_cnt is three digits
+constexpr long kMaxLexId = 255;
+constexpr long kMaxLexFile = 99;
+constexpr long kMaxSensesPerLemma = 1 << 20;
+constexpr long kMaxTagCount = 100000000;  // 1e8 corpus tags
 
 struct PendingPointer {
   Relation relation;
@@ -47,9 +61,23 @@ class FieldReader {
     auto field = Next();
     if (!field.ok()) return field.status();
     char* end = nullptr;
+    errno = 0;
     long value = std::strtol(field->c_str(), &end, base);
-    if (end == field->c_str() || *end != '\0') {
+    if (end == field->c_str() || *end != '\0' || errno == ERANGE) {
       return Status::Corruption("malformed numeric field: " + *field);
+    }
+    return value;
+  }
+
+  /// NextInt constrained to [lo, hi]; out-of-range values are
+  /// Corruption, which keeps every downstream loop and cast bounded.
+  Result<long> NextIntInRange(int base, long lo, long hi,
+                              const char* what) {
+    auto value = NextInt(base);
+    if (!value.ok()) return value.status();
+    if (*value < lo || *value > hi) {
+      return Status::Corruption(StrFormat(
+          "%s %ld outside [%ld, %ld]", what, *value, lo, hi));
     }
     return value;
   }
@@ -75,7 +103,8 @@ Result<ParsedSynset> ParseDataRecord(std::string_view line,
   synset.gloss = std::string(gloss);
 
   FieldReader reader(fields);
-  auto offset = reader.NextInt(10);
+  auto offset = reader.NextIntInRange(10, 0, std::numeric_limits<long>::max(),
+                                      "synset_offset");
   if (!offset.ok()) return offset.status();
   synset.offset = static_cast<size_t>(*offset);
   if (synset.offset != expected_offset) {
@@ -83,7 +112,7 @@ Result<ParsedSynset> ParseDataRecord(std::string_view line,
         "synset_offset %zu does not match its byte position %zu",
         synset.offset, expected_offset));
   }
-  auto lex_file = reader.NextInt(10);
+  auto lex_file = reader.NextIntInRange(10, 0, kMaxLexFile, "lex_filenum");
   if (!lex_file.ok()) return lex_file.status();
   synset.lex_file = static_cast<int>(*lex_file);
   auto ss_type = reader.Next();
@@ -93,26 +122,26 @@ Result<ParsedSynset> ParseDataRecord(std::string_view line,
   }
   synset.pos_char = (*ss_type)[0];
 
-  auto w_cnt = reader.NextInt(16);
+  auto w_cnt = reader.NextIntInRange(16, 1, kMaxWordsPerSynset, "w_cnt");
   if (!w_cnt.ok()) return w_cnt.status();
-  if (*w_cnt <= 0) return Status::Corruption("w_cnt must be positive");
   for (long i = 0; i < *w_cnt; ++i) {
     auto word = reader.Next();
     if (!word.ok()) return word.status();
-    auto lex_id = reader.NextInt(16);
+    auto lex_id = reader.NextIntInRange(16, 0, kMaxLexId, "lex_id");
     if (!lex_id.ok()) return lex_id.status();
     synset.lemmas.push_back(std::move(*word));
     synset.lex_ids.push_back(static_cast<int>(*lex_id));
   }
 
-  auto p_cnt = reader.NextInt(10);
+  auto p_cnt = reader.NextIntInRange(10, 0, kMaxPointersPerSynset, "p_cnt");
   if (!p_cnt.ok()) return p_cnt.status();
   for (long i = 0; i < *p_cnt; ++i) {
     auto symbol = reader.Next();
     if (!symbol.ok()) return symbol.status();
     auto relation = RelationFromSymbol(*symbol);
     if (!relation.ok()) return relation.status();
-    auto target_offset = reader.NextInt(10);
+    auto target_offset = reader.NextIntInRange(
+        10, 0, std::numeric_limits<long>::max(), "pointer offset");
     if (!target_offset.ok()) return target_offset.status();
     auto target_pos = reader.Next();
     if (!target_pos.ok()) return target_pos.status();
@@ -137,6 +166,15 @@ char CanonicalPosChar(char c) { return c == 's' ? 'a' : c; }
 }  // namespace
 
 Result<SemanticNetwork> ParseWndb(const WndbFiles& files) {
+  size_t total_bytes = 0;
+  for (const auto& [name, contents] : files) {
+    total_bytes += contents.size();
+  }
+  if (total_bytes > kMaxTotalInputBytes) {
+    return Status::OutOfRange(
+        StrFormat("WNDB input of %zu bytes exceeds the %zu-byte cap",
+                  total_bytes, kMaxTotalInputBytes));
+  }
   SemanticNetwork network;
   // (pos char, byte offset) -> concept.
   std::map<std::pair<char, size_t>, ConceptId> by_offset;
@@ -216,9 +254,11 @@ Result<SemanticNetwork> ParseWndb(const WndbFiles& files) {
       if (!lemma.ok()) return lemma.status();
       auto pos_field = reader.Next();
       if (!pos_field.ok()) return pos_field.status();
-      auto synset_cnt = reader.NextInt(10);
+      auto synset_cnt = reader.NextIntInRange(10, 0, kMaxSensesPerLemma,
+                                              "synset_cnt");
       if (!synset_cnt.ok()) return synset_cnt.status();
-      auto p_cnt = reader.NextInt(10);
+      auto p_cnt = reader.NextIntInRange(10, 0, kMaxPointersPerSynset,
+                                         "index p_cnt");
       if (!p_cnt.ok()) return p_cnt.status();
       for (long i = 0; i < *p_cnt; ++i) {
         auto symbol = reader.Next();
@@ -226,9 +266,11 @@ Result<SemanticNetwork> ParseWndb(const WndbFiles& files) {
         auto relation = RelationFromSymbol(*symbol);
         if (!relation.ok()) return relation.status();
       }
-      auto sense_cnt = reader.NextInt(10);
+      auto sense_cnt = reader.NextIntInRange(10, 0, kMaxSensesPerLemma,
+                                             "sense_cnt");
       if (!sense_cnt.ok()) return sense_cnt.status();
-      auto tagsense_cnt = reader.NextInt(10);
+      auto tagsense_cnt = reader.NextIntInRange(10, 0, kMaxSensesPerLemma,
+                                                "tagsense_cnt");
       if (!tagsense_cnt.ok()) return tagsense_cnt.status();
       if (*sense_cnt != *synset_cnt) {
         return Status::Corruption("sense_cnt != synset_cnt for lemma: " +
@@ -236,7 +278,8 @@ Result<SemanticNetwork> ParseWndb(const WndbFiles& files) {
       }
       std::vector<ConceptId> ordered;
       for (long i = 0; i < *sense_cnt; ++i) {
-        auto offset = reader.NextInt(10);
+        auto offset = reader.NextIntInRange(
+            10, 0, std::numeric_limits<long>::max(), "index offset");
         if (!offset.ok()) return offset.status();
         auto target = by_offset.find(
             {pos_file.pos_char, static_cast<size_t>(*offset)});
@@ -263,9 +306,12 @@ Result<SemanticNetwork> ParseWndb(const WndbFiles& files) {
       FieldReader reader(line);
       auto sense_key = reader.Next();
       if (!sense_key.ok()) return sense_key.status();
-      auto sense_number = reader.NextInt(10);
+      auto sense_number = reader.NextIntInRange(10, 1, kMaxSensesPerLemma,
+                                                "sense_number");
       if (!sense_number.ok()) return sense_number.status();
-      auto tag_cnt = reader.NextInt(10);
+      // Unbounded counts would overflow the int cast when the network
+      // is re-serialized; reject instead of silently truncating.
+      auto tag_cnt = reader.NextIntInRange(10, 0, kMaxTagCount, "tag_cnt");
       if (!tag_cnt.ok()) return tag_cnt.status();
       // sense_key = lemma%ss_type:lex_filenum:lex_id:head:head_id
       size_t percent = sense_key->rfind('%');
@@ -279,9 +325,24 @@ Result<SemanticNetwork> ParseWndb(const WndbFiles& files) {
         return Status::Corruption("malformed sense key fields: " +
                                   *sense_key);
       }
-      int ss_type = std::atoi(parts[0].c_str());
-      int lex_file = std::atoi(parts[1].c_str());
-      int lex_id = std::atoi(parts[2].c_str());
+      // atoi overflows undefined; route through the same bounded
+      // parser as record fields.
+      auto parse_field = [](const std::string& field, long lo, long hi,
+                            const char* what) -> Result<long> {
+        FieldReader one(field);
+        return one.NextIntInRange(10, lo, hi, what);
+      };
+      auto ss_type_field = parse_field(parts[0], 1, 5, "sense key ss_type");
+      if (!ss_type_field.ok()) return ss_type_field.status();
+      auto lex_file_field =
+          parse_field(parts[1], 0, kMaxLexFile, "sense key lex_filenum");
+      if (!lex_file_field.ok()) return lex_file_field.status();
+      auto lex_id_field =
+          parse_field(parts[2], 0, kMaxLexId, "sense key lex_id");
+      if (!lex_id_field.ok()) return lex_id_field.status();
+      int ss_type = static_cast<int>(*ss_type_field);
+      int lex_file = static_cast<int>(*lex_file_field);
+      int lex_id = static_cast<int>(*lex_id_field);
       auto target = by_sense_key.find({lemma, lex_file, lex_id, ss_type});
       if (target == by_sense_key.end()) {
         return Status::Corruption("cntlist sense key matches no synset: " +

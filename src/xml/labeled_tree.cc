@@ -1,17 +1,28 @@
 #include "xml/labeled_tree.h"
 
 #include <algorithm>
-#include <cassert>
 #include <unordered_set>
 
+#include "common/check.h"
 #include "common/strings.h"
 
 namespace xsdf::xml {
 
 NodeId LabeledTree::AddNode(NodeId parent, std::string label,
                             TreeNodeKind kind, std::string raw) {
-  assert((parent == kInvalidNode) == nodes_.empty() &&
-         "first node must be the root; later nodes need a parent");
+  // Precondition violations are programmer errors, but a release build
+  // must not crash on them: callers receive kInvalidNode and can
+  // surface a Status (checked builds still stop at the fault).
+  if ((parent == kInvalidNode) != nodes_.empty()) {
+    XSDF_DCHECK(false,
+                "first node must be the root; later nodes need a parent");
+    return kInvalidNode;
+  }
+  if (parent != kInvalidNode &&
+      (parent < 0 || static_cast<size_t>(parent) >= nodes_.size())) {
+    XSDF_DCHECK(false, "parent id out of range");
+    return kInvalidNode;
+  }
   TreeNode node;
   node.id = static_cast<NodeId>(nodes_.size());
   node.label = std::move(label);
@@ -19,12 +30,58 @@ NodeId LabeledTree::AddNode(NodeId parent, std::string label,
   node.kind = kind;
   node.parent = parent;
   if (parent != kInvalidNode) {
-    assert(parent >= 0 && static_cast<size_t>(parent) < nodes_.size());
     node.depth = nodes_[static_cast<size_t>(parent)].depth + 1;
     nodes_[static_cast<size_t>(parent)].children.push_back(node.id);
   }
   nodes_.push_back(std::move(node));
   return nodes_.back().id;
+}
+
+Status LabeledTree::Validate() const {
+  size_t child_links = 0;
+  for (const TreeNode& n : nodes_) {
+    size_t i = static_cast<size_t>(n.id);
+    if (n.id < 0 || i >= nodes_.size() || &nodes_[i] != &n) {
+      return Status::Internal(
+          StrFormat("node id %d does not match its position", n.id));
+    }
+    if (n.id == 0) {
+      if (n.parent != kInvalidNode || n.depth != 0) {
+        return Status::Internal("root node has a parent or nonzero depth");
+      }
+    } else {
+      if (n.parent < 0 || n.parent >= n.id) {
+        return Status::Internal(StrFormat(
+            "node %d has non-preorder parent %d", n.id, n.parent));
+      }
+      const TreeNode& p = nodes_[static_cast<size_t>(n.parent)];
+      if (n.depth != p.depth + 1) {
+        return Status::Internal(
+            StrFormat("node %d depth %d != parent depth %d + 1", n.id,
+                      n.depth, p.depth));
+      }
+      if (std::find(p.children.begin(), p.children.end(), n.id) ==
+          p.children.end()) {
+        return Status::Internal(StrFormat(
+            "node %d missing from parent %d child list", n.id, n.parent));
+      }
+    }
+    for (NodeId child : n.children) {
+      if (child <= n.id || static_cast<size_t>(child) >= nodes_.size()) {
+        return Status::Internal(
+            StrFormat("node %d has invalid child %d", n.id, child));
+      }
+      if (nodes_[static_cast<size_t>(child)].parent != n.id) {
+        return Status::Internal(StrFormat(
+            "child %d of node %d does not point back", child, n.id));
+      }
+    }
+    child_links += n.children.size();
+  }
+  if (!nodes_.empty() && child_links != nodes_.size() - 1) {
+    return Status::Internal("tree has disconnected or multi-parent nodes");
+  }
+  return Status::Ok();
 }
 
 int LabeledTree::DistinctChildLabelCount(NodeId id) const {

@@ -46,9 +46,18 @@ class LabeledTree {
 
   /// Appends a node. The first added node must be the root
   /// (`parent == kInvalidNode`); children must be added after their
-  /// parent and in preorder so that ids equal preorder ranks.
+  /// parent and in preorder so that ids equal preorder ranks. A call
+  /// violating these preconditions returns kInvalidNode without
+  /// modifying the tree (and traps in checked builds), so malformed
+  /// construction fails recoverably in release binaries.
   NodeId AddNode(NodeId parent, std::string label, TreeNodeKind kind,
                  std::string raw = {});
+
+  /// Full structural-invariant audit: ids equal positions, parents
+  /// precede children, depths are parent depth + 1, child lists and
+  /// parent pointers agree, and every non-root node is linked exactly
+  /// once. O(nodes + edges); used as a fuzzing/property-test oracle.
+  Status Validate() const;
 
   bool empty() const { return nodes_.empty(); }
   size_t size() const { return nodes_.size(); }

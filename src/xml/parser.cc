@@ -27,6 +27,30 @@ bool IsWhitespaceOnly(std::string_view text) {
   return true;
 }
 
+/// VersionNum production: "1." followed by one or more digits.
+bool IsValidXmlVersion(std::string_view value) {
+  if (value.size() < 3 || value.substr(0, 2) != "1.") return false;
+  for (char c : value.substr(2)) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+/// EncName production: a letter, then letters/digits/'.'/'_'/'-'.
+bool IsValidEncodingName(std::string_view value) {
+  if (value.empty() ||
+      !std::isalpha(static_cast<unsigned char>(value.front()))) {
+    return false;
+  }
+  for (char c : value) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '.' &&
+        c != '_' && c != '-') {
+      return false;
+    }
+  }
+  return true;
+}
+
 /// Single-pass cursor over the input with line/column tracking.
 class Cursor {
  public:
@@ -86,7 +110,9 @@ class Cursor {
 class Parser {
  public:
   Parser(std::string_view input, const ParseOptions& options)
-      : cursor_(input), options_(options) {}
+      : cursor_(input),
+        options_(options),
+        entity_budget_(options.limits.max_entity_references) {}
 
   Result<Document> Run() {
     Document doc;
@@ -114,6 +140,19 @@ class Parser {
     return Status::Corruption(StrFormat("XML parse error at %d:%d: %s",
                                         cursor_.line(), cursor_.column(),
                                         what.c_str()));
+  }
+
+  Status LimitError(const std::string& what) const {
+    return Status::OutOfRange(StrFormat("XML input limit at %d:%d: %s",
+                                        cursor_.line(), cursor_.column(),
+                                        what.c_str()));
+  }
+
+  /// Entity decoding against the document-wide reference budget.
+  Result<std::string> Decode(std::string_view raw) {
+    size_t* budget =
+        options_.limits.max_entity_references > 0 ? &entity_budget_ : nullptr;
+    return DecodeEntities(raw, budget);
   }
 
   Status ParseProlog(Document* doc) {
@@ -158,9 +197,19 @@ class Parser {
       cursor_.SkipWhitespace();
       auto value = ParseQuotedValue();
       if (!value.ok()) return value.status();
+      // Declaration values are emitted verbatim on serialization, so
+      // they must be held to their spec grammars (VersionNum,
+      // EncName) or round-tripping accepted garbage would produce
+      // unparseable output.
       if (*name == "version") {
+        if (!IsValidXmlVersion(*value)) {
+          return Error("malformed XML version \"" + *value + "\"");
+        }
         doc->set_version(std::move(value).value());
       } else if (*name == "encoding") {
+        if (!IsValidEncodingName(*value)) {
+          return Error("malformed encoding name \"" + *value + "\"");
+        }
         doc->set_encoding(std::move(value).value());
       }
       // `standalone` is accepted and ignored.
@@ -255,11 +304,26 @@ class Parser {
     if (cursor_.AtEnd()) return Error("unterminated attribute value");
     std::string raw(cursor_.Slice(begin, cursor_.pos()));
     cursor_.Advance();  // closing quote
-    return DecodeEntities(raw);
+    return Decode(raw);
   }
 
   Result<std::unique_ptr<Node>> ParseElement() {
     if (!cursor_.Match("<")) return Error("expected '<'");
+    // The parser, the serializer, the DOM destructor, and the tree
+    // builder all recurse once per nesting level, so the depth cap is
+    // the stack-overflow guard for the whole pipeline.
+    if (options_.limits.max_depth > 0 &&
+        depth_ >= options_.limits.max_depth) {
+      return LimitError(StrFormat("element nesting exceeds max_depth (%d)",
+                                  options_.limits.max_depth));
+    }
+    ++depth_;
+    auto element = ParseElementBody();
+    --depth_;
+    return element;
+  }
+
+  Result<std::unique_ptr<Node>> ParseElementBody() {
     auto name = ParseName();
     if (!name.ok()) return name.status();
     auto element = std::make_unique<Node>(NodeKind::kElement);
@@ -276,6 +340,13 @@ class Parser {
       if (cursor_.Peek() == '>') {
         cursor_.Advance();
         break;
+      }
+      if (options_.limits.max_attributes_per_element > 0 &&
+          element->attributes().size() >=
+              options_.limits.max_attributes_per_element) {
+        return LimitError(
+            StrFormat("element has more than %zu attributes",
+                      options_.limits.max_attributes_per_element));
       }
       auto attr_name = ParseName();
       if (!attr_name.ok()) return attr_name.status();
@@ -304,7 +375,7 @@ class Parser {
       if (pending_text.empty()) return Status::Ok();
       if (!options_.discard_whitespace_text ||
           !IsWhitespaceOnly(pending_text)) {
-        auto decoded = DecodeEntities(pending_text);
+        auto decoded = Decode(pending_text);
         if (!decoded.ok()) return decoded.status();
         element->AddText(std::move(decoded).value());
       }
@@ -378,11 +449,17 @@ class Parser {
 
   Cursor cursor_;
   ParseOptions options_;
+  int depth_ = 0;
+  size_t entity_budget_ = 0;
 };
 
 }  // namespace
 
 Result<std::string> DecodeEntities(std::string_view text) {
+  return DecodeEntities(text, nullptr);
+}
+
+Result<std::string> DecodeEntities(std::string_view text, size_t* budget) {
   std::string out;
   out.reserve(text.size());
   size_t i = 0;
@@ -392,6 +469,13 @@ Result<std::string> DecodeEntities(std::string_view text) {
       out.push_back(c);
       ++i;
       continue;
+    }
+    if (budget != nullptr) {
+      if (*budget == 0) {
+        return Status::OutOfRange(
+            "entity reference budget exhausted (max_entity_references)");
+      }
+      --*budget;
     }
     size_t semi = text.find(';', i + 1);
     if (semi == std::string_view::npos) {
@@ -467,6 +551,12 @@ bool IsValidName(std::string_view name) {
 }
 
 Result<Document> Parse(std::string_view input, const ParseOptions& options) {
+  if (options.limits.max_input_bytes > 0 &&
+      input.size() > options.limits.max_input_bytes) {
+    return Status::OutOfRange(
+        StrFormat("XML input of %zu bytes exceeds max_input_bytes (%zu)",
+                  input.size(), options.limits.max_input_bytes));
+  }
   Parser parser(input, options);
   return parser.Run();
 }

@@ -9,6 +9,29 @@
 
 namespace xsdf::xml {
 
+/// Input-hardening limits. Every document XSDF serves enters through
+/// this parser, so adversarial inputs must fail with a `Status` before
+/// they can exhaust the stack (deep recursion), memory, or CPU. A zero
+/// value disables the corresponding limit.
+struct ParseLimits {
+  /// Maximum accepted input size in bytes.
+  size_t max_input_bytes = 64u << 20;
+  /// Maximum element-nesting depth. The parser, serializer, DOM
+  /// destructor, and LabeledTree builder all recurse over the element
+  /// tree, so this bound protects every downstream consumer from stack
+  /// overflow, not just the parse itself.
+  int max_depth = 256;
+  /// Maximum number of attributes on a single element.
+  size_t max_attributes_per_element = 1024;
+  /// Maximum total number of entity/character references decoded over
+  /// the whole document. XSDF never expands user-defined entities
+  /// (DOCTYPE internal subsets are skipped, so billion-laughs style
+  /// blowup is structurally impossible and decoded text is never
+  /// longer than its source), but the budget still caps the absolute
+  /// work malformed inputs can demand.
+  size_t max_entity_references = 1u << 20;
+};
+
 /// Options controlling XML parsing.
 struct ParseOptions {
   /// When true, text nodes consisting only of whitespace (typical
@@ -18,6 +41,9 @@ struct ParseOptions {
   bool keep_comments = false;
   /// When true, processing instructions are kept; otherwise dropped.
   bool keep_processing_instructions = false;
+  /// Hardening limits; violations produce `OutOfRange` errors (while
+  /// grammar violations stay `Corruption`).
+  ParseLimits limits;
 };
 
 /// Parses an XML 1.0 document from `input`.
@@ -37,6 +63,12 @@ Result<Document> ParseFile(const std::string& path,
 /// Decodes the predefined entities and character references in `text`.
 /// Unknown entity references produce a Corruption error.
 Result<std::string> DecodeEntities(std::string_view text);
+
+/// Same, drawing every decoded reference from `*budget`; returns
+/// OutOfRange once the budget is exhausted. Used by the parser to
+/// enforce ParseLimits::max_entity_references document-wide; a null
+/// `budget` decodes without a limit.
+Result<std::string> DecodeEntities(std::string_view text, size_t* budget);
 
 /// True when `name` is a valid XML element/attribute name (ASCII subset
 /// of the XML Name production: letters, digits, '_', '-', '.', ':',

@@ -1,0 +1,101 @@
+// Property tests for the WNDB codec: WriteWndb -> ParseWndb ->
+// WriteWndb must be byte-identical on randomized mini-lexicons, the
+// parse must preserve the network's observable semantics, and the
+// fuzz-container pack/unpack pair must be mutually inverse.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/strings.h"
+#include "prop/generators.h"
+#include "wordnet/wndb.h"
+
+namespace xsdf {
+namespace {
+
+/// Points at the first differing line of two file images, for
+/// actionable failure output.
+std::string FirstDifference(const std::string& a, const std::string& b) {
+  size_t pos = 0;
+  int line = 1;
+  while (pos < a.size() && pos < b.size() && a[pos] == b[pos]) {
+    if (a[pos] == '\n') ++line;
+    ++pos;
+  }
+  size_t begin = a.rfind('\n', pos);
+  begin = begin == std::string::npos ? 0 : begin + 1;
+  return StrFormat("line %d:\n  first:  %s\n  second: %s", line,
+                   a.substr(begin, 120).c_str(),
+                   b.substr(begin, 120).c_str());
+}
+
+TEST(WndbRoundTripProp, WriteParseWriteIsByteIdentical) {
+  Rng rng(0xbeef0001);
+  for (int i = 0; i < 60; ++i) {
+    wordnet::SemanticNetwork network = propgen::GenerateMiniLexicon(rng);
+    auto files1 = wordnet::WriteWndb(network);
+    ASSERT_TRUE(files1.ok()) << files1.status().ToString();
+    auto parsed = wordnet::ParseWndb(*files1);
+    ASSERT_TRUE(parsed.ok())
+        << "lexicon " << i << ": " << parsed.status().ToString();
+    auto files2 = wordnet::WriteWndb(*parsed);
+    ASSERT_TRUE(files2.ok()) << files2.status().ToString();
+    ASSERT_EQ(files1->size(), files2->size()) << "lexicon " << i;
+    for (const auto& [name, contents] : *files1) {
+      ASSERT_TRUE(files2->count(name)) << "lexicon " << i << " lost "
+                                       << name;
+      const std::string& reparsed = files2->at(name);
+      ASSERT_EQ(contents, reparsed)
+          << "lexicon " << i << ", file " << name << ", "
+          << FirstDifference(contents, reparsed);
+    }
+  }
+}
+
+TEST(WndbRoundTripProp, ParsePreservesNetworkSemantics) {
+  Rng rng(0xbeef0002);
+  for (int i = 0; i < 40; ++i) {
+    wordnet::SemanticNetwork network = propgen::GenerateMiniLexicon(rng);
+    auto files = wordnet::WriteWndb(network);
+    ASSERT_TRUE(files.ok()) << files.status().ToString();
+    auto parsed = wordnet::ParseWndb(*files);
+    ASSERT_TRUE(parsed.ok())
+        << "lexicon " << i << ": " << parsed.status().ToString();
+    EXPECT_EQ(parsed->size(), network.size()) << "lexicon " << i;
+    EXPECT_EQ(parsed->LemmaCount(), network.LemmaCount())
+        << "lexicon " << i;
+    EXPECT_EQ(parsed->MaxPolysemy(), network.MaxPolysemy())
+        << "lexicon " << i;
+    EXPECT_EQ(parsed->MaxDepth(), network.MaxDepth()) << "lexicon " << i;
+    EXPECT_DOUBLE_EQ(parsed->TotalFrequency(), network.TotalFrequency())
+        << "lexicon " << i;
+  }
+}
+
+TEST(WndbContainerProp, PackUnpackIsInverse) {
+  Rng rng(0xbeef0003);
+  for (int i = 0; i < 25; ++i) {
+    wordnet::SemanticNetwork network = propgen::GenerateMiniLexicon(rng);
+    auto files = wordnet::WriteWndb(network);
+    ASSERT_TRUE(files.ok()) << files.status().ToString();
+    std::string blob = propgen::PackWndbContainer(*files);
+    wordnet::WndbFiles unpacked = propgen::UnpackWndbContainer(blob);
+    ASSERT_EQ(unpacked.size(), files->size()) << "lexicon " << i;
+    for (const auto& [name, contents] : *files) {
+      ASSERT_TRUE(unpacked.count(name)) << "lexicon " << i << " lost "
+                                        << name;
+      EXPECT_EQ(unpacked.at(name), contents)
+          << "lexicon " << i << ", file " << name << ", "
+          << FirstDifference(contents, unpacked.at(name));
+    }
+    // And the unpacked set still parses to the same network shape.
+    auto parsed = wordnet::ParseWndb(unpacked);
+    ASSERT_TRUE(parsed.ok())
+        << "lexicon " << i << ": " << parsed.status().ToString();
+    EXPECT_EQ(parsed->size(), network.size());
+  }
+}
+
+}  // namespace
+}  // namespace xsdf

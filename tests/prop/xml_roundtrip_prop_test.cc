@@ -1,0 +1,124 @@
+// Property tests for the XML layer: every generated well-formed
+// document must survive parse -> serialize -> reparse with identical
+// structure, the serialized form must be a fixed point, and the
+// LabeledTree built from any parsed document must pass its structural
+// audit.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "prop/generators.h"
+#include "xml/labeled_tree.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xsdf {
+namespace {
+
+/// Options under which the round trip is an exact fixed point: keep
+/// whitespace-only text (the generator emits it as real content), drop
+/// comments and PIs (their content is not part of the document data),
+/// and serialize without indentation (pretty-printing inserts text
+/// into mixed content, which is intentionally not idempotent).
+xml::ParseOptions OracleParseOptions() {
+  xml::ParseOptions options;
+  options.discard_whitespace_text = false;
+  options.keep_comments = false;
+  options.keep_processing_instructions = false;
+  return options;
+}
+
+xml::SerializeOptions OracleSerializeOptions() {
+  xml::SerializeOptions options;
+  options.indent = 0;
+  return options;
+}
+
+TEST(XmlRoundTripProp, FiveHundredGeneratedDocumentsAreStable) {
+  Rng rng(0x5eed0001);
+  for (int i = 0; i < 500; ++i) {
+    std::string text = propgen::GenerateXmlDocument(rng);
+    auto doc1 = xml::Parse(text, OracleParseOptions());
+    ASSERT_TRUE(doc1.ok()) << "doc " << i << " rejected: "
+                           << doc1.status().ToString() << "\ninput:\n"
+                           << text;
+    std::string s1 = xml::Serialize(*doc1, OracleSerializeOptions());
+    auto doc2 = xml::Parse(s1, OracleParseOptions());
+    ASSERT_TRUE(doc2.ok()) << "doc " << i << " reparse rejected: "
+                           << doc2.status().ToString() << "\ninput:\n"
+                           << text << "\nserialized:\n"
+                           << s1;
+    std::string diff;
+    ASSERT_TRUE(propgen::StructurallyEqual(*doc1, *doc2, &diff))
+        << "doc " << i << " structural drift: " << diff << "\ninput:\n"
+        << text << "\nserialized:\n"
+        << s1;
+    // The serialized form is a fixed point of parse-then-serialize.
+    std::string s2 = xml::Serialize(*doc2, OracleSerializeOptions());
+    ASSERT_EQ(s1, s2) << "doc " << i << " serialization not idempotent";
+  }
+}
+
+TEST(XmlRoundTripProp, GeneratedDocumentsSurviveDefaultOptionsToo) {
+  // The production configuration (whitespace discarded) must also
+  // accept every generated document; structure is not compared because
+  // dropping whitespace-only text nodes is the point of the option.
+  Rng rng(0x5eed0002);
+  for (int i = 0; i < 200; ++i) {
+    std::string text = propgen::GenerateXmlDocument(rng);
+    auto doc = xml::Parse(text);
+    ASSERT_TRUE(doc.ok()) << "doc " << i << " rejected: "
+                          << doc.status().ToString() << "\ninput:\n"
+                          << text;
+  }
+}
+
+TEST(XmlRoundTripProp, LabeledTreesValidateOnGeneratedDocuments) {
+  Rng rng(0x5eed0003);
+  for (int i = 0; i < 200; ++i) {
+    std::string text = propgen::GenerateXmlDocument(rng);
+    auto doc = xml::Parse(text);
+    ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+    auto tree = xml::BuildLabeledTree(*doc);
+    ASSERT_TRUE(tree.ok()) << "doc " << i << ": "
+                           << tree.status().ToString();
+    Status audit = tree->Validate();
+    ASSERT_TRUE(audit.ok()) << "doc " << i
+                            << " tree audit failed: " << audit.ToString()
+                            << "\ninput:\n"
+                            << text;
+    EXPECT_GT(tree->size(), 0u);
+  }
+}
+
+TEST(XmlRoundTripProp, NestingDeeperThanTheLimitIsOutOfRange) {
+  auto nested = [](int depth) {
+    std::string text;
+    for (int d = 0; d < depth; ++d) text += "<n>";
+    text += "x";
+    for (int d = 0; d < depth; ++d) text += "</n>";
+    return text;
+  };
+  xml::ParseOptions tight = OracleParseOptions();
+  tight.limits.max_depth = 8;
+  for (int depth = 1; depth <= 32; ++depth) {
+    auto doc = xml::Parse(nested(depth), tight);
+    if (depth <= 8) {
+      ASSERT_TRUE(doc.ok()) << "depth " << depth << ": "
+                            << doc.status().ToString();
+    } else {
+      ASSERT_FALSE(doc.ok()) << "depth " << depth << " accepted";
+      EXPECT_EQ(doc.status().code(), StatusCode::kOutOfRange)
+          << doc.status().ToString();
+    }
+  }
+  // A disabled limit (0) accepts nesting past the default bound.
+  xml::ParseOptions loose = OracleParseOptions();
+  loose.limits.max_depth = 0;
+  auto deep = xml::Parse(nested(2000), loose);
+  ASSERT_TRUE(deep.ok()) << deep.status().ToString();
+}
+
+}  // namespace
+}  // namespace xsdf

@@ -7,6 +7,7 @@
 
 #include <filesystem>
 
+#include "prop/generators.h"
 #include "wordnet/mini_wordnet.h"
 #include "wordnet/wndb.h"
 
@@ -271,6 +272,72 @@ TEST(WndbCorruptionTest, TruncatedRecord) {
   WndbFiles files;
   files["data.noun"] = "00000000 03 n\n";
   EXPECT_FALSE(ParseWndb(files).ok());
+}
+
+// ---- Field bounds (fuzz hardening) ---------------------------------------
+
+TEST(WndbBoundsTest, OversizedNumericFieldsAreCorruption) {
+  // Each mutant pushes one field outside its WNDB(5WN) range; all must
+  // be rejected (pre-hardening some reached std::atoi / int-cast UB).
+  const char* kMutants[] = {
+      // lex_filenum 100 > 99
+      "00000000 100 n 01 word 0 000 | g  \n",
+      // w_cnt 0: at least one word required
+      "00000000 03 n 00 000 | g  \n",
+      // lex_id 100 hex > ff
+      "00000000 03 n 01 word 100 000 | g  \n",
+      // p_cnt 1000 > 999
+      "00000000 03 n 01 word 0 1000 | g  \n",
+      // negative synset offset
+      "-0000001 03 n 01 word 0 000 | g  \n",
+  };
+  for (const char* record : kMutants) {
+    WndbFiles files;
+    files["data.noun"] = record;
+    auto parsed = ParseWndb(files);
+    ASSERT_FALSE(parsed.ok()) << "accepted: " << record;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kCorruption) << record;
+  }
+}
+
+TEST(WndbBoundsTest, CntlistNumericOverflowIsCorruption) {
+  // 20-digit numbers overflowed std::atoi (undefined behavior) before
+  // the bounded field reader; they must now be clean Corruption errors.
+  const char* kMutants[] = {
+      "word%1:99999999999999999999:0:: 1 5\n",       // lex_filenum
+      "word%99999999999999999999:03:0:: 1 5\n",      // ss_type
+      "word%1:03:99999999999999999999:: 1 5\n",      // lex_id
+      "word%1:03:0:: 99999999999999999999 5\n",      // sense_number
+      "word%1:03:0:: 1 99999999999999999999\n",      // tag_cnt
+      "word%1:03:0:: 1 999999999\n",                 // tag_cnt > 1e8 cap
+  };
+  for (const char* line : kMutants) {
+    WndbFiles files = ValidFiles();
+    files["cntlist.rev"] = line;
+    auto parsed = ParseWndb(files);
+    ASSERT_FALSE(parsed.ok()) << "accepted: " << line;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kCorruption) << line;
+  }
+}
+
+// ---- Randomized byte-identity (mirrors tests/prop, small and fast) -------
+
+TEST(WndbRoundTripTest, RandomizedLexiconsAreByteStable) {
+  Rng rng(0x51ab1e07);
+  for (int i = 0; i < 15; ++i) {
+    propgen::LexiconGenOptions gen;
+    gen.min_concepts = 3 + i;
+    gen.max_concepts = 8 + 2 * i;
+    SemanticNetwork network = propgen::GenerateMiniLexicon(rng, gen);
+    auto files1 = WriteWndb(network);
+    ASSERT_TRUE(files1.ok()) << files1.status().ToString();
+    auto parsed = ParseWndb(*files1);
+    ASSERT_TRUE(parsed.ok())
+        << "lexicon " << i << ": " << parsed.status().ToString();
+    auto files2 = WriteWndb(*parsed);
+    ASSERT_TRUE(files2.ok()) << files2.status().ToString();
+    EXPECT_EQ(*files1, *files2) << "lexicon " << i << " not byte-stable";
+  }
 }
 
 }  // namespace

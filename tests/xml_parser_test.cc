@@ -269,5 +269,93 @@ TEST(XmlSerializerTest, DoubleRoundTripIsStable) {
   EXPECT_EQ(Serialize(*doc2), once);
 }
 
+// ---- ParseLimits hardening ------------------------------------------
+
+TEST(XmlParseLimitsTest, DepthAtTheBoundIsAcceptedOneDeeperIsNot) {
+  ParseOptions options;
+  options.limits.max_depth = 3;
+  EXPECT_TRUE(Parse("<a><b><c/></b></a>", options).ok());
+  auto too_deep = Parse("<a><b><c><d/></c></b></a>", options);
+  ASSERT_FALSE(too_deep.ok());
+  EXPECT_EQ(too_deep.status().code(), StatusCode::kOutOfRange);
+  // The error carries a position like every other parse diagnostic.
+  EXPECT_NE(too_deep.status().ToString().find("1:"), std::string::npos)
+      << too_deep.status().ToString();
+}
+
+TEST(XmlParseLimitsTest, AttributeCountCap) {
+  ParseOptions options;
+  options.limits.max_attributes_per_element = 2;
+  EXPECT_TRUE(Parse("<a x=\"1\" y=\"2\"/>", options).ok());
+  auto over = Parse("<a x=\"1\" y=\"2\" z=\"3\"/>", options);
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(XmlParseLimitsTest, EntityBudgetIsDocumentWide) {
+  ParseOptions options;
+  options.limits.max_entity_references = 3;
+  // Three references across separate nodes: exactly at the budget.
+  EXPECT_TRUE(Parse("<a x=\"&lt;\"><b>&gt;</b>&amp;</a>", options).ok());
+  auto over = Parse("<a x=\"&lt;\"><b>&gt;&#65;</b>&amp;</a>", options);
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(XmlParseLimitsTest, InputSizeCap) {
+  ParseOptions options;
+  options.limits.max_input_bytes = 16;
+  EXPECT_TRUE(Parse("<abcdefghijkl/>", options).ok());
+  auto over = Parse("<abcdefghijklmnopq/>", options);
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(XmlParseLimitsTest, ZeroDisablesEachLimit) {
+  ParseOptions options;
+  options.limits.max_depth = 0;
+  options.limits.max_attributes_per_element = 0;
+  options.limits.max_entity_references = 0;
+  options.limits.max_input_bytes = 0;
+  std::string deep;
+  for (int i = 0; i < 600; ++i) deep += "<n>";
+  deep += "&amp;";
+  for (int i = 0; i < 600; ++i) deep += "</n>";
+  EXPECT_TRUE(Parse(deep, options).ok());
+}
+
+TEST(XmlParseLimitsTest, GrammarViolationsStayCorruption) {
+  // Limits must not reclassify ordinary malformedness.
+  auto doc = Parse("<a><b></a>");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kCorruption);
+}
+
+TEST(XmlParserTest, DeclarationVersionAndEncodingAreValidated) {
+  // Declaration values are serialized verbatim, so garbage accepted
+  // here would round-trip into unparseable output (found by fuzzing).
+  EXPECT_FALSE(Parse("<?xml version=\"1.0f>&\"?><a/>").ok());
+  EXPECT_FALSE(Parse("<?xml version=\"2.0\"?><a/>").ok());
+  EXPECT_FALSE(Parse("<?xml version=\"1.\"?><a/>").ok());
+  EXPECT_FALSE(
+      Parse("<?xml version=\"1.0\" encoding=\"U TF8\"?><a/>").ok());
+  EXPECT_FALSE(
+      Parse("<?xml version=\"1.0\" encoding=\"8bit\"?><a/>").ok());
+  auto ok = Parse("<?xml version=\"1.0\" encoding=\"ISO-8859-1\"?><a/>");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->encoding(), "ISO-8859-1");
+}
+
+TEST(XmlDecodeEntitiesTest, BudgetedOverloadStopsAtZero) {
+  size_t budget = 2;
+  auto two = DecodeEntities("&lt;&gt;", &budget);
+  ASSERT_TRUE(two.ok());
+  EXPECT_EQ(*two, "<>");
+  EXPECT_EQ(budget, 0u);
+  auto exhausted = DecodeEntities("&amp;", &budget);
+  ASSERT_FALSE(exhausted.ok());
+  EXPECT_EQ(exhausted.status().code(), StatusCode::kOutOfRange);
+}
+
 }  // namespace
 }  // namespace xsdf::xml

@@ -1,0 +1,404 @@
+// Microbenchmark for the interned, arena-backed front end: per-stage
+// timings for the parse -> labeled-tree -> sphere -> context-vector
+// half of the pipeline, string-keyed baseline vs the id path.
+//
+// The baseline reconstructs the pre-interning front end through the
+// same public APIs: BuildLabeledTree() with the raw (non-memoized)
+// pre-processing hooks and no label resolver, then BuildXmlSphere /
+// ContextVector / ResolvedContext over string labels. The fast path is
+// what the runtime actually runs today: core::BuildTree() with a
+// LabelSpace (memoized pre-processing + interning at build time), then
+// BuildXmlIdSphere / IdContextVector / IdResolvedContext over flat id
+// arrays. Results go to stdout and to a JSON file (argv[1] when it is
+// not a flag, default BENCH_frontend.json).
+//
+// `--smoke` skips the timing loops and only verifies that the id path
+// reproduces the string path bit-for-bit over the corpus — labels,
+// context-vector dimensions, and every weight double (nonzero exit on
+// any mismatch) — cheap enough for CI.
+
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/context_vector.h"
+#include "core/label_space.h"
+#include "core/scores.h"
+#include "core/tree_builder.h"
+#include "datasets/generator.h"
+#include "text/preprocess.h"
+#include "wordnet/mini_wordnet.h"
+#include "xml/labeled_tree.h"
+#include "xml/parser.h"
+
+namespace {
+
+using xsdf::core::BuildXmlIdSphere;
+using xsdf::core::BuildXmlSphere;
+using xsdf::core::ContextVector;
+using xsdf::core::IdContextVector;
+using xsdf::core::IdResolvedContext;
+using xsdf::core::LabelSpace;
+using xsdf::core::ResolvedContext;
+using xsdf::wordnet::SemanticNetwork;
+using xsdf::xml::LabeledTree;
+
+constexpr int kRadius = 2;  ///< DisambiguatorOptions::sphere_radius
+
+std::vector<std::string> CorpusXml() {
+  std::vector<std::string> xml;
+  for (const auto& doc : xsdf::datasets::Figure1Documents()) {
+    xml.push_back(doc.xml);
+  }
+  for (const auto* generator : xsdf::datasets::AllDatasets()) {
+    for (const auto& doc : generator->Generate(/*seed=*/11)) {
+      xml.push_back(doc.xml);
+    }
+  }
+  return xml;
+}
+
+/// The pre-interning tree build: the exact hooks core::BuildTree wires
+/// up, minus the per-document memo tables and the label resolver.
+xsdf::Result<LabeledTree> BuildTreeBaseline(const xsdf::xml::Document& doc,
+                                            const SemanticNetwork& network) {
+  xsdf::text::LexiconProbe probe = [&network](const std::string& lemma) {
+    return network.Contains(lemma);
+  };
+  xsdf::xml::TreeBuildOptions options;
+  options.include_values = true;
+  options.label_transform = [probe](const std::string& tag) {
+    return xsdf::text::PreprocessTagName(tag, probe).label;
+  };
+  options.value_tokenizer = [probe](const std::string& value) {
+    return xsdf::text::PreprocessTextValue(value, probe);
+  };
+  return BuildLabeledTree(doc, options);
+}
+
+/// Best-of-`rounds` total ns for `fn()`; the checksum defeats
+/// dead-code elimination.
+template <typename Fn>
+double TimeStage(int rounds, double* checksum, Fn&& fn) {
+  double best_ns = 0.0;
+  for (int round = 0; round < rounds; ++round) {
+    auto start = std::chrono::steady_clock::now();
+    double sum = fn();
+    double ns = std::chrono::duration<double, std::nano>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+    if (round == 0 || ns < best_ns) best_ns = ns;
+    *checksum = sum;
+  }
+  return best_ns;
+}
+
+struct StageResult {
+  std::string name;
+  double baseline_ns = 0.0;
+  double fast_ns = 0.0;
+  double speedup() const {
+    return fast_ns > 0.0 ? baseline_ns / fast_ns : 0.0;
+  }
+};
+
+double SumVector(const ContextVector& vector) {
+  double sum = 0.0;
+  for (const auto& [label, weight] : vector.weights()) sum += weight;
+  return sum;
+}
+
+double SumVector(const IdContextVector& vector) {
+  double sum = 0.0;
+  for (double weight : vector.weights()) sum += weight;
+  return sum;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* json_path = "BENCH_frontend.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      json_path = argv[i];
+    }
+  }
+
+  auto network_result = xsdf::wordnet::BuildMiniWordNet();
+  if (!network_result.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 network_result.status().ToString().c_str());
+    return 1;
+  }
+  const SemanticNetwork& network = *network_result;
+  LabelSpace space(&network);
+
+  const std::vector<std::string> corpus = CorpusXml();
+
+  // Pre-parse and pre-build both tree flavors once for the per-stage
+  // loops (each timed stage then re-runs only its own work) and for the
+  // equivalence gate.
+  std::vector<xsdf::xml::Document> docs;
+  std::vector<LabeledTree> baseline_trees;
+  std::vector<LabeledTree> id_trees;
+  for (const std::string& xml : corpus) {
+    auto doc = xsdf::xml::Parse(xml);
+    if (!doc.ok()) continue;
+    auto baseline = BuildTreeBaseline(*doc, network);
+    auto fast = xsdf::core::BuildTree(*doc, network, true, &space);
+    if (!baseline.ok() || !fast.ok()) continue;
+    docs.push_back(std::move(doc).value());
+    baseline_trees.push_back(std::move(baseline).value());
+    id_trees.push_back(std::move(fast).value());
+  }
+  if (docs.empty()) {
+    std::fprintf(stderr, "no parsable corpus documents\n");
+    return 1;
+  }
+
+  // Bit-exact equivalence gate, run in both modes: per node, the two
+  // tree builds must agree on labels, and the id sphere/vector must
+  // reproduce the string sphere/vector — same dimensions (spelled the
+  // same) and bitwise-equal weight doubles.
+  size_t mismatches = 0;
+  size_t nodes_checked = 0;
+  for (size_t d = 0; d < docs.size(); ++d) {
+    const LabeledTree& baseline_tree = baseline_trees[d];
+    const LabeledTree& id_tree = id_trees[d];
+    if (baseline_tree.size() != id_tree.size() ||
+        !id_tree.has_label_ids()) {
+      std::fprintf(stderr, "doc %zu: tree shape mismatch\n", d);
+      ++mismatches;
+      continue;
+    }
+    for (size_t n = 0; n < id_tree.size(); ++n) {
+      const auto id = static_cast<xsdf::xml::NodeId>(n);
+      if (baseline_tree.node(id).label != id_tree.node(id).label ||
+          space.Spelling(id_tree.label_id(id)) != id_tree.node(id).label) {
+        std::fprintf(stderr, "doc %zu node %zu: label mismatch\n", d, n);
+        ++mismatches;
+        continue;
+      }
+      ContextVector vector(
+          BuildXmlSphere(baseline_tree, id, kRadius));
+      IdContextVector id_vector(
+          BuildXmlIdSphere(id_tree, id_tree.label_ids(), id, kRadius));
+      ++nodes_checked;
+      if (vector.dimension_count() != id_vector.dimension_count() ||
+          vector.sphere_size() != id_vector.sphere_size()) {
+        std::fprintf(stderr, "doc %zu node %zu: vector shape mismatch\n",
+                     d, n);
+        ++mismatches;
+        continue;
+      }
+      for (size_t k = 0; k < id_vector.dimension_count(); ++k) {
+        const auto& [label, weight] = vector.weights()[k];
+        if (space.Spelling(id_vector.ids()[k]) != label ||
+            std::bit_cast<uint64_t>(weight) !=
+                std::bit_cast<uint64_t>(id_vector.weights()[k])) {
+          std::fprintf(stderr,
+                       "doc %zu node %zu dim %zu: weight mismatch\n", d,
+                       n, k);
+          ++mismatches;
+        }
+      }
+    }
+  }
+  if (mismatches > 0) {
+    std::fprintf(stderr, "%zu front-end mismatches\n", mismatches);
+    return 1;
+  }
+  std::printf(
+      "equivalence: %zu docs, %zu node contexts bit-identical\n",
+      docs.size(), nodes_checked);
+  if (smoke) return 0;
+
+  const int rounds = 5;
+  double checksum = 0.0;
+  std::vector<StageResult> results;
+  size_t total_nodes = 0;
+  for (const LabeledTree& tree : id_trees) total_nodes += tree.size();
+
+  // parse: one arena-backed stage shared by both paths (the baseline
+  // DOM no longer exists); reported for context, not compared.
+  double parse_ns = TimeStage(rounds, &checksum, [&] {
+    double sum = 0.0;
+    for (const std::string& xml : corpus) {
+      auto doc = xsdf::xml::Parse(xml);
+      if (doc.ok()) sum += static_cast<double>(doc->arena().bytes_used());
+    }
+    return sum;
+  });
+
+  StageResult tree_stage{"tree_build"};
+  tree_stage.baseline_ns = TimeStage(rounds, &checksum, [&] {
+    double sum = 0.0;
+    for (const auto& doc : docs) {
+      auto tree = BuildTreeBaseline(doc, network);
+      if (tree.ok()) sum += static_cast<double>(tree->size());
+    }
+    return sum;
+  });
+  // The id arm runs with the persistent per-worker cache the engine
+  // keeps, so rounds measure the warmed steady state the runtime sees.
+  xsdf::core::TreeBuildCache tree_cache;
+  tree_stage.fast_ns = TimeStage(rounds, &checksum, [&] {
+    double sum = 0.0;
+    for (const auto& doc : docs) {
+      auto tree =
+          xsdf::core::BuildTree(doc, network, true, &space, &tree_cache);
+      if (tree.ok()) sum += static_cast<double>(tree->size());
+    }
+    return sum;
+  });
+  results.push_back(tree_stage);
+
+  StageResult sphere_stage{"sphere_vector"};
+  sphere_stage.baseline_ns = TimeStage(rounds, &checksum, [&] {
+    double sum = 0.0;
+    for (const LabeledTree& tree : baseline_trees) {
+      for (size_t n = 0; n < tree.size(); ++n) {
+        ContextVector vector(BuildXmlSphere(
+            tree, static_cast<xsdf::xml::NodeId>(n), kRadius));
+        sum += SumVector(vector);
+      }
+    }
+    return sum;
+  });
+  sphere_stage.fast_ns = TimeStage(rounds, &checksum, [&] {
+    double sum = 0.0;
+    // Same reuse pattern as the disambiguator hot loop: one sphere and
+    // one vector, rebuilt per node with their capacity kept.
+    xsdf::core::IdSphere sphere;
+    IdContextVector vector;
+    for (const LabeledTree& tree : id_trees) {
+      for (size_t n = 0; n < tree.size(); ++n) {
+        BuildXmlIdSphere(tree, tree.label_ids(),
+                         static_cast<xsdf::xml::NodeId>(n), kRadius,
+                         /*exclude_tokens=*/false, &sphere);
+        vector.Assign(sphere);
+        sum += SumVector(vector);
+      }
+    }
+    return sum;
+  });
+  results.push_back(sphere_stage);
+
+  // resolve: sphere context -> sense inventory resolution, the step
+  // between the vector and candidate scoring (string path re-splits
+  // and re-hashes every label; id path reads the memoized table).
+  StageResult resolve_stage{"context_resolve"};
+  resolve_stage.baseline_ns = TimeStage(rounds, &checksum, [&] {
+    double sum = 0.0;
+    for (const LabeledTree& tree : baseline_trees) {
+      for (size_t n = 0; n < tree.size(); ++n) {
+        const auto id = static_cast<xsdf::xml::NodeId>(n);
+        auto sphere = BuildXmlSphere(tree, id, kRadius);
+        ContextVector vector(sphere);
+        ResolvedContext resolved(network, sphere, vector);
+        sum += 1.0;
+      }
+    }
+    return sum;
+  });
+  resolve_stage.fast_ns = TimeStage(rounds, &checksum, [&] {
+    double sum = 0.0;
+    xsdf::core::IdSphere sphere;
+    IdContextVector vector;
+    for (const LabeledTree& tree : id_trees) {
+      for (size_t n = 0; n < tree.size(); ++n) {
+        const auto id = static_cast<xsdf::xml::NodeId>(n);
+        BuildXmlIdSphere(tree, tree.label_ids(), id, kRadius,
+                         /*exclude_tokens=*/false, &sphere);
+        vector.Assign(sphere);
+        IdResolvedContext resolved(space, sphere, vector);
+        sum += 1.0;
+      }
+    }
+    return sum;
+  });
+  results.push_back(resolve_stage);
+
+  // parse -> vector end to end: the acceptance headline. Both paths
+  // start from the XML text and end with one context vector per node.
+  StageResult e2e_stage{"parse_to_vector"};
+  e2e_stage.baseline_ns = TimeStage(rounds, &checksum, [&] {
+    double sum = 0.0;
+    for (const std::string& xml : corpus) {
+      auto doc = xsdf::xml::Parse(xml);
+      if (!doc.ok()) continue;
+      auto tree = BuildTreeBaseline(*doc, network);
+      if (!tree.ok()) continue;
+      for (size_t n = 0; n < tree->size(); ++n) {
+        ContextVector vector(BuildXmlSphere(
+            *tree, static_cast<xsdf::xml::NodeId>(n), kRadius));
+        sum += SumVector(vector);
+      }
+    }
+    return sum;
+  });
+  e2e_stage.fast_ns = TimeStage(rounds, &checksum, [&] {
+    double sum = 0.0;
+    xsdf::core::IdSphere sphere;
+    IdContextVector vector;
+    for (const std::string& xml : corpus) {
+      auto doc = xsdf::xml::Parse(xml);
+      if (!doc.ok()) continue;
+      auto tree =
+          xsdf::core::BuildTree(*doc, network, true, &space, &tree_cache);
+      if (!tree.ok()) continue;
+      for (size_t n = 0; n < tree->size(); ++n) {
+        BuildXmlIdSphere(*tree, tree->label_ids(),
+                         static_cast<xsdf::xml::NodeId>(n), kRadius,
+                         /*exclude_tokens=*/false, &sphere);
+        vector.Assign(sphere);
+        sum += SumVector(vector);
+      }
+    }
+    return sum;
+  });
+  results.push_back(e2e_stage);
+
+  std::printf(
+      "%zu docs, %zu nodes, best of %d rounds (checksum %.6f)\n",
+      docs.size(), total_nodes, rounds, checksum);
+  std::printf("parse (shared arena path): %.1f us/corpus\n",
+              parse_ns / 1000.0);
+  std::printf("%-16s %15s %15s %9s\n", "stage", "baseline us",
+              "id-path us", "speedup");
+  for (const StageResult& r : results) {
+    std::printf("%-16s %15.1f %15.1f %8.2fx\n", r.name.c_str(),
+                r.baseline_ns / 1000.0, r.fast_ns / 1000.0, r.speedup());
+  }
+
+  std::FILE* json = std::fopen(json_path, "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"docs\": %zu,\n", docs.size());
+  std::fprintf(json, "  \"nodes\": %zu,\n", total_nodes);
+  std::fprintf(json, "  \"rounds\": %d,\n", rounds);
+  std::fprintf(json, "  \"parse_us\": %.1f,\n", parse_ns / 1000.0);
+  std::fprintf(json, "  \"stages\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const StageResult& r = results[i];
+    std::fprintf(json,
+                 "    {\"name\": \"%s\", \"baseline_us\": %.1f, "
+                 "\"id_path_us\": %.1f, \"speedup\": %.2f}%s\n",
+                 r.name.c_str(), r.baseline_ns / 1000.0,
+                 r.fast_ns / 1000.0, r.speedup(),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("results written to %s\n", json_path);
+  return 0;
+}

@@ -1,0 +1,94 @@
+#include "common/arena.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace xsdf {
+namespace {
+
+inline char* AlignUp(char* p, size_t align) {
+  const uintptr_t value = reinterpret_cast<uintptr_t>(p);
+  const uintptr_t aligned = (value + align - 1) & ~(align - 1);
+  return reinterpret_cast<char*>(aligned);
+}
+
+}  // namespace
+
+Arena::~Arena() { Reset(); }
+
+void* Arena::Allocate(size_t size, size_t align) {
+  char* aligned = AlignUp(ptr_, align);
+  if (aligned + size <= end_) {
+    ptr_ = aligned + size;
+    bytes_used_ += size;
+    return aligned;
+  }
+  return AllocateSlow(size, align);
+}
+
+void* Arena::AllocateSlow(size_t size, size_t align) {
+  // Block storage starts right after the header; over-reserve so any
+  // alignment request fits even at the start of the block.
+  const size_t needed = size + align + sizeof(Block);
+  size_t block_bytes = std::max(next_block_bytes_, needed);
+  next_block_bytes_ = std::min(next_block_bytes_ * 2, kMaxBlockBytes);
+
+  char* raw = static_cast<char*>(std::malloc(block_bytes));
+  if (raw == nullptr) throw std::bad_alloc();
+  Block* block = reinterpret_cast<Block*>(raw);
+  block->prev = head_;
+  block->capacity = block_bytes - sizeof(Block);
+  head_ = block;
+  bytes_reserved_ += block_bytes;
+  ++block_count_;
+
+  ptr_ = raw + sizeof(Block);
+  end_ = raw + block_bytes;
+
+  char* aligned = AlignUp(ptr_, align);
+  ptr_ = aligned + size;
+  bytes_used_ += size;
+  return aligned;
+}
+
+void Arena::RegisterOwned(void* object, void (*destroy)(void*)) {
+  // The list node itself is trivially destructible arena storage.
+  Owned* node = static_cast<Owned*>(Allocate(sizeof(Owned), alignof(Owned)));
+  node->destroy = destroy;
+  node->object = object;
+  node->prev = owned_;
+  owned_ = node;
+}
+
+void Arena::Reset() {
+  for (Owned* node = owned_; node != nullptr; node = node->prev) {
+    node->destroy(node->object);
+  }
+  owned_ = nullptr;
+  Block* block = head_;
+  while (block != nullptr) {
+    Block* prev = block->prev;
+    std::free(block);
+    block = prev;
+  }
+  head_ = nullptr;
+  ptr_ = nullptr;
+  end_ = nullptr;
+  next_block_bytes_ = kFirstBlockBytes;
+  bytes_used_ = 0;
+  bytes_reserved_ = 0;
+  block_count_ = 0;
+}
+
+void Arena::Swap(Arena& other) noexcept {
+  std::swap(ptr_, other.ptr_);
+  std::swap(end_, other.end_);
+  std::swap(head_, other.head_);
+  std::swap(owned_, other.owned_);
+  std::swap(next_block_bytes_, other.next_block_bytes_);
+  std::swap(bytes_used_, other.bytes_used_);
+  std::swap(bytes_reserved_, other.bytes_reserved_);
+  std::swap(block_count_, other.block_count_);
+}
+
+}  // namespace xsdf

@@ -1,0 +1,111 @@
+#ifndef XSDF_COMMON_ARENA_H_
+#define XSDF_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+
+namespace xsdf {
+
+/// A chunked monotonic bump allocator: allocations are pointer bumps
+/// into geometrically growing blocks, and nothing is freed until the
+/// arena itself is destroyed. One arena backs one document's DOM +
+/// labeled tree, so a parse costs a handful of block mallocs instead
+/// of one heap allocation per node/attribute/string.
+///
+/// Objects with non-trivial destructors created through New<T>() are
+/// registered on an arena-internal list and destroyed (in reverse
+/// creation order) when the arena dies; trivially destructible types
+/// pay nothing. CopyString() moves character data into the arena and
+/// returns a view that lives exactly as long as the arena.
+///
+/// Thread-safety: none. An arena belongs to one document and is
+/// mutated by one thread at a time (the engine's per-document
+/// pipeline honours this).
+class Arena {
+ public:
+  Arena() = default;
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&& other) noexcept { Swap(other); }
+  Arena& operator=(Arena&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      Swap(other);
+    }
+    return *this;
+  }
+
+  /// Uninitialized storage of `size` bytes at `align` alignment.
+  void* Allocate(size_t size, size_t align = alignof(std::max_align_t));
+
+  /// Constructs a T in arena storage. Non-trivially-destructible types
+  /// are registered for destruction when the arena is destroyed.
+  template <typename T, typename... Args>
+  T* New(Args&&... args) {
+    void* storage = Allocate(sizeof(T), alignof(T));
+    T* object = ::new (storage) T(std::forward<Args>(args)...);
+    if constexpr (!std::is_trivially_destructible_v<T>) {
+      RegisterOwned(object, [](void* p) { static_cast<T*>(p)->~T(); });
+    }
+    return object;
+  }
+
+  /// Copies `text` into the arena; the returned view is stable for the
+  /// arena's lifetime. Empty input returns an empty view without
+  /// touching the arena.
+  std::string_view CopyString(std::string_view text) {
+    if (text.empty()) return {};
+    char* data = static_cast<char*>(Allocate(text.size(), 1));
+    std::memcpy(data, text.data(), text.size());
+    return std::string_view(data, text.size());
+  }
+
+  /// Destroys owned objects and releases every block, returning the
+  /// arena to its freshly constructed state.
+  void Reset();
+
+  /// Bytes handed out by Allocate() (excludes block headers and the
+  /// unused tail of the current block).
+  size_t bytes_used() const { return bytes_used_; }
+  /// Bytes of block capacity obtained from the heap.
+  size_t bytes_reserved() const { return bytes_reserved_; }
+  size_t block_count() const { return block_count_; }
+
+ private:
+  struct Block {
+    Block* prev;
+    size_t capacity;  ///< usable bytes after the header
+  };
+  struct Owned {
+    void (*destroy)(void*);
+    void* object;
+    Owned* prev;
+  };
+
+  static constexpr size_t kFirstBlockBytes = 4096;
+  static constexpr size_t kMaxBlockBytes = 256 * 1024;
+
+  void* AllocateSlow(size_t size, size_t align);
+  void RegisterOwned(void* object, void (*destroy)(void*));
+  void Swap(Arena& other) noexcept;
+
+  char* ptr_ = nullptr;   ///< next free byte in the current block
+  char* end_ = nullptr;   ///< one past the current block's storage
+  Block* head_ = nullptr;
+  Owned* owned_ = nullptr;
+  size_t next_block_bytes_ = kFirstBlockBytes;
+  size_t bytes_used_ = 0;
+  size_t bytes_reserved_ = 0;
+  size_t block_count_ = 0;
+};
+
+}  // namespace xsdf
+
+#endif  // XSDF_COMMON_ARENA_H_

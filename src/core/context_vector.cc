@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <unordered_map>
 
 namespace xsdf::core {
 
@@ -15,39 +16,49 @@ ContextVector::ContextVector(const Sphere& sphere,
                              bool uniform_proximity)
     : sphere_size_(sphere.size()) {
   if (sphere.members.empty()) return;
-  // Freq(l, S) = sum of structural proximities of members labelled l.
-  std::unordered_map<std::string, double> freq;
-  freq.reserve(sphere.members.size());
-  weights_.reserve(sphere.members.size());
+  // Freq(l, S) = sum of structural proximities of members labelled l,
+  // accumulated in member order into first-occurrence-ordered entries
+  // (the id pipeline accumulates in the same order — bit-identity).
+  std::unordered_map<std::string, size_t> index;
+  index.reserve(sphere.members.size());
+  entries_.reserve(sphere.members.size());
   for (const SphereMember& member : sphere.members) {
-    freq[member.label] +=
+    auto [it, inserted] = index.emplace(member.label, entries_.size());
+    if (inserted) entries_.emplace_back(member.label, 0.0);
+    entries_[it->second].second +=
         uniform_proximity
             ? 1.0
             : StructuralProximity(member.distance, sphere.radius);
   }
   // w(l) = Freq / Max_Freq = 2*Freq / (|S| + 1)   (Eq. 5).
   double denom = static_cast<double>(sphere.size()) + 1.0;
-  for (auto& [label, f] : freq) {
-    double w = 2.0 * f / denom;
-    weights_[label] = std::min(w, 1.0);
+  for (auto& [label, f] : entries_) {
+    f = std::min(2.0 * f / denom, 1.0);
   }
 }
 
+int ContextVector::FindEntry(const std::string& label) const {
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].first == label) return static_cast<int>(i);
+  }
+  return -1;
+}
+
 double ContextVector::Weight(const std::string& label) const {
-  auto it = weights_.find(label);
-  return it == weights_.end() ? 0.0 : it->second;
+  int i = FindEntry(label);
+  return i < 0 ? 0.0 : entries_[static_cast<size_t>(i)].second;
 }
 
 double ContextVector::Cosine(const ContextVector& other) const {
   double dot = 0.0;
   double norm_a = 0.0;
   double norm_b = 0.0;
-  for (const auto& [label, w] : weights_) {
+  for (const auto& [label, w] : entries_) {
     norm_a += w * w;
     double v = other.Weight(label);
     dot += w * v;
   }
-  for (const auto& [label, w] : other.weights_) norm_b += w * w;
+  for (const auto& [label, w] : other.entries_) norm_b += w * w;
   if (norm_a <= 0.0 || norm_b <= 0.0) return 0.0;
   return dot / (std::sqrt(norm_a) * std::sqrt(norm_b));
 }
@@ -55,13 +66,114 @@ double ContextVector::Cosine(const ContextVector& other) const {
 double ContextVector::Jaccard(const ContextVector& other) const {
   double min_sum = 0.0;
   double max_sum = 0.0;
-  for (const auto& [label, w] : weights_) {
+  for (const auto& [label, w] : entries_) {
     double v = other.Weight(label);
     min_sum += std::min(w, v);
     max_sum += std::max(w, v);
   }
-  for (const auto& [label, v] : other.weights_) {
-    if (weights_.find(label) == weights_.end()) max_sum += v;
+  for (const auto& [label, v] : other.entries_) {
+    if (FindEntry(label) < 0) max_sum += v;
+  }
+  return max_sum <= 0.0 ? 0.0 : min_sum / max_sum;
+}
+
+IdContextVector::IdContextVector(const IdSphere& sphere,
+                                 bool uniform_proximity) {
+  Assign(sphere, uniform_proximity);
+}
+
+void IdContextVector::Assign(const IdSphere& sphere,
+                             bool uniform_proximity) {
+  ids_.clear();
+  weights_.clear();
+  order_.clear();
+  sphere_size_ = sphere.size();
+  if (sphere.members.empty()) return;
+  // Same accumulation as ContextVector: per-label sums in member
+  // order, entries in first-occurrence order. Spheres are small (a few
+  // dozen distinct labels), so first-occurrence dedup is a linear scan
+  // over the ids built so far — cheaper than a hash map at this size —
+  // with a hash-map fallback for pathologically wide spheres.
+  ids_.reserve(sphere.members.size());
+  weights_.reserve(sphere.members.size());
+  constexpr size_t kLinearScanLimit = 96;
+  std::unordered_map<uint32_t, uint32_t> index;
+  const bool use_map = sphere.members.size() > kLinearScanLimit;
+  if (use_map) index.reserve(sphere.members.size());
+  for (const IdSphereMember& member : sphere.members) {
+    size_t entry;
+    if (use_map) {
+      auto [it, inserted] = index.emplace(
+          member.label_id, static_cast<uint32_t>(ids_.size()));
+      entry = it->second;
+      if (inserted) {
+        ids_.push_back(member.label_id);
+        weights_.push_back(0.0);
+      }
+    } else {
+      entry = 0;
+      while (entry < ids_.size() && ids_[entry] != member.label_id) {
+        ++entry;
+      }
+      if (entry == ids_.size()) {
+        ids_.push_back(member.label_id);
+        weights_.push_back(0.0);
+      }
+    }
+    weights_[entry] +=
+        uniform_proximity
+            ? 1.0
+            : StructuralProximity(member.distance, sphere.radius);
+  }
+  double denom = static_cast<double>(sphere.size()) + 1.0;
+  for (double& f : weights_) {
+    f = std::min(2.0 * f / denom, 1.0);
+  }
+  order_.resize(ids_.size());
+  for (uint32_t i = 0; i < order_.size(); ++i) order_[i] = i;
+  std::sort(order_.begin(), order_.end(),
+            [this](uint32_t a, uint32_t b) { return ids_[a] < ids_[b]; });
+}
+
+int IdContextVector::FindEntry(uint32_t label_id) const {
+  auto it = std::lower_bound(
+      order_.begin(), order_.end(), label_id,
+      [this](uint32_t entry, uint32_t id) { return ids_[entry] < id; });
+  if (it == order_.end() || ids_[*it] != label_id) return -1;
+  return static_cast<int>(*it);
+}
+
+double IdContextVector::WeightById(uint32_t label_id) const {
+  int i = FindEntry(label_id);
+  return i < 0 ? 0.0 : weights_[static_cast<size_t>(i)];
+}
+
+double IdContextVector::Cosine(const IdContextVector& other) const {
+  double dot = 0.0;
+  double norm_a = 0.0;
+  double norm_b = 0.0;
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    double w = weights_[i];
+    norm_a += w * w;
+    double v = other.WeightById(ids_[i]);
+    dot += w * v;
+  }
+  for (double w : other.weights_) norm_b += w * w;
+  if (norm_a <= 0.0 || norm_b <= 0.0) return 0.0;
+  return dot / (std::sqrt(norm_a) * std::sqrt(norm_b));
+}
+
+double IdContextVector::Jaccard(const IdContextVector& other) const {
+  double min_sum = 0.0;
+  double max_sum = 0.0;
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    double w = weights_[i];
+    double v = other.WeightById(ids_[i]);
+    min_sum += std::min(w, v);
+    max_sum += std::max(w, v);
+  }
+  for (size_t i = 0; i < other.ids_.size(); ++i) {
+    if (FindEntry(other.ids_[i]) < 0) max_sum += other.weights_[i];
   }
   return max_sum <= 0.0 ? 0.0 : min_sum / max_sum;
 }
@@ -86,6 +198,69 @@ Sphere BuildXmlSphere(const xml::LabeledTree& tree, xml::NodeId center,
   return sphere;
 }
 
+IdSphere BuildXmlIdSphere(const xml::LabeledTree& tree,
+                          std::span<const uint32_t> label_ids,
+                          xml::NodeId center, int radius,
+                          bool exclude_tokens) {
+  IdSphere sphere;
+  BuildXmlIdSphere(tree, label_ids, center, radius, exclude_tokens,
+                   &sphere);
+  return sphere;
+}
+
+void BuildXmlIdSphere(const xml::LabeledTree& tree,
+                      std::span<const uint32_t> label_ids,
+                      xml::NodeId center, int radius, bool exclude_tokens,
+                      IdSphere* out) {
+  IdSphere& sphere = *out;
+  sphere.members.clear();
+  sphere.radius = radius;
+  // Inline BFS over the undirected tree adjacency producing exactly
+  // the ring-by-ring, sorted-within-ring member order of
+  // tree.Rings(center, radius), but with reusable scratch instead of
+  // Rings()'s per-call ring vectors and visited array: an
+  // epoch-stamped mark table and two flat frontier buffers, reused
+  // across every sphere built on this thread.
+  thread_local std::vector<uint32_t> mark;
+  thread_local uint32_t epoch = 0;
+  thread_local std::vector<xml::NodeId> frontier;
+  thread_local std::vector<xml::NodeId> next;
+  if (mark.size() < tree.size()) mark.resize(tree.size(), 0);
+  if (++epoch == 0) {  // epoch wrapped: invalidate all stale marks
+    std::fill(mark.begin(), mark.end(), 0);
+    epoch = 1;
+  }
+
+  sphere.members.push_back({label_ids[static_cast<size_t>(center)], 0});
+  mark[static_cast<size_t>(center)] = epoch;
+  frontier.clear();
+  frontier.push_back(center);
+  for (int d = 1; d <= radius && !frontier.empty(); ++d) {
+    next.clear();
+    for (xml::NodeId id : frontier) {
+      const xml::TreeNode& n = tree.node(id);
+      auto visit = [&](xml::NodeId neighbor) {
+        if (neighbor != xml::kInvalidNode &&
+            mark[static_cast<size_t>(neighbor)] != epoch) {
+          mark[static_cast<size_t>(neighbor)] = epoch;
+          next.push_back(neighbor);
+        }
+      };
+      visit(n.parent);
+      for (xml::NodeId child : n.children) visit(child);
+    }
+    std::sort(next.begin(), next.end());
+    for (xml::NodeId id : next) {
+      if (exclude_tokens &&
+          tree.node(id).kind == xml::TreeNodeKind::kToken) {
+        continue;
+      }
+      sphere.members.push_back({label_ids[static_cast<size_t>(id)], d});
+    }
+    std::swap(frontier, next);
+  }
+}
+
 Sphere BuildConceptSphere(const wordnet::SemanticNetwork& network,
                           wordnet::ConceptId center, int radius) {
   Sphere sphere;
@@ -98,6 +273,23 @@ Sphere BuildConceptSphere(const wordnet::SemanticNetwork& network,
   for (int d = 0; d < static_cast<int>(rings.size()); ++d) {
     for (wordnet::ConceptId id : rings[static_cast<size_t>(d)]) {
       sphere.members.push_back({network.GetConcept(id).label(), d});
+    }
+  }
+  return sphere;
+}
+
+IdSphere BuildConceptIdSphere(const wordnet::SemanticNetwork& network,
+                              wordnet::ConceptId center, int radius) {
+  IdSphere sphere;
+  sphere.radius = radius;
+  std::vector<std::vector<wordnet::ConceptId>> rings =
+      network.Rings(center, radius);
+  size_t total = 0;
+  for (const auto& ring : rings) total += ring.size();
+  sphere.members.reserve(total);
+  for (int d = 0; d < static_cast<int>(rings.size()); ++d) {
+    for (wordnet::ConceptId id : rings[static_cast<size_t>(d)]) {
+      sphere.members.push_back({network.LabelTokenId(id), d});
     }
   }
   return sphere;
@@ -122,6 +314,28 @@ Sphere BuildCompoundConceptSphere(const wordnet::SemanticNetwork& network,
   sphere.radius = radius;
   for (const auto& [id, d] : distances) {
     sphere.members.push_back({network.GetConcept(id).label(), d});
+  }
+  return sphere;
+}
+
+IdSphere BuildCompoundConceptIdSphere(
+    const wordnet::SemanticNetwork& network, wordnet::ConceptId p,
+    wordnet::ConceptId q, int radius) {
+  std::map<wordnet::ConceptId, int> distances;
+  for (wordnet::ConceptId center : {p, q}) {
+    std::vector<std::vector<wordnet::ConceptId>> rings =
+        network.Rings(center, radius);
+    for (int d = 0; d < static_cast<int>(rings.size()); ++d) {
+      for (wordnet::ConceptId id : rings[static_cast<size_t>(d)]) {
+        auto [it, inserted] = distances.emplace(id, d);
+        if (!inserted && d < it->second) it->second = d;
+      }
+    }
+  }
+  IdSphere sphere;
+  sphere.radius = radius;
+  for (const auto& [id, d] : distances) {
+    sphere.members.push_back({network.LabelTokenId(id), d});
   }
   return sphere;
 }

@@ -1,8 +1,10 @@
 #ifndef XSDF_CORE_CONTEXT_VECTOR_H_
 #define XSDF_CORE_CONTEXT_VECTOR_H_
 
+#include <cstdint>
+#include <span>
 #include <string>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "wordnet/semantic_network.h"
@@ -31,9 +33,32 @@ struct Sphere {
   int size() const { return static_cast<int>(members.size()); }
 };
 
+/// The id-based twin of SphereMember: the label is an interned id
+/// (core::LabelSpace for XML labels, SemanticNetwork::LabelTokenId for
+/// concept labels — one shared id space).
+struct IdSphereMember {
+  uint32_t label_id = 0;
+  int32_t distance = 0;
+};
+
+/// The id-based twin of Sphere. Building one does no string work at
+/// all: members are (uint32, int32) pairs copied straight out of the
+/// tree's label-id array or the network's label-token table.
+struct IdSphere {
+  int radius = 0;
+  std::vector<IdSphereMember> members;
+
+  int size() const { return static_cast<int>(members.size()); }
+};
+
 /// The weighted context vector V_d(x) of Definitions 6-7: one dimension
 /// per distinct label in the sphere, weighted by structural frequency
 /// (occurrence frequency scaled by structural proximity, Eqs. 5-7).
+///
+/// Dimensions are stored in first-occurrence sphere order and all
+/// accumulation follows that order. The id-based IdContextVector
+/// accumulates in exactly the same order over the bijective label<->id
+/// mapping, which is what makes the two pipelines bit-identical.
 class ContextVector {
  public:
   ContextVector() = default;
@@ -48,10 +73,11 @@ class ContextVector {
   /// w(l): the weight of label `l`, 0 when absent.
   double Weight(const std::string& label) const;
 
-  const std::unordered_map<std::string, double>& weights() const {
-    return weights_;
+  /// (label, weight) dimensions in first-occurrence sphere order.
+  const std::vector<std::pair<std::string, double>>& weights() const {
+    return entries_;
   }
-  size_t dimension_count() const { return weights_.size(); }
+  size_t dimension_count() const { return entries_.size(); }
   int sphere_size() const { return sphere_size_; }
 
   /// Cosine similarity with another context vector (Definition 10's
@@ -63,7 +89,53 @@ class ContextVector {
   double Jaccard(const ContextVector& other) const;
 
  private:
-  std::unordered_map<std::string, double> weights_;
+  /// Index into entries_ of `label`, or -1.
+  int FindEntry(const std::string& label) const;
+
+  std::vector<std::pair<std::string, double>> entries_;
+  int sphere_size_ = 0;
+};
+
+/// The id-based twin of ContextVector: dimensions are interned label
+/// ids, lookups are a binary search over a small sorted permutation
+/// instead of a string hash. Arithmetic (accumulation order, weight
+/// formula, cosine/Jaccard loops) mirrors ContextVector exactly, so
+/// for bijectively-mapped spheres every produced double is
+/// bit-identical to the string path.
+class IdContextVector {
+ public:
+  IdContextVector() = default;
+
+  explicit IdContextVector(const IdSphere& sphere,
+                           bool uniform_proximity = false);
+
+  /// Rebuilds this vector from `sphere`, reusing the existing buffers
+  /// (the per-node hot loop builds thousands of vectors; reassignment
+  /// keeps their capacity instead of reallocating). Equivalent to
+  /// `*this = IdContextVector(sphere, uniform_proximity)`.
+  void Assign(const IdSphere& sphere, bool uniform_proximity = false);
+
+  /// w(l) for the label interned under `label_id`, 0 when absent.
+  double WeightById(uint32_t label_id) const;
+
+  /// Dimension label ids in first-occurrence sphere order.
+  std::span<const uint32_t> ids() const { return ids_; }
+  /// Dimension weights, parallel to ids().
+  std::span<const double> weights() const { return weights_; }
+  size_t dimension_count() const { return ids_.size(); }
+  int sphere_size() const { return sphere_size_; }
+
+  double Cosine(const IdContextVector& other) const;
+  double Jaccard(const IdContextVector& other) const;
+
+ private:
+  /// Index into ids_/weights_ of `label_id`, or -1 (binary search over
+  /// order_).
+  int FindEntry(uint32_t label_id) const;
+
+  std::vector<uint32_t> ids_;     ///< first-occurrence order
+  std::vector<double> weights_;   ///< parallel to ids_
+  std::vector<uint32_t> order_;   ///< indices into ids_, sorted by id
   int sphere_size_ = 0;
 };
 
@@ -78,11 +150,31 @@ double StructuralProximity(int distance, int radius);
 Sphere BuildXmlSphere(const xml::LabeledTree& tree, xml::NodeId center,
                       int radius, bool exclude_tokens = false);
 
+/// Id-based twin of BuildXmlSphere over `label_ids` (normally
+/// tree.label_ids(); callers disambiguating id-less trees pass a
+/// scratch table). Member order matches BuildXmlSphere exactly.
+IdSphere BuildXmlIdSphere(const xml::LabeledTree& tree,
+                          std::span<const uint32_t> label_ids,
+                          xml::NodeId center, int radius,
+                          bool exclude_tokens = false);
+
+/// Same, rebuilding into `*out` (members cleared, capacity reused) so
+/// a per-node loop allocates nothing after its first sphere.
+void BuildXmlIdSphere(const xml::LabeledTree& tree,
+                      std::span<const uint32_t> label_ids,
+                      xml::NodeId center, int radius, bool exclude_tokens,
+                      IdSphere* out);
+
 /// Builds the concept sphere neighborhood S_d(c) over the semantic
 /// network (paper §3.5.2), rings following all semantic relations.
 /// Labels are concept labels (first lemma).
 Sphere BuildConceptSphere(const wordnet::SemanticNetwork& network,
                           wordnet::ConceptId center, int radius);
+
+/// Id-based twin of BuildConceptSphere; labels are the concepts'
+/// LabelTokenId()s (network must be finalized).
+IdSphere BuildConceptIdSphere(const wordnet::SemanticNetwork& network,
+                              wordnet::ConceptId center, int radius);
 
 /// Compound sphere S_d(s_p, s_q) = S_d(s_p) U S_d(s_q) for compound
 /// labels whose tokens resolve to two senses (Eq. 12). Members present
@@ -90,6 +182,11 @@ Sphere BuildConceptSphere(const wordnet::SemanticNetwork& network,
 Sphere BuildCompoundConceptSphere(const wordnet::SemanticNetwork& network,
                                   wordnet::ConceptId p,
                                   wordnet::ConceptId q, int radius);
+
+/// Id-based twin of BuildCompoundConceptSphere.
+IdSphere BuildCompoundConceptIdSphere(
+    const wordnet::SemanticNetwork& network, wordnet::ConceptId p,
+    wordnet::ConceptId q, int radius);
 
 }  // namespace xsdf::core
 

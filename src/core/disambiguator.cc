@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "common/strings.h"
 #include "core/tree_builder.h"
@@ -16,6 +17,12 @@ Disambiguator::Disambiguator(const wordnet::SemanticNetwork* network,
       options_(options),
       measure_(options.similarity_weights) {
   measure_.set_external_cache(options_.similarity_cache);
+  if (options_.label_space != nullptr) {
+    label_space_ = options_.label_space;
+  } else {
+    owned_label_space_ = std::make_unique<LabelSpace>(network_);
+    label_space_ = owned_label_space_.get();
+  }
   if (options_.metrics != nullptr) {
     obs::MetricsRegistry* m = options_.metrics;
     ins_.select_us = m->GetHistogram("stage.select_us");
@@ -32,12 +39,27 @@ Disambiguator::Disambiguator(const wordnet::SemanticNetwork* network,
   }
 }
 
-std::vector<SenseCandidate> Disambiguator::CandidatesFor(
-    const std::string& label) const {
+uint32_t Disambiguator::LabelIdFor(const xml::LabeledTree& tree,
+                                   xml::NodeId id) const {
+  if (tree.has_label_ids()) return tree.label_id(id);
+  return label_space_->Resolve(tree.node(id).label);
+}
+
+std::shared_ptr<const SenseEntry> Disambiguator::CandidatesFor(
+    const xml::LabeledTree& tree, xml::NodeId id) const {
+  const std::string& label = tree.node(id).label;
   if (options_.sense_inventory != nullptr) {
-    return options_.sense_inventory->Candidates(*network_, label);
+    return options_.sense_inventory->Entry(*network_, LabelIdFor(tree, id),
+                                           label);
   }
-  return EnumerateCandidates(*network_, label);
+  auto entry = std::make_shared<SenseEntry>();
+  if (options_.use_id_frontend && tree.has_label_ids()) {
+    entry->candidates =
+        EnumerateCandidatesById(*label_space_, tree.label_id(id));
+  } else {
+    entry->candidates = EnumerateCandidates(*network_, label);
+  }
+  return entry;
 }
 
 CombinationWeights Disambiguator::EffectiveCombination() const {
@@ -54,8 +76,7 @@ CombinationWeights Disambiguator::EffectiveCombination() const {
 
 std::vector<double> Disambiguator::ScoreCandidates(
     const xml::LabeledTree& tree, xml::NodeId id) const {
-  return ScoreCandidatesImpl(tree, id,
-                             CandidatesFor(tree.node(id).label));
+  return ScoreCandidatesImpl(tree, id, CandidatesFor(tree, id)->candidates);
 }
 
 std::vector<double> Disambiguator::ScoreCandidatesImpl(
@@ -63,13 +84,32 @@ std::vector<double> Disambiguator::ScoreCandidatesImpl(
     const std::vector<SenseCandidate>& candidates, StageAccum* accum,
     NodeAudit* audit) const {
   const uint64_t t_start = accum != nullptr ? obs::MonotonicNowNs() : 0;
-  Sphere sphere = BuildXmlSphere(tree, id, options_.sphere_radius,
-                                 options_.structure_only_context);
-  ContextVector vector(sphere, options_.bag_of_words_context);
+  // The id front end needs per-node label ids; trees built without
+  // them (ad-hoc callers) take the legacy string path, which is
+  // bit-identical, just slower.
+  const bool use_ids = options_.use_id_frontend && tree.has_label_ids();
   CombinationWeights combo = EffectiveCombination();
-  // Resolve the sphere's labels against the sense inventory once; every
-  // candidate scores against the same resolved context.
-  ResolvedContext resolved(*network_, sphere, vector);
+  // Build the sphere context and resolve its labels against the sense
+  // index once; every candidate scores against the same resolved
+  // context.
+  ContextVector vector;
+  std::optional<ResolvedContext> resolved;
+  IdContextVector id_vector;
+  std::optional<IdResolvedContext> id_resolved;
+  if (use_ids) {
+    // The sphere scratch is thread_local so batch workers scoring node
+    // after node reuse its member buffer instead of reallocating it.
+    thread_local IdSphere sphere;
+    BuildXmlIdSphere(tree, tree.label_ids(), id, options_.sphere_radius,
+                     options_.structure_only_context, &sphere);
+    id_vector.Assign(sphere, options_.bag_of_words_context);
+    id_resolved.emplace(*label_space_, sphere, id_vector);
+  } else {
+    Sphere sphere = BuildXmlSphere(tree, id, options_.sphere_radius,
+                                   options_.structure_only_context);
+    vector = ContextVector(sphere, options_.bag_of_words_context);
+    resolved.emplace(*network_, sphere, vector);
+  }
   uint64_t t_context = 0;
   if (accum != nullptr) {
     t_context = obs::MonotonicNowNs();
@@ -84,13 +124,19 @@ std::vector<double> Disambiguator::ScoreCandidatesImpl(
     double concept_part = 0.0;
     double context_part = 0.0;
     if (combo.concept_weight > 0.0) {
-      concept_part = resolved.Score(*network_, measure_, candidate);
+      concept_part = use_ids
+                         ? id_resolved->Score(*network_, measure_, candidate)
+                         : resolved->Score(*network_, measure_, candidate);
       score += combo.concept_weight * concept_part;
     }
     if (combo.context_weight > 0.0) {
-      context_part = ContextScore(*network_, candidate, vector,
-                                  options_.sphere_radius,
-                                  options_.vector_similarity);
+      context_part =
+          use_ids ? IdContextScore(*network_, candidate, id_vector,
+                                   options_.sphere_radius,
+                                   options_.vector_similarity)
+                  : ContextScore(*network_, candidate, vector,
+                                 options_.sphere_radius,
+                                 options_.vector_similarity);
       score += combo.context_weight * context_part;
     }
     if (audit != nullptr) {
@@ -155,7 +201,8 @@ Result<SenseAssignment> Disambiguator::DisambiguateNodeImpl(
   const std::string& label = tree.node(id).label;
   obs::Span node_span(options_.trace, "node",
                       options_.trace != nullptr ? label : std::string());
-  std::vector<SenseCandidate> candidates = CandidatesFor(label);
+  std::shared_ptr<const SenseEntry> entry = CandidatesFor(tree, id);
+  const std::vector<SenseCandidate>& candidates = entry->candidates;
   if (candidates.empty()) {
     return Status::NotFound("label has no senses in the network: " + label);
   }
@@ -226,6 +273,14 @@ Result<NodeAudit> Disambiguator::ExplainNode(const xml::LabeledTree& tree,
 }
 
 Result<SemanticTree> Disambiguator::RunOnTree(xml::LabeledTree tree) const {
+  // Trees handed in without interned labels get one id-assignment pass
+  // up front, so every per-node sphere below runs on the id path.
+  if (options_.use_id_frontend && !tree.has_label_ids()) {
+    for (xml::NodeId id = 0; id < static_cast<xml::NodeId>(tree.size());
+         ++id) {
+      tree.set_label_id(id, label_space_->Resolve(tree.node(id).label));
+    }
+  }
   SemanticTree result;
   StageAccum accum;
   StageAccum* acc =
@@ -257,7 +312,8 @@ Result<SemanticTree> Disambiguator::RunOnTree(xml::LabeledTree tree) const {
 }
 
 Result<SemanticTree> Disambiguator::Run(const xml::Document& doc) const {
-  auto tree = BuildTree(doc, *network_, options_.include_values);
+  auto tree = BuildTree(doc, *network_, options_.include_values,
+                        options_.use_id_frontend ? label_space_ : nullptr);
   if (!tree.ok()) return tree.status();
   return RunOnTree(std::move(tree).value());
 }
@@ -316,13 +372,11 @@ void AppendNodeXml(const SemanticTree& semantic_tree,
 std::string SemanticTreeToXml(const SemanticTree& semantic_tree,
                               const wordnet::SemanticNetwork& network) {
   xml::Document doc;
-  auto root = std::make_unique<xml::Node>(xml::NodeKind::kElement);
-  root->set_name("semantic_tree");
+  xml::Node* root = doc.NewElement("semantic_tree");
   if (!semantic_tree.tree.empty()) {
-    AppendNodeXml(semantic_tree, network, semantic_tree.tree.root(),
-                  root.get());
+    AppendNodeXml(semantic_tree, network, semantic_tree.tree.root(), root);
   }
-  doc.set_root(std::move(root));
+  doc.set_root(root);
   return xml::Serialize(doc);
 }
 

@@ -1,12 +1,14 @@
 #ifndef XSDF_CORE_DISAMBIGUATOR_H_
 #define XSDF_CORE_DISAMBIGUATOR_H_
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
 #include "core/ambiguity.h"
+#include "core/label_space.h"
 #include "core/scores.h"
 #include "obs/json_writer.h"
 #include "obs/metrics.h"
@@ -23,18 +25,27 @@ namespace xsdf::core {
 enum class DisambiguationProcess { kConceptBased, kContextBased, kCombined };
 
 /// Pluggable provider of a label's candidate senses. The default path
-/// calls EnumerateCandidates() on every node; a provider can memoize it
-/// (lemma -> candidates is a pure function of the network). A provider
+/// enumerates candidates on every node; a provider can memoize them
+/// (label -> candidates is a pure function of the network). A provider
 /// shared across threads must be internally thread-safe; the runtime
 /// layer supplies a sharded LRU implementation with hit/miss counters.
+///
+/// Entries are handed out as shared_ptr<const SenseEntry>: a memoized
+/// hit is a pointer copy, not a candidate-vector copy, and an entry a
+/// worker is still scoring against stays alive even if the provider
+/// evicts it concurrently. `label_id` is the label's LabelSpace id —
+/// the natural cache key; all callers of one provider must resolve ids
+/// through the same LabelSpace (the engine guarantees this by owning
+/// exactly one).
 class SenseInventory {
  public:
   virtual ~SenseInventory() = default;
 
-  /// Candidate senses of a preprocessed node label, in
-  /// EnumerateCandidates() order.
-  virtual std::vector<SenseCandidate> Candidates(
-      const wordnet::SemanticNetwork& network, const std::string& label) = 0;
+  /// The shared candidate entry of a preprocessed node label, in
+  /// EnumerateCandidates() order; never null.
+  virtual std::shared_ptr<const SenseEntry> Entry(
+      const wordnet::SemanticNetwork& network, uint32_t label_id,
+      const std::string& label) = 0;
 };
 
 /// Everything the user can tune (the paper's Motivation 4): ambiguity
@@ -70,6 +81,19 @@ struct DisambiguatorOptions {
   /// Ablation switch: treat the sphere context as a plain bag of words
   /// (uniform structural proximity), as prior approaches do.
   bool bag_of_words_context = false;
+
+  /// Run the id-based front half (interned spheres, id context
+  /// vectors, memoized sense resolution) on trees that carry label
+  /// ids. The string pipeline is kept as the legacy oracle; both
+  /// produce bit-identical output, so this flag only moves time.
+  bool use_id_frontend = true;
+
+  /// The label id space shared with the sense inventory and the tree
+  /// builder (non-owning; optional). Without one the disambiguator
+  /// owns a private space — fine standalone, but an engine sharing a
+  /// SenseInventory across workers must install one shared space so
+  /// ids agree across threads.
+  LabelSpace* label_space = nullptr;
 
   /// Weight of the most-frequent-sense prior drawn from the weighted
   /// network SN-bar (the concept frequencies of paper Figure 2).
@@ -157,6 +181,13 @@ class Disambiguator {
 
   const DisambiguatorOptions& options() const { return options_; }
 
+  /// The label space ids are resolved through (the installed one, or
+  /// the private space created when none was). Internally
+  /// synchronized; callers building trees for RunOnTree() should pass
+  /// it to BuildTree() so the id front end engages without a second
+  /// resolution pass.
+  LabelSpace* label_space() const { return label_space_; }
+
   /// Runs the full pipeline on a parsed document.
   Result<SemanticTree> Run(const xml::Document& doc) const;
 
@@ -204,7 +235,15 @@ class Disambiguator {
   };
 
   CombinationWeights EffectiveCombination() const;
-  std::vector<SenseCandidate> CandidatesFor(const std::string& label) const;
+
+  /// The node's interned label id: straight off the tree when it has
+  /// ids, resolved through the label space otherwise.
+  uint32_t LabelIdFor(const xml::LabeledTree& tree, xml::NodeId id) const;
+
+  /// The node's shared candidate entry, via the sense inventory when
+  /// installed; never null.
+  std::shared_ptr<const SenseEntry> CandidatesFor(
+      const xml::LabeledTree& tree, xml::NodeId id) const;
 
   /// DisambiguateNode with optional stage-time accumulation and audit
   /// capture (both null on the plain path).
@@ -225,6 +264,9 @@ class Disambiguator {
   DisambiguatorOptions options_;
   sim::CombinedMeasure measure_;
   Instruments ins_;
+  /// Private space when options_.label_space was null.
+  std::unique_ptr<LabelSpace> owned_label_space_;
+  LabelSpace* label_space_ = nullptr;  ///< never null after construction
 };
 
 /// Renders a semantic tree as an annotated XML document: one element

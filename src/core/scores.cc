@@ -8,6 +8,61 @@
 
 namespace xsdf::core {
 
+namespace {
+
+/// The shared scoring loop of ResolvedContext::Score and
+/// IdResolvedContext::Score: per-distinct-label candidate similarity,
+/// then the weighted sum over members. Both paths instantiate this
+/// with the same arithmetic in the same order, which is the
+/// bit-identity contract between them. `token_senses_of(li)` yields
+/// the sense-span list of distinct label `li`; `members` is any range
+/// of {label_index, weight}.
+template <typename TokenSensesOf, typename Members>
+double ScoreResolvedContext(const wordnet::SemanticNetwork& network,
+                            const sim::CombinedMeasure& measure,
+                            const SenseCandidate& candidate,
+                            size_t label_count,
+                            TokenSensesOf&& token_senses_of,
+                            const Members& members, int sphere_size) {
+  if (sphere_size == 0) return 0.0;
+  // Similarity between the candidate and each distinct context label.
+  // For simple context labels a compound candidate is compared exactly
+  // per Eq. 10: max over context senses of the average of the two
+  // token-sense similarities. For compound context labels each context
+  // token is matched independently and the results averaged.
+  thread_local std::vector<double> label_sims;
+  label_sims.assign(label_count, 0.0);
+  for (size_t li = 0; li < label_count; ++li) {
+    double total = 0.0;
+    int counted = 0;
+    for (std::span<const wordnet::ConceptId> senses : token_senses_of(li)) {
+      double best = 0.0;
+      for (wordnet::ConceptId other : senses) {
+        double sim = measure.Similarity(network, candidate.primary, other);
+        if (candidate.is_compound()) {
+          sim = (sim +
+                 measure.Similarity(network, candidate.secondary, other)) /
+                2.0;
+        }
+        best = std::max(best, sim);
+      }
+      total += best;
+      ++counted;
+    }
+    label_sims[li] =
+        counted == 0 ? 0.0 : total / static_cast<double>(counted);
+  }
+  double sum = 0.0;
+  for (const auto& member : members) {
+    double sim = label_sims[member.label_index];
+    if (sim <= 0.0) continue;
+    sum += sim * member.weight;
+  }
+  return sum / static_cast<double>(sphere_size);
+}
+
+}  // namespace
+
 ResolvedContext::ResolvedContext(const wordnet::SemanticNetwork& network,
                                  const Sphere& sphere,
                                  const ContextVector& vector)
@@ -42,42 +97,53 @@ ResolvedContext::ResolvedContext(const wordnet::SemanticNetwork& network,
 double ResolvedContext::Score(const wordnet::SemanticNetwork& network,
                               const sim::CombinedMeasure& measure,
                               const SenseCandidate& candidate) const {
-  if (sphere_size_ == 0) return 0.0;
-  // Similarity between the candidate and each distinct context label.
-  // For simple context labels a compound candidate is compared exactly
-  // per Eq. 10: max over context senses of the average of the two
-  // token-sense similarities. For compound context labels each context
-  // token is matched independently and the results averaged.
-  thread_local std::vector<double> label_sims;
-  label_sims.assign(labels_.size(), 0.0);
-  for (size_t li = 0; li < labels_.size(); ++li) {
-    double total = 0.0;
-    int counted = 0;
-    for (std::span<const wordnet::ConceptId> senses :
-         labels_[li].token_senses) {
-      double best = 0.0;
-      for (wordnet::ConceptId other : senses) {
-        double sim = measure.Similarity(network, candidate.primary, other);
-        if (candidate.is_compound()) {
-          sim = (sim +
-                 measure.Similarity(network, candidate.secondary, other)) /
-                2.0;
-        }
-        best = std::max(best, sim);
-      }
-      total += best;
-      ++counted;
+  return ScoreResolvedContext(
+      network, measure, candidate, labels_.size(),
+      [this](size_t li) -> const std::vector<
+                            std::span<const wordnet::ConceptId>>& {
+        return labels_[li].token_senses;
+      },
+      members_, sphere_size_);
+}
+
+IdResolvedContext::IdResolvedContext(LabelSpace& space,
+                                     const IdSphere& sphere,
+                                     const IdContextVector& vector)
+    : sphere_size_(sphere.size()) {
+  // First-occurrence label grouping via linear scan over the small set
+  // of distinct ids seen so far (spheres rarely hold more than a few
+  // dozen distinct labels; see IdContextVector for the same tradeoff).
+  std::vector<uint32_t> seen_ids;
+  seen_ids.reserve(sphere.members.size());
+  members_.reserve(sphere.members.size());
+  bool center_skipped = false;
+  for (const IdSphereMember& member : sphere.members) {
+    if (!center_skipped && member.distance == 0) {
+      center_skipped = true;  // skip exactly the center occurrence
+      continue;
     }
-    label_sims[li] =
-        counted == 0 ? 0.0 : total / static_cast<double>(counted);
+    uint32_t entry = 0;
+    while (entry < seen_ids.size() && seen_ids[entry] != member.label_id) {
+      ++entry;
+    }
+    if (entry == seen_ids.size()) {
+      seen_ids.push_back(member.label_id);
+      labels_.push_back(&space.Senses(member.label_id));
+    }
+    members_.push_back({entry, vector.WeightById(member.label_id)});
   }
-  double sum = 0.0;
-  for (const Member& member : members_) {
-    double sim = label_sims[member.label_index];
-    if (sim <= 0.0) continue;
-    sum += sim * member.weight;
-  }
-  return sum / static_cast<double>(sphere_size_);
+}
+
+double IdResolvedContext::Score(const wordnet::SemanticNetwork& network,
+                                const sim::CombinedMeasure& measure,
+                                const SenseCandidate& candidate) const {
+  return ScoreResolvedContext(
+      network, measure, candidate, labels_.size(),
+      [this](size_t li) -> const std::vector<
+                            std::span<const wordnet::ConceptId>>& {
+        return labels_[li]->token_senses;
+      },
+      members_, sphere_size_);
 }
 
 std::vector<SenseCandidate> EnumerateCandidates(
@@ -108,6 +174,27 @@ std::vector<SenseCandidate> EnumerateCandidates(
   return candidates;
 }
 
+std::vector<SenseCandidate> EnumerateCandidatesById(LabelSpace& space,
+                                                    uint32_t label_id) {
+  const LabelSenses& senses = space.Senses(label_id);
+  std::vector<SenseCandidate> candidates;
+  if (senses.token_senses.empty()) return candidates;
+  if (senses.token_senses.size() == 1) {
+    for (wordnet::ConceptId sense : senses.token_senses[0]) {
+      candidates.push_back({sense, wordnet::kInvalidConcept});
+    }
+    return candidates;
+  }
+  // Compound: combinations over the first two sense-bearing tokens,
+  // exactly as EnumerateCandidates().
+  for (wordnet::ConceptId p : senses.token_senses[0]) {
+    for (wordnet::ConceptId q : senses.token_senses[1]) {
+      candidates.push_back({p, q});
+    }
+  }
+  return candidates;
+}
+
 double ConceptScore(const wordnet::SemanticNetwork& network,
                     const sim::CombinedMeasure& measure,
                     const SenseCandidate& candidate, const Sphere& sphere,
@@ -126,6 +213,21 @@ double ContextScore(const wordnet::SemanticNetwork& network,
                                        candidate.secondary, radius)
           : BuildConceptSphere(network, candidate.primary, radius);
   ContextVector concept_vector(concept_sphere);
+  return vector_similarity == VectorSimilarity::kJaccard
+             ? xml_vector.Jaccard(concept_vector)
+             : xml_vector.Cosine(concept_vector);
+}
+
+double IdContextScore(const wordnet::SemanticNetwork& network,
+                      const SenseCandidate& candidate,
+                      const IdContextVector& xml_vector, int radius,
+                      VectorSimilarity vector_similarity) {
+  IdSphere concept_sphere =
+      candidate.is_compound()
+          ? BuildCompoundConceptIdSphere(network, candidate.primary,
+                                         candidate.secondary, radius)
+          : BuildConceptIdSphere(network, candidate.primary, radius);
+  IdContextVector concept_vector(concept_sphere);
   return vector_similarity == VectorSimilarity::kJaccard
              ? xml_vector.Jaccard(concept_vector)
              : xml_vector.Cosine(concept_vector);

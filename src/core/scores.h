@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/context_vector.h"
+#include "core/label_space.h"
 #include "sim/combined.h"
 #include "wordnet/semantic_network.h"
 
@@ -32,6 +33,22 @@ struct SenseCandidate {
 /// Empty when no token has any sense.
 std::vector<SenseCandidate> EnumerateCandidates(
     const wordnet::SemanticNetwork& network, const std::string& label);
+
+/// The immutable, shareable sense inventory of one label. Produced
+/// once, then passed around as shared_ptr<const SenseEntry>: a cache
+/// hit hands out another reference instead of copying the candidate
+/// vector, and an entry held by an in-flight worker stays alive after
+/// the cache evicts it.
+struct SenseEntry {
+  std::vector<SenseCandidate> candidates;
+};
+
+/// EnumerateCandidates() keyed by interned label id, served from the
+/// space's memoized sense resolution (no string splitting or lemma
+/// hashing after a label's first sight). Candidate order is identical
+/// to EnumerateCandidates() on the spelling of `label_id`.
+std::vector<SenseCandidate> EnumerateCandidatesById(LabelSpace& space,
+                                                    uint32_t label_id);
 
 /// A sphere context resolved against the sense inventory once, so that
 /// scoring N candidates does the label-token split and Senses() lookups
@@ -70,6 +87,34 @@ class ResolvedContext {
   int sphere_size_ = 0;
 };
 
+/// The id-based twin of ResolvedContext: sphere labels resolve through
+/// the LabelSpace's memoized per-id sense table instead of re-running
+/// the token split and lemma lookups, and member weights come from the
+/// IdContextVector. Score() runs the exact arithmetic of
+/// ResolvedContext::Score() in the exact same order, so for
+/// bijectively-mapped spheres its result is bit-identical.
+class IdResolvedContext {
+ public:
+  IdResolvedContext(LabelSpace& space, const IdSphere& sphere,
+                    const IdContextVector& vector);
+
+  double Score(const wordnet::SemanticNetwork& network,
+               const sim::CombinedMeasure& measure,
+               const SenseCandidate& candidate) const;
+
+ private:
+  struct Member {
+    uint32_t label_index = 0;  ///< into labels_
+    double weight = 0.0;       ///< vector.WeightById(label_id)
+  };
+
+  /// One distinct sphere label id, in first-occurrence order; points at
+  /// the space's stable memoized resolution.
+  std::vector<const LabelSenses*> labels_;
+  std::vector<Member> members_;
+  int sphere_size_ = 0;
+};
+
 /// Concept_Score(s_p, S_d(x), SN-bar) of Definition 8 (and its
 /// compound extension Eq. 10): the average over context nodes of the
 /// maximum candidate-to-context-sense similarity, scaled by each
@@ -95,6 +140,16 @@ double ContextScore(const wordnet::SemanticNetwork& network,
                     const ContextVector& xml_vector, int radius,
                     VectorSimilarity vector_similarity =
                         VectorSimilarity::kCosine);
+
+/// Id-based twin of ContextScore(): the candidate's concept sphere and
+/// context vector are built as flat id arrays and compared against the
+/// XML id vector. Bit-identical to ContextScore() over the same
+/// context.
+double IdContextScore(const wordnet::SemanticNetwork& network,
+                      const SenseCandidate& candidate,
+                      const IdContextVector& xml_vector, int radius,
+                      VectorSimilarity vector_similarity =
+                          VectorSimilarity::kCosine);
 
 /// The combined score of Eq. 13:
 ///   w_concept * Concept_Score + w_context * Context_Score,

@@ -1,7 +1,10 @@
 #include "core/tree_builder.h"
 
 #include "common/strings.h"
+#include "core/label_space.h"
 #include "text/preprocess.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
 #include "xml/parser.h"
 
 namespace xsdf::core {
@@ -20,27 +23,72 @@ std::vector<std::string> LabelSenseTokens(
 
 Result<xml::LabeledTree> BuildTree(const xml::Document& doc,
                                    const wordnet::SemanticNetwork& network,
-                                   bool include_values) {
+                                   bool include_values,
+                                   LabelSpace* label_space,
+                                   TreeBuildCache* cache) {
   text::LexiconProbe probe = [&network](const std::string& lemma) {
     return network.Contains(lemma);
   };
+  // Documents repeat the same raw tags and values over and over, so
+  // the (pure) pre-processing functions are memoized: into the
+  // caller's persistent cache when one is passed (cross-document
+  // reuse), else into a local one that dies with this build. The
+  // build is synchronous, so the hooks capture the cache by pointer.
+  TreeBuildCache local_cache;
+  if (cache == nullptr) cache = &local_cache;
   xml::TreeBuildOptions options;
   options.include_values = include_values;
-  options.label_transform = [probe](const std::string& tag) {
-    return text::PreprocessTagName(tag, probe).label;
+  options.resolved_label_transform =
+      [probe, cache, label_space](
+          const std::string& tag) -> const xml::ResolvedLabel& {
+    auto [it, inserted] = cache->tags.try_emplace(tag);
+    if (inserted) {
+      it->second.label = text::PreprocessTagName(tag, probe).label;
+      if (label_space != nullptr) {
+        it->second.id = label_space->Resolve(it->second.label);
+      }
+    }
+    return it->second;
   };
-  options.value_tokenizer = [probe](const std::string& value) {
-    return text::PreprocessTextValue(value, probe);
+  // Two-level value memo: whole values repeat less than their tokens,
+  // so a miss on the value still reuses each token's (pure)
+  // normalization + interning. The composition below is
+  // PreprocessTextValue() step for step, and interning on first sight
+  // of a label follows build order exactly as per-node resolution
+  // would, so memoized output is identical to the direct call.
+  options.resolved_value_tokenizer =
+      [probe, cache, label_space](const std::string& value)
+      -> const std::vector<xml::ResolvedLabel>& {
+    auto [it, inserted] = cache->values.try_emplace(value);
+    if (inserted) {
+      std::vector<std::string> tokens =
+          text::RemoveStopWords(text::Tokenize(value));
+      it->second.reserve(tokens.size());
+      for (const std::string& token : tokens) {
+        if (!text::HasLetter(token)) continue;  // drop pure numbers
+        auto [tit, tinserted] = cache->tokens.try_emplace(token);
+        if (tinserted) {
+          tit->second.label = text::NormalizeToken(token, probe);
+          // Tokens that normalize to nothing never become nodes, so
+          // they are never interned (matches the per-node path).
+          if (label_space != nullptr && !tit->second.label.empty()) {
+            tit->second.id = label_space->Resolve(tit->second.label);
+          }
+        }
+        it->second.push_back(tit->second);
+      }
+    }
+    return it->second;
   };
   return BuildLabeledTree(doc, options);
 }
 
 Result<xml::LabeledTree> BuildTreeFromXml(
     const std::string& xml_text, const wordnet::SemanticNetwork& network,
-    bool include_values) {
+    bool include_values, LabelSpace* label_space, TreeBuildCache* cache) {
   auto doc = xml::Parse(xml_text);
   if (!doc.ok()) return doc.status();
-  return BuildTree(*doc, network, include_values);
+  return BuildTree(*doc, network, include_values, label_space, cache);
 }
 
 }  // namespace xsdf::core

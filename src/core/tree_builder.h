@@ -2,6 +2,7 @@
 #define XSDF_CORE_TREE_BUILDER_H_
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -9,6 +10,29 @@
 #include "xml/labeled_tree.h"
 
 namespace xsdf::core {
+
+class LabelSpace;
+
+/// Cross-document memo for BuildTree's pure pre-processing and
+/// interning. XML corpora share one vocabulary across documents, so a
+/// persistent cache turns tag stemming, token normalization, AND label
+/// interning into a single hash probe per node after the first few
+/// documents. Entries key raw input text and hold outputs identical to
+/// the direct computation, so cached and uncached builds produce
+/// byte-identical trees with identical label ids.
+///
+/// Not thread-safe, and valid only for one (semantic network, label
+/// space) pairing — the probe the normalizers consult and the interner
+/// the ids come from: callers building trees concurrently keep one
+/// cache per worker, as the runtime engine does.
+struct TreeBuildCache {
+  /// raw tag name -> preprocessed node label + interned id.
+  std::unordered_map<std::string, xml::ResolvedLabel> tags;
+  /// raw text value -> preprocessed, interned token list.
+  std::unordered_map<std::string, std::vector<xml::ResolvedLabel>> values;
+  /// raw token -> normalized token (second level under `values`).
+  std::unordered_map<std::string, xml::ResolvedLabel> tokens;
+};
 
 /// Splits a node label into the lemma tokens that carry its senses:
 /// a label the network knows as one lemma (including collocations like
@@ -24,14 +48,23 @@ std::vector<std::string> LabelSenseTokens(
 /// text values through tokenization + stop-word removal + stemming.
 /// `include_values` selects structure-and-content (true) vs
 /// structure-only (false) processing (paper §3.1).
+///
+/// Pre-processing results are memoized (XML vocabularies repeat tags
+/// and values heavily): through `cache` across calls when the caller
+/// passes one, else per document. With a `label_space` every built node
+/// also carries its interned label id (tree.has_label_ids() holds) and
+/// the disambiguator runs its id-based front half on the tree.
 Result<xml::LabeledTree> BuildTree(const xml::Document& doc,
                                    const wordnet::SemanticNetwork& network,
-                                   bool include_values = true);
+                                   bool include_values = true,
+                                   LabelSpace* label_space = nullptr,
+                                   TreeBuildCache* cache = nullptr);
 
 /// Same, from an XML string (parse + build).
 Result<xml::LabeledTree> BuildTreeFromXml(
     const std::string& xml_text, const wordnet::SemanticNetwork& network,
-    bool include_values = true);
+    bool include_values = true, LabelSpace* label_space = nullptr,
+    TreeBuildCache* cache = nullptr);
 
 }  // namespace xsdf::core
 

@@ -43,9 +43,7 @@ const text::LexiconProbe& GoldProbe() {
 class DocBuilder {
  public:
   explicit DocBuilder(const char* root_tag) {
-    auto root = std::make_unique<xml::Node>(xml::NodeKind::kElement);
-    root->set_name(root_tag);
-    doc_.set_root(std::move(root));
+    doc_.set_root(doc_.NewElement(root_tag));
   }
 
   xml::Node* root() { return doc_.mutable_root(); }

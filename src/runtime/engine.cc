@@ -56,7 +56,17 @@ DisambiguationEngine::DisambiguationEngine(
     ins_.parse_us = m->GetHistogram("stage.parse_us");
     ins_.tree_build_us = m->GetHistogram("stage.tree_build_us");
     ins_.serialize_us = m->GetHistogram("stage.serialize_us");
+    const std::vector<uint64_t> arena_bounds = {
+        4096,      8192,      16384,     32768,       65536,    131072,
+        262144,    524288,    1u << 20,  1u << 21,    1u << 22, 1u << 23,
+        1u << 24};
+    ins_.arena_used_bytes =
+        m->GetHistogram("xml.arena_used_bytes", arena_bounds);
+    ins_.arena_reserved_bytes =
+        m->GetHistogram("xml.arena_reserved_bytes", arena_bounds);
   }
+  label_space_ = std::make_unique<core::LabelSpace>(network_);
+  options_.disambiguator.label_space = label_space_.get();
   if (options_.enable_similarity_cache) {
     similarity_cache_ = std::make_unique<SimilarityCache>(
         options_.similarity_cache_capacity,
@@ -87,9 +97,10 @@ void DisambiguationEngine::WorkerLoop(int worker_index) {
     trace_->GetThreadLog()->set_name(StrFormat("worker-%d", worker_index));
   }
   // Per-worker scratch: the Disambiguator (and its CombinedMeasure
-  // component measures) is private to this thread; only the network
-  // and the engine caches are shared.
+  // component measures) and the pre-processing cache are private to
+  // this thread; only the network and the engine caches are shared.
   core::Disambiguator disambiguator(network_, options_.disambiguator);
+  core::TreeBuildCache tree_cache;
   while (auto item = queue_.Pop()) {
     if (ins_.queue_depth != nullptr) {
       ins_.queue_depth->Record(queue_.size());
@@ -100,7 +111,7 @@ void DisambiguationEngine::WorkerLoop(int worker_index) {
     }
     const uint64_t run_start =
         ins_.job_run_us != nullptr ? obs::MonotonicNowNs() : 0;
-    DocumentResult result = Process(disambiguator, item->job);
+    DocumentResult result = Process(disambiguator, tree_cache, item->job);
     if (ins_.job_run_us != nullptr) {
       ins_.job_run_us->Record((obs::MonotonicNowNs() - run_start + 500) /
                               1000);
@@ -125,7 +136,7 @@ void DisambiguationEngine::WorkerLoop(int worker_index) {
 
 DocumentResult DisambiguationEngine::Process(
     const core::Disambiguator& disambiguator,
-    const DocumentJob& job) const {
+    core::TreeBuildCache& tree_cache, const DocumentJob& job) const {
   DocumentResult result;
   result.index = job.index;
   result.name = job.name;
@@ -141,10 +152,20 @@ DocumentResult DisambiguationEngine::Process(
     result.error = doc.status().ToString();
     return result;
   }
+  if (ins_.arena_used_bytes != nullptr) {
+    // One sample per document: how much of the bump arena the parse
+    // actually consumed vs. what its blocks reserve.
+    ins_.arena_used_bytes->Record(doc->arena().bytes_used());
+    ins_.arena_reserved_bytes->Record(doc->arena().bytes_reserved());
+  }
   xsdf::Result<xml::LabeledTree> tree = [&] {
     obs::StageTimer timer(ins_.tree_build_us, trace_, "tree_build");
     return core::BuildTree(*doc, *network_,
-                           options_.disambiguator.include_values);
+                           options_.disambiguator.include_values,
+                           options_.disambiguator.use_id_frontend
+                               ? label_space_.get()
+                               : nullptr,
+                           &tree_cache);
   }();
   if (!tree.ok()) {
     result.error = tree.status().ToString();
@@ -217,6 +238,14 @@ void DisambiguationEngine::PublishStatsToMetrics() {
   };
   publish_cache("cache.similarity", s.similarity_cache);
   publish_cache("cache.sense", s.sense_cache);
+  // Label-space occupancy: how much of the id universe the corpus
+  // touched beyond the network's own vocabulary.
+  m->GetGauge("label_space.network_size")
+      ->Set(static_cast<int64_t>(label_space_->network_size()));
+  m->GetGauge("label_space.overflow_size")
+      ->Set(static_cast<int64_t>(label_space_->overflow_size()));
+  m->GetGauge("label_space.resolved_senses")
+      ->Set(static_cast<int64_t>(label_space_->resolved_sense_count()));
 }
 
 void DisambiguationEngine::ResetCounters() {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/disambiguator.h"
+#include "core/tree_builder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/job_queue.h"
@@ -144,16 +145,24 @@ class DisambiguationEngine {
     obs::Histogram* parse_us = nullptr;
     obs::Histogram* tree_build_us = nullptr;
     obs::Histogram* serialize_us = nullptr;
+    /// Per-document DOM arena footprint (front-end memory model).
+    obs::Histogram* arena_used_bytes = nullptr;
+    obs::Histogram* arena_reserved_bytes = nullptr;
   };
 
   void WorkerLoop(int worker_index);
   DocumentResult Process(const core::Disambiguator& disambiguator,
+                         core::TreeBuildCache& tree_cache,
                          const DocumentJob& job) const;
 
   const wordnet::SemanticNetwork* network_;
   EngineOptions options_;
   Instruments ins_;
   obs::TraceSession* trace_ = nullptr;
+  /// The engine-wide label id space: one instance shared by every
+  /// worker's tree builds, disambiguators, and the sense cache, so
+  /// label ids agree across threads.
+  std::unique_ptr<core::LabelSpace> label_space_;
   std::unique_ptr<SimilarityCache> similarity_cache_;
   std::unique_ptr<SenseInventoryCache> sense_cache_;
   BoundedJobQueue<WorkItem> queue_;

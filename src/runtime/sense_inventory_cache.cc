@@ -8,10 +8,13 @@ SenseInventoryCache::SenseInventoryCache(size_t capacity,
                                          size_t shard_count)
     : cache_(capacity, shard_count) {}
 
-std::vector<core::SenseCandidate> SenseInventoryCache::Candidates(
-    const wordnet::SemanticNetwork& network, const std::string& label) {
-  return cache_.GetOrCompute(label, [&] {
-    return core::EnumerateCandidates(network, label);
+std::shared_ptr<const core::SenseEntry> SenseInventoryCache::Entry(
+    const wordnet::SemanticNetwork& network, uint32_t label_id,
+    const std::string& label) {
+  return cache_.GetOrCompute(label_id, [&] {
+    auto entry = std::make_shared<core::SenseEntry>();
+    entry->candidates = core::EnumerateCandidates(network, label);
+    return std::shared_ptr<const core::SenseEntry>(std::move(entry));
   });
 }
 

@@ -1,8 +1,9 @@
 #ifndef XSDF_RUNTIME_SENSE_INVENTORY_CACHE_H_
 #define XSDF_RUNTIME_SENSE_INVENTORY_CACHE_H_
 
+#include <cstdint>
+#include <memory>
 #include <string>
-#include <vector>
 
 #include "core/disambiguator.h"
 #include "runtime/sharded_lru_cache.h"
@@ -10,17 +11,24 @@
 
 namespace xsdf::runtime {
 
-/// Thread-safe sharded LRU over the sense inventory (preprocessed node
-/// label -> candidate senses). Label -> candidates is a pure function
-/// of the semantic network, so one cache instance must only ever be
-/// used with a single network (the engine's contract — it owns one
-/// network and one of these).
+/// Thread-safe sharded LRU over the sense inventory, keyed by interned
+/// label id (one integer hash per lookup) and storing
+/// shared_ptr<const SenseEntry>: a hit is a refcount bump, never a
+/// candidate-vector copy, and an entry handed to a worker stays valid
+/// after the cache evicts it — the worker's shared_ptr keeps the entry
+/// alive, so eviction under concurrent load can never invalidate
+/// in-flight scoring (the eviction-safety regression test pins this).
+///
+/// label id -> candidates is a pure function of the semantic network
+/// and the label space, so one cache instance must only ever be used
+/// with a single network AND a single LabelSpace (the engine's
+/// contract — it owns one of each and shares them with every worker).
 class SenseInventoryCache : public core::SenseInventory {
  public:
   explicit SenseInventoryCache(size_t capacity, size_t shard_count = 8);
 
-  std::vector<core::SenseCandidate> Candidates(
-      const wordnet::SemanticNetwork& network,
+  std::shared_ptr<const core::SenseEntry> Entry(
+      const wordnet::SemanticNetwork& network, uint32_t label_id,
       const std::string& label) override;
 
   CacheStats GetStats() const { return cache_.GetStats(); }
@@ -28,7 +36,7 @@ class SenseInventoryCache : public core::SenseInventory {
   void Clear() { cache_.Clear(); }
 
  private:
-  ShardedLruCache<std::string, std::vector<core::SenseCandidate>> cache_;
+  ShardedLruCache<uint32_t, std::shared_ptr<const core::SenseEntry>> cache_;
 };
 
 }  // namespace xsdf::runtime

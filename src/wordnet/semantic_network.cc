@@ -226,6 +226,19 @@ const std::vector<ConceptId>& SemanticNetwork::Senses(
   return senses_by_token_[token];
 }
 
+uint32_t SemanticNetwork::FindLemmaTokenId(std::string_view lemma) const {
+  thread_local std::string buffer;
+  NormalizeLemmaInto(lemma, &buffer);
+  return interner_.Find(buffer);
+}
+
+const std::vector<ConceptId>& SemanticNetwork::SensesByTokenId(
+    uint32_t token_id) const {
+  static const std::vector<ConceptId> kEmpty;
+  if (token_id >= senses_by_token_.size()) return kEmpty;
+  return senses_by_token_[token_id];
+}
+
 int SemanticNetwork::SenseCount(std::string_view lemma) const {
   return static_cast<int>(Senses(lemma).size());
 }
@@ -457,6 +470,13 @@ void SemanticNetwork::FinalizeFrequencies() {
     }
   }
   if (total_frequency_ <= 0.0) total_frequency_ = 1.0;
+
+  // Per-concept label ids: concept spheres built by the id-based
+  // context pipeline carry interner ids instead of label strings.
+  label_token_ids_.assign(n, TokenInterner::kNotFound);
+  for (const Concept& c : concepts_) {
+    label_token_ids_[static_cast<size_t>(c.id)] = interner_.Find(c.label());
+  }
 
   // Precompute every taxonomic depth eagerly. Depth() memoizes lazily
   // into a mutable cache, which is fine single-threaded but a data race

@@ -165,6 +165,24 @@ class SemanticNetwork {
   /// contiguous uint32_t id space.
   const TokenInterner& interner() const { return interner_; }
 
+  /// Interner id of `lemma` after lemma normalization, or
+  /// TokenInterner::kNotFound; never allocates (the lookup runs through
+  /// the same thread-local buffer as Senses()).
+  uint32_t FindLemmaTokenId(std::string_view lemma) const;
+
+  /// Senses of the token interned under `token_id`, in sense order;
+  /// empty for gloss-only tokens and out-of-range ids. The id-based
+  /// twin of Senses(): SensesByTokenId(FindLemmaTokenId(w)) ==
+  /// Senses(w) for every known lemma.
+  const std::vector<ConceptId>& SensesByTokenId(uint32_t token_id) const;
+
+  /// Interner id of concept `id`'s label (first lemma). Defined after
+  /// FinalizeFrequencies(); lets concept spheres carry the same id
+  /// space as XML tree labels.
+  uint32_t LabelTokenId(ConceptId id) const {
+    return label_token_ids_[static_cast<size_t>(id)];
+  }
+
   /// Targets of hypernym + instance-hypernym edges of `id`.
   std::vector<ConceptId> Hypernyms(ConceptId id) const;
   /// Targets of hyponym + instance-hyponym edges of `id`.
@@ -278,6 +296,8 @@ class SemanticNetwork {
   std::vector<uint32_t> gloss_bag_tokens_;
   std::vector<double> information_content_;
   double max_information_content_ = 0.0;
+  /// Concept id -> interner id of its label (first lemma).
+  std::vector<uint32_t> label_token_ids_;
 
   static std::string NormalizeLemma(std::string_view lemma);
   static void NormalizeLemmaInto(std::string_view lemma, std::string* out);

@@ -9,26 +9,26 @@ const std::string* Node::FindAttribute(std::string_view name) const {
   return nullptr;
 }
 
-Node* Node::AddChild(std::unique_ptr<Node> child) {
-  children_.push_back(std::move(child));
-  return children_.back().get();
+Node* Node::AddChild(Node* child) {
+  children_.push_back(child);
+  return child;
 }
 
 Node* Node::AddElement(std::string name) {
-  auto child = std::make_unique<Node>(NodeKind::kElement);
+  Node* child = arena_->New<Node>(NodeKind::kElement, arena_);
   child->set_name(std::move(name));
-  return AddChild(std::move(child));
+  return AddChild(child);
 }
 
 Node* Node::AddText(std::string text) {
-  auto child = std::make_unique<Node>(NodeKind::kText);
+  Node* child = arena_->New<Node>(NodeKind::kText, arena_);
   child->set_text(std::move(text));
-  return AddChild(std::move(child));
+  return AddChild(child);
 }
 
 const Node* Node::FindChildElement(std::string_view name) const {
-  for (const auto& child : children_) {
-    if (child->is_element() && child->name() == name) return child.get();
+  for (const Node* child : children_) {
+    if (child->is_element() && child->name() == name) return child;
   }
   return nullptr;
 }
@@ -36,9 +36,9 @@ const Node* Node::FindChildElement(std::string_view name) const {
 std::vector<const Node*> Node::FindChildElements(
     std::string_view name) const {
   std::vector<const Node*> out;
-  for (const auto& child : children_) {
+  for (const Node* child : children_) {
     if (child->is_element() && child->name() == name) {
-      out.push_back(child.get());
+      out.push_back(child);
     }
   }
   return out;
@@ -47,22 +47,34 @@ std::vector<const Node*> Node::FindChildElements(
 std::string Node::InnerText() const {
   std::string out;
   if (is_text()) out += text_;
-  for (const auto& child : children_) out += child->InnerText();
+  for (const Node* child : children_) out += child->InnerText();
   return out;
 }
 
 size_t Node::ElementChildCount() const {
   size_t n = 0;
-  for (const auto& child : children_) {
+  for (const Node* child : children_) {
     if (child->is_element()) ++n;
   }
   return n;
 }
 
+Node* Document::NewElement(std::string name) {
+  Node* node = NewNode(NodeKind::kElement);
+  node->set_name(std::move(name));
+  return node;
+}
+
+Node* Document::NewText(std::string text) {
+  Node* node = NewNode(NodeKind::kText);
+  node->set_text(std::move(text));
+  return node;
+}
+
 namespace {
 size_t CountElementsIn(const Node& node) {
   size_t n = node.is_element() ? 1 : 0;
-  for (const auto& child : node.children()) n += CountElementsIn(*child);
+  for (const Node* child : node.children()) n += CountElementsIn(*child);
   return n;
 }
 }  // namespace

@@ -6,6 +6,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/arena.h"
+
 namespace xsdf::xml {
 
 /// Kind of a DOM node produced by the parser.
@@ -24,11 +26,16 @@ struct Attribute {
 };
 
 /// One node of the parsed XML document (W3C DOM-inspired, trimmed to
-/// what XSDF consumes). Elements own their children; all other kinds
-/// are leaves.
+/// what XSDF consumes). All nodes of a document live in the document's
+/// arena: creating one is a pointer bump, and the whole tree is freed
+/// with the arena instead of node by node. Elements link to their
+/// children by plain pointer; all other kinds are leaves.
 class Node {
  public:
-  explicit Node(NodeKind kind) : kind_(kind) {}
+  /// Nodes are normally created through Document::NewNode()/
+  /// NewElement()/NewText() or the Add* helpers below; `arena` is the
+  /// owning document's arena and must outlive the node.
+  Node(NodeKind kind, Arena* arena) : kind_(kind), arena_(arena) {}
 
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
@@ -55,11 +62,10 @@ class Node {
   /// Returns the value of attribute `name`, or nullptr when absent.
   const std::string* FindAttribute(std::string_view name) const;
 
-  const std::vector<std::unique_ptr<Node>>& children() const {
-    return children_;
-  }
-  /// Appends `child` and returns a borrowed pointer to it.
-  Node* AddChild(std::unique_ptr<Node> child);
+  /// Children in document order (borrowed; owned by the arena).
+  const std::vector<Node*>& children() const { return children_; }
+  /// Appends `child` (an arena node of the same document) and returns it.
+  Node* AddChild(Node* child);
   /// Creates, appends, and returns a new child element named `name`.
   Node* AddElement(std::string name);
   /// Creates and appends a text child holding `text`.
@@ -78,17 +84,20 @@ class Node {
 
  private:
   NodeKind kind_;
+  Arena* arena_;
   std::string name_;
   std::string text_;
   std::vector<Attribute> attributes_;
-  std::vector<std::unique_ptr<Node>> children_;
+  std::vector<Node*> children_;
 };
 
 /// A parsed XML document: optional declaration, prolog misc nodes, and
-/// exactly one root element.
+/// exactly one root element. The document owns a bump arena holding
+/// every node; node pointers stay valid while the document (or a
+/// document it was moved into) is alive.
 class Document {
  public:
-  Document() = default;
+  Document() : arena_(std::make_unique<Arena>()) {}
   Document(const Document&) = delete;
   Document& operator=(const Document&) = delete;
   Document(Document&&) = default;
@@ -99,26 +108,34 @@ class Document {
   void set_version(std::string v) { version_ = std::move(v); }
   void set_encoding(std::string e) { encoding_ = std::move(e); }
 
-  const Node* root() const { return root_.get(); }
-  Node* mutable_root() { return root_.get(); }
-  void set_root(std::unique_ptr<Node> root) { root_ = std::move(root); }
+  /// Creates a node in this document's arena.
+  Node* NewNode(NodeKind kind) { return arena_->New<Node>(kind, arena_.get()); }
+  /// Creates an element node named `name` in this document's arena.
+  Node* NewElement(std::string name);
+  /// Creates a text node holding `text` in this document's arena.
+  Node* NewText(std::string text);
+
+  const Node* root() const { return root_; }
+  Node* mutable_root() { return root_; }
+  void set_root(Node* root) { root_ = root; }
 
   /// Comments / PIs appearing before the root element.
-  const std::vector<std::unique_ptr<Node>>& prolog() const {
-    return prolog_;
-  }
-  void AddPrologNode(std::unique_ptr<Node> node) {
-    prolog_.push_back(std::move(node));
-  }
+  const std::vector<Node*>& prolog() const { return prolog_; }
+  void AddPrologNode(Node* node) { prolog_.push_back(node); }
 
   /// Total number of element nodes in the document.
   size_t CountElements() const;
 
+  /// The arena backing this document's nodes.
+  Arena& arena() { return *arena_; }
+  const Arena& arena() const { return *arena_; }
+
  private:
+  std::unique_ptr<Arena> arena_;
   std::string version_ = "1.0";
   std::string encoding_;
-  std::unique_ptr<Node> root_;
-  std::vector<std::unique_ptr<Node>> prolog_;
+  Node* root_ = nullptr;
+  std::vector<Node*> prolog_;
 };
 
 }  // namespace xsdf::xml

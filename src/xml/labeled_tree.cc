@@ -10,6 +10,13 @@ namespace xsdf::xml {
 
 NodeId LabeledTree::AddNode(NodeId parent, std::string label,
                             TreeNodeKind kind, std::string raw) {
+  return AddNode(parent, std::move(label), kNoLabelId, kind,
+                 std::move(raw));
+}
+
+NodeId LabeledTree::AddNode(NodeId parent, std::string label,
+                            uint32_t label_id, TreeNodeKind kind,
+                            std::string raw) {
   // Precondition violations are programmer errors, but a release build
   // must not crash on them: callers receive kInvalidNode and can
   // surface a Status (checked builds still stop at the fault).
@@ -34,6 +41,8 @@ NodeId LabeledTree::AddNode(NodeId parent, std::string label,
     nodes_[static_cast<size_t>(parent)].children.push_back(node.id);
   }
   nodes_.push_back(std::move(node));
+  label_ids_.push_back(label_id);
+  if (label_id == kNoLabelId) ++missing_label_ids_;
   return nodes_.back().id;
 }
 
@@ -203,18 +212,57 @@ struct Builder {
   std::function<std::string(const std::string&)> label_transform;
   std::function<std::vector<std::string>(const std::string&)> tokenizer;
   LabeledTree tree;
+  ResolvedLabel scratch;  ///< unfused-hook staging for ResolveTag()
+
+  uint32_t Resolve(const std::string& label) const {
+    return options->label_resolver ? options->label_resolver(label)
+                                   : kNoLabelId;
+  }
+
+  /// Raw tag -> (label, id) through the fused hook when available,
+  /// else through the two-step transform + resolve pair.
+  const ResolvedLabel& ResolveTag(const std::string& raw_tag) {
+    if (options->resolved_label_transform) {
+      return options->resolved_label_transform(raw_tag);
+    }
+    scratch.label = label_transform(raw_tag);
+    scratch.id = Resolve(scratch.label);
+    return scratch;
+  }
+
+  NodeId Add(NodeId parent, std::string label, TreeNodeKind kind,
+             std::string raw) {
+    uint32_t id = Resolve(label);
+    return tree.AddNode(parent, std::move(label), id, kind, std::move(raw));
+  }
+
+  NodeId AddTag(NodeId parent, const std::string& raw_tag,
+                TreeNodeKind kind) {
+    const ResolvedLabel& resolved = ResolveTag(raw_tag);
+    return tree.AddNode(parent, resolved.label, resolved.id, kind,
+                        raw_tag);
+  }
 
   void AddTokens(NodeId parent, const std::string& text) {
     if (!options->include_values) return;
-    for (const std::string& token : tokenizer(text)) {
+    if (options->resolved_value_tokenizer) {
+      for (const ResolvedLabel& token :
+           options->resolved_value_tokenizer(text)) {
+        if (token.label.empty()) continue;
+        tree.AddNode(parent, token.label, token.id, TreeNodeKind::kToken,
+                     token.label);
+      }
+      return;
+    }
+    for (std::string& token : tokenizer(text)) {
       if (token.empty()) continue;
-      tree.AddNode(parent, token, TreeNodeKind::kToken, token);
+      std::string raw = token;
+      Add(parent, std::move(token), TreeNodeKind::kToken, std::move(raw));
     }
   }
 
   void AddElement(NodeId parent, const Node& element) {
-    NodeId id = tree.AddNode(parent, label_transform(element.name()),
-                             TreeNodeKind::kElement, element.name());
+    NodeId id = AddTag(parent, element.name(), TreeNodeKind::kElement);
     // Attributes first, sorted by name (paper §3.1).
     std::vector<const Attribute*> attrs;
     attrs.reserve(element.attributes().size());
@@ -224,8 +272,7 @@ struct Builder {
                 return a->name < b->name;
               });
     for (const Attribute* attr : attrs) {
-      NodeId attr_id = tree.AddNode(id, label_transform(attr->name),
-                                    TreeNodeKind::kAttribute, attr->name);
+      NodeId attr_id = AddTag(id, attr->name, TreeNodeKind::kAttribute);
       AddTokens(attr_id, attr->value);
     }
     // Then content: text tokens and sub-elements in document order.
@@ -241,6 +288,43 @@ struct Builder {
 
 }  // namespace
 
+namespace {
+
+/// Whitespace-separated chunks in `text` — an upper-ish bound on the
+/// token nodes tokenization will produce (stop words and pure numbers
+/// are dropped later, so this usually over-reserves slightly).
+size_t CountTokenChunks(std::string_view text) {
+  size_t n = 0;
+  bool in_chunk = false;
+  for (char c : text) {
+    bool ws = c == ' ' || c == '\t' || c == '\r' || c == '\n';
+    if (!ws && !in_chunk) ++n;
+    in_chunk = !ws;
+  }
+  return n;
+}
+
+/// Estimate of the labeled-tree size of `element`'s subtree: one node
+/// per element and attribute plus the token chunks of attribute values
+/// and text children, so Reserve() avoids rebucketing node storage on
+/// content-rich documents.
+size_t EstimateTreeNodes(const Node& element) {
+  size_t n = 1 + element.attributes().size();
+  for (const Attribute& attr : element.attributes()) {
+    n += CountTokenChunks(attr.value);
+  }
+  for (const auto& child : element.children()) {
+    if (child->is_element()) {
+      n += EstimateTreeNodes(*child);
+    } else if (child->is_text()) {
+      n += CountTokenChunks(child->text());
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
 Result<LabeledTree> BuildLabeledTree(const Node& root_element,
                                      const TreeBuildOptions& options) {
   if (!root_element.is_element()) {
@@ -248,6 +332,7 @@ Result<LabeledTree> BuildLabeledTree(const Node& root_element,
         "BuildLabeledTree requires an element node");
   }
   Builder builder;
+  builder.tree.Reserve(EstimateTreeNodes(root_element));
   builder.options = &options;
   builder.label_transform =
       options.label_transform ? options.label_transform

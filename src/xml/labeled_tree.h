@@ -1,8 +1,12 @@
 #ifndef XSDF_XML_LABELED_TREE_H_
 #define XSDF_XML_LABELED_TREE_H_
 
+#include <algorithm>
+#include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
@@ -14,6 +18,9 @@ namespace xsdf::xml {
 /// `T[i]` notation).
 using NodeId = int;
 inline constexpr NodeId kInvalidNode = -1;
+
+/// Sentinel for a node whose label has not been interned.
+inline constexpr uint32_t kNoLabelId = 0xFFFFFFFFu;
 
 /// What an XML construct a tree node was derived from.
 enum class TreeNodeKind {
@@ -52,6 +59,38 @@ class LabeledTree {
   /// construction fails recoverably in release binaries.
   NodeId AddNode(NodeId parent, std::string label, TreeNodeKind kind,
                  std::string raw = {});
+
+  /// Same, with the label's interned id (core::LabelSpace). Trees whose
+  /// every node carries an id run the id-based sphere/vector pipeline;
+  /// a single id-less AddNode() drops the whole tree back to the
+  /// string path (has_label_ids() turns false).
+  NodeId AddNode(NodeId parent, std::string label, uint32_t label_id,
+                 TreeNodeKind kind, std::string raw = {});
+
+  /// Pre-sizes node storage (one parse knows its element count).
+  void Reserve(size_t node_count) {
+    nodes_.reserve(node_count);
+    label_ids_.reserve(node_count);
+  }
+
+  /// Interned label of `id`, or kNoLabelId when never assigned.
+  uint32_t label_id(NodeId id) const {
+    return label_ids_[static_cast<size_t>(id)];
+  }
+  /// Per-node interned labels, parallel to nodes().
+  std::span<const uint32_t> label_ids() const { return label_ids_; }
+  /// True when every node carries an interned label id.
+  bool has_label_ids() const {
+    return missing_label_ids_ == 0 && !nodes_.empty();
+  }
+  /// Overwrites node `id`'s interned label (id assignment passes).
+  void set_label_id(NodeId id, uint32_t label_id) {
+    uint32_t& slot = label_ids_[static_cast<size_t>(id)];
+    if ((slot == kNoLabelId) != (label_id == kNoLabelId)) {
+      missing_label_ids_ += label_id == kNoLabelId ? 1 : -1;
+    }
+    slot = label_id;
+  }
 
   /// Full structural-invariant audit: ids equal positions, parents
   /// precede children, depths are parent depth + 1, child lists and
@@ -100,6 +139,17 @@ class LabeledTree {
 
  private:
   std::vector<TreeNode> nodes_;
+  /// Interned label per node, parallel to nodes_ (kNoLabelId when the
+  /// node was added without one).
+  std::vector<uint32_t> label_ids_;
+  size_t missing_label_ids_ = 0;  ///< count of kNoLabelId entries
+};
+
+/// A preprocessed node label together with its interned id
+/// (kNoLabelId when the producer interns nothing).
+struct ResolvedLabel {
+  std::string label;
+  uint32_t id = kNoLabelId;
 };
 
 /// Controls DOM -> LabeledTree conversion.
@@ -119,6 +169,26 @@ struct TreeBuildOptions {
   /// stop-word filter, and stemmer are plugged in here.
   std::function<std::vector<std::string>(const std::string&)>
       value_tokenizer;
+
+  /// Interns a (transformed) label and returns its id; when set, every
+  /// built node carries the id and the tree satisfies
+  /// has_label_ids(). The core pipeline plugs core::LabelSpace in here.
+  std::function<uint32_t(std::string_view)> label_resolver;
+
+  /// Fused alternative to label_transform + label_resolver: maps a raw
+  /// tag name straight to its preprocessed label and interned id, so a
+  /// memoizing producer answers one hash probe per node instead of a
+  /// transform probe plus a resolver probe. The returned reference
+  /// must stay valid for the duration of the build (memo entries do).
+  /// Takes precedence over the unfused hooks when set.
+  std::function<const ResolvedLabel&(const std::string&)>
+      resolved_label_transform;
+
+  /// Fused alternative to value_tokenizer + label_resolver for text
+  /// values, under the same reference-lifetime contract. Takes
+  /// precedence over value_tokenizer when set.
+  std::function<const std::vector<ResolvedLabel>&(const std::string&)>
+      resolved_value_tokenizer;
 };
 
 /// Converts a parsed DOM into the rooted ordered labeled tree of

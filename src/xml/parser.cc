@@ -1,6 +1,7 @@
 #include "xml/parser.h"
 
 #include <cctype>
+#include <cstring>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -95,6 +96,32 @@ class Cursor {
     }
   }
 
+  /// Advances past every character up to the next '<' (or the end of
+  /// input) in one scan and returns the skipped slice. Line/column end
+  /// up exactly where the equivalent Advance() sequence would leave
+  /// them; character data is the parser's bulk, so it is found with
+  /// memchr instead of a per-character dispatch loop.
+  std::string_view AdvanceUntilLt() {
+    const char* data = input_.data();
+    size_t begin = pos_;
+    const void* found =
+        std::memchr(data + pos_, '<', input_.size() - pos_);
+    size_t target = found != nullptr
+                        ? static_cast<size_t>(
+                              static_cast<const char*>(found) - data)
+                        : input_.size();
+    for (size_t i = begin; i < target; ++i) {
+      if (data[i] == '\n') {
+        ++line_;
+        column_ = 1;
+      } else {
+        ++column_;
+      }
+    }
+    pos_ = target;
+    return input_.substr(begin, target - begin);
+  }
+
   std::string_view Slice(size_t begin, size_t end) const {
     return input_.substr(begin, end - begin);
   }
@@ -116,10 +143,11 @@ class Parser {
 
   Result<Document> Run() {
     Document doc;
+    doc_ = &doc;
     XSDF_RETURN_IF_ERROR(ParseProlog(&doc));
     auto root = ParseElement();
     if (!root.ok()) return root.status();
-    doc.set_root(std::move(root).value());
+    doc.set_root(root.value());
     cursor_.SkipWhitespace();
     // Trailing misc: comments and PIs are allowed after the root.
     while (!cursor_.AtEnd()) {
@@ -242,9 +270,9 @@ class Parser {
         std::string content(cursor_.Slice(begin, cursor_.pos()));
         cursor_.Match("-->");
         if (options_.keep_comments && doc != nullptr) {
-          auto node = std::make_unique<Node>(NodeKind::kComment);
+          Node* node = doc->NewNode(NodeKind::kComment);
           node->set_text(std::move(content));
-          doc->AddPrologNode(std::move(node));
+          doc->AddPrologNode(node);
         }
         return Status::Ok();
       }
@@ -261,14 +289,13 @@ class Parser {
         std::string content(cursor_.Slice(begin, cursor_.pos()));
         cursor_.Match("?>");
         if (options_.keep_processing_instructions && doc != nullptr) {
-          auto node = std::make_unique<Node>(
-              NodeKind::kProcessingInstruction);
+          Node* node = doc->NewNode(NodeKind::kProcessingInstruction);
           size_t space = content.find(' ');
           node->set_name(content.substr(0, space));
           if (space != std::string::npos) {
             node->set_text(content.substr(space + 1));
           }
-          doc->AddPrologNode(std::move(node));
+          doc->AddPrologNode(node);
         }
         return Status::Ok();
       }
@@ -277,7 +304,9 @@ class Parser {
     return Error("unterminated processing instruction");
   }
 
-  Result<std::string> ParseName() {
+  /// Names are slices of the input (no decoding), so they are parsed
+  /// as views; callers copy only where the DOM keeps the name.
+  Result<std::string_view> ParseName() {
     if (cursor_.AtEnd() || !IsNameStartChar(cursor_.Peek())) {
       return Error("expected name");
     }
@@ -285,7 +314,7 @@ class Parser {
     while (!cursor_.AtEnd() && IsNameChar(cursor_.Peek())) {
       cursor_.Advance();
     }
-    return std::string(cursor_.Slice(begin, cursor_.pos()));
+    return cursor_.Slice(begin, cursor_.pos());
   }
 
   Result<std::string> ParseQuotedValue() {
@@ -302,12 +331,15 @@ class Parser {
       cursor_.Advance();
     }
     if (cursor_.AtEnd()) return Error("unterminated attribute value");
-    std::string raw(cursor_.Slice(begin, cursor_.pos()));
+    std::string_view raw = cursor_.Slice(begin, cursor_.pos());
     cursor_.Advance();  // closing quote
+    // Values without references need no decoding (and no budget): one
+    // copy into the DOM instead of a scratch string plus a decode pass.
+    if (raw.find('&') == std::string_view::npos) return std::string(raw);
     return Decode(raw);
   }
 
-  Result<std::unique_ptr<Node>> ParseElement() {
+  Result<Node*> ParseElement() {
     if (!cursor_.Match("<")) return Error("expected '<'");
     // The parser, the serializer, the DOM destructor, and the tree
     // builder all recurse once per nesting level, so the depth cap is
@@ -323,11 +355,11 @@ class Parser {
     return element;
   }
 
-  Result<std::unique_ptr<Node>> ParseElementBody() {
+  Result<Node*> ParseElementBody() {
     auto name = ParseName();
     if (!name.ok()) return name.status();
-    auto element = std::make_unique<Node>(NodeKind::kElement);
-    element->set_name(*name);
+    Node* element = doc_->NewNode(NodeKind::kElement);
+    element->set_name(std::string(*name));
 
     // Attributes.
     while (true) {
@@ -351,7 +383,8 @@ class Parser {
       auto attr_name = ParseName();
       if (!attr_name.ok()) return attr_name.status();
       if (element->FindAttribute(*attr_name) != nullptr) {
-        return Error("duplicate attribute '" + *attr_name + "'");
+        return Error("duplicate attribute '" + std::string(*attr_name) +
+                     "'");
       }
       cursor_.SkipWhitespace();
       if (cursor_.AtEnd() || cursor_.Peek() != '=') {
@@ -361,23 +394,28 @@ class Parser {
       cursor_.SkipWhitespace();
       auto value = ParseQuotedValue();
       if (!value.ok()) return value.status();
-      element->AddAttribute(std::move(*attr_name), std::move(*value));
+      element->AddAttribute(std::string(*attr_name), std::move(*value));
     }
 
     // Content until the matching end tag.
-    XSDF_RETURN_IF_ERROR(ParseContent(element.get(), *name));
+    XSDF_RETURN_IF_ERROR(ParseContent(element, *name));
     return element;
   }
 
-  Status ParseContent(Node* element, const std::string& tag_name) {
+  Status ParseContent(Node* element, std::string_view tag_name) {
     std::string pending_text;
     auto flush_text = [&]() -> Status {
       if (pending_text.empty()) return Status::Ok();
       if (!options_.discard_whitespace_text ||
           !IsWhitespaceOnly(pending_text)) {
-        auto decoded = Decode(pending_text);
-        if (!decoded.ok()) return decoded.status();
-        element->AddText(std::move(decoded).value());
+        if (pending_text.find('&') == std::string::npos) {
+          // No references: the accumulated text is already decoded.
+          element->AddText(std::move(pending_text));
+        } else {
+          auto decoded = Decode(pending_text);
+          if (!decoded.ok()) return decoded.status();
+          element->AddText(std::move(decoded).value());
+        }
       }
       pending_text.clear();
       return Status::Ok();
@@ -385,7 +423,14 @@ class Parser {
 
     while (true) {
       if (cursor_.AtEnd()) {
-        return Error("unterminated element '" + tag_name + "'");
+        return Error("unterminated element '" + std::string(tag_name) +
+                     "'");
+      }
+      if (cursor_.Peek() != '<') {
+        // Bulk character data: everything up to the next markup is
+        // text, collected in one scan.
+        pending_text.append(cursor_.AdvanceUntilLt());
+        continue;
       }
       if (cursor_.LookingAt("</")) {
         XSDF_RETURN_IF_ERROR(flush_text());
@@ -395,8 +440,9 @@ class Parser {
         cursor_.SkipWhitespace();
         if (!cursor_.Match(">")) return Error("malformed end tag");
         if (*end_name != tag_name) {
-          return Error("mismatched end tag: expected </" + tag_name +
-                       ">, got </" + *end_name + ">");
+          return Error("mismatched end tag: expected </" +
+                       std::string(tag_name) + ">, got </" +
+                       std::string(*end_name) + ">");
         }
         return Status::Ok();
       }
@@ -408,10 +454,10 @@ class Parser {
           cursor_.Advance();
         }
         if (cursor_.AtEnd()) return Error("unterminated CDATA section");
-        auto cdata = std::make_unique<Node>(NodeKind::kCData);
+        Node* cdata = doc_->NewNode(NodeKind::kCData);
         cdata->set_text(std::string(cursor_.Slice(begin, cursor_.pos())));
         cursor_.Match("]]>");
-        element->AddChild(std::move(cdata));
+        element->AddChild(cdata);
         continue;
       }
       if (cursor_.LookingAt("<!--")) {
@@ -423,10 +469,10 @@ class Parser {
         }
         if (cursor_.AtEnd()) return Error("unterminated comment");
         if (options_.keep_comments) {
-          auto comment = std::make_unique<Node>(NodeKind::kComment);
+          Node* comment = doc_->NewNode(NodeKind::kComment);
           comment->set_text(
               std::string(cursor_.Slice(begin, cursor_.pos())));
-          element->AddChild(std::move(comment));
+          element->AddChild(comment);
         }
         cursor_.Match("-->");
         continue;
@@ -436,19 +482,16 @@ class Parser {
         XSDF_RETURN_IF_ERROR(SkipProcessingInstruction(nullptr));
         continue;
       }
-      if (cursor_.Peek() == '<') {
-        XSDF_RETURN_IF_ERROR(flush_text());
-        auto child = ParseElement();
-        if (!child.ok()) return child.status();
-        element->AddChild(std::move(child).value());
-        continue;
-      }
-      pending_text.push_back(cursor_.Advance());
+      XSDF_RETURN_IF_ERROR(flush_text());
+      auto child = ParseElement();
+      if (!child.ok()) return child.status();
+      element->AddChild(child.value());
     }
   }
 
   Cursor cursor_;
   ParseOptions options_;
+  Document* doc_ = nullptr;  ///< nodes are created in this doc's arena
   int depth_ = 0;
   size_t entity_budget_ = 0;
 };

@@ -1,0 +1,322 @@
+// Tests for the interned, arena-backed front end: the bump arena, the
+// engine-wide label id space (cross-document id stability, exact-
+// spelling injectivity), and the headline contract — the id-based
+// sphere/vector/scoring pipeline produces BIT-identical disambiguation
+// output to the legacy string pipeline, single-threaded and through
+// the engine at 1 and 8 workers, including the `explain` audit JSON.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/arena.h"
+#include "core/disambiguator.h"
+#include "core/label_space.h"
+#include "core/scores.h"
+#include "core/tree_builder.h"
+#include "datasets/generator.h"
+#include "runtime/engine.h"
+#include "wordnet/mini_wordnet.h"
+#include "xml/parser.h"
+
+namespace xsdf {
+namespace {
+
+const wordnet::SemanticNetwork& Network() {
+  static const wordnet::SemanticNetwork* network = [] {
+    auto result = wordnet::BuildMiniWordNet();
+    return new wordnet::SemanticNetwork(std::move(result).value());
+  }();
+  return *network;
+}
+
+// ============================ Arena ===============================
+
+TEST(ArenaTest, BumpAllocationsAreAlignedAndCounted) {
+  Arena arena;
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  EXPECT_EQ(arena.block_count(), 0u);
+  void* a = arena.Allocate(3, 1);
+  void* b = arena.Allocate(8, 8);
+  void* c = arena.Allocate(1, 64);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(c) % 64, 0u);
+  EXPECT_GE(arena.bytes_used(), 3u + 8u + 1u);
+  EXPECT_EQ(arena.block_count(), 1u);
+  EXPECT_GE(arena.bytes_reserved(), arena.bytes_used());
+}
+
+TEST(ArenaTest, GrowsBlocksGeometrically) {
+  Arena arena;
+  for (int i = 0; i < 2000; ++i) arena.Allocate(64, 8);
+  EXPECT_GE(arena.bytes_used(), 2000u * 64u);
+  EXPECT_GT(arena.block_count(), 1u) << "growth must add blocks";
+  EXPECT_LT(arena.block_count(), 40u) << "blocks must grow geometrically";
+}
+
+TEST(ArenaTest, OversizedAllocationGetsItsOwnBlock) {
+  Arena arena;
+  void* big = arena.Allocate(1 << 20, 16);
+  ASSERT_NE(big, nullptr);
+  EXPECT_GE(arena.bytes_reserved(), static_cast<size_t>(1 << 20));
+}
+
+TEST(ArenaTest, CopyStringIsStableAndDetached) {
+  Arena arena;
+  std::string original = "semantic ambiguity";
+  std::string_view view = arena.CopyString(original);
+  original.assign(original.size(), 'x');  // mutate the source
+  EXPECT_EQ(view, "semantic ambiguity");
+  EXPECT_EQ(arena.CopyString("").size(), 0u);
+}
+
+struct DtorRecorder {
+  std::vector<int>* order;
+  int id;
+  ~DtorRecorder() { order->push_back(id); }
+};
+
+TEST(ArenaTest, RunsOwnedDestructorsInReverseOrder) {
+  std::vector<int> order;
+  {
+    Arena arena;
+    arena.New<DtorRecorder>(&order, 1);
+    arena.New<DtorRecorder>(&order, 2);
+    arena.New<DtorRecorder>(&order, 3);
+    // Trivially destructible types must not register anything.
+    arena.New<int>(7);
+  }
+  EXPECT_EQ(order, (std::vector<int>{3, 2, 1}));
+}
+
+TEST(ArenaTest, ResetReturnsToFreshState) {
+  std::vector<int> order;
+  Arena arena;
+  arena.New<DtorRecorder>(&order, 1);
+  arena.Allocate(1 << 16);
+  arena.Reset();
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  EXPECT_EQ(arena.bytes_reserved(), 0u);
+  EXPECT_EQ(arena.block_count(), 0u);
+  // And the arena is usable again.
+  EXPECT_EQ(arena.CopyString("again"), "again");
+}
+
+TEST(ArenaTest, DocumentParseLandsInArena) {
+  auto doc = xml::Parse("<a b=\"c\"><d>text value here</d><e/></a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_GT(doc->arena().bytes_used(), 0u);
+  // Moving the document must not invalidate its nodes (the arena is
+  // heap-held and moves by pointer).
+  xml::Document moved = std::move(doc).value();
+  ASSERT_NE(moved.root(), nullptr);
+  EXPECT_EQ(moved.root()->name(), "a");
+  ASSERT_EQ(moved.root()->children().size(), 2u);
+  EXPECT_EQ(moved.root()->children()[0]->name(), "d");
+}
+
+// ========================== LabelSpace ============================
+
+TEST(LabelSpaceTest, NetworkLabelsKeepInternerIds) {
+  core::LabelSpace space(&Network());
+  uint32_t id = space.Resolve("star");
+  EXPECT_LT(id, space.network_size());
+  EXPECT_EQ(Network().interner().Find("star"), id);
+  EXPECT_EQ(space.Spelling(id), "star");
+  EXPECT_EQ(space.overflow_size(), 0u);
+}
+
+TEST(LabelSpaceTest, OutOfVocabularyLabelsOverflowStably) {
+  core::LabelSpace space(&Network());
+  uint32_t a1 = space.Resolve("zzz_not_a_lemma");
+  uint32_t a2 = space.Resolve("zzz_not_a_lemma");
+  uint32_t b = space.Resolve("another_unknown");
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+  EXPECT_GE(a1, static_cast<uint32_t>(space.network_size()));
+  EXPECT_EQ(space.Spelling(a1), "zzz_not_a_lemma");
+  EXPECT_EQ(space.overflow_size(), 2u);
+  EXPECT_EQ(space.Find("zzz_not_a_lemma"), a1);
+  EXPECT_EQ(space.Find("never_resolved"), TokenInterner::kNotFound);
+}
+
+TEST(LabelSpaceTest, CandidatesByIdMatchStringEnumeration) {
+  core::LabelSpace space(&Network());
+  for (const char* label :
+       {"star", "movie", "kelly", "first_name", "zzz_not_a_lemma", ""}) {
+    uint32_t id = space.Resolve(label);
+    EXPECT_EQ(core::EnumerateCandidatesById(space, id),
+              core::EnumerateCandidates(Network(), label))
+        << label;
+  }
+}
+
+TEST(LabelSpaceTest, CrossDocumentInterningIsStable) {
+  core::LabelSpace space(&Network());
+  auto tree1 = core::BuildTreeFromXml(
+      "<films><star>Kelly</star><custom_tag>x</custom_tag></films>",
+      Network(), /*include_values=*/true, &space);
+  auto tree2 = core::BuildTreeFromXml(
+      "<catalog><star>Stewart</star><custom_tag>y</custom_tag></catalog>",
+      Network(), /*include_values=*/true, &space);
+  ASSERT_TRUE(tree1.ok() && tree2.ok());
+  EXPECT_TRUE(tree1->has_label_ids());
+  EXPECT_TRUE(tree2->has_label_ids());
+  // Shared vocabulary (in-network and out-of-vocabulary alike) must
+  // resolve to the same ids in both documents; distinct labels to
+  // distinct ids (exact-spelling injectivity).
+  std::unordered_map<std::string, uint32_t> seen;
+  for (const auto* tree : {&tree1.value(), &tree2.value()}) {
+    for (const auto& node : tree->nodes()) {
+      uint32_t id = tree->label_id(node.id);
+      ASSERT_NE(id, xml::kNoLabelId);
+      auto [it, inserted] = seen.emplace(node.label, id);
+      EXPECT_EQ(it->second, id) << "label '" << node.label
+                                << "' got two different ids";
+    }
+  }
+  std::unordered_map<uint32_t, std::string> reverse;
+  for (const auto& [label, id] : seen) {
+    auto [it, inserted] = reverse.emplace(id, label);
+    EXPECT_TRUE(inserted) << "id " << id << " names both '" << it->second
+                          << "' and '" << label << "'";
+  }
+}
+
+TEST(LabelSpaceTest, ConceptLabelIdsJoinTheSameSpace) {
+  core::LabelSpace space(&Network());
+  const auto& network = Network();
+  for (const auto& entry : network.concepts()) {
+    uint32_t token_id = network.LabelTokenId(entry.id);
+    ASSERT_NE(token_id, TokenInterner::kNotFound) << entry.label();
+    EXPECT_EQ(space.Resolve(entry.label()), token_id) << entry.label();
+  }
+}
+
+// ===================== Id-path bit identity =======================
+
+std::vector<std::string> CorpusXml() {
+  std::vector<std::string> xml;
+  for (const auto& doc : datasets::Figure1Documents()) xml.push_back(doc.xml);
+  const auto& generators = datasets::AllDatasets();
+  for (size_t g = 0; g < 2 && g < generators.size(); ++g) {
+    for (const auto& doc : generators[g]->Generate(/*seed=*/11)) {
+      xml.push_back(doc.xml);
+    }
+  }
+  return xml;
+}
+
+core::DisambiguatorOptions LegacyOptions() {
+  core::DisambiguatorOptions options;
+  options.use_id_frontend = false;
+  return options;
+}
+
+void ExpectBitIdentical(const core::SemanticTree& id_result,
+                        const core::SemanticTree& legacy_result) {
+  ASSERT_EQ(id_result.assignments.size(), legacy_result.assignments.size());
+  for (const auto& [node, assignment] : id_result.assignments) {
+    auto it = legacy_result.assignments.find(node);
+    ASSERT_NE(it, legacy_result.assignments.end()) << "node " << node;
+    EXPECT_EQ(assignment.sense, it->second.sense) << "node " << node;
+    // Bitwise double equality — the id pipeline's arithmetic must be
+    // the legacy pipeline's arithmetic, not merely close to it.
+    EXPECT_EQ(assignment.score, it->second.score) << "node " << node;
+    EXPECT_EQ(assignment.ambiguity, it->second.ambiguity);
+    EXPECT_EQ(assignment.candidate_count, it->second.candidate_count);
+  }
+  EXPECT_EQ(core::SemanticTreeToXml(id_result, Network()),
+            core::SemanticTreeToXml(legacy_result, Network()));
+}
+
+TEST(IdFrontendBitIdentityTest, SingleThreadedConceptProcess) {
+  core::Disambiguator id_system(&Network());
+  core::Disambiguator legacy_system(&Network(), LegacyOptions());
+  for (const std::string& xml : CorpusXml()) {
+    auto id_result = id_system.RunOnXml(xml);
+    auto legacy_result = legacy_system.RunOnXml(xml);
+    ASSERT_EQ(id_result.ok(), legacy_result.ok());
+    if (!id_result.ok()) continue;
+    ExpectBitIdentical(*id_result, *legacy_result);
+  }
+}
+
+TEST(IdFrontendBitIdentityTest, CombinedProcessBothVectorSimilarities) {
+  for (auto vector_similarity : {core::VectorSimilarity::kCosine,
+                                 core::VectorSimilarity::kJaccard}) {
+    core::DisambiguatorOptions id_options;
+    id_options.process = core::DisambiguationProcess::kCombined;
+    id_options.combination_weights = {0.6, 0.4};
+    id_options.vector_similarity = vector_similarity;
+    core::DisambiguatorOptions legacy_options = id_options;
+    legacy_options.use_id_frontend = false;
+    core::Disambiguator id_system(&Network(), id_options);
+    core::Disambiguator legacy_system(&Network(), legacy_options);
+    for (const std::string& xml : CorpusXml()) {
+      auto id_result = id_system.RunOnXml(xml);
+      auto legacy_result = legacy_system.RunOnXml(xml);
+      ASSERT_EQ(id_result.ok(), legacy_result.ok());
+      if (!id_result.ok()) continue;
+      ExpectBitIdentical(*id_result, *legacy_result);
+    }
+  }
+}
+
+TEST(IdFrontendBitIdentityTest, ExplainAuditJsonIsByteIdentical) {
+  core::LabelSpace space(&Network());
+  core::DisambiguatorOptions id_options;
+  // The tree's label ids come from `space`, so the disambiguator must
+  // resolve senses against the same id universe.
+  id_options.label_space = &space;
+  core::Disambiguator id_system(&Network(), id_options);
+  core::Disambiguator legacy_system(&Network(), LegacyOptions());
+  for (const std::string& xml : CorpusXml()) {
+    auto id_tree = core::BuildTreeFromXml(xml, Network(), true, &space);
+    auto legacy_tree = core::BuildTreeFromXml(xml, Network(), true);
+    if (!id_tree.ok() || !legacy_tree.ok()) continue;
+    ASSERT_TRUE(id_tree->has_label_ids());
+    for (size_t id = 0; id < id_tree->size(); ++id) {
+      auto id_audit =
+          id_system.ExplainNode(*id_tree, static_cast<xml::NodeId>(id));
+      auto legacy_audit = legacy_system.ExplainNode(
+          *legacy_tree, static_cast<xml::NodeId>(id));
+      ASSERT_EQ(id_audit.ok(), legacy_audit.ok());
+      if (!id_audit.ok()) continue;
+      EXPECT_EQ(core::NodeAuditToJson(*id_audit, Network()),
+                core::NodeAuditToJson(*legacy_audit, Network()));
+    }
+  }
+}
+
+std::vector<std::string> RunEngine(int threads, bool use_id_frontend) {
+  runtime::EngineOptions options;
+  options.threads = threads;
+  options.disambiguator.use_id_frontend = use_id_frontend;
+  runtime::DisambiguationEngine engine(&Network(), options);
+  std::vector<runtime::DocumentJob> jobs;
+  size_t index = 0;
+  for (const std::string& xml : CorpusXml()) {
+    jobs.push_back({index++, "doc", xml});
+  }
+  std::vector<std::string> trees;
+  for (auto& result : engine.RunBatch(std::move(jobs))) {
+    trees.push_back(result.ok ? result.semantic_xml
+                              : "error: " + result.error);
+  }
+  return trees;
+}
+
+TEST(IdFrontendBitIdentityTest, EngineOneAndEightWorkersMatchLegacy) {
+  std::vector<std::string> legacy = RunEngine(1, /*use_id_frontend=*/false);
+  EXPECT_EQ(RunEngine(1, /*use_id_frontend=*/true), legacy);
+  EXPECT_EQ(RunEngine(8, /*use_id_frontend=*/true), legacy);
+  EXPECT_EQ(RunEngine(8, /*use_id_frontend=*/false), legacy);
+}
+
+}  // namespace
+}  // namespace xsdf

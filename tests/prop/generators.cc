@@ -173,7 +173,7 @@ std::vector<FlatChild> FlattenChildren(const xml::Node& node) {
       }
       out.push_back({xml::NodeKind::kText, nullptr, child->text()});
     } else {
-      out.push_back({child->kind(), child.get(), child->text()});
+      out.push_back({child->kind(), child, child->text()});
     }
   }
   return out;

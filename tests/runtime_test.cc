@@ -300,17 +300,74 @@ TEST(SimilarityCacheTest, MeasureUsesExternalCache) {
 
 TEST(SenseInventoryCacheTest, MatchesEnumerateCandidates) {
   const auto& network = Network();
+  core::LabelSpace space(&network);
   SenseInventoryCache cache(/*capacity=*/256);
   for (const char* label : {"star", "movie", "title", "director"}) {
     auto expected = core::EnumerateCandidates(network, label);
-    auto cold = cache.Candidates(network, label);
-    auto warm = cache.Candidates(network, label);
-    EXPECT_EQ(cold, expected) << label;
-    EXPECT_EQ(warm, expected) << label;
+    auto cold = cache.Entry(network, space.Resolve(label), label);
+    auto warm = cache.Entry(network, space.Resolve(label), label);
+    ASSERT_NE(cold, nullptr);
+    EXPECT_EQ(cold->candidates, expected) << label;
+    EXPECT_EQ(warm->candidates, expected) << label;
   }
   CacheStats stats = cache.GetStats();
   EXPECT_EQ(stats.misses, 4u);
   EXPECT_EQ(stats.hits, 4u);
+}
+
+TEST(SenseInventoryCacheTest, EvictionKeepsInFlightEntriesAlive) {
+  // Regression: a worker that fetched an entry cold must be able to
+  // keep scoring against it while later lookups evict it — the cache
+  // hands out shared ownership, never references into its own storage.
+  const auto& network = Network();
+  core::LabelSpace space(&network);
+  // One single-entry shard: every insert evicts the previous entry.
+  SenseInventoryCache cache(/*capacity=*/1, /*shard_count=*/1);
+  const uint32_t star_id = space.Resolve("star");
+  std::shared_ptr<const core::SenseEntry> held =
+      cache.Entry(network, star_id, "star");
+  ASSERT_NE(held, nullptr);
+  const std::vector<core::SenseCandidate> expected = held->candidates;
+  for (const char* label : {"movie", "title", "director", "actor"}) {
+    cache.Entry(network, space.Resolve(label), label);
+  }
+  EXPECT_GT(cache.GetStats().evictions, 0u);
+  // The held entry is still alive and byte-for-byte what it was
+  // (a use-after-free here is what the old copy-based design was
+  // guarding against by copying; shared_ptr ownership replaces it).
+  EXPECT_EQ(held->candidates, expected);
+  // A post-eviction lookup recomputes the same pure value.
+  EXPECT_EQ(cache.Entry(network, star_id, "star")->candidates, expected);
+}
+
+TEST(SenseInventoryCacheTest, ConcurrentChurnUnderEvictionIsSafe) {
+  const auto& network = Network();
+  core::LabelSpace space(&network);
+  SenseInventoryCache cache(/*capacity=*/1, /*shard_count=*/1);
+  const std::vector<std::string> labels = {"star", "movie", "title",
+                                           "director"};
+  std::vector<uint32_t> ids;
+  std::vector<std::vector<core::SenseCandidate>> expected;
+  for (const std::string& label : labels) {
+    ids.push_back(space.Resolve(label));
+    expected.push_back(core::EnumerateCandidates(network, label));
+  }
+  std::atomic<bool> mismatch{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 300; ++i) {
+        const size_t k = static_cast<size_t>(t + i) % labels.size();
+        auto entry = cache.Entry(network, ids[k], labels[k]);
+        if (entry == nullptr || entry->candidates != expected[k]) {
+          mismatch = true;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_FALSE(mismatch.load())
+      << "an evicted-but-held entry changed or vanished mid-use";
 }
 
 // =========================== Engine ===============================

@@ -1,0 +1,28 @@
+#ifndef XSDF_BENCH_BENCH_ENV_H_
+#define XSDF_BENCH_BENCH_ENV_H_
+
+#include <cstdio>
+#include <thread>
+
+namespace xsdf::bench {
+
+/// Emits the shared machine-environment fields into an open BENCH_*.json
+/// writer (caller is mid-object; fields end with a trailing comma):
+///
+///   "hardware_threads": N,
+///   "single_core_warning": true|false,
+///
+/// `single_core_warning` flags results captured on a single-core
+/// machine, where thread-scaling numbers measure queueing rather than
+/// parallelism — baselines with the flag set must not be compared
+/// against multi-core runs.
+inline void WriteBenchEnvFields(std::FILE* json) {
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::fprintf(json, "  \"hardware_threads\": %u,\n", cores);
+  std::fprintf(json, "  \"single_core_warning\": %s,\n",
+               cores <= 1 ? "true" : "false");
+}
+
+}  // namespace xsdf::bench
+
+#endif  // XSDF_BENCH_BENCH_ENV_H_

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_env.h"
 #include "core/context_vector.h"
 #include "core/label_space.h"
 #include "core/scores.h"
@@ -386,6 +387,7 @@ int main(int argc, char** argv) {
   std::fprintf(json, "{\n  \"docs\": %zu,\n", docs.size());
   std::fprintf(json, "  \"nodes\": %zu,\n", total_nodes);
   std::fprintf(json, "  \"rounds\": %d,\n", rounds);
+  xsdf::bench::WriteBenchEnvFields(json);
   std::fprintf(json, "  \"parse_us\": %.1f,\n", parse_ns / 1000.0);
   std::fprintf(json, "  \"stages\": [\n");
   for (size_t i = 0; i < results.size(); ++i) {

@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_env.h"
 #include "datasets/generator.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -172,7 +173,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::fprintf(json, "{\n  \"corpus_docs\": %zu,\n", jobs.size());
-  std::fprintf(json, "  \"hardware_threads\": %u,\n", cores);
+  xsdf::bench::WriteBenchEnvFields(json);
   std::fprintf(json, "  \"speedup_4t_vs_1t_cache_on\": %.3f,\n", speedup);
   std::fprintf(json, "  \"uninstrumented_docs_per_sec\": %.2f,\n",
                plain_best);

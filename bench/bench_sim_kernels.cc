@@ -20,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_env.h"
 #include "runtime/similarity_cache.h"
 #include "sim/combined.h"
 #include "sim/gloss_overlap.h"
@@ -229,7 +230,6 @@ int main(int argc, char** argv) {
   }
   std::printf("%-14s %14s %14.1f\n", "combined-warm", "-", warm_ns);
 
-  const unsigned cores = std::thread::hardware_concurrency();
   std::FILE* json = std::fopen(json_path, "w");
   if (json == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", json_path);
@@ -237,7 +237,7 @@ int main(int argc, char** argv) {
   }
   std::fprintf(json, "{\n  \"pairs\": %zu,\n", pairs.size());
   std::fprintf(json, "  \"rounds\": %d,\n", rounds);
-  std::fprintf(json, "  \"hardware_threads\": %u,\n", cores);
+  xsdf::bench::WriteBenchEnvFields(json);
   std::fprintf(json, "  \"combined_warm_hit_ns_per_pair\": %.1f,\n",
                warm_ns);
   std::fprintf(json, "  \"kernels\": [\n");

@@ -1,0 +1,17 @@
+// libFuzzer entry point for the snapshot loader oracle (see
+// harnesses.cc). The loader is the trust boundary for `xsdf serve
+// --snapshot` and /admin/swap: a snapshot file is attacker-shaped
+// input, and every truncation, bit flip, or hostile offset must come
+// back as a Status — never a crash or an out-of-bounds read.
+//
+//   clang:  cmake -B build-fuzz -DXSDF_FUZZ=ON -DXSDF_ASAN_UBSAN=ON
+//           ./build-fuzz/fuzz/fuzz_snapshot_loader fuzz/corpus/snapshot
+//   gcc:    the same target builds with a standalone replay main();
+//           pass corpus files as arguments to replay them.
+
+#include "harnesses.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  xsdf::fuzz::DriveSnapshotLoader(data, size);
+  return 0;
+}

@@ -5,7 +5,12 @@
 #include <string>
 #include <string_view>
 
+#include <cstring>
+#include <memory>
+#include <vector>
+
 #include "prop/generators.h"
+#include "snapshot/snapshot.h"
 #include "wordnet/wndb.h"
 #include "xml/labeled_tree.h"
 #include "xml/parser.h"
@@ -162,6 +167,93 @@ void DriveLabeledTree(const uint8_t* data, size_t size) {
   tree->MaxDepth();
   tree->MaxFanOut();
   tree->MaxDensity();
+}
+
+void DriveSnapshotLoader(const uint8_t* data, size_t size) {
+  if (size > (4u << 20)) return;  // keep the fuzzer fast
+  // The loader requires 8-byte alignment (and rejects anything else up
+  // front), so fuzz inputs go through an aligned copy — the same thing
+  // MappedFile gives real callers.
+  auto buffer = std::make_shared<std::vector<uint64_t>>((size + 7) / 8);
+  if (size > 0) std::memcpy(buffer->data(), data, size);
+  const auto* bytes = reinterpret_cast<const uint8_t*>(buffer->data());
+  auto loaded = snapshot::LoadNetworkSnapshotFromBuffer(
+      std::shared_ptr<const void>(buffer, buffer->data()), bytes, size);
+  if (!loaded.ok()) {
+    if (loaded.status().ToString().empty()) {
+      OracleFailure("snapshot", "rejection without a message", "");
+    }
+    return;
+  }
+  // An accepted network must survive its entire read surface: every
+  // per-concept table, the sense index, and the taxonomy queries that
+  // walk the mapped ancestor rows. ASan/UBSan watch for out-of-bounds
+  // reads into the backing buffer.
+  const wordnet::SemanticNetwork& network = **loaded;
+  if (!network.finalized()) {
+    OracleFailure("snapshot", "loader produced an unfinalized network", "");
+  }
+  size_t n = network.size();
+  for (size_t i = 0; i < n; ++i) {
+    auto id = static_cast<wordnet::ConceptId>(i);
+    const wordnet::Concept& synset = network.GetConcept(id);
+    if (synset.synonyms.empty()) {
+      OracleFailure("snapshot", "concept with no synonyms",
+                    std::to_string(i));
+    }
+    for (const auto& edge : synset.edges) {
+      if (static_cast<size_t>(edge.target) >= n) {
+        OracleFailure("snapshot", "edge target out of range",
+                      std::to_string(edge.target));
+      }
+    }
+    network.Ancestors(id);
+    network.GlossTokens(id);
+    network.GlossTokenBag(id);
+    network.InformationContentOf(id);
+    if (network.Depth(id) < 0) {
+      OracleFailure("snapshot", "negative depth", std::to_string(i));
+    }
+    // A concept's cumulative frequency covers its whole hyponym
+    // subtree, so it must dominate the concept's own frequency.
+    if (network.CumulativeFrequency(id) + 1e-9 < synset.frequency) {
+      OracleFailure("snapshot", "cumulative frequency below own frequency",
+                    std::to_string(i));
+    }
+    for (wordnet::ConceptId sense : network.Senses(synset.label())) {
+      if (static_cast<size_t>(sense) >= n) {
+        OracleFailure("snapshot", "sense id out of range",
+                      std::to_string(sense));
+      }
+    }
+  }
+  network.MaxPolysemy();
+  network.MaxDepth();
+  if (n > 1) {
+    network.LeastCommonSubsumer(0, static_cast<wordnet::ConceptId>(n - 1));
+  }
+  // Re-snapshot + re-load: the writer reads through the same views the
+  // mapped network installed, so anything the loader accepts must
+  // serialize into bytes the loader accepts again, with nothing lost.
+  auto rewritten = snapshot::WriteNetworkSnapshot(network);
+  if (!rewritten.ok()) {
+    OracleFailure("snapshot", "accepted network failed to re-snapshot",
+                  rewritten.status().ToString());
+  }
+  auto copy =
+      std::make_shared<std::vector<uint64_t>>((rewritten->size() + 7) / 8);
+  std::memcpy(copy->data(), rewritten->data(), rewritten->size());
+  auto reloaded = snapshot::LoadNetworkSnapshotFromBuffer(
+      std::shared_ptr<const void>(copy, copy->data()),
+      reinterpret_cast<const uint8_t*>(copy->data()), rewritten->size());
+  if (!reloaded.ok()) {
+    OracleFailure("snapshot", "re-snapshot of accepted network was rejected",
+                  reloaded.status().ToString());
+  }
+  if ((*reloaded)->size() != n ||
+      (*reloaded)->LemmaCount() != network.LemmaCount()) {
+    OracleFailure("snapshot", "re-snapshot changed the network", "");
+  }
 }
 
 }  // namespace xsdf::fuzz

@@ -29,6 +29,13 @@ void DriveWndbParser(const uint8_t* data, size_t size);
 /// every query (LCA, distance, rings, paths) must terminate.
 void DriveLabeledTree(const uint8_t* data, size_t size);
 
+/// snapshot::LoadNetworkSnapshotFromBuffer over an 8-aligned copy of
+/// the input: every rejection must carry a message, and an accepted
+/// network must survive its full read surface (ancestors, glosses,
+/// senses, taxonomy queries) and re-snapshot into bytes the loader
+/// accepts again.
+void DriveSnapshotLoader(const uint8_t* data, size_t size);
+
 }  // namespace xsdf::fuzz
 
 #endif  // XSDF_FUZZ_HARNESSES_H_

@@ -1,0 +1,24 @@
+#ifndef XSDF_CORE_NODE_QUERY_H_
+#define XSDF_CORE_NODE_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "xml/labeled_tree.h"
+
+namespace xsdf::core {
+
+/// Resolves a node designator against a labeled tree: either a numeric
+/// NodeId, or a slash-separated path whose components match each
+/// node's raw tag/token text or preprocessed label (case-
+/// insensitively) along the node's root path. A leading slash anchors
+/// the path at the root; otherwise it matches a root-path suffix, so
+/// `director` finds every <director> node. Returns matches in
+/// preorder. Shared by `xsdf explain` and the serve /explain endpoint,
+/// so both address nodes identically.
+std::vector<xml::NodeId> ResolveNodeQuery(const xml::LabeledTree& tree,
+                                          const std::string& query);
+
+}  // namespace xsdf::core
+
+#endif  // XSDF_CORE_NODE_QUERY_H_

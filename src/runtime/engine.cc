@@ -47,6 +47,7 @@ DisambiguationEngine::DisambiguationEngine(
     obs::MetricsRegistry* m = options_.metrics;
     ins_.documents = m->GetCounter("engine.documents");
     ins_.failures = m->GetCounter("engine.failures");
+    ins_.deadline_expired = m->GetCounter("engine.deadline_expired");
     ins_.nodes = m->GetCounter("engine.nodes");
     ins_.assignments = m->GetCounter("engine.assignments");
     ins_.job_wait_us = m->GetHistogram("engine.job_wait_us");
@@ -108,6 +109,21 @@ void DisambiguationEngine::WorkerLoop(int worker_index) {
     if (ins_.job_wait_us != nullptr && item->enqueue_ns != 0) {
       ins_.job_wait_us->Record(
           (obs::MonotonicNowNs() - item->enqueue_ns + 500) / 1000);
+    }
+    if (item->job.deadline_ns != 0 &&
+        obs::MonotonicNowNs() >= item->job.deadline_ns) {
+      // Expired while queued: shed it unprocessed. Deliberately not
+      // counted as an engine document — engine.documents stays equal
+      // to the number of documents that entered the parse stage (the
+      // invariant tools/validate_obs.py checks).
+      DocumentResult result;
+      result.index = item->job.index;
+      result.name = item->job.name;
+      result.deadline_exceeded = true;
+      result.error = "deadline exceeded before processing began";
+      if (ins_.deadline_expired != nullptr) ins_.deadline_expired->Increment();
+      item->batch->Complete(std::move(result));
+      continue;
     }
     const uint64_t run_start =
         ins_.job_run_us != nullptr ? obs::MonotonicNowNs() : 0;
@@ -206,6 +222,18 @@ std::vector<DocumentResult> DisambiguationEngine::RunBatch(
   std::unique_lock<std::mutex> lock(batch.mu);
   batch.done.wait(lock, [&] { return batch.remaining == 0; });
   return std::move(batch.results);
+}
+
+std::optional<DocumentResult> DisambiguationEngine::TryRunOne(
+    DocumentJob job) {
+  Batch batch(1);
+  job.index = 0;
+  WorkItem item{std::move(job), &batch};
+  if (ins_.job_wait_us != nullptr) item.enqueue_ns = obs::MonotonicNowNs();
+  if (!queue_.TryPush(std::move(item))) return std::nullopt;
+  std::unique_lock<std::mutex> lock(batch.mu);
+  batch.done.wait(lock, [&] { return batch.remaining == 0; });
+  return std::move(batch.results[0]);
 }
 
 EngineStats DisambiguationEngine::stats() const {

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -26,6 +27,11 @@ struct DocumentJob {
   size_t index = 0;
   std::string name;
   std::string xml;
+  /// Absolute obs::MonotonicNowNs() deadline; 0 = none. A job whose
+  /// deadline has passed when a worker dequeues it is failed without
+  /// being processed (deadline_exceeded in the result) — under
+  /// overload, expired work is shed instead of run late.
+  uint64_t deadline_ns = 0;
 };
 
 /// The outcome for one job. Results of a batch are ordered by job
@@ -36,6 +42,7 @@ struct DocumentResult {
   size_t index = 0;
   std::string name;
   bool ok = false;
+  bool deadline_exceeded = false;  ///< expired before a worker ran it
   std::string error;           ///< status text when !ok
   std::string semantic_xml;    ///< SemanticTreeToXml() of the output
   size_t node_count = 0;       ///< labeled-tree nodes
@@ -106,6 +113,13 @@ class DisambiguationEngine {
   /// The returned vector is parallel to `jobs` (result[i] is jobs[i]).
   std::vector<DocumentResult> RunBatch(std::vector<DocumentJob> jobs);
 
+  /// Admission-controlled single-job entry point for resident serving:
+  /// enqueues without blocking and waits for the result, or returns
+  /// nullopt immediately when the queue is full or closed (the caller
+  /// turns that into a 429). Safe to call concurrently with RunBatch()
+  /// and from many request threads at once.
+  std::optional<DocumentResult> TryRunOne(DocumentJob job);
+
   /// Point-in-time snapshot of lifetime counters and cache state.
   EngineStats stats() const;
 
@@ -137,6 +151,7 @@ class DisambiguationEngine {
   struct Instruments {
     obs::Counter* documents = nullptr;
     obs::Counter* failures = nullptr;
+    obs::Counter* deadline_expired = nullptr;
     obs::Counter* nodes = nullptr;
     obs::Counter* assignments = nullptr;
     obs::Histogram* job_wait_us = nullptr;

@@ -35,6 +35,20 @@ class BoundedJobQueue {
     return true;
   }
 
+  /// Non-blocking Push: enqueues only when there is room right now.
+  /// Returns false — and drops `item` — when the queue is full or
+  /// closed. This is the admission-control path: an overloaded server
+  /// rejects instead of stalling its acceptor behind the queue.
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
   /// Blocks until an item is available (or the queue closes and
   /// drains). Returns nullopt only when closed and empty.
   std::optional<T> Pop() {

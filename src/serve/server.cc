@@ -1,0 +1,467 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/strings.h"
+#include "core/disambiguator.h"
+#include "core/node_query.h"
+#include "core/tree_builder.h"
+#include "obs/json_writer.h"
+#include "obs/trace.h"
+#include "snapshot/snapshot.h"
+#include "xml/parser.h"
+
+namespace xsdf::serve {
+
+namespace {
+
+void SetCloexec(int fd) {
+  int flags = ::fcntl(fd, F_GETFD, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
+}
+
+void SetSocketTimeouts(int fd, int timeout_ms) {
+  struct timeval timeout{};
+  timeout.tv_sec = timeout_ms / 1000;
+  timeout.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+}
+
+}  // namespace
+
+Server::Server(ServeOptions options) : options_(std::move(options)) {
+  options_.engine.metrics = options_.metrics;
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry* m = options_.metrics;
+    requests_counter_ = m->GetCounter("serve.requests");
+    overload_counter_ = m->GetCounter("serve.overload_rejects");
+    deadline_counter_ = m->GetCounter("serve.deadline_rejects");
+    swap_counter_ = m->GetCounter("serve.swaps");
+    request_us_ = m->GetHistogram("serve.request_us");
+  }
+}
+
+Server::~Server() {
+  RequestShutdown();
+  // Run() joins connection threads; if Run() was never entered there
+  // are none. The listener and wake pipe close here either way.
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  for (int fd : wake_fds_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+Status Server::InstallLexicon(
+    std::shared_ptr<const wordnet::SemanticNetwork> network,
+    std::string name) {
+  if (network == nullptr) {
+    return Status::InvalidArgument("null network");
+  }
+  if (!network->finalized()) {
+    return Status::FailedPrecondition("network is not finalized");
+  }
+  auto state = std::make_shared<ServingState>();
+  state->network = std::move(network);
+  state->engine = std::make_unique<runtime::DisambiguationEngine>(
+      state->network.get(), options_.engine);
+  state->name = std::move(name);
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    state->generation = next_generation_++;
+    // The swap: readers that already resolved the old state keep it
+    // (and its engine) alive through their shared_ptr; the old engine
+    // destructs after its last in-flight request completes.
+    state_.swap(state);
+  }
+  if (state != nullptr && state->engine != nullptr) {
+    // `state` now holds the *previous* serving state; dropping it here
+    // releases the installer's reference outside the lock.
+    swaps_.fetch_add(1, std::memory_order_relaxed);
+    if (swap_counter_ != nullptr) swap_counter_->Increment();
+  }
+  return Status::Ok();
+}
+
+std::shared_ptr<Server::ServingState> Server::CurrentState() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return state_;
+}
+
+uint64_t Server::generation() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return state_ == nullptr ? 0 : state_->generation;
+}
+
+Status Server::Start() {
+  if (listen_fd_ >= 0) return Status::FailedPrecondition("already started");
+  if (::pipe(wake_fds_) != 0) {
+    return Status::IoError(std::string("pipe: ") + std::strerror(errno));
+  }
+  for (int pipe_fd : wake_fds_) {
+    SetCloexec(pipe_fd);
+    int flags = ::fcntl(pipe_fd, F_GETFL, 0);
+    if (flags >= 0) ::fcntl(pipe_fd, F_SETFL, flags | O_NONBLOCK);
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("not an IPv4 address: " + options_.host);
+  }
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    int err = errno;
+    ::close(fd);
+    return Status::IoError(StrFormat("bind %s:%d: %s",
+                                     options_.host.c_str(), options_.port,
+                                     std::strerror(err)));
+  }
+  if (::listen(fd, 128) != 0) {
+    int err = errno;
+    ::close(fd);
+    return Status::IoError(std::string("listen: ") + std::strerror(err));
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                    &addr_len) != 0) {
+    int err = errno;
+    ::close(fd);
+    return Status::IoError(std::string("getsockname: ") +
+                           std::strerror(err));
+  }
+  port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+  return Status::Ok();
+}
+
+void Server::RequestShutdown() {
+  if (wake_fds_[1] < 0) {
+    stop_.store(true, std::memory_order_relaxed);
+    return;
+  }
+  // One byte on the self-pipe: async-signal-safe, idempotent enough
+  // (the pipe is non-blocking; a full pipe means a wake is pending).
+  char byte = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fds_[1], &byte, 1);
+}
+
+void Server::Run() {
+  struct pollfd fds[2];
+  fds[0].fd = listen_fd_;
+  fds[0].events = POLLIN;
+  fds[1].fd = wake_fds_[0];
+  fds[1].events = POLLIN;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    fds[0].revents = 0;
+    fds[1].revents = 0;
+    int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) break;  // shutdown requested
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    SetCloexec(client);
+    SetSocketTimeouts(client, options_.io_timeout_ms);
+    if (active_connections_.fetch_add(1, std::memory_order_acq_rel) >=
+        options_.max_connections) {
+      active_connections_.fetch_sub(1, std::memory_order_acq_rel);
+      HttpResponse busy;
+      busy.status = 503;
+      busy.body = "connection capacity reached\n";
+      WriteHttpResponse(client, busy, false);
+      ::close(client);
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(connections_mu_);
+      connection_fds_.insert(client);
+    }
+    connection_threads_.emplace_back(&Server::HandleConnection, this,
+                                     client);
+  }
+  // Graceful drain: stop accepting, wake idle keep-alive reads
+  // (SHUT_RD makes their recv return 0 = clean close) while leaving
+  // the write side open so in-flight responses still go out, then wait
+  // for every connection thread.
+  stop_.store(true, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    for (int fd : connection_fds_) ::shutdown(fd, SHUT_RD);
+  }
+  for (std::thread& thread : connection_threads_) thread.join();
+  connection_threads_.clear();
+}
+
+void Server::HandleConnection(int fd) {
+  for (;;) {
+    HttpRequest request;
+    Status read = ReadHttpRequest(fd, &request, options_.max_body_bytes);
+    if (!read.ok()) {
+      if (read.code() != StatusCode::kNotFound) {
+        HttpResponse error;
+        error.status =
+            read.code() == StatusCode::kOutOfRange ? 413 : 400;
+        error.body = read.message() + "\n";
+        WriteHttpResponse(fd, error, false);
+      }
+      break;
+    }
+    const uint64_t start_ns =
+        request_us_ != nullptr ? obs::MonotonicNowNs() : 0;
+    HttpResponse response = Dispatch(request);
+    if (request_us_ != nullptr) {
+      request_us_->Record((obs::MonotonicNowNs() - start_ns + 500) / 1000);
+    }
+    bool keep_alive =
+        request.keep_alive && !stop_.load(std::memory_order_relaxed);
+    Status written = WriteHttpResponse(fd, response, keep_alive);
+    if (!written.ok() || !keep_alive) break;
+  }
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    connection_fds_.erase(fd);
+  }
+  ::close(fd);
+  active_connections_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+HttpResponse Server::Dispatch(const HttpRequest& request) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (requests_counter_ != nullptr) requests_counter_->Increment();
+  if (request.path == "/disambiguate") {
+    if (request.method != "POST") {
+      return {405, {}, "POST required\n"};
+    }
+    return HandleDisambiguate(request);
+  }
+  if (request.path == "/explain") {
+    if (request.method != "POST") {
+      return {405, {}, "POST required\n"};
+    }
+    return HandleExplain(request);
+  }
+  if (request.path == "/metrics") return HandleMetrics();
+  if (request.path == "/stats") return HandleStats();
+  if (request.path == "/healthz") {
+    HttpResponse response;
+    response.body = "ok\n";
+    auto state = CurrentState();
+    if (state != nullptr) {
+      response.headers.emplace_back("X-Xsdf-Generation",
+                                    StrFormat("%llu",
+                                              static_cast<unsigned long long>(
+                                                  state->generation)));
+      response.headers.emplace_back("X-Xsdf-Lexicon", state->name);
+    }
+    return response;
+  }
+  if (request.path == "/admin/swap") {
+    if (!options_.enable_admin) {
+      return {404, {}, "admin endpoints disabled\n"};
+    }
+    if (request.method != "POST") {
+      return {405, {}, "POST required\n"};
+    }
+    return HandleSwap(request);
+  }
+  return {404, {}, "no such endpoint\n"};
+}
+
+HttpResponse Server::HandleDisambiguate(const HttpRequest& request) {
+  auto state = CurrentState();
+  if (state == nullptr) {
+    return {503, {}, "no lexicon installed\n"};
+  }
+  runtime::DocumentJob job;
+  job.name = request.Header("x-xsdf-doc-name", "request");
+  job.xml = request.body;
+  const std::string& deadline_ms =
+      request.Header("x-xsdf-deadline-ms", "");
+  if (!deadline_ms.empty()) {
+    long ms = std::atol(deadline_ms.c_str());
+    // ms <= 0 pins the deadline in the past — deterministic 504, used
+    // by the tests to exercise shedding without timing races.
+    job.deadline_ns =
+        ms <= 0 ? 1 : obs::MonotonicNowNs() + static_cast<uint64_t>(ms) *
+                                                  1000000ull;
+  }
+  std::optional<runtime::DocumentResult> result =
+      state->engine->TryRunOne(std::move(job));
+
+  HttpResponse response;
+  response.headers.emplace_back(
+      "X-Xsdf-Generation",
+      StrFormat("%llu", static_cast<unsigned long long>(state->generation)));
+  response.headers.emplace_back("X-Xsdf-Lexicon", state->name);
+  if (!result.has_value()) {
+    overload_rejects_.fetch_add(1, std::memory_order_relaxed);
+    if (overload_counter_ != nullptr) overload_counter_->Increment();
+    response.status = 429;
+    response.headers.emplace_back("Retry-After", "1");
+    response.body = "admission queue full\n";
+    return response;
+  }
+  if (result->deadline_exceeded) {
+    deadline_rejects_.fetch_add(1, std::memory_order_relaxed);
+    if (deadline_counter_ != nullptr) deadline_counter_->Increment();
+    response.status = 504;
+    response.body = "deadline exceeded\n";
+    return response;
+  }
+  if (!result->ok) {
+    response.status = 400;
+    response.body = result->error + "\n";
+    return response;
+  }
+  response.content_type = "application/xml";
+  response.body = std::move(result->semantic_xml);
+  return response;
+}
+
+HttpResponse Server::HandleExplain(const HttpRequest& request) {
+  auto state = CurrentState();
+  if (state == nullptr) {
+    return {503, {}, "no lexicon installed\n"};
+  }
+  std::string query = request.QueryParam("node");
+  if (query.empty()) {
+    return {400, {}, "missing ?node= query parameter\n"};
+  }
+  auto doc = xml::Parse(request.body);
+  if (!doc.ok()) {
+    return {400, {}, doc.status().ToString() + "\n"};
+  }
+  // Same options as the engine workers, so the audited choice matches
+  // what /disambiguate answers for the same document.
+  core::DisambiguatorOptions doptions = options_.engine.disambiguator;
+  auto tree =
+      core::BuildTree(*doc, *state->network, doptions.include_values);
+  if (!tree.ok()) {
+    return {400, {}, tree.status().ToString() + "\n"};
+  }
+  std::vector<xml::NodeId> matches = core::ResolveNodeQuery(*tree, query);
+  if (matches.empty()) {
+    return {404, {}, "no node matches '" + query + "'\n"};
+  }
+  core::Disambiguator system(state->network.get(), doptions);
+  obs::JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("query");
+  writer.Value(query);
+  writer.Key("generation");
+  writer.Value(static_cast<uint64_t>(state->generation));
+  writer.Key("lexicon");
+  writer.Value(state->name);
+  writer.Key("nodes");
+  writer.BeginArray();
+  size_t explained = 0;
+  for (xml::NodeId id : matches) {
+    auto audit = system.ExplainNode(*tree, id);
+    if (!audit.ok()) continue;  // senseless label: nothing to audit
+    writer.BeginObject();
+    core::AppendNodeAuditFields(&writer, *audit, *state->network);
+    writer.EndObject();
+    ++explained;
+  }
+  writer.EndArray();
+  writer.Key("matches");
+  writer.Value(static_cast<uint64_t>(matches.size()));
+  writer.Key("explained");
+  writer.Value(static_cast<uint64_t>(explained));
+  writer.EndObject();
+
+  HttpResponse response;
+  response.content_type = "application/json";
+  response.headers.emplace_back(
+      "X-Xsdf-Generation",
+      StrFormat("%llu", static_cast<unsigned long long>(state->generation)));
+  response.headers.emplace_back("X-Xsdf-Lexicon", state->name);
+  response.body = writer.str() + "\n";
+  return response;
+}
+
+HttpResponse Server::HandleMetrics() {
+  if (options_.metrics == nullptr) {
+    return {404, {}, "no metrics registry attached\n"};
+  }
+  auto state = CurrentState();
+  if (state != nullptr) state->engine->PublishStatsToMetrics();
+  HttpResponse response;
+  response.content_type = "application/json";
+  response.body = options_.metrics->ToJson();
+  return response;
+}
+
+HttpResponse Server::HandleStats() {
+  auto state = CurrentState();
+  obs::JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("requests");
+  writer.Value(requests_.load(std::memory_order_relaxed));
+  writer.Key("overload_rejects");
+  writer.Value(overload_rejects_.load(std::memory_order_relaxed));
+  writer.Key("deadline_rejects");
+  writer.Value(deadline_rejects_.load(std::memory_order_relaxed));
+  writer.Key("swaps");
+  writer.Value(swaps_.load(std::memory_order_relaxed));
+  writer.Key("active_connections");
+  writer.Value(static_cast<int64_t>(
+      active_connections_.load(std::memory_order_relaxed)));
+  if (state != nullptr) {
+    writer.Key("generation");
+    writer.Value(static_cast<uint64_t>(state->generation));
+    writer.Key("lexicon");
+    writer.Value(state->name);
+    writer.Key("engine");
+    writer.Value(runtime::FormatEngineStats(state->engine->stats()));
+  }
+  writer.EndObject();
+  HttpResponse response;
+  response.content_type = "application/json";
+  response.body = writer.str() + "\n";
+  return response;
+}
+
+HttpResponse Server::HandleSwap(const HttpRequest& request) {
+  std::string path = request.QueryParam("snapshot");
+  if (path.empty()) {
+    return {400, {}, "missing ?snapshot= query parameter\n"};
+  }
+  auto network = snapshot::LoadNetworkSnapshot(path);
+  if (!network.ok()) {
+    return {400, {}, network.status().ToString() + "\n"};
+  }
+  Status installed = InstallLexicon(std::move(network).value(), path);
+  if (!installed.ok()) {
+    return {500, {}, installed.ToString() + "\n"};
+  }
+  HttpResponse response;
+  response.content_type = "application/json";
+  response.body = StrFormat(
+      "{\"generation\": %llu}\n",
+      static_cast<unsigned long long>(generation()));
+  return response;
+}
+
+}  // namespace xsdf::serve

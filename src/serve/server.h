@@ -1,0 +1,142 @@
+#ifndef XSDF_SERVE_SERVER_H_
+#define XSDF_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/metrics.h"
+#include "runtime/engine.h"
+#include "serve/http.h"
+#include "wordnet/semantic_network.h"
+
+namespace xsdf::serve {
+
+struct ServeOptions {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port (read it back from port() after
+  /// Start()) — what the tests and the CI smoke job use.
+  int port = 8080;
+  /// Beyond this many concurrent connections the acceptor answers 503
+  /// and closes — the thread-per-connection pool stays bounded.
+  int max_connections = 64;
+  /// Per-socket receive/send timeout.
+  int io_timeout_ms = 10000;
+  size_t max_body_bytes = 8u << 20;
+  /// Exposes POST /admin/swap (hot lexicon swap from a snapshot path).
+  bool enable_admin = true;
+  /// Engine configuration applied to every installed lexicon. Its
+  /// `metrics` field is overwritten with `metrics` below.
+  runtime::EngineOptions engine;
+  /// Shared registry: /metrics exports it, and engines across hot
+  /// swaps aggregate into the same instruments. May be null.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// A resident disambiguation service over the batch runtime: one
+/// immutable lexicon + engine pair ("serving state") behind a swap
+/// pointer, a bounded admission queue, and a small HTTP/1.1 front end.
+///
+/// Endpoints:
+///   POST /disambiguate   body = XML document -> semantic XML
+///                        (X-Xsdf-Doc-Name, X-Xsdf-Deadline-Ms headers;
+///                        429 when the queue is full, 504 past deadline)
+///   POST /explain?node=Q body = XML document -> per-node audit JSON
+///   GET  /metrics        metrics registry JSON (same schema as the
+///                        batch CLI's --metrics-out file)
+///   GET  /stats          engine + serve counters JSON
+///   GET  /healthz        liveness probe
+///   POST /admin/swap?snapshot=PATH   hot lexicon swap
+///
+/// Every response carries X-Xsdf-Generation and X-Xsdf-Lexicon
+/// identifying the serving state that produced it. A request resolves
+/// the current state exactly once, so a concurrent swap can never mix
+/// lexicons within one response; the old state's engine drains and is
+/// destroyed when its last in-flight request completes
+/// (shared_ptr-refcount drain, no reader locks on the hot path).
+class Server {
+ public:
+  explicit Server(ServeOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Installs a new lexicon + engine as the current serving state.
+  /// First call sets generation 1; later calls are the hot-swap path
+  /// (also reachable via POST /admin/swap). `name` lands in the
+  /// X-Xsdf-Lexicon response header.
+  Status InstallLexicon(
+      std::shared_ptr<const wordnet::SemanticNetwork> network,
+      std::string name);
+
+  /// Binds and listens; resolves an ephemeral port. Call once.
+  Status Start();
+  /// Port actually bound (after Start()).
+  int port() const { return port_; }
+
+  /// Accept loop: blocks until Shutdown()/RequestShutdown(), then
+  /// drains — stops accepting, wakes idle keep-alive connections, lets
+  /// in-flight requests finish, joins every connection thread.
+  void Run();
+
+  /// Asks Run() to return. Safe from any thread and from a signal
+  /// handler (one write to the wake pipe).
+  void RequestShutdown();
+
+  uint64_t generation() const;
+
+ private:
+  struct ServingState {
+    std::shared_ptr<const wordnet::SemanticNetwork> network;
+    std::unique_ptr<runtime::DisambiguationEngine> engine;
+    uint64_t generation = 0;
+    std::string name;
+  };
+
+  std::shared_ptr<ServingState> CurrentState() const;
+  void HandleConnection(int fd);
+  HttpResponse Dispatch(const HttpRequest& request);
+  HttpResponse HandleDisambiguate(const HttpRequest& request);
+  HttpResponse HandleExplain(const HttpRequest& request);
+  HttpResponse HandleMetrics();
+  HttpResponse HandleStats();
+  HttpResponse HandleSwap(const HttpRequest& request);
+
+  ServeOptions options_;
+  int port_ = 0;
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};
+
+  mutable std::mutex state_mu_;
+  std::shared_ptr<ServingState> state_;
+  uint64_t next_generation_ = 1;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<int> active_connections_{0};
+  std::mutex connections_mu_;
+  std::set<int> connection_fds_;
+  std::vector<std::thread> connection_threads_;
+
+  /// Serve-level counters (mirrored into the metrics registry when one
+  /// is attached).
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> overload_rejects_{0};
+  std::atomic<uint64_t> deadline_rejects_{0};
+  std::atomic<uint64_t> swaps_{0};
+  obs::Counter* requests_counter_ = nullptr;
+  obs::Counter* overload_counter_ = nullptr;
+  obs::Counter* deadline_counter_ = nullptr;
+  obs::Counter* swap_counter_ = nullptr;
+  obs::Histogram* request_us_ = nullptr;
+};
+
+}  // namespace xsdf::serve
+
+#endif  // XSDF_SERVE_SERVER_H_

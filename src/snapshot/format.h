@@ -1,0 +1,130 @@
+#ifndef XSDF_SNAPSHOT_FORMAT_H_
+#define XSDF_SNAPSHOT_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace xsdf::snapshot {
+
+/// On-disk layout of a lexicon snapshot (DESIGN.md §11).
+///
+/// A snapshot is one flat file: a fixed 64-byte header, a section
+/// table, and 8-byte-aligned data sections. Every multi-byte field is
+/// little-endian; every cross-reference is a *file offset*, never a
+/// pointer, so a mapped snapshot is position-independent and shareable
+/// read-only across processes. The big kernel tables (CSR ancestor /
+/// gloss / IC arrays) are consumed in place from the mapping; only the
+/// hash-indexed structures (interner, sense index, concept strings)
+/// are materialized at load time.
+
+/// "XSDFSNP" + format generation digit, as one little-endian u64.
+inline constexpr uint64_t kSnapshotMagic = 0x31504E5346445358ull;  // "XSDFSNP1"
+inline constexpr uint32_t kSnapshotVersion = 1;
+/// Written as 0x01020304; reading anything else means a byte-order or
+/// truncation problem.
+inline constexpr uint32_t kEndianCheck = 0x01020304u;
+/// Section payloads (and the table itself) start on 8-byte boundaries
+/// so mapped spans of u64/double are naturally aligned.
+inline constexpr size_t kSectionAlignment = 8;
+/// Hard cap on the section count: far above what the format defines,
+/// low enough that a hostile header cannot request a huge table scan.
+inline constexpr uint32_t kMaxSections = 64;
+
+struct SnapshotHeader {
+  uint64_t magic = kSnapshotMagic;
+  uint32_t version = kSnapshotVersion;
+  uint32_t endian_check = kEndianCheck;
+  /// Total file size in bytes; must equal the mapped length.
+  uint64_t file_size = 0;
+  /// FNV-1a64 over every byte after the header (section table included).
+  uint64_t payload_checksum = 0;
+  uint32_t section_count = 0;
+  uint32_t reserved0 = 0;
+  uint64_t reserved1 = 0;
+  uint64_t reserved2 = 0;
+  uint64_t reserved3 = 0;
+};
+static_assert(sizeof(SnapshotHeader) == 64, "header is a fixed 64 bytes");
+
+/// Section identifiers. Ids are stable across versions; loaders ignore
+/// unknown ids so the format can grow backward-compatibly.
+enum class SectionId : uint32_t {
+  kMeta = 1,
+  // Kernel tables, used in place from the mapping (CSR offsets are
+  // element counts into the matching entry section).
+  kAncestorOffsets = 2,   ///< u64[concepts+1]
+  kAncestorEntries = 3,   ///< {i32 id, i32 distance}[...]
+  kGlossOffsets = 4,      ///< u64[concepts+1]
+  kGlossTokens = 5,       ///< u32[...]
+  kBagOffsets = 6,        ///< u64[concepts+1]
+  kBagTokens = 7,         ///< u32[...]
+  kInformationContent = 8,   ///< double[concepts]
+  kCumulativeFrequency = 9,  ///< double[concepts]
+  kDepths = 10,              ///< i32[concepts]
+  kLabelTokenIds = 11,       ///< u32[concepts]
+  // Concept records, materialized at load.
+  kConceptPos = 12,        ///< u8[concepts] (0=n 1=v 2=a 3=r)
+  kConceptLexFile = 13,    ///< i32[concepts]
+  kConceptFrequency = 14,  ///< double[concepts]
+  kSynonymOffsets = 15,    ///< u64[concepts+1]
+  kSynonymTokens = 16,     ///< u32[...] interner ids (synonyms are interned)
+  kEdgeOffsets = 17,       ///< u64[concepts+1]
+  kEdges = 18,             ///< {i32 relation, i32 target}[...]
+  // Lemma sense index: token id -> ordered ConceptIds.
+  kSenseOffsets = 19,   ///< u64[sense_tokens+1]
+  kSenseConcepts = 20,  ///< i32[...]
+  // Interner string pool, in id order.
+  kInternerOffsets = 21,  ///< u64[tokens+1] byte offsets into the pool
+  kInternerBytes = 22,    ///< char[...]
+  // Concept gloss strings.
+  kGlossStrOffsets = 23,  ///< u64[concepts+1]
+  kGlossStrBytes = 24,    ///< char[...]
+};
+
+struct SectionEntry {
+  uint32_t id = 0;
+  uint32_t reserved = 0;
+  uint64_t offset = 0;  ///< from file start; kSectionAlignment-aligned
+  uint64_t size = 0;    ///< bytes
+};
+static_assert(sizeof(SectionEntry) == 24, "entries are fixed 24 bytes");
+
+/// Fixed-size scalars of the network; array lengths double as
+/// consistency checks against the section sizes.
+struct MetaSection {
+  uint64_t concept_count = 0;
+  uint64_t token_count = 0;        ///< interner size
+  uint64_t sense_token_count = 0;  ///< senses_by_token_ length (<= tokens)
+  uint64_t lemma_count = 0;
+  double total_frequency = 0.0;
+  double max_information_content = 0.0;
+  uint64_t ancestor_entry_count = 0;
+  uint64_t gloss_token_count = 0;
+  uint64_t bag_token_count = 0;
+  uint64_t edge_count = 0;
+  uint64_t sense_concept_count = 0;
+  uint64_t synonym_token_count = 0;
+  uint64_t interner_byte_count = 0;
+  uint64_t gloss_byte_count = 0;
+};
+static_assert(sizeof(MetaSection) == 112, "meta is a fixed 112 bytes");
+
+/// FNV-1a 64-bit over `size` bytes — cheap, dependency-free, and good
+/// enough to catch the truncation/bit-rot class of corruption the
+/// loader defends against (not cryptographic).
+inline uint64_t Fnv1a64(const uint8_t* data, size_t size) {
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= data[i];
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+inline size_t AlignUp(size_t value, size_t alignment) {
+  return (value + alignment - 1) & ~(alignment - 1);
+}
+
+}  // namespace xsdf::snapshot
+
+#endif  // XSDF_SNAPSHOT_FORMAT_H_

@@ -1,0 +1,72 @@
+#include "snapshot/mapped_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace xsdf::snapshot {
+
+void MappedFile::Reset() {
+  if (data_ == nullptr) return;
+  if (heap_) {
+    delete[] data_;
+  } else {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+  data_ = nullptr;
+  size_ = 0;
+  heap_ = false;
+}
+
+Result<MappedFile> MappedFile::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::NotFound("cannot open " + path + ": " +
+                            std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    int err = errno;
+    ::close(fd);
+    return Status::IoError("cannot stat " + path + ": " +
+                           std::strerror(err));
+  }
+  MappedFile file;
+  size_t size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return file;  // empty file: valid zero-length mapping
+  }
+  void* mapped = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  if (mapped != MAP_FAILED) {
+    ::close(fd);
+    file.data_ = static_cast<const uint8_t*>(mapped);
+    file.size_ = size;
+    return file;
+  }
+  // mmap refused (unlikely on a regular file): fall back to one read.
+  uint8_t* heap = new uint8_t[size];
+  size_t done = 0;
+  while (done < size) {
+    ssize_t n = ::read(fd, heap + done, size - done);
+    if (n <= 0) {
+      int err = errno;
+      ::close(fd);
+      delete[] heap;
+      return Status::IoError("cannot read " + path + ": " +
+                             (n == 0 ? "unexpected EOF" : std::strerror(err)));
+    }
+    done += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  file.data_ = heap;
+  file.size_ = size;
+  file.heap_ = true;
+  return file;
+}
+
+}  // namespace xsdf::snapshot

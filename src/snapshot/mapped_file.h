@@ -1,0 +1,58 @@
+#ifndef XSDF_SNAPSHOT_MAPPED_FILE_H_
+#define XSDF_SNAPSHOT_MAPPED_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/result.h"
+
+namespace xsdf::snapshot {
+
+/// A read-only memory mapping of a whole file (RAII over mmap).
+///
+/// The mapping is private and read-only; the kernel pages it in on
+/// demand and shares clean pages across processes mapping the same
+/// snapshot — the "cold start is map-and-go" property of `xsdf serve`.
+/// Falls back to a heap read when mmap is unavailable (zero-length
+/// files, exotic filesystems), preserving the same interface.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile() { Reset(); }
+
+  MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      data_ = other.data_;
+      size_ = other.size_;
+      heap_ = other.heap_;
+      other.data_ = nullptr;
+      other.size_ = 0;
+      other.heap_ = false;
+    }
+    return *this;
+  }
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Maps `path` read-only. NotFound when it cannot be opened,
+  /// IoError when stat/map/read fails.
+  static Result<MappedFile> Open(const std::string& path);
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+
+ private:
+  void Reset();
+
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  bool heap_ = false;  ///< true when the fallback read owns the bytes
+};
+
+}  // namespace xsdf::snapshot
+
+#endif  // XSDF_SNAPSHOT_MAPPED_FILE_H_

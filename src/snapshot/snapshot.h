@@ -1,0 +1,45 @@
+#ifndef XSDF_SNAPSHOT_SNAPSHOT_H_
+#define XSDF_SNAPSHOT_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "wordnet/semantic_network.h"
+
+namespace xsdf::snapshot {
+
+/// Serializes a finalized `network` into the binary snapshot format
+/// (format.h): versioned header, checksummed section table, and every
+/// kernel table laid out exactly as the mapped loader consumes it.
+/// FailedPrecondition when the network is not finalized.
+Result<std::string> WriteNetworkSnapshot(
+    const wordnet::SemanticNetwork& network);
+
+/// WriteNetworkSnapshot() to a file (atomically: temp file + rename).
+Status WriteNetworkSnapshotFile(const wordnet::SemanticNetwork& network,
+                                const std::string& path);
+
+/// Restores a network from snapshot bytes. `backing` keeps the bytes
+/// alive and is retained by the returned network (the kernel-table
+/// views point straight into `data`). `data` must be 8-byte aligned
+/// and must outlive `backing`'s last reference.
+///
+/// Every malformed input — truncated, bit-flipped, wrong version,
+/// hostile offsets — returns a Status; this function must never crash
+/// (it is the fuzzing oracle for the loader).
+Result<std::shared_ptr<const wordnet::SemanticNetwork>>
+LoadNetworkSnapshotFromBuffer(std::shared_ptr<const void> backing,
+                              const uint8_t* data, size_t size);
+
+/// Maps `path` and restores the network from it. The mapping stays
+/// alive inside the returned network; cold start is map + validate +
+/// materialize the string-indexed structures — no WNDB parsing, no
+/// FinalizeFrequencies().
+Result<std::shared_ptr<const wordnet::SemanticNetwork>> LoadNetworkSnapshot(
+    const std::string& path);
+
+}  // namespace xsdf::snapshot
+
+#endif  // XSDF_SNAPSHOT_SNAPSHOT_H_

@@ -316,10 +316,15 @@ std::vector<ConceptId> SemanticNetwork::Hyponyms(ConceptId id) const {
 }
 
 int SemanticNetwork::Depth(ConceptId id) const {
+  // Finalized networks read the precomputed depth table (owned or
+  // snapshot-mapped); the lazy path below only runs mid-construction.
+  if (finalized_ && !depths_v_.empty()) {
+    return depths_v_[static_cast<size_t>(id)];
+  }
   if (depth_cache_.size() != concepts_.size()) {
     depth_cache_.assign(concepts_.size(), -1);
   }
-  int& cached = depth_cache_[static_cast<size_t>(id)];
+  int32_t& cached = depth_cache_[static_cast<size_t>(id)];
   if (cached >= 0) return cached;
   // Iterative BFS upward: depth = shortest hypernym chain to any root.
   // Memoization is per-node; cycles (which a well-formed taxonomy lacks)
@@ -446,6 +451,22 @@ std::vector<std::vector<ConceptId>> SemanticNetwork::Rings(
 }
 
 void SemanticNetwork::FinalizeFrequencies() {
+  // Rebuilding the owned tables below may reallocate the vectors the
+  // views point at; detach the views (and any snapshot backing) first
+  // so every accessor in this function runs the slow, correct path.
+  finalized_ = false;
+  ancestor_offsets_v_ = {};
+  ancestor_entries_v_ = {};
+  gloss_offsets_v_ = {};
+  gloss_tokens_v_ = {};
+  gloss_bag_offsets_v_ = {};
+  gloss_bag_tokens_v_ = {};
+  information_content_v_ = {};
+  cumulative_frequency_v_ = {};
+  depths_v_ = {};
+  label_token_ids_v_ = {};
+  snapshot_backing_.reset();
+
   // Smoothed base counts (add-one) so information content is defined
   // for unseen concepts, then propagate counts to all hypernym
   // ancestors as node-based measures require (Resnik / Lin).
@@ -564,7 +585,22 @@ void SemanticNetwork::FinalizeFrequencies() {
         gloss_bag_tokens_.size();
   }
 
+  BindViewsToOwnedTables();
   finalized_ = true;
+}
+
+void SemanticNetwork::BindViewsToOwnedTables() {
+  ancestor_offsets_v_ = ancestor_offsets_;
+  ancestor_entries_v_ = ancestor_entries_;
+  gloss_offsets_v_ = gloss_offsets_;
+  gloss_tokens_v_ = gloss_tokens_;
+  gloss_bag_offsets_v_ = gloss_bag_offsets_;
+  gloss_bag_tokens_v_ = gloss_bag_tokens_;
+  information_content_v_ = information_content_;
+  cumulative_frequency_v_ = cumulative_frequency_;
+  depths_v_ = depth_cache_;
+  label_token_ids_v_ = label_token_ids_;
+  snapshot_backing_.reset();
 }
 
 }  // namespace xsdf::wordnet

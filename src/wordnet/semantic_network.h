@@ -2,6 +2,7 @@
 #define XSDF_WORDNET_SEMANTIC_NETWORK_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
@@ -11,6 +12,10 @@
 
 #include "common/result.h"
 #include "common/token_interner.h"
+
+namespace xsdf::snapshot {
+class NetworkCodec;
+}  // namespace xsdf::snapshot
 
 namespace xsdf::wordnet {
 
@@ -180,7 +185,7 @@ class SemanticNetwork {
   /// FinalizeFrequencies(); lets concept spheres carry the same id
   /// space as XML tree labels.
   uint32_t LabelTokenId(ConceptId id) const {
-    return label_token_ids_[static_cast<size_t>(id)];
+    return label_token_ids_v_[static_cast<size_t>(id)];
   }
 
   /// Targets of hypernym + instance-hypernym edges of `id`.
@@ -216,7 +221,7 @@ class SemanticNetwork {
   /// Cumulative frequency: freq(id) + the frequencies of all hyponym
   /// descendants. Defined after FinalizeFrequencies().
   double CumulativeFrequency(ConceptId id) const {
-    return cumulative_frequency_[static_cast<size_t>(id)];
+    return cumulative_frequency_v_[static_cast<size_t>(id)];
   }
   /// Total cumulative frequency at taxonomy roots (the information
   /// content normalizer N).
@@ -228,13 +233,22 @@ class SemanticNetwork {
   // tables so the similarity hot path (Wu-Palmer / Resnik / Lin /
   // gloss overlap) is table lookups and sorted-array merges instead of
   // per-pair graph traversal and gloss re-tokenization.
+  //
+  // The tables are read through span views that point either at the
+  // vectors FinalizeFrequencies() builds or — for a network restored
+  // from a binary snapshot — directly into a read-only file mapping
+  // (pointer-free, offset-based; see src/snapshot/). Both sources feed
+  // the identical accessor code, so snapshot-backed and live-built
+  // networks are indistinguishable to every kernel.
 
   /// Hypernym ancestors of `id` (including itself at distance 0) with
   /// shortest hypernym-path distances, sorted by ancestor id.
   std::span<const AncestorEntry> Ancestors(ConceptId id) const {
     size_t i = static_cast<size_t>(id);
-    return {ancestor_entries_.data() + ancestor_offsets_[i],
-            ancestor_offsets_[i + 1] - ancestor_offsets_[i]};
+    return ancestor_entries_v_.subspan(
+        static_cast<size_t>(ancestor_offsets_v_[i]),
+        static_cast<size_t>(ancestor_offsets_v_[i + 1] -
+                            ancestor_offsets_v_[i]));
   }
 
   /// The extended-gloss token sequence of `id` (own gloss + glosses of
@@ -243,8 +257,9 @@ class SemanticNetwork {
   /// sim::GlossOverlapMeasure::ExtendedGloss().
   std::span<const uint32_t> GlossTokens(ConceptId id) const {
     size_t i = static_cast<size_t>(id);
-    return {gloss_tokens_.data() + gloss_offsets_[i],
-            gloss_offsets_[i + 1] - gloss_offsets_[i]};
+    return gloss_tokens_v_.subspan(
+        static_cast<size_t>(gloss_offsets_v_[i]),
+        static_cast<size_t>(gloss_offsets_v_[i + 1] - gloss_offsets_v_[i]));
   }
 
   /// Sorted set of distinct extended-gloss token ids of `id`; lets the
@@ -252,8 +267,10 @@ class SemanticNetwork {
   /// before running the quadratic phrase DP.
   std::span<const uint32_t> GlossTokenBag(ConceptId id) const {
     size_t i = static_cast<size_t>(id);
-    return {gloss_bag_tokens_.data() + gloss_bag_offsets_[i],
-            gloss_bag_offsets_[i + 1] - gloss_bag_offsets_[i]};
+    return gloss_bag_tokens_v_.subspan(
+        static_cast<size_t>(gloss_bag_offsets_v_[i]),
+        static_cast<size_t>(gloss_bag_offsets_v_[i + 1] -
+                            gloss_bag_offsets_v_[i]));
   }
 
   /// IC(c) = -log(CumulativeFrequency(c) / TotalFrequency()), clamped
@@ -261,7 +278,7 @@ class SemanticNetwork {
   /// node-based measures historically evaluated per pair, so table
   /// reads are bit-identical to recomputation.
   double InformationContentOf(ConceptId id) const {
-    return information_content_[static_cast<size_t>(id)];
+    return information_content_v_[static_cast<size_t>(id)];
   }
   /// -log(1 / TotalFrequency()): the Resnik normalizer.
   double MaxInformationContent() const { return max_information_content_; }
@@ -275,6 +292,12 @@ class SemanticNetwork {
   bool finalized() const { return finalized_; }
 
  private:
+  /// The snapshot codec restores every private table directly from the
+  /// mapped sections (src/snapshot/snapshot.cc) — the one component
+  /// allowed to construct a finalized network without running
+  /// FinalizeFrequencies().
+  friend class ::xsdf::snapshot::NetworkCodec;
+
   std::vector<Concept> concepts_;
   /// Lemma/gloss-token spellings -> contiguous ids; senses_by_token_
   /// maps a token id to the concept ids whose synonyms contain it
@@ -283,21 +306,44 @@ class SemanticNetwork {
   std::vector<std::vector<ConceptId>> senses_by_token_;
   size_t lemma_count_ = 0;
   std::vector<double> cumulative_frequency_;
-  mutable std::vector<int> depth_cache_;
+  mutable std::vector<int32_t> depth_cache_;
   double total_frequency_ = 0.0;
   bool finalized_ = false;
 
-  // Kernel tables (CSR layout, rebuilt by FinalizeFrequencies()).
-  std::vector<size_t> ancestor_offsets_;
+  // Kernel tables (CSR layout, rebuilt by FinalizeFrequencies()). The
+  // owned vectors are empty in a snapshot-backed network; all reads go
+  // through the *_v_ views below.
+  std::vector<uint64_t> ancestor_offsets_;
   std::vector<AncestorEntry> ancestor_entries_;
-  std::vector<size_t> gloss_offsets_;
+  std::vector<uint64_t> gloss_offsets_;
   std::vector<uint32_t> gloss_tokens_;
-  std::vector<size_t> gloss_bag_offsets_;
+  std::vector<uint64_t> gloss_bag_offsets_;
   std::vector<uint32_t> gloss_bag_tokens_;
   std::vector<double> information_content_;
   double max_information_content_ = 0.0;
   /// Concept id -> interner id of its label (first lemma).
   std::vector<uint32_t> label_token_ids_;
+
+  // Table views: into the owned vectors after FinalizeFrequencies(),
+  // into the read-only mapping for a snapshot-backed network. Cleared
+  // (with finalized_) by any mutation-then-refinalize cycle.
+  std::span<const uint64_t> ancestor_offsets_v_;
+  std::span<const AncestorEntry> ancestor_entries_v_;
+  std::span<const uint64_t> gloss_offsets_v_;
+  std::span<const uint32_t> gloss_tokens_v_;
+  std::span<const uint64_t> gloss_bag_offsets_v_;
+  std::span<const uint32_t> gloss_bag_tokens_v_;
+  std::span<const double> information_content_v_;
+  std::span<const double> cumulative_frequency_v_;
+  std::span<const int32_t> depths_v_;
+  std::span<const uint32_t> label_token_ids_v_;
+  /// Keeps the mapped snapshot (if any) alive for the life of the
+  /// views above; null for live-built networks.
+  std::shared_ptr<const void> snapshot_backing_;
+
+  /// Points every table view at the owned vectors (the
+  /// FinalizeFrequencies() epilogue) and drops any snapshot backing.
+  void BindViewsToOwnedTables();
 
   static std::string NormalizeLemma(std::string_view lemma);
   static void NormalizeLemmaInto(std::string_view lemma, std::string* out);

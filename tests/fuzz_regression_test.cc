@@ -5,7 +5,7 @@
 // oracles abort() on violation, which gtest reports as a crashed test.
 //
 // Layout (relative to the repo root, baked in via XSDF_SOURCE_DIR):
-//   fuzz/corpus/xml, fuzz/corpus/wndb, fuzz/corpus/tree   seed inputs
+//   fuzz/corpus/{xml,wndb,tree,snapshot}                  seed inputs
 //   fuzz/corpus/regressions/<target>/                     past crashes
 
 #include <gtest/gtest.h>
@@ -66,6 +66,10 @@ TEST(FuzzRegressionTest, TreeSeedCorpusReplaysClean) {
   ReplayDirectory("tree", fuzz::DriveLabeledTree, /*required=*/true);
 }
 
+TEST(FuzzRegressionTest, SnapshotSeedCorpusReplaysClean) {
+  ReplayDirectory("snapshot", fuzz::DriveSnapshotLoader, /*required=*/true);
+}
+
 // Past crashing inputs, checked in under fuzz/corpus/regressions/ with
 // one file per fixed bug (named after the defect). These directories
 // may be empty in a tree where no crash has been found yet; the test
@@ -82,6 +86,11 @@ TEST(FuzzRegressionTest, WndbCrashRegressionsStayFixed) {
 
 TEST(FuzzRegressionTest, TreeCrashRegressionsStayFixed) {
   ReplayDirectory("regressions/tree", fuzz::DriveLabeledTree,
+                  /*required=*/false);
+}
+
+TEST(FuzzRegressionTest, SnapshotCrashRegressionsStayFixed) {
+  ReplayDirectory("regressions/snapshot", fuzz::DriveSnapshotLoader,
                   /*required=*/false);
 }
 

@@ -1,0 +1,385 @@
+// Serve subsystem tests: the HTTP front end answers byte-identically
+// to the engine, sheds load with 429/504 instead of blocking, and hot
+// lexicon swaps never mix generations within a response.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/engine.h"
+#include "serve/http.h"
+#include "serve/server.h"
+#include "snapshot/snapshot.h"
+#include "wordnet/mini_wordnet.h"
+#include "wordnet/semantic_network.h"
+
+namespace xsdf {
+namespace {
+
+using serve::ClientResponse;
+using serve::HttpCall;
+using serve::ServeOptions;
+using serve::Server;
+using wordnet::ConceptId;
+using wordnet::PartOfSpeech;
+using wordnet::Relation;
+using wordnet::SemanticNetwork;
+
+constexpr const char* kHost = "127.0.0.1";
+constexpr int kClientTimeoutMs = 30000;
+
+/// A tiny entity -> animal -> {cat, dog} taxonomy. `shift` prepends
+/// dummy concepts, shifting every real concept id — two networks built
+/// with different shifts produce different concept_id attributes for
+/// the same document, which is how the swap test tells generations
+/// apart by body alone.
+std::shared_ptr<const SemanticNetwork> BuildTinyTaxonomy(int shift) {
+  auto network = std::make_shared<SemanticNetwork>();
+  for (int i = 0; i < shift; ++i) {
+    network->AddConcept(PartOfSpeech::kNoun, {"padding_" + std::to_string(i)},
+                        "filler concept to shift ids");
+  }
+  ConceptId entity = network->AddConcept(PartOfSpeech::kNoun, {"entity"},
+                                         "that which is perceived");
+  ConceptId animal = network->AddConcept(
+      PartOfSpeech::kNoun, {"animal", "beast"}, "a living organism");
+  ConceptId cat = network->AddConcept(PartOfSpeech::kNoun, {"cat", "feline"},
+                                      "a small domesticated mammal");
+  ConceptId dog = network->AddConcept(PartOfSpeech::kNoun, {"dog", "canine"},
+                                      "a domesticated carnivorous mammal");
+  network->AddEdge(animal, Relation::kHypernym, entity);
+  network->AddEdge(cat, Relation::kHypernym, animal);
+  network->AddEdge(dog, Relation::kHypernym, animal);
+  network->SetFrequency(entity, 10.0);
+  network->SetFrequency(animal, 6.0);
+  network->SetFrequency(cat, 3.0);
+  network->SetFrequency(dog, 2.0);
+  network->FinalizeFrequencies();
+  return network;
+}
+
+std::shared_ptr<const SemanticNetwork> MiniNetwork() {
+  Result<SemanticNetwork> result = wordnet::BuildMiniWordNet();
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::make_shared<SemanticNetwork>(std::move(result).value());
+}
+
+/// Runs `server` on a background thread for the scope of a test.
+class ServerRunner {
+ public:
+  explicit ServerRunner(Server* server) : server_(server) {
+    thread_ = std::thread([this] { server_->Run(); });
+  }
+  ~ServerRunner() {
+    server_->RequestShutdown();
+    thread_.join();
+  }
+
+ private:
+  Server* server_;
+  std::thread thread_;
+};
+
+std::string EngineAnswer(const SemanticNetwork& network,
+                         const std::string& xml) {
+  runtime::EngineOptions options;
+  options.threads = 1;
+  runtime::DisambiguationEngine engine(&network, options);
+  std::vector<runtime::DocumentResult> results =
+      engine.RunBatch({{0, "request", xml}});
+  EXPECT_TRUE(results[0].ok) << results[0].error;
+  return results[0].semantic_xml;
+}
+
+TEST(ServeTest, DisambiguateMatchesEngineByteForByte) {
+  auto network = MiniNetwork();
+  ServeOptions options;
+  options.port = 0;
+  options.engine.threads = 2;
+  Server server(options);
+  ASSERT_TRUE(server.InstallLexicon(network, "mini").ok());
+  ASSERT_TRUE(server.Start().ok());
+  ServerRunner runner(&server);
+
+  const std::string xml =
+      "<patient><name>rex</name><condition>rabies</condition>"
+      "<doctor>smith</doctor></patient>";
+  auto response = HttpCall(kHost, server.port(), "POST", "/disambiguate",
+                           {}, xml, kClientTimeoutMs);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 200);
+  EXPECT_EQ(response->body, EngineAnswer(*network, xml));
+  EXPECT_EQ(response->headers.at("x-xsdf-generation"), "1");
+  EXPECT_EQ(response->headers.at("x-xsdf-lexicon"), "mini");
+}
+
+TEST(ServeTest, RejectsBadInputAndUnknownRoutes) {
+  auto network = BuildTinyTaxonomy(0);
+  ServeOptions options;
+  options.port = 0;
+  options.engine.threads = 1;
+  Server server(options);
+  ASSERT_TRUE(server.InstallLexicon(network, "tiny").ok());
+  ASSERT_TRUE(server.Start().ok());
+  ServerRunner runner(&server);
+
+  auto bad_xml = HttpCall(kHost, server.port(), "POST", "/disambiguate", {},
+                          "<unclosed>", kClientTimeoutMs);
+  ASSERT_TRUE(bad_xml.ok()) << bad_xml.status().ToString();
+  EXPECT_EQ(bad_xml->status, 400);
+
+  auto wrong_method = HttpCall(kHost, server.port(), "GET", "/disambiguate",
+                               {}, "", kClientTimeoutMs);
+  ASSERT_TRUE(wrong_method.ok());
+  EXPECT_EQ(wrong_method->status, 405);
+
+  auto unknown = HttpCall(kHost, server.port(), "GET", "/nope", {}, "",
+                          kClientTimeoutMs);
+  ASSERT_TRUE(unknown.ok());
+  EXPECT_EQ(unknown->status, 404);
+
+  auto health = HttpCall(kHost, server.port(), "GET", "/healthz", {}, "",
+                         kClientTimeoutMs);
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->status, 200);
+}
+
+TEST(ServeTest, DeadlineAlreadyExpiredReturns504) {
+  auto network = BuildTinyTaxonomy(0);
+  ServeOptions options;
+  options.port = 0;
+  options.engine.threads = 1;
+  Server server(options);
+  ASSERT_TRUE(server.InstallLexicon(network, "tiny").ok());
+  ASSERT_TRUE(server.Start().ok());
+  ServerRunner runner(&server);
+
+  auto response = HttpCall(kHost, server.port(), "POST", "/disambiguate",
+                           {{"X-Xsdf-Deadline-Ms", "0"}},
+                           "<animal><cat/></animal>", kClientTimeoutMs);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 504);
+}
+
+TEST(ServeTest, OverloadShedsWith429) {
+  auto network = MiniNetwork();
+  ServeOptions options;
+  options.port = 0;
+  options.engine.threads = 1;
+  options.engine.queue_capacity = 1;
+  Server server(options);
+  ASSERT_TRUE(server.InstallLexicon(network, "mini").ok());
+  ASSERT_TRUE(server.Start().ok());
+  ServerRunner runner(&server);
+
+  // A chunky document so the single worker stays busy while the other
+  // clients arrive. With capacity 1 at most two requests are in the
+  // system; the rest must be rejected, never blocked.
+  std::string xml = "<hospital>";
+  for (int i = 0; i < 12; ++i) {
+    xml += "<patient><condition>cold</condition><doctor>head</doctor>"
+           "<bank>blood</bank></patient>";
+  }
+  xml += "</hospital>";
+
+  std::atomic<int> ok_count{0};
+  std::atomic<int> rejected_count{0};
+  std::atomic<int> other_count{0};
+  for (int round = 0; round < 5 && rejected_count.load() == 0; ++round) {
+    std::vector<std::thread> clients;
+    for (int i = 0; i < 8; ++i) {
+      clients.emplace_back([&] {
+        auto response = HttpCall(kHost, server.port(), "POST",
+                                 "/disambiguate", {}, xml, kClientTimeoutMs);
+        if (!response.ok()) {
+          ++other_count;
+        } else if (response->status == 200) {
+          ++ok_count;
+        } else if (response->status == 429) {
+          ++rejected_count;
+        } else {
+          ++other_count;
+        }
+      });
+    }
+    for (std::thread& client : clients) client.join();
+  }
+  EXPECT_EQ(other_count.load(), 0);
+  EXPECT_GT(ok_count.load(), 0);
+  EXPECT_GT(rejected_count.load(), 0)
+      << "no request was shed across 5 rounds of 8 concurrent clients";
+}
+
+TEST(ServeTest, MetricsAndStatsEndpoints) {
+  auto network = MiniNetwork();
+  obs::MetricsRegistry registry;
+  ServeOptions options;
+  options.port = 0;
+  options.engine.threads = 1;
+  options.metrics = &registry;
+  Server server(options);
+  ASSERT_TRUE(server.InstallLexicon(network, "mini").ok());
+  ASSERT_TRUE(server.Start().ok());
+  ServerRunner runner(&server);
+
+  auto doc = HttpCall(kHost, server.port(), "POST", "/disambiguate", {},
+                      "<animal><cat/></animal>", kClientTimeoutMs);
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->status, 200);
+
+  auto metrics = HttpCall(kHost, server.port(), "GET", "/metrics", {}, "",
+                          kClientTimeoutMs);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->status, 200);
+  EXPECT_NE(metrics->body.find("engine.documents"), std::string::npos);
+  EXPECT_NE(metrics->body.find("stage.parse_us"), std::string::npos);
+  EXPECT_NE(metrics->body.find("serve.requests"), std::string::npos);
+
+  auto stats = HttpCall(kHost, server.port(), "GET", "/stats", {}, "",
+                        kClientTimeoutMs);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->status, 200);
+  EXPECT_NE(stats->body.find("\"generation\""), std::string::npos);
+}
+
+TEST(ServeTest, ExplainReturnsAuditJson) {
+  auto network = MiniNetwork();
+  ServeOptions options;
+  options.port = 0;
+  options.engine.threads = 1;
+  Server server(options);
+  ASSERT_TRUE(server.InstallLexicon(network, "mini").ok());
+  ASSERT_TRUE(server.Start().ok());
+  ServerRunner runner(&server);
+
+  auto response = HttpCall(
+      kHost, server.port(), "POST", "/explain?node=condition", {},
+      "<patient><condition>rabies</condition><doctor>smith</doctor>"
+      "</patient>",
+      kClientTimeoutMs);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 200);
+  EXPECT_NE(response->body.find("\"query\""), std::string::npos);
+  EXPECT_NE(response->body.find("\"nodes\""), std::string::npos);
+
+  auto missing = HttpCall(kHost, server.port(), "POST", "/explain", {},
+                          "<a/>", kClientTimeoutMs);
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->status, 400);
+}
+
+/// Hot swap under concurrent load: every response must match the
+/// expected output of exactly the generation named in its header —
+/// zero dropped requests, zero mixed-lexicon responses.
+TEST(ServeTest, HotSwapUnderLoadNeverMixesLexicons) {
+  auto network_a = BuildTinyTaxonomy(0);
+  auto network_b = BuildTinyTaxonomy(3);
+  const std::string xml =
+      "<animal><cat><head>round</head></cat><dog><tail>long</tail></dog>"
+      "</animal>";
+  const std::string expected_a = EngineAnswer(*network_a, xml);
+  const std::string expected_b = EngineAnswer(*network_b, xml);
+  ASSERT_NE(expected_a, expected_b)
+      << "id shift failed to change the serialized output";
+
+  ServeOptions options;
+  options.port = 0;
+  options.engine.threads = 2;
+  options.engine.queue_capacity = 64;
+  Server server(options);
+  ASSERT_TRUE(server.InstallLexicon(network_a, "lexicon-a").ok());
+  ASSERT_TRUE(server.Start().ok());
+  ServerRunner runner(&server);
+
+  std::atomic<bool> done{false};
+  std::atomic<int> mixed{0};
+  std::atomic<int> failed{0};
+  std::atomic<int> served_a{0};
+  std::atomic<int> served_b{0};
+  std::vector<std::thread> clients;
+  for (int i = 0; i < 4; ++i) {
+    clients.emplace_back([&] {
+      while (!done.load(std::memory_order_relaxed)) {
+        auto response = HttpCall(kHost, server.port(), "POST",
+                                 "/disambiguate", {}, xml, kClientTimeoutMs);
+        if (!response.ok() || response->status != 200) {
+          ++failed;
+          continue;
+        }
+        const std::string& generation =
+            response->headers.at("x-xsdf-generation");
+        if (generation == "1") {
+          if (response->body != expected_a) ++mixed;
+          ++served_a;
+        } else if (generation == "2") {
+          if (response->body != expected_b) ++mixed;
+          ++served_b;
+        } else {
+          ++mixed;
+        }
+      }
+    });
+  }
+
+  // Let generation 1 serve some traffic, swap, let generation 2 serve.
+  while (served_a.load() < 8) std::this_thread::yield();
+  ASSERT_TRUE(server.InstallLexicon(network_b, "lexicon-b").ok());
+  EXPECT_EQ(server.generation(), 2u);
+  while (served_b.load() < 8) std::this_thread::yield();
+  done.store(true);
+  for (std::thread& client : clients) client.join();
+
+  EXPECT_EQ(mixed.load(), 0);
+  EXPECT_EQ(failed.load(), 0);
+  EXPECT_GE(served_a.load(), 8);
+  EXPECT_GE(served_b.load(), 8);
+}
+
+TEST(ServeTest, AdminSwapLoadsSnapshotFile) {
+  auto network_a = BuildTinyTaxonomy(0);
+  auto network_b = BuildTinyTaxonomy(3);
+  std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "xsdf_serve_swap.snap";
+  ASSERT_TRUE(
+      snapshot::WriteNetworkSnapshotFile(*network_b, path.string()).ok());
+
+  const std::string xml = "<animal><cat/><dog/></animal>";
+  const std::string expected_b = EngineAnswer(*network_b, xml);
+
+  ServeOptions options;
+  options.port = 0;
+  options.engine.threads = 1;
+  Server server(options);
+  ASSERT_TRUE(server.InstallLexicon(network_a, "tiny-a").ok());
+  ASSERT_TRUE(server.Start().ok());
+  ServerRunner runner(&server);
+
+  auto swap = HttpCall(kHost, server.port(), "POST",
+                       "/admin/swap?snapshot=" + path.string(), {}, "",
+                       kClientTimeoutMs);
+  ASSERT_TRUE(swap.ok()) << swap.status().ToString();
+  EXPECT_EQ(swap->status, 200);
+  EXPECT_NE(swap->body.find("\"generation\": 2"), std::string::npos);
+
+  auto response = HttpCall(kHost, server.port(), "POST", "/disambiguate",
+                           {}, xml, kClientTimeoutMs);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 200);
+  EXPECT_EQ(response->body, expected_b);
+  EXPECT_EQ(response->headers.at("x-xsdf-generation"), "2");
+
+  auto missing = HttpCall(kHost, server.port(), "POST",
+                          "/admin/swap?snapshot=/no/such/file.snap", {}, "",
+                          kClientTimeoutMs);
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->status, 400);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace xsdf

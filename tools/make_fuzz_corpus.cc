@@ -16,6 +16,7 @@
 
 #include "common/strings.h"
 #include "prop/generators.h"
+#include "snapshot/snapshot.h"
 #include "wordnet/wndb.h"
 
 namespace {
@@ -94,6 +95,55 @@ int main(int argc, char** argv) {
       input += doc;
       ok &= WriteFile(root / "tree" /
                           xsdf::StrFormat("gen_%02d.bin", i), input);
+    }
+  }
+
+  // Snapshot seeds: valid snapshots of small finalized lexicons, plus
+  // truncated and bit-flipped variants so the fuzzer starts from both
+  // sides of every validation check instead of having to discover the
+  // 64-byte header format byte by byte.
+  fs::create_directories(root / "snapshot");
+  {
+    xsdf::Rng rng(0xc0597504);
+    for (int i = 0; i < 6; ++i) {
+      xsdf::propgen::LexiconGenOptions gen;
+      gen.min_concepts = 2 + 2 * i;
+      gen.max_concepts = 6 + 3 * i;
+      auto network = xsdf::propgen::GenerateMiniLexicon(rng, gen);
+      network.FinalizeFrequencies();
+      auto bytes = xsdf::snapshot::WriteNetworkSnapshot(network);
+      if (!bytes.ok()) {
+        std::fprintf(stderr, "snapshot %d failed: %s\n", i,
+                     bytes.status().ToString().c_str());
+        ok = false;
+        continue;
+      }
+      ok &= WriteFile(root / "snapshot" /
+                          xsdf::StrFormat("gen_%02d.snap", i),
+                      *bytes);
+      if (i == 0) {
+        // Truncations of the first snapshot: mid-header, mid-section
+        // table, and mid-payload.
+        for (size_t cut : {size_t{17}, size_t{64}, bytes->size() / 2,
+                           bytes->size() - 3}) {
+          ok &= WriteFile(
+              root / "snapshot" /
+                  xsdf::StrFormat("gen_trunc_%04zu.snap", cut),
+              bytes->substr(0, cut));
+        }
+        // Deterministic bit flips spread across header, section table,
+        // and payload.
+        for (size_t pos : {size_t{8}, size_t{70},
+                           bytes->size() / 3, 2 * bytes->size() / 3}) {
+          std::string flipped = *bytes;
+          flipped[pos % flipped.size()] =
+              static_cast<char>(flipped[pos % flipped.size()] ^ 0x40);
+          ok &= WriteFile(
+              root / "snapshot" /
+                  xsdf::StrFormat("gen_flip_%04zu.snap", pos),
+              flipped);
+        }
+      }
     }
   }
 

@@ -16,8 +16,10 @@
 // WNDB directory (e.g. a real WordNet dict/) to use that instead.
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,16 +28,21 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/ambiguity.h"
 #include "core/disambiguator.h"
+#include "core/node_query.h"
 #include "core/tree_builder.h"
 #include "datasets/generator.h"
 #include "obs/json_writer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/engine.h"
+#include "serve/http.h"
+#include "serve/server.h"
+#include "snapshot/snapshot.h"
 #include "wordnet/mini_wordnet.h"
 #include "wordnet/wndb.h"
 #include "xml/parser.h"
@@ -77,6 +84,26 @@ int Usage() {
       "  expand <keyword> <file.xml>       context-aware term expansion\n"
       "  network-stats                     semantic network statistics\n"
       "  export-wndb <dir>                 write lexicon as WNDB files\n"
+      "  snapshot <out.snap>               write the lexicon as a binary\n"
+      "                                    snapshot (mmap'd by serve)\n"
+      "  serve [flags]                     resident disambiguation "
+      "service\n"
+      "      --port N            listen port (default 8080; 0 = "
+      "ephemeral)\n"
+      "      --host H            bind address (default 127.0.0.1)\n"
+      "      --snapshot FILE     cold-start from a snapshot instead of\n"
+      "                          parsing WNDB / building mini-WordNet\n"
+      "      --threads N         engine workers (default 4)\n"
+      "      --radius D          sphere radius (default 2)\n"
+      "      --queue-capacity N  admission queue; overflow answers 429\n"
+      "      --max-connections N concurrent connections cap (503 "
+      "beyond)\n"
+      "      --no-admin          disable POST /admin/swap\n"
+      "  client <host:port> <dir|filelist> [--concurrency N]\n"
+      "                                    drive a serve instance; "
+      "prints\n"
+      "                                    batch-format output, retries "
+      "429\n"
       "env: XSDF_WNDB_DIR=<dir> loads a WNDB directory instead of the\n"
       "     bundled mini-WordNet\n");
   return 2;
@@ -312,66 +339,6 @@ int CmdBatch(const SemanticNetwork& network,
   return any_failed ? 1 : 0;
 }
 
-/// Resolves an `xsdf explain` node designator against a labeled tree:
-/// either a numeric NodeId, or a slash-separated path whose components
-/// match each node's raw tag/token text or preprocessed label
-/// (case-insensitively) along the node's root path. A leading slash
-/// anchors the path at the root; otherwise it matches a root-path
-/// suffix, so `director` finds every <director> node. Returns matches
-/// in preorder.
-std::vector<xsdf::xml::NodeId> ResolveNodeQuery(
-    const xsdf::xml::LabeledTree& tree, const std::string& query) {
-  std::vector<xsdf::xml::NodeId> matches;
-  if (query.empty()) return matches;
-
-  bool all_digits = true;
-  for (char c : query) {
-    if (!std::isdigit(static_cast<unsigned char>(c))) all_digits = false;
-  }
-  if (all_digits) {
-    int id = std::atoi(query.c_str());
-    if (id >= 0 && static_cast<size_t>(id) < tree.size()) {
-      matches.push_back(id);
-    }
-    return matches;
-  }
-
-  const bool anchored = query[0] == '/';
-  std::vector<std::string> components;
-  std::string component;
-  for (size_t pos = anchored ? 1 : 0; pos <= query.size(); ++pos) {
-    if (pos == query.size() || query[pos] == '/') {
-      if (!component.empty()) components.push_back(component);
-      component.clear();
-    } else {
-      component.push_back(static_cast<char>(
-          std::tolower(static_cast<unsigned char>(query[pos]))));
-    }
-  }
-  if (components.empty()) return matches;
-
-  auto node_matches = [&](xsdf::xml::NodeId id, const std::string& want) {
-    const xsdf::xml::TreeNode& node = tree.node(id);
-    std::string raw = node.raw;
-    for (char& c : raw) {
-      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-    }
-    return raw == want || node.label == want;
-  };
-  for (const xsdf::xml::TreeNode& node : tree.nodes()) {
-    std::vector<xsdf::xml::NodeId> path = tree.RootPath(node.id);
-    if (path.size() < components.size()) continue;
-    if (anchored && path.size() != components.size()) continue;
-    size_t offset = path.size() - components.size();
-    bool ok = true;
-    for (size_t c = 0; c < components.size() && ok; ++c) {
-      ok = node_matches(path[offset + c], components[c]);
-    }
-    if (ok) matches.push_back(node.id);
-  }
-  return matches;
-}
-
 int CmdExplain(const SemanticNetwork& network,
                const std::vector<std::string>& args) {
   std::string file;
@@ -410,7 +377,8 @@ int CmdExplain(const SemanticNetwork& network,
     std::fprintf(stderr, "%s\n", tree.status().ToString().c_str());
     return 1;
   }
-  std::vector<xsdf::xml::NodeId> matches = ResolveNodeQuery(*tree, query);
+  std::vector<xsdf::xml::NodeId> matches =
+      xsdf::core::ResolveNodeQuery(*tree, query);
   if (matches.empty()) {
     std::fprintf(stderr, "no node matches '%s' in %s\n", query.c_str(),
                  file.c_str());
@@ -633,6 +601,246 @@ int CmdExportWndb(const SemanticNetwork& network, const char* dir) {
   return 0;
 }
 
+int CmdSnapshot(const SemanticNetwork& network,
+                const std::vector<std::string>& args) {
+  if (args.size() != 1) return Usage();
+  const std::string& out = args[0];
+  auto start = std::chrono::steady_clock::now();
+  auto status = xsdf::snapshot::WriteNetworkSnapshotFile(network, out);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  double ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+  std::error_code ec;
+  uintmax_t bytes = fs::file_size(out, ec);
+  std::fprintf(stderr,
+               "snapshot written to %s: %zu concepts, %llu bytes, %.0f ms\n",
+               out.c_str(), network.size(),
+               static_cast<unsigned long long>(ec ? 0 : bytes), ms);
+  return 0;
+}
+
+/// The serving process's shutdown hook: SIGTERM/SIGINT write one byte
+/// to the server's wake pipe (async-signal-safe) and Run() drains.
+xsdf::serve::Server* g_serve_instance = nullptr;
+
+void ServeSignalHandler(int) {
+  if (g_serve_instance != nullptr) g_serve_instance->RequestShutdown();
+}
+
+int CmdServe(const std::vector<std::string>& args) {
+  xsdf::serve::ServeOptions options;
+  std::string snapshot_path;
+  int radius = 2;
+  int threads = 4;
+  int queue_capacity = 64;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--port") {
+      if (!ParseIntValue(args, &i, &options.port)) return Usage();
+    } else if (arg == "--host") {
+      if (!ParseStringValue(args, &i, &options.host)) return Usage();
+    } else if (arg == "--snapshot") {
+      if (!ParseStringValue(args, &i, &snapshot_path)) return Usage();
+    } else if (arg == "--threads") {
+      if (!ParseIntValue(args, &i, &threads)) return Usage();
+    } else if (arg == "--radius") {
+      if (!ParseIntValue(args, &i, &radius)) return Usage();
+    } else if (arg == "--queue-capacity") {
+      if (!ParseIntValue(args, &i, &queue_capacity)) return Usage();
+    } else if (arg == "--max-connections") {
+      if (!ParseIntValue(args, &i, &options.max_connections)) return Usage();
+    } else if (arg == "--no-admin") {
+      options.enable_admin = false;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return Usage();
+    }
+  }
+  if (options.port < 0 || options.port > 65535 || threads < 1 ||
+      radius < 1 || queue_capacity < 1 || options.max_connections < 1) {
+    return Usage();
+  }
+  options.engine.threads = threads;
+  options.engine.queue_capacity = static_cast<size_t>(queue_capacity);
+  options.engine.disambiguator.sphere_radius = radius;
+  xsdf::obs::MetricsRegistry metrics;
+  options.metrics = &metrics;
+
+  // Resolve the lexicon: snapshot (mmap, fast) beats WNDB/mini (parse
+  // + finalize). The snapshot keeps its backing file mapped for the
+  // life of the serving state.
+  std::shared_ptr<const SemanticNetwork> network;
+  std::string lexicon_name;
+  auto load_start = std::chrono::steady_clock::now();
+  if (!snapshot_path.empty()) {
+    auto loaded = xsdf::snapshot::LoadNetworkSnapshot(snapshot_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot load snapshot: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    network = std::move(loaded).value();
+    lexicon_name = snapshot_path;
+  } else {
+    const SemanticNetwork* built = GetNetwork();
+    if (built == nullptr) return 1;
+    network = std::shared_ptr<const SemanticNetwork>(built,
+                                                     [](const auto*) {});
+    const char* dir = std::getenv("XSDF_WNDB_DIR");
+    lexicon_name = (dir != nullptr && dir[0] != '\0')
+                       ? std::string("wndb:") + dir
+                       : "mini-wordnet";
+  }
+  double load_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - load_start)
+                       .count();
+
+  xsdf::serve::Server server(options);
+  auto installed = server.InstallLexicon(std::move(network), lexicon_name);
+  if (!installed.ok()) {
+    std::fprintf(stderr, "%s\n", installed.ToString().c_str());
+    return 1;
+  }
+  auto started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "%s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  g_serve_instance = &server;
+  std::signal(SIGTERM, ServeSignalHandler);
+  std::signal(SIGINT, ServeSignalHandler);
+  std::fprintf(stderr,
+               "serving %s on %s:%d (%d workers, queue %d); lexicon "
+               "ready in %.0f ms\n",
+               lexicon_name.c_str(), options.host.c_str(), server.port(),
+               threads, queue_capacity, load_ms);
+  server.Run();
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+  g_serve_instance = nullptr;
+  std::fprintf(stderr, "drained, shutting down\n");
+  return 0;
+}
+
+int CmdClient(const std::vector<std::string>& args) {
+  std::string endpoint;
+  std::string input;
+  int concurrency = 4;
+  int deadline_ms = 0;
+  int max_retries = 200;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--concurrency") {
+      if (!ParseIntValue(args, &i, &concurrency)) return Usage();
+    } else if (arg == "--deadline-ms") {
+      if (!ParseIntValue(args, &i, &deadline_ms)) return Usage();
+    } else if (arg == "--retries") {
+      if (!ParseIntValue(args, &i, &max_retries)) return Usage();
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return Usage();
+    } else if (endpoint.empty()) {
+      endpoint = arg;
+    } else if (input.empty()) {
+      input = arg;
+    } else {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+      return Usage();
+    }
+  }
+  size_t colon = endpoint.rfind(':');
+  if (endpoint.empty() || input.empty() || concurrency < 1 ||
+      colon == std::string::npos) {
+    return Usage();
+  }
+  std::string host = endpoint.substr(0, colon);
+  int port = std::atoi(endpoint.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) return Usage();
+
+  std::vector<std::string> paths;
+  if (!CollectBatchInputs(input, &paths)) return 1;
+  if (paths.empty()) {
+    std::fprintf(stderr, "no .xml inputs under %s\n", input.c_str());
+    return 1;
+  }
+
+  // Responses indexed by job position, printed afterwards in input
+  // order: the output is byte-comparable with `xsdf batch` over the
+  // same corpus (the CI smoke job diffs exactly that).
+  std::vector<std::string> bodies(paths.size());
+  std::vector<std::string> errors(paths.size());
+  std::atomic<size_t> next{0};
+  std::atomic<uint64_t> retries_total{0};
+  auto worker = [&] {
+    for (;;) {
+      size_t index = next.fetch_add(1);
+      if (index >= paths.size()) return;
+      std::ifstream file(paths[index], std::ios::binary);
+      if (!file) {
+        errors[index] = "cannot open file";
+        continue;
+      }
+      std::ostringstream content;
+      content << file.rdbuf();
+      std::vector<std::pair<std::string, std::string>> headers = {
+          {"X-Xsdf-Doc-Name", paths[index]}};
+      if (deadline_ms > 0) {
+        headers.emplace_back("X-Xsdf-Deadline-Ms",
+                             std::to_string(deadline_ms));
+      }
+      int attempts = 0;
+      for (;;) {
+        auto response = xsdf::serve::HttpCall(host, port, "POST",
+                                              "/disambiguate", headers,
+                                              content.str(), 60000);
+        if (!response.ok()) {
+          errors[index] = response.status().ToString();
+          break;
+        }
+        if (response->status == 200) {
+          bodies[index] = std::move(response->body);
+          break;
+        }
+        if ((response->status == 429 || response->status == 503) &&
+            attempts < max_retries) {
+          // Overload is the server keeping its promise; back off and
+          // retry until admitted.
+          ++attempts;
+          retries_total.fetch_add(1);
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+          continue;
+        }
+        errors[index] =
+            "HTTP " + std::to_string(response->status) + ": " +
+            response->body;
+        break;
+      }
+    }
+  };
+  std::vector<std::thread> workers;
+  for (int i = 0; i < concurrency; ++i) workers.emplace_back(worker);
+  for (std::thread& w : workers) w.join();
+
+  bool any_failed = false;
+  for (size_t i = 0; i < paths.size(); ++i) {
+    if (!errors[i].empty()) {
+      any_failed = true;
+      std::fprintf(stderr, "%s: %s\n", paths[i].c_str(), errors[i].c_str());
+      continue;
+    }
+    std::printf("<!-- %s -->\n%s\n", paths[i].c_str(), bodies[i].c_str());
+  }
+  std::fprintf(stderr, "%zu docs via %s:%d (%d connections, %llu retries)\n",
+               paths.size(), host.c_str(), port, concurrency,
+               static_cast<unsigned long long>(retries_total.load()));
+  return any_failed ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -695,6 +903,16 @@ int main(int argc, char** argv) {
     if (rest.size() != 1) return Usage();
     if (require_network() == nullptr) return 1;
     return CmdExportWndb(*network, rest[0].c_str());
+  }
+  if (command == "snapshot") {
+    if (require_network() == nullptr) return 1;
+    return CmdSnapshot(*network, rest);
+  }
+  if (command == "serve") {
+    return CmdServe(rest);
+  }
+  if (command == "client") {
+    return CmdClient(rest);
   }
   return Usage();
 }

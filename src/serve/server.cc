@@ -9,7 +9,9 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <utility>
 
 #include "common/strings.h"
@@ -24,6 +26,11 @@
 namespace xsdf::serve {
 
 namespace {
+
+/// Send budget for the accept-thread 503 reject; deliberately much
+/// shorter than io_timeout_ms so a dead client cannot hold the accept
+/// loop hostage.
+constexpr int kRejectSendTimeoutMs = 250;
 
 void SetCloexec(int fd) {
   int flags = ::fcntl(fd, F_GETFD, 0);
@@ -170,6 +177,7 @@ void Server::Run() {
   fds[1].fd = wake_fds_[0];
   fds[1].events = POLLIN;
   while (!stop_.load(std::memory_order_relaxed)) {
+    ReapFinishedConnections();
     fds[0].revents = 0;
     fds[1].revents = 0;
     int ready = ::poll(fds, 2, -1);
@@ -182,10 +190,13 @@ void Server::Run() {
     int client = ::accept(listen_fd_, nullptr, nullptr);
     if (client < 0) continue;
     SetCloexec(client);
-    SetSocketTimeouts(client, options_.io_timeout_ms);
     if (active_connections_.fetch_add(1, std::memory_order_acq_rel) >=
         options_.max_connections) {
       active_connections_.fetch_sub(1, std::memory_order_acq_rel);
+      // The reject is written from the accept thread: a short send
+      // budget (not the full io timeout) so a slow client being turned
+      // away cannot stall accept() for everyone else.
+      SetSocketTimeouts(client, kRejectSendTimeoutMs);
       HttpResponse busy;
       busy.status = 503;
       busy.body = "connection capacity reached\n";
@@ -193,12 +204,16 @@ void Server::Run() {
       ::close(client);
       continue;
     }
+    SetSocketTimeouts(client, options_.io_timeout_ms);
+    uint64_t connection_id;
     {
       std::lock_guard<std::mutex> lock(connections_mu_);
+      connection_id = next_connection_id_++;
       connection_fds_.insert(client);
     }
-    connection_threads_.emplace_back(&Server::HandleConnection, this,
-                                     client);
+    connection_threads_.emplace(
+        connection_id,
+        std::thread(&Server::HandleConnection, this, client, connection_id));
   }
   // Graceful drain: stop accepting, wake idle keep-alive reads
   // (SHUT_RD makes their recv return 0 = clean close) while leaving
@@ -209,11 +224,31 @@ void Server::Run() {
     std::lock_guard<std::mutex> lock(connections_mu_);
     for (int fd : connection_fds_) ::shutdown(fd, SHUT_RD);
   }
-  for (std::thread& thread : connection_threads_) thread.join();
+  for (auto& [id, thread] : connection_threads_) thread.join();
   connection_threads_.clear();
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    finished_connections_.clear();
+  }
 }
 
-void Server::HandleConnection(int fd) {
+void Server::ReapFinishedConnections() {
+  std::vector<uint64_t> finished;
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    finished.swap(finished_connections_);
+  }
+  for (uint64_t id : finished) {
+    auto it = connection_threads_.find(id);
+    if (it == connection_threads_.end()) continue;
+    // The handler announced completion as its last act, so this join
+    // returns (almost) immediately.
+    it->second.join();
+    connection_threads_.erase(it);
+  }
+}
+
+void Server::HandleConnection(int fd, uint64_t connection_id) {
   for (;;) {
     HttpRequest request;
     Status read = ReadHttpRequest(fd, &request, options_.max_body_bytes);
@@ -241,6 +276,7 @@ void Server::HandleConnection(int fd) {
   {
     std::lock_guard<std::mutex> lock(connections_mu_);
     connection_fds_.erase(fd);
+    finished_connections_.push_back(connection_id);
   }
   ::close(fd);
   active_connections_.fetch_sub(1, std::memory_order_acq_rel);
@@ -444,13 +480,35 @@ HttpResponse Server::HandleStats() {
 }
 
 HttpResponse Server::HandleSwap(const HttpRequest& request) {
+  if (!options_.admin_token.empty() &&
+      request.Header("x-xsdf-admin-token", "") != options_.admin_token) {
+    return {403, {}, "bad admin token\n"};
+  }
   std::string path = request.QueryParam("snapshot");
   if (path.empty()) {
     return {400, {}, "missing ?snapshot= query parameter\n"};
   }
+  if (!options_.admin_snapshot_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::path resolved =
+        std::filesystem::weakly_canonical(path, ec);
+    std::filesystem::path root =
+        std::filesystem::weakly_canonical(options_.admin_snapshot_dir, ec);
+    // lexically_relative on canonical paths: "../" escapes (symlinks
+    // included, since both sides are resolved first) are rejected.
+    std::filesystem::path relative = resolved.lexically_relative(root);
+    if (relative.empty() || relative.begin()->string() == "..") {
+      return {403, {}, "snapshot path outside the configured directory\n"};
+    }
+    path = resolved.string();
+  }
   auto network = snapshot::LoadNetworkSnapshot(path);
   if (!network.ok()) {
-    return {400, {}, network.status().ToString() + "\n"};
+    // Load failures go to the server log, not the client: echoing
+    // loader/strerror detail would let callers probe the filesystem.
+    std::fprintf(stderr, "admin swap of %s rejected: %s\n", path.c_str(),
+                 network.status().ToString().c_str());
+    return {400, {}, "cannot load snapshot\n"};
   }
   Status installed = InstallLexicon(std::move(network).value(), path);
   if (!installed.ok()) {

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -31,6 +32,13 @@ struct ServeOptions {
   size_t max_body_bytes = 8u << 20;
   /// Exposes POST /admin/swap (hot lexicon swap from a snapshot path).
   bool enable_admin = true;
+  /// When non-empty, /admin/swap only accepts snapshot paths that
+  /// resolve inside this directory — without it any client that can
+  /// reach the socket can probe/map arbitrary files on disk.
+  std::string admin_snapshot_dir;
+  /// When non-empty, /admin/swap requires a matching
+  /// `X-Xsdf-Admin-Token` request header (shared secret).
+  std::string admin_token;
   /// Engine configuration applied to every installed lexicon. Its
   /// `metrics` field is overwritten with `metrics` below.
   runtime::EngineOptions engine;
@@ -101,7 +109,11 @@ class Server {
   };
 
   std::shared_ptr<ServingState> CurrentState() const;
-  void HandleConnection(int fd);
+  void HandleConnection(int fd, uint64_t connection_id);
+  /// Joins connection threads whose handlers have finished. Called from
+  /// the accept loop so a long-lived daemon never accumulates dead
+  /// threads (one stack per connection otherwise).
+  void ReapFinishedConnections();
   HttpResponse Dispatch(const HttpRequest& request);
   HttpResponse HandleDisambiguate(const HttpRequest& request);
   HttpResponse HandleExplain(const HttpRequest& request);
@@ -122,7 +134,13 @@ class Server {
   std::atomic<int> active_connections_{0};
   std::mutex connections_mu_;
   std::set<int> connection_fds_;
-  std::vector<std::thread> connection_threads_;
+  /// Live connection threads keyed by connection id. Only the accept
+  /// loop (Run) touches the map; handlers report completion through
+  /// `finished_connections_` (under connections_mu_) and Run joins
+  /// them on its next iteration.
+  std::map<uint64_t, std::thread> connection_threads_;
+  std::vector<uint64_t> finished_connections_;
+  uint64_t next_connection_id_ = 0;
 
   /// Serve-level counters (mirrored into the metrics registry when one
   /// is attached).

@@ -1,9 +1,12 @@
 #include "snapshot/snapshot.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
-#include <fstream>
 #include <map>
 #include <span>
 #include <string_view>
@@ -321,19 +324,55 @@ Status WriteNetworkSnapshotFile(const SemanticNetwork& network,
   Result<std::string> bytes = WriteNetworkSnapshot(network);
   if (!bytes.ok()) return bytes.status();
   // Write-then-rename so a crashed writer never leaves a half snapshot
-  // where a serving process could map it.
+  // where a serving process could map it. The temp file is fsync'd
+  // before the rename (and the directory after), otherwise a power
+  // loss can publish an empty or partial file under the final name.
   std::string temp = path + ".tmp";
-  {
-    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
-    if (!out) return Status::IoError("cannot write " + temp);
-    out.write(bytes->data(), static_cast<std::streamsize>(bytes->size()));
-    if (!out.good()) return Status::IoError("short write to " + temp);
+  int fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  if (fd < 0) {
+    return Status::IoError("cannot write " + temp + ": " +
+                           std::strerror(errno));
+  }
+  size_t written = 0;
+  while (written < bytes->size()) {
+    ssize_t n = ::write(fd, bytes->data() + written, bytes->size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int err = errno;
+      ::close(fd);
+      ::unlink(temp.c_str());
+      return Status::IoError("short write to " + temp + ": " +
+                             std::strerror(err));
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    int err = errno;
+    ::close(fd);
+    ::unlink(temp.c_str());
+    return Status::IoError("fsync " + temp + ": " + std::strerror(err));
+  }
+  if (::close(fd) != 0) {
+    int err = errno;
+    ::unlink(temp.c_str());
+    return Status::IoError("close " + temp + ": " + std::strerror(err));
   }
   std::error_code ec;
   std::filesystem::rename(temp, path, ec);
   if (ec) {
+    ::unlink(temp.c_str());
     return Status::IoError("cannot rename " + temp + " to " + path + ": " +
                            ec.message());
+  }
+  // Make the rename itself durable. Directory fsync failing is not
+  // fatal to correctness of the bytes, so it is best-effort.
+  std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  std::string dir = parent.empty() ? "." : parent.string();
+  int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
   }
   return Status::Ok();
 }
@@ -415,7 +454,10 @@ class SectionReader {
                     static_cast<uint32_t>(id)));
     }
     const SectionEntry& entry = it->second;
-    if (entry.size != count * sizeof(T)) {
+    // Divide before comparing: `count` comes straight from MetaSection,
+    // so `count * sizeof(T)` can wrap mod 2^64 and collide with a small
+    // section size. A count that cannot fit the section is corruption.
+    if (count > entry.size / sizeof(T) || entry.size != count * sizeof(T)) {
       return Status::Corruption(
           StrFormat("section %u: %llu bytes, expected %llu elements",
                     static_cast<uint32_t>(id),

@@ -378,7 +378,70 @@ TEST(ServeTest, AdminSwapLoadsSnapshotFile) {
                           kClientTimeoutMs);
   ASSERT_TRUE(missing.ok());
   EXPECT_EQ(missing->status, 400);
+  // Loader detail stays in the server log; the client only learns the
+  // load failed, not why (no filesystem probing oracle).
+  EXPECT_EQ(missing->body, "cannot load snapshot\n");
   std::filesystem::remove(path);
+}
+
+TEST(ServeTest, AdminSwapEnforcesTokenAndSnapshotDirectory) {
+  auto network_a = BuildTinyTaxonomy(0);
+  auto network_b = BuildTinyTaxonomy(3);
+  std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "xsdf_serve_admin_dir";
+  std::filesystem::create_directories(dir);
+  std::filesystem::path inside = dir / "inside.snap";
+  std::filesystem::path outside =
+      std::filesystem::temp_directory_path() / "xsdf_serve_outside.snap";
+  ASSERT_TRUE(
+      snapshot::WriteNetworkSnapshotFile(*network_b, inside.string()).ok());
+  ASSERT_TRUE(
+      snapshot::WriteNetworkSnapshotFile(*network_b, outside.string()).ok());
+
+  ServeOptions options;
+  options.port = 0;
+  options.engine.threads = 1;
+  options.admin_snapshot_dir = dir.string();
+  options.admin_token = "sesame";
+  Server server(options);
+  ASSERT_TRUE(server.InstallLexicon(network_a, "tiny-a").ok());
+  ASSERT_TRUE(server.Start().ok());
+  ServerRunner runner(&server);
+
+  auto no_token =
+      HttpCall(kHost, server.port(), "POST",
+               "/admin/swap?snapshot=" + inside.string(), {}, "",
+               kClientTimeoutMs);
+  ASSERT_TRUE(no_token.ok()) << no_token.status().ToString();
+  EXPECT_EQ(no_token->status, 403);
+
+  const std::vector<std::pair<std::string, std::string>> auth = {
+      {"X-Xsdf-Admin-Token", "sesame"}};
+  auto escape =
+      HttpCall(kHost, server.port(), "POST",
+               "/admin/swap?snapshot=" + outside.string(), auth, "",
+               kClientTimeoutMs);
+  ASSERT_TRUE(escape.ok());
+  EXPECT_EQ(escape->status, 403);
+
+  auto traversal = HttpCall(
+      kHost, server.port(), "POST",
+      "/admin/swap?snapshot=" +
+          (dir / ".." / "xsdf_serve_outside.snap").string(),
+      auth, "", kClientTimeoutMs);
+  ASSERT_TRUE(traversal.ok());
+  EXPECT_EQ(traversal->status, 403);
+  EXPECT_EQ(server.generation(), 1u);
+
+  auto swap = HttpCall(kHost, server.port(), "POST",
+                       "/admin/swap?snapshot=" + inside.string(), auth, "",
+                       kClientTimeoutMs);
+  ASSERT_TRUE(swap.ok());
+  EXPECT_EQ(swap->status, 200);
+  EXPECT_EQ(server.generation(), 2u);
+
+  std::filesystem::remove_all(dir);
+  std::filesystem::remove(outside);
 }
 
 }  // namespace

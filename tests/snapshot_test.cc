@@ -217,6 +217,56 @@ TEST(SnapshotTest, EverySampledBitFlipFailsCleanly) {
   }
 }
 
+/// A hostile file can re-seal its checksum, so every count in
+/// MetaSection is attacker-controlled. A count of `real + 2^62` u32
+/// elements is exactly 2^64 extra bytes — `count * sizeof(T)` wraps
+/// back to the true section size, and only an overflow-safe size check
+/// stops the loader from believing a ~2^62-element span.
+TEST(SnapshotTest, RejectsOverflowingSectionCounts) {
+  std::string bytes = MiniSnapshot();
+  snapshot::SnapshotHeader header;
+  ASSERT_GE(bytes.size(), sizeof(header));
+  std::memcpy(&header, bytes.data(), sizeof(header));
+
+  uint64_t meta_offset = 0;
+  uint64_t gloss_offsets_offset = 0;
+  uint64_t gloss_offsets_size = 0;
+  for (uint32_t i = 0; i < header.section_count; ++i) {
+    snapshot::SectionEntry entry;
+    std::memcpy(&entry, bytes.data() + sizeof(header) + i * sizeof(entry),
+                sizeof(entry));
+    if (entry.id == static_cast<uint32_t>(snapshot::SectionId::kMeta)) {
+      meta_offset = entry.offset;
+    }
+    if (entry.id ==
+        static_cast<uint32_t>(snapshot::SectionId::kGlossOffsets)) {
+      gloss_offsets_offset = entry.offset;
+      gloss_offsets_size = entry.size;
+    }
+  }
+  ASSERT_NE(meta_offset, 0u);
+  ASSERT_NE(gloss_offsets_offset, 0u);
+
+  // gloss_token_count is the u64 at byte 56 of MetaSection.
+  uint64_t gloss_token_count = 0;
+  std::memcpy(&gloss_token_count, bytes.data() + meta_offset + 56,
+              sizeof(gloss_token_count));
+  const uint64_t hostile = gloss_token_count + (1ull << 62);
+  std::memcpy(bytes.data() + meta_offset + 56, &hostile, sizeof(hostile));
+  // Make the CSR terminator agree, so the section size check is the
+  // only remaining line of defense.
+  std::memcpy(bytes.data() + gloss_offsets_offset + gloss_offsets_size - 8,
+              &hostile, sizeof(hostile));
+  uint64_t checksum = snapshot::Fnv1a64(
+      reinterpret_cast<const uint8_t*>(bytes.data()) + sizeof(header),
+      bytes.size() - sizeof(header));
+  std::memcpy(bytes.data() + 24, &checksum, sizeof(checksum));
+
+  auto loaded = LoadFromString(bytes);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
 TEST(SnapshotTest, RejectsHeaderForgeries) {
   std::string bytes = MiniSnapshot();
   {

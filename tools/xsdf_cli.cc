@@ -99,6 +99,11 @@ int Usage() {
       "      --max-connections N concurrent connections cap (503 "
       "beyond)\n"
       "      --no-admin          disable POST /admin/swap\n"
+      "      --admin-snapshot-dir DIR\n"
+      "                          only allow /admin/swap snapshots "
+      "inside DIR\n"
+      "      --admin-token T     require X-Xsdf-Admin-Token: T on "
+      "/admin/swap\n"
       "  client <host:port> <dir|filelist> [--concurrency N]\n"
       "                                    drive a serve instance; "
       "prints\n"
@@ -655,6 +660,12 @@ int CmdServe(const std::vector<std::string>& args) {
       if (!ParseIntValue(args, &i, &options.max_connections)) return Usage();
     } else if (arg == "--no-admin") {
       options.enable_admin = false;
+    } else if (arg == "--admin-snapshot-dir") {
+      if (!ParseStringValue(args, &i, &options.admin_snapshot_dir)) {
+        return Usage();
+      }
+    } else if (arg == "--admin-token") {
+      if (!ParseStringValue(args, &i, &options.admin_token)) return Usage();
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return Usage();

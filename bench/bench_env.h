@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <thread>
 
+#include "common/simd.h"
+
 namespace xsdf::bench {
 
 /// Emits the shared machine-environment fields into an open BENCH_*.json
@@ -11,16 +13,21 @@ namespace xsdf::bench {
 ///
 ///   "hardware_threads": N,
 ///   "single_core_warning": true|false,
+///   "simd_dispatch": "scalar"|"sse2"|"avx2",
 ///
 /// `single_core_warning` flags results captured on a single-core
 /// machine, where thread-scaling numbers measure queueing rather than
 /// parallelism — baselines with the flag set must not be compared
-/// against multi-core runs.
+/// against multi-core runs. `simd_dispatch` is the kernel dispatch
+/// level active for the run (CPUID-detected, lowered by XSDF_SIMD) —
+/// numbers from different levels are different experiments.
 inline void WriteBenchEnvFields(std::FILE* json) {
   const unsigned cores = std::thread::hardware_concurrency();
   std::fprintf(json, "  \"hardware_threads\": %u,\n", cores);
   std::fprintf(json, "  \"single_core_warning\": %s,\n",
                cores <= 1 ? "true" : "false");
+  std::fprintf(json, "  \"simd_dispatch\": \"%s\",\n",
+               simd::LevelName(simd::ActiveLevel()));
 }
 
 }  // namespace xsdf::bench

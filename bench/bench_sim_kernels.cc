@@ -7,8 +7,16 @@
 // flag, default BENCH_sim_kernels.json).
 //
 // `--smoke` skips the timing loops and only verifies that every fast
-// kernel reproduces its legacy score bit-for-bit on the sampled pairs
-// (nonzero exit on any mismatch) — cheap enough for CI.
+// kernel reproduces its legacy score bit-for-bit on the sampled pairs,
+// at every supported SIMD dispatch level (nonzero exit on any
+// mismatch) — cheap enough for CI.
+//
+// The full run additionally times the raw dispatched id kernels
+// (sorted intersect, first-occurrence find) at each supported level
+// over synthetic sets of several sizes: the measure-level numbers
+// above are dominated by table walks and FP at mini-WordNet input
+// sizes, so the per-level section is where the lane-width effect is
+// actually visible.
 
 #include <bit>
 #include <chrono>
@@ -16,11 +24,13 @@
 #include <cstdio>
 #include <cstring>
 #include <random>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_env.h"
+#include "common/simd.h"
 #include "runtime/similarity_cache.h"
 #include "sim/combined.h"
 #include "sim/gloss_overlap.h"
@@ -75,6 +85,106 @@ struct KernelResult {
     return fast_ns > 0.0 ? legacy_ns / fast_ns : 0.0;
   }
 };
+
+std::vector<xsdf::simd::Level> SupportedLevels() {
+  std::vector<xsdf::simd::Level> levels = {xsdf::simd::Level::kScalar};
+  if (xsdf::simd::DetectedLevel() >= xsdf::simd::Level::kSse2) {
+    levels.push_back(xsdf::simd::Level::kSse2);
+  }
+  if (xsdf::simd::DetectedLevel() >= xsdf::simd::Level::kAvx2) {
+    levels.push_back(xsdf::simd::Level::kAvx2);
+  }
+  return levels;
+}
+
+std::vector<uint32_t> StrictSet(std::mt19937& rng, size_t len,
+                                uint32_t range) {
+  std::set<uint32_t> s;
+  std::uniform_int_distribution<uint32_t> pick(0, range);
+  while (s.size() < len) s.insert(pick(rng));
+  return {s.begin(), s.end()};
+}
+
+/// Per-level ns/call of one raw id kernel at one synthetic set size.
+struct MicroResult {
+  const char* kernel;
+  size_t set_len;
+  std::vector<std::pair<const char*, double>> level_ns;  // (name, ns)
+
+  double speedup_vs_scalar() const {
+    double scalar = level_ns.front().second;
+    double best = scalar;
+    for (const auto& [name, ns] : level_ns) best = std::min(best, ns);
+    return best > 0.0 ? scalar / best : 0.0;
+  }
+};
+
+/// Times the dispatched intersect + find kernels at each supported
+/// level over `kSets` random strictly-increasing set pairs (~30%
+/// overlap) per size. Restores the dispatch level afterwards.
+std::vector<MicroResult> RunSimdKernelMicro() {
+  constexpr size_t kSets = 64;
+  constexpr size_t kLens[] = {16, 64, 256};
+  std::vector<MicroResult> results;
+  std::mt19937 rng(20150324);
+  for (size_t len : kLens) {
+    std::vector<std::vector<uint32_t>> as;
+    std::vector<std::vector<uint32_t>> bs;
+    for (size_t i = 0; i < kSets; ++i) {
+      as.push_back(StrictSet(rng, len, static_cast<uint32_t>(3 * len)));
+      bs.push_back(StrictSet(rng, len, static_cast<uint32_t>(3 * len)));
+    }
+    std::vector<uint32_t> out_a(len);
+    std::vector<uint32_t> out_b(len);
+    MicroResult intersect{"sorted_intersect_positions", len, {}};
+    MicroResult find{"find_first", len, {}};
+    const int rounds = len >= 256 ? 600 : 4000;
+    for (xsdf::simd::Level level : SupportedLevels()) {
+      xsdf::simd::ForceLevel(level);
+      const char* name = xsdf::simd::LevelName(level);
+      size_t sink = 0;
+      double best_ns = 0.0;
+      for (int rep = 0; rep < 3; ++rep) {
+        auto start = std::chrono::steady_clock::now();
+        for (int r = 0; r < rounds; ++r) {
+          for (size_t i = 0; i < kSets; ++i) {
+            sink += xsdf::simd::SortedIntersectPositionsU32(
+                as[i].data(), len, bs[i].data(), len, out_a.data(),
+                out_b.data());
+          }
+        }
+        double ns = std::chrono::duration<double, std::nano>(
+                        std::chrono::steady_clock::now() - start)
+                        .count() /
+                    static_cast<double>(rounds * kSets);
+        if (rep == 0 || ns < best_ns) best_ns = ns;
+      }
+      intersect.level_ns.emplace_back(name, best_ns);
+      // Worst-case find: the probed value is absent, so every level
+      // scans the full array.
+      const int find_rounds = rounds * 8;
+      best_ns = 0.0;
+      for (int rep = 0; rep < 3; ++rep) {
+        auto start = std::chrono::steady_clock::now();
+        for (int r = 0; r < find_rounds; ++r) {
+          sink += xsdf::simd::FindU32(as[r % kSets].data(), len,
+                                      0xffffffffu);
+        }
+        double ns = std::chrono::duration<double, std::nano>(
+                        std::chrono::steady_clock::now() - start)
+                        .count() /
+                    static_cast<double>(find_rounds);
+        if (rep == 0 || ns < best_ns) best_ns = ns;
+      }
+      find.level_ns.emplace_back(name, best_ns);
+      if (sink == static_cast<size_t>(-1)) std::printf("impossible\n");
+    }
+    results.push_back(intersect);
+    results.push_back(find);
+  }
+  xsdf::simd::ForceLevel(xsdf::simd::DetectedLevel());
+  return results;
+}
 
 }  // namespace
 
@@ -135,25 +245,31 @@ int main(int argc, char** argv) {
        &xsdf::sim::GlossOverlapMeasure::LegacySimilarity},
   };
   size_t mismatches = 0;
-  for (const Check& check : checks) {
-    for (const auto& [a, b] : pairs) {
-      double fast = check.fast(network, a, b);
-      double legacy = check.legacy(network, a, b);
-      if (std::bit_cast<uint64_t>(fast) !=
-          std::bit_cast<uint64_t>(legacy)) {
-        std::fprintf(stderr,
-                     "%s mismatch on (%d, %d): fast=%.17g legacy=%.17g\n",
-                     check.name, a, b, fast, legacy);
-        ++mismatches;
+  const std::vector<xsdf::simd::Level> levels = SupportedLevels();
+  for (xsdf::simd::Level level : levels) {
+    xsdf::simd::ForceLevel(level);
+    for (const Check& check : checks) {
+      for (const auto& [a, b] : pairs) {
+        double fast = check.fast(network, a, b);
+        double legacy = check.legacy(network, a, b);
+        if (std::bit_cast<uint64_t>(fast) !=
+            std::bit_cast<uint64_t>(legacy)) {
+          std::fprintf(
+              stderr, "%s (%s) mismatch on (%d, %d): fast=%.17g legacy=%.17g\n",
+              check.name, xsdf::simd::LevelName(level), a, b, fast, legacy);
+          ++mismatches;
+        }
       }
     }
   }
+  xsdf::simd::ForceLevel(xsdf::simd::DetectedLevel());
   if (mismatches > 0) {
     std::fprintf(stderr, "%zu kernel mismatches\n", mismatches);
     return 1;
   }
-  std::printf("equivalence: %zu pairs x 4 kernels bit-identical\n",
-              pairs.size());
+  std::printf("equivalence: %zu pairs x 4 kernels x %zu levels "
+              "bit-identical\n",
+              pairs.size(), levels.size());
   if (smoke) return 0;
 
   const int rounds = 5;
@@ -230,6 +346,20 @@ int main(int argc, char** argv) {
   }
   std::printf("%-14s %14s %14.1f\n", "combined-warm", "-", warm_ns);
 
+  // Raw dispatched-kernel timings per level: the lane-width effect
+  // itself, isolated from measure-level table walks and FP.
+  std::vector<MicroResult> micro = RunSimdKernelMicro();
+  std::printf("%-28s %6s", "simd kernel", "len");
+  for (xsdf::simd::Level level : levels) {
+    std::printf(" %9s", xsdf::simd::LevelName(level));
+  }
+  std::printf(" %9s\n", "speedup");
+  for (const MicroResult& m : micro) {
+    std::printf("%-28s %6zu", m.kernel, m.set_len);
+    for (const auto& [name, ns] : m.level_ns) std::printf(" %7.1fns", ns);
+    std::printf(" %8.2fx\n", m.speedup_vs_scalar());
+  }
+
   std::FILE* json = std::fopen(json_path, "w");
   if (json == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", json_path);
@@ -248,6 +378,18 @@ int main(int argc, char** argv) {
                  "\"fast_ns_per_pair\": %.1f, \"speedup\": %.2f}%s\n",
                  r.name.c_str(), r.legacy_ns, r.fast_ns, r.speedup(),
                  i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(json, "  ],\n");
+  std::fprintf(json, "  \"simd_kernel_micro\": [\n");
+  for (size_t i = 0; i < micro.size(); ++i) {
+    const MicroResult& m = micro[i];
+    std::fprintf(json, "    {\"kernel\": \"%s\", \"set_len\": %zu, ",
+                 m.kernel, m.set_len);
+    for (const auto& [name, ns] : m.level_ns) {
+      std::fprintf(json, "\"%s_ns\": %.1f, ", name, ns);
+    }
+    std::fprintf(json, "\"speedup_vs_scalar\": %.2f}%s\n",
+                 m.speedup_vs_scalar(), i + 1 < micro.size() ? "," : "");
   }
   std::fprintf(json, "  ]\n}\n");
   std::fclose(json);

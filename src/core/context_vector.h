@@ -33,22 +33,33 @@ struct Sphere {
   int size() const { return static_cast<int>(members.size()); }
 };
 
-/// The id-based twin of SphereMember: the label is an interned id
-/// (core::LabelSpace for XML labels, SemanticNetwork::LabelTokenId for
-/// concept labels — one shared id space).
-struct IdSphereMember {
-  uint32_t label_id = 0;
-  int32_t distance = 0;
-};
-
-/// The id-based twin of Sphere. Building one does no string work at
-/// all: members are (uint32, int32) pairs copied straight out of the
-/// tree's label-id array or the network's label-token table.
+/// The id-based twin of Sphere, laid out structure-of-arrays: member
+/// label ids (interned via core::LabelSpace for XML labels,
+/// SemanticNetwork::LabelTokenId for concept labels — one shared id
+/// space) and member distances are parallel flat vectors, so the
+/// consumers' SIMD scans (first-occurrence dedup, sorted intersects)
+/// load full lanes of ids with no (id, distance) deinterleave.
+/// Building one does no string work at all. Member order is the
+/// ring-by-ring order of the string twin.
 struct IdSphere {
   int radius = 0;
-  std::vector<IdSphereMember> members;
+  std::vector<uint32_t> label_ids;  ///< parallel to distances
+  std::vector<int32_t> distances;
 
-  int size() const { return static_cast<int>(members.size()); }
+  int size() const { return static_cast<int>(label_ids.size()); }
+  bool empty() const { return label_ids.empty(); }
+  void clear() {
+    label_ids.clear();
+    distances.clear();
+  }
+  void reserve(size_t n) {
+    label_ids.reserve(n);
+    distances.reserve(n);
+  }
+  void push_back(uint32_t label_id, int32_t distance) {
+    label_ids.push_back(label_id);
+    distances.push_back(distance);
+  }
 };
 
 /// The weighted context vector V_d(x) of Definitions 6-7: one dimension
@@ -136,6 +147,10 @@ class IdContextVector {
   std::vector<uint32_t> ids_;     ///< first-occurrence order
   std::vector<double> weights_;   ///< parallel to ids_
   std::vector<uint32_t> order_;   ///< indices into ids_, sorted by id
+  /// ids_ permuted by order_ (i.e. ascending) — the contiguous SoA
+  /// form the SIMD Cosine/Jaccard merge loads; sorted_ids_[k] ==
+  /// ids_[order_[k]].
+  std::vector<uint32_t> sorted_ids_;
   int sphere_size_ = 0;
 };
 

@@ -4,6 +4,7 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "common/simd.h"
 #include "core/tree_builder.h"
 
 namespace xsdf::core {
@@ -32,17 +33,35 @@ double ScoreResolvedContext(const wordnet::SemanticNetwork& network,
   // token is matched independently and the results averaged.
   thread_local std::vector<double> label_sims;
   label_sims.assign(label_count, 0.0);
+  // Per sense list the candidate-to-context similarities are fetched
+  // through one SimilarityMany() batch (one pipelined cache probe for
+  // the whole list) instead of per-sense calls. Values are identical —
+  // similarity is a pure function and the miss compute order is
+  // unchanged — and the max-reduction below runs in the original sense
+  // order, so scores stay bit-identical to the per-call loop.
+  thread_local std::vector<double> sims_primary;
+  thread_local std::vector<double> sims_secondary;
   for (size_t li = 0; li < label_count; ++li) {
     double total = 0.0;
     int counted = 0;
     for (std::span<const wordnet::ConceptId> senses : token_senses_of(li)) {
+      if (sims_primary.size() < senses.size()) {
+        sims_primary.resize(senses.size());
+      }
+      measure.SimilarityMany(network, candidate.primary, senses,
+                             sims_primary.data());
+      if (candidate.is_compound()) {
+        if (sims_secondary.size() < senses.size()) {
+          sims_secondary.resize(senses.size());
+        }
+        measure.SimilarityMany(network, candidate.secondary, senses,
+                               sims_secondary.data());
+      }
       double best = 0.0;
-      for (wordnet::ConceptId other : senses) {
-        double sim = measure.Similarity(network, candidate.primary, other);
+      for (size_t si = 0; si < senses.size(); ++si) {
+        double sim = sims_primary[si];
         if (candidate.is_compound()) {
-          sim = (sim +
-                 measure.Similarity(network, candidate.secondary, other)) /
-                2.0;
+          sim = (sim + sims_secondary[si]) / 2.0;
         }
         best = std::max(best, sim);
       }
@@ -110,27 +129,28 @@ IdResolvedContext::IdResolvedContext(LabelSpace& space,
                                      const IdSphere& sphere,
                                      const IdContextVector& vector)
     : sphere_size_(sphere.size()) {
-  // First-occurrence label grouping via linear scan over the small set
-  // of distinct ids seen so far (spheres rarely hold more than a few
-  // dozen distinct labels; see IdContextVector for the same tradeoff).
+  // First-occurrence label grouping via SIMD scan over the small flat
+  // set of distinct ids seen so far (spheres rarely hold more than a
+  // few dozen distinct labels; see IdContextVector for the same
+  // tradeoff).
+  const size_t member_count = sphere.label_ids.size();
   std::vector<uint32_t> seen_ids;
-  seen_ids.reserve(sphere.members.size());
-  members_.reserve(sphere.members.size());
+  seen_ids.reserve(member_count);
+  members_.reserve(member_count);
   bool center_skipped = false;
-  for (const IdSphereMember& member : sphere.members) {
-    if (!center_skipped && member.distance == 0) {
+  for (size_t m = 0; m < member_count; ++m) {
+    const uint32_t label_id = sphere.label_ids[m];
+    if (!center_skipped && sphere.distances[m] == 0) {
       center_skipped = true;  // skip exactly the center occurrence
       continue;
     }
-    uint32_t entry = 0;
-    while (entry < seen_ids.size() && seen_ids[entry] != member.label_id) {
-      ++entry;
-    }
+    const uint32_t entry = static_cast<uint32_t>(
+        simd::FindU32(seen_ids.data(), seen_ids.size(), label_id));
     if (entry == seen_ids.size()) {
-      seen_ids.push_back(member.label_id);
-      labels_.push_back(&space.Senses(member.label_id));
+      seen_ids.push_back(label_id);
+      labels_.push_back(&space.Senses(label_id));
     }
-    members_.push_back({entry, vector.WeightById(member.label_id)});
+    members_.push_back({entry, vector.WeightById(label_id)});
   }
 }
 

@@ -38,6 +38,12 @@ DisambiguationEngine::DisambiguationEngine(
       options_(options),
       trace_(options.trace),
       queue_(options.queue_capacity) {
+  if (options_.threads == 0) {
+    // Auto-detect: one worker per hardware thread.
+    // hardware_concurrency() may return 0 when the platform cannot
+    // tell; the clamp below then falls back to a single worker.
+    options_.threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
   if (options_.threads < 1) options_.threads = 1;
   // Workers construct their Disambiguators from these options, so the
   // sinks reach the core stages too.
@@ -242,6 +248,7 @@ EngineStats DisambiguationEngine::stats() const {
   stats.failures = failures_.load(std::memory_order_relaxed);
   stats.nodes = nodes_.load(std::memory_order_relaxed);
   stats.assignments = assignments_.load(std::memory_order_relaxed);
+  stats.worker_threads = thread_count();
   if (similarity_cache_) stats.similarity_cache = similarity_cache_->GetStats();
   if (sense_cache_) stats.sense_cache = sense_cache_->GetStats();
   return stats;
@@ -266,6 +273,8 @@ void DisambiguationEngine::PublishStatsToMetrics() {
   };
   publish_cache("cache.similarity", s.similarity_cache);
   publish_cache("cache.sense", s.sense_cache);
+  m->GetGauge("engine.worker_threads")
+      ->Set(static_cast<int64_t>(s.worker_threads));
   // Label-space occupancy: how much of the id universe the corpus
   // touched beyond the network's own vocabulary.
   m->GetGauge("label_space.network_size")
@@ -304,12 +313,13 @@ std::string FormatEngineStats(const EngineStats& stats) {
     return line;
   };
   return StrFormat(
-      "%llu docs (%llu failed), %llu nodes, %llu senses | sim cache: %s | "
-      "sense cache: %s",
+      "%llu docs (%llu failed), %llu nodes, %llu senses | %d workers | "
+      "sim cache: %s | sense cache: %s",
       static_cast<unsigned long long>(stats.documents),
       static_cast<unsigned long long>(stats.failures),
       static_cast<unsigned long long>(stats.nodes),
       static_cast<unsigned long long>(stats.assignments),
+      stats.worker_threads,
       cache_line(stats.similarity_cache).c_str(),
       cache_line(stats.sense_cache).c_str());
 }

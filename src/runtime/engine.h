@@ -50,7 +50,9 @@ struct DocumentResult {
 };
 
 struct EngineOptions {
-  /// Fixed worker-pool size (clamped to >= 1).
+  /// Fixed worker-pool size; 0 auto-detects one worker per hardware
+  /// thread (negative values clamp to 1). The resolved size is
+  /// reported as EngineStats::worker_threads.
   int threads = 4;
   /// Bounded MPMC job-queue capacity; producers block when full.
   size_t queue_capacity = 64;

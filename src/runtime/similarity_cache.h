@@ -46,6 +46,14 @@ class SimilarityCache : public sim::SimilarityCacheHook {
   bool Lookup(uint64_t pair_key, double* value) override;
   void Insert(uint64_t pair_key, double value) override;
 
+  /// Pipelined batch probe: all keys are premixed and their sets
+  /// prefetched in one pass before any is probed, hiding the
+  /// cache-miss latency of the random set walk behind the whole batch.
+  /// Per-key results and hit/miss/retry accounting are exactly those
+  /// of a Lookup() loop.
+  void LookupBatch(const uint64_t* keys, size_t count, double* out_values,
+                   uint8_t* out_found) override;
+
   CacheStats GetStats() const;
   void ResetCounters();
   void Clear();
@@ -75,6 +83,9 @@ class SimilarityCache : public sim::SimilarityCacheHook {
   };
 
   uint64_t MixKey(uint64_t pair_key) const;
+  /// The seqlock probe + stats update shared by Lookup() and
+  /// LookupBatch(); `key` is already mixed.
+  bool LookupMixed(uint64_t key, double* value);
   Stripe& StripeFor(size_t set_index) {
     return stripes_[set_index & stripe_mask_];
   }

@@ -41,6 +41,8 @@ struct EngineStats {
   uint64_t failures = 0;     ///< jobs whose pipeline returned an error
   uint64_t nodes = 0;        ///< labeled-tree nodes across ok documents
   uint64_t assignments = 0;  ///< sense assignments across ok documents
+  /// Actual worker-pool size (after `threads: 0` auto-detection).
+  int worker_threads = 0;
   CacheStats similarity_cache;
   CacheStats sense_cache;
 };

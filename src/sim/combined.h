@@ -1,7 +1,10 @@
 #ifndef XSDF_SIM_COMBINED_H_
 #define XSDF_SIM_COMBINED_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <span>
 #include <unordered_map>
 
 #include "sim/measure.h"
@@ -34,6 +37,19 @@ class SimilarityCacheHook {
   virtual bool Lookup(uint64_t pair_key, double* value) = 0;
   /// Stores `value` under `pair_key`.
   virtual void Insert(uint64_t pair_key, double value) = 0;
+
+  /// Probes `count` keys at once: on a hit sets out_values[i] and
+  /// out_found[i] = 1, otherwise out_found[i] = 0 (out_values[i] is
+  /// left untouched). Semantics and per-key accounting must match a
+  /// loop of Lookup() calls — the default does exactly that;
+  /// implementations override to pipeline the probes (premixed keys,
+  /// prefetched sets).
+  virtual void LookupBatch(const uint64_t* keys, size_t count,
+                           double* out_values, uint8_t* out_found) {
+    for (size_t i = 0; i < count; ++i) {
+      out_found[i] = Lookup(keys[i], &out_values[i]) ? 1 : 0;
+    }
+  }
 };
 
 /// Definition 9: Sim(c1, c2) = w_Edge * Sim_Edge + w_Node * Sim_Node
@@ -52,6 +68,19 @@ class CombinedMeasure : public SimilarityMeasure {
   double Similarity(const wordnet::SemanticNetwork& network,
                     wordnet::ConceptId a,
                     wordnet::ConceptId b) const override;
+
+  /// Batch form of Similarity(): out[i] = Similarity(network, a,
+  /// others[i]). With an external cache attached the whole batch is
+  /// probed through one LookupBatch() (premixed keys, prefetched
+  /// sets) before the misses are computed in order; every produced
+  /// double, and the per-key hit/miss accounting, is identical to a
+  /// loop of Similarity() calls. The sphere-scoring hot loop
+  /// (core::ScoreResolvedContext) calls this once per sense list.
+  void SimilarityMany(const wordnet::SemanticNetwork& network,
+                      wordnet::ConceptId a,
+                      std::span<const wordnet::ConceptId> others,
+                      double* out) const;
+
   std::string name() const override { return "combined"; }
 
   const SimilarityWeights& weights() const { return weights_; }
@@ -78,6 +107,11 @@ class CombinedMeasure : public SimilarityMeasure {
  private:
   struct RawTag {};
   explicit CombinedMeasure(RawTag) {}  // registry path: no defaults
+
+  /// The weighted component sum + clamp shared by Similarity() and
+  /// SimilarityMany() (cache-miss path).
+  double ComputeUncached(const wordnet::SemanticNetwork& network,
+                         wordnet::ConceptId a, wordnet::ConceptId b) const;
 
   SimilarityWeights weights_;
   std::vector<std::pair<std::unique_ptr<SimilarityMeasure>, double>>

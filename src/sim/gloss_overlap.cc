@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/simd.h"
 #include "text/porter_stemmer.h"
 #include "text/stopwords.h"
 #include "text/tokenizer.h"
@@ -127,20 +128,13 @@ double GlossOverlapMeasure::LegacySimilarity(
 
 namespace {
 
-/// True when the two sorted id sets share at least one element.
+/// True when the two sorted id sets share at least one element — the
+/// SIMD early-exit intersect probe (identical verdict at every
+/// dispatch level; pure integer work, so no score can change).
 bool SortedBagsIntersect(std::span<const uint32_t> a,
                          std::span<const uint32_t> b) {
-  size_t i = 0, j = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i] < b[j]) {
-      ++i;
-    } else if (b[j] < a[i]) {
-      ++j;
-    } else {
-      return true;
-    }
-  }
-  return false;
+  return simd::SortedIntersectNonEmptyU32(a.data(), a.size(), b.data(),
+                                          b.size());
 }
 
 }  // namespace

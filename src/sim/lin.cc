@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "sim/kernels.h"
+
 namespace xsdf::sim {
 
 namespace {
@@ -45,24 +47,16 @@ double LinMeasure::Similarity(const wordnet::SemanticNetwork& network,
                               wordnet::ConceptId b) const {
   if (a == b) return 1.0;
   if (!network.finalized()) return LegacySimilarity(network, a, b);
-  // Most informative common subsumer via a sorted-ancestor merge over
-  // the precomputed tables (see ResnikMeasure::Similarity for why this
-  // is bit-identical to the legacy hash-map walk).
+  // Most informative common subsumer via the SIMD sorted-ancestor
+  // intersect over the precomputed tables (see ResnikMeasure::Similarity
+  // for why this is bit-identical to the legacy hash-map walk).
   std::span<const wordnet::AncestorEntry> aa = network.Ancestors(a);
   std::span<const wordnet::AncestorEntry> ab = network.Ancestors(b);
   double best_ic = -1.0;
-  size_t i = 0, j = 0;
-  while (i < aa.size() && j < ab.size()) {
-    if (aa[i].id < ab[j].id) {
-      ++i;
-    } else if (ab[j].id < aa[i].id) {
-      ++j;
-    } else {
-      double ic = network.InformationContentOf(aa[i].id);
-      if (ic > best_ic) best_ic = ic;
-      ++i;
-      ++j;
-    }
+  AncestorMatches lcs = IntersectAncestors(aa, ab, /*need_b_positions=*/false);
+  for (size_t k = 0; k < lcs.count; ++k) {
+    double ic = network.InformationContentOf(aa[lcs.a[k]].id);
+    if (ic > best_ic) best_ic = ic;
   }
   if (best_ic < 0.0) return 0.0;  // unrelated
   double denom = network.InformationContentOf(a) +

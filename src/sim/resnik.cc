@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/kernels.h"
+
 namespace xsdf::sim {
 
 double ResnikMeasure::LegacySimilarity(
@@ -34,23 +36,17 @@ double ResnikMeasure::Similarity(const wordnet::SemanticNetwork& network,
   if (!network.finalized()) return LegacySimilarity(network, a, b);
   double total = network.TotalFrequency();
   if (total <= 0.0) return 0.0;
-  // Most informative common subsumer via a sorted-ancestor merge; the
-  // IC table holds exactly the doubles the legacy path recomputed per
-  // pair, and max() is order-independent, so scores are bit-identical.
+  // Most informative common subsumer via the SIMD sorted-ancestor
+  // intersect; the IC table holds exactly the doubles the legacy path
+  // recomputed per pair, the intersect finds the same matches at every
+  // dispatch level, and max() is order-independent — so scores are
+  // bit-identical.
   std::span<const wordnet::AncestorEntry> aa = network.Ancestors(a);
   std::span<const wordnet::AncestorEntry> ab = network.Ancestors(b);
   double best_ic = -1.0;
-  size_t i = 0, j = 0;
-  while (i < aa.size() && j < ab.size()) {
-    if (aa[i].id < ab[j].id) {
-      ++i;
-    } else if (ab[j].id < aa[i].id) {
-      ++j;
-    } else {
-      best_ic = std::max(best_ic, network.InformationContentOf(aa[i].id));
-      ++i;
-      ++j;
-    }
+  AncestorMatches lcs = IntersectAncestors(aa, ab, /*need_b_positions=*/false);
+  for (size_t k = 0; k < lcs.count; ++k) {
+    best_ic = std::max(best_ic, network.InformationContentOf(aa[lcs.a[k]].id));
   }
   if (best_ic < 0.0) return 0.0;  // unrelated
   double ic_max = network.MaxInformationContent();

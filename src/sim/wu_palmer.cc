@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "sim/kernels.h"
+
 namespace xsdf::sim {
 
 double WuPalmerMeasure::LegacySimilarity(
@@ -27,29 +29,24 @@ double WuPalmerMeasure::Similarity(const wordnet::SemanticNetwork& network,
   if (a == b) return 1.0;
   if (!network.finalized()) return LegacySimilarity(network, a, b);
   // LCS = common ancestor minimizing len_a + len_b (ties toward depth),
-  // found by merging the two id-sorted ancestor arrays. The score only
-  // depends on (best_sum, best_depth), both invariant under how ties on
-  // the subsumer identity are broken — so this matches the legacy path
-  // bit for bit.
+  // found by the SIMD intersect of the two id-sorted ancestor arrays.
+  // The score only depends on (best_sum, best_depth); the (sum, depth)
+  // selection rule is order-independent over the matched set and the
+  // intersect finds the same matches at every dispatch level — so this
+  // matches the legacy path bit for bit.
   std::span<const wordnet::AncestorEntry> aa = network.Ancestors(a);
   std::span<const wordnet::AncestorEntry> ab = network.Ancestors(b);
   int best_sum = std::numeric_limits<int>::max();
   int best_depth = -1;
-  size_t i = 0, j = 0;
-  while (i < aa.size() && j < ab.size()) {
-    if (aa[i].id < ab[j].id) {
-      ++i;
-    } else if (ab[j].id < aa[i].id) {
-      ++j;
-    } else {
-      int sum = static_cast<int>(aa[i].distance + ab[j].distance);
-      int depth = network.Depth(aa[i].id);
-      if (sum < best_sum || (sum == best_sum && depth > best_depth)) {
-        best_sum = sum;
-        best_depth = depth;
-      }
-      ++i;
-      ++j;
+  AncestorMatches lcs = IntersectAncestors(aa, ab, /*need_b_positions=*/true);
+  for (size_t k = 0; k < lcs.count; ++k) {
+    const wordnet::AncestorEntry& ea = aa[lcs.a[k]];
+    const wordnet::AncestorEntry& eb = ab[lcs.b[k]];
+    int sum = static_cast<int>(ea.distance + eb.distance);
+    int depth = network.Depth(ea.id);
+    if (sum < best_sum || (sum == best_sum && depth > best_depth)) {
+      best_sum = sum;
+      best_depth = depth;
     }
   }
   if (best_depth < 0 && best_sum == std::numeric_limits<int>::max()) {

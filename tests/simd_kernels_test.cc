@@ -1,0 +1,462 @@
+// Scalar-vs-SIMD equivalence tests for the dispatched id kernels
+// (common/simd.h) and everything built on them: every kernel must
+// return exactly its scalar reference's result at every dispatch
+// level, and every consumer (the four measures, the combined measure,
+// IdContextVector comparisons, IdContextScore) must produce
+// bit-identical doubles at every level. Also covers the seqlock
+// cache's batch probe and the engine's thread auto-detection.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <random>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/simd.h"
+#include "core/context_vector.h"
+#include "core/scores.h"
+#include "runtime/engine.h"
+#include "runtime/similarity_cache.h"
+#include "sim/combined.h"
+#include "sim/gloss_overlap.h"
+#include "sim/lin.h"
+#include "sim/resnik.h"
+#include "sim/wu_palmer.h"
+#include "wordnet/mini_wordnet.h"
+#include "wordnet/semantic_network.h"
+
+namespace xsdf {
+namespace {
+
+using wordnet::ConceptId;
+using wordnet::SemanticNetwork;
+
+const SemanticNetwork& Network() {
+  static const SemanticNetwork* network = [] {
+    auto result = wordnet::BuildMiniWordNet();
+    return new SemanticNetwork(std::move(result).value());
+  }();
+  return *network;
+}
+
+uint64_t Bits(double value) { return std::bit_cast<uint64_t>(value); }
+
+/// Restores the dispatch level when a test scope ends, whatever the
+/// test forced in between.
+struct LevelGuard {
+  ~LevelGuard() { simd::ForceLevel(simd::DetectedLevel()); }
+};
+
+/// Every level this CPU + build can actually run (always includes
+/// scalar). ForceLevel clamps upward requests, so running only the
+/// supported set keeps the tests meaningful on any machine.
+std::vector<simd::Level> SupportedLevels() {
+  std::vector<simd::Level> levels = {simd::Level::kScalar};
+  if (simd::DetectedLevel() >= simd::Level::kSse2) {
+    levels.push_back(simd::Level::kSse2);
+  }
+  if (simd::DetectedLevel() >= simd::Level::kAvx2) {
+    levels.push_back(simd::Level::kAvx2);
+  }
+  return levels;
+}
+
+/// A strictly increasing random id set of `len` elements drawn from a
+/// range ~3x the length, so intersections are common but not total.
+std::vector<uint32_t> StrictSet(std::mt19937& rng, size_t len) {
+  std::set<uint32_t> s;
+  std::uniform_int_distribution<uint32_t> pick(
+      0, static_cast<uint32_t>(3 * len + 8));
+  while (s.size() < len) s.insert(pick(rng));
+  return {s.begin(), s.end()};
+}
+
+/// Reference sorted-set intersection, independent of the production
+/// scalar path (a plain two-pointer merge).
+size_t ReferenceIntersect(const std::vector<uint32_t>& a,
+                          const std::vector<uint32_t>& b,
+                          std::vector<uint32_t>* pos_a,
+                          std::vector<uint32_t>* pos_b) {
+  pos_a->clear();
+  pos_b->clear();
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      pos_a->push_back(static_cast<uint32_t>(i));
+      pos_b->push_back(static_cast<uint32_t>(j));
+      ++i;
+      ++j;
+    }
+  }
+  return pos_a->size();
+}
+
+/// Interleaves keys with a payload (key * 7 + 1) — the stride-2
+/// AncestorEntry-row layout.
+std::vector<uint32_t> Interleave(const std::vector<uint32_t>& keys) {
+  std::vector<uint32_t> packed;
+  packed.reserve(keys.size() * 2);
+  for (uint32_t k : keys) {
+    packed.push_back(k);
+    packed.push_back(k * 7 + 1);
+  }
+  return packed;
+}
+
+void CheckKernelsOnPair(const std::vector<uint32_t>& a,
+                        const std::vector<uint32_t>& b) {
+  std::vector<uint32_t> want_a;
+  std::vector<uint32_t> want_b;
+  const size_t want =
+      ReferenceIntersect(a, b, &want_a, &want_b);
+  const std::vector<uint32_t> packed_a = Interleave(a);
+  const std::vector<uint32_t> packed_b = Interleave(b);
+  const size_t cap = std::min(a.size(), b.size());
+  std::vector<uint32_t> got_a(cap + 1, 0xdeadbeefu);
+  std::vector<uint32_t> got_b(cap + 1, 0xdeadbeefu);
+  for (simd::Level level : SupportedLevels()) {
+    simd::ForceLevel(level);
+    const char* name = simd::LevelName(level);
+    EXPECT_EQ(simd::SortedIntersectNonEmptyU32(a.data(), a.size(),
+                                               b.data(), b.size()),
+              want != 0)
+        << name;
+    size_t got = simd::SortedIntersectPositionsU32(
+        a.data(), a.size(), b.data(), b.size(), got_a.data(),
+        got_b.data());
+    ASSERT_EQ(got, want) << name;
+    for (size_t k = 0; k < want; ++k) {
+      EXPECT_EQ(got_a[k], want_a[k]) << name << " match " << k;
+      EXPECT_EQ(got_b[k], want_b[k]) << name << " match " << k;
+    }
+    // Null out_b form (the Resnik/Lin LCS path).
+    std::fill(got_a.begin(), got_a.end(), 0xdeadbeefu);
+    got = simd::SortedIntersectPositionsU32(a.data(), a.size(), b.data(),
+                                            b.size(), got_a.data(),
+                                            nullptr);
+    ASSERT_EQ(got, want) << name << " (null out_b)";
+    for (size_t k = 0; k < want; ++k) {
+      EXPECT_EQ(got_a[k], want_a[k]) << name << " match " << k;
+    }
+    // Stride-2 form over the interleaved layout: same positions.
+    std::fill(got_a.begin(), got_a.end(), 0xdeadbeefu);
+    std::fill(got_b.begin(), got_b.end(), 0xdeadbeefu);
+    got = simd::SortedIntersectPositionsStride2(
+        packed_a.data(), a.size(), packed_b.data(), b.size(),
+        got_a.data(), got_b.data());
+    ASSERT_EQ(got, want) << name << " (stride 2)";
+    for (size_t k = 0; k < want; ++k) {
+      EXPECT_EQ(got_a[k], want_a[k]) << name << " match " << k;
+      EXPECT_EQ(got_b[k], want_b[k]) << name << " match " << k;
+    }
+  }
+}
+
+TEST(SimdDispatchTest, DetectedLevelRunsAndNamesAreStable) {
+  LevelGuard guard;
+  EXPECT_GE(simd::DetectedLevel(), simd::Level::kScalar);
+  EXPECT_LE(simd::ActiveLevel(), simd::DetectedLevel());
+  EXPECT_STREQ(simd::LevelName(simd::Level::kScalar), "scalar");
+  EXPECT_STREQ(simd::LevelName(simd::Level::kSse2), "sse2");
+  EXPECT_STREQ(simd::LevelName(simd::Level::kAvx2), "avx2");
+  // ForceLevel clamps upward requests to the detected level.
+  simd::ForceLevel(simd::Level::kAvx2);
+  EXPECT_LE(simd::ActiveLevel(), simd::DetectedLevel());
+  simd::ForceLevel(simd::Level::kScalar);
+  EXPECT_EQ(simd::ActiveLevel(), simd::Level::kScalar);
+}
+
+TEST(SimdKernelTest, FindU32MatchesLinearScanAtEveryLevel) {
+  LevelGuard guard;
+  std::mt19937 rng(20150324);
+  for (size_t len = 0; len <= 40; ++len) {
+    std::vector<uint32_t> data;
+    data.reserve(len);
+    std::uniform_int_distribution<uint32_t> pick(0, 30);
+    for (size_t i = 0; i < len; ++i) data.push_back(pick(rng));
+    for (uint32_t value = 0; value <= 31; ++value) {
+      size_t want = len;
+      for (size_t i = 0; i < len; ++i) {
+        if (data[i] == value) {
+          want = i;
+          break;
+        }
+      }
+      for (simd::Level level : SupportedLevels()) {
+        simd::ForceLevel(level);
+        EXPECT_EQ(simd::FindU32(data.data(), len, value), want)
+            << simd::LevelName(level) << " len " << len << " value "
+            << value;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, IntersectionsMatchReferenceOnRandomSets) {
+  LevelGuard guard;
+  std::mt19937 rng(20150324);
+  std::uniform_int_distribution<size_t> len_pick(0, 48);
+  for (int round = 0; round < 400; ++round) {
+    CheckKernelsOnPair(StrictSet(rng, len_pick(rng)),
+                       StrictSet(rng, len_pick(rng)));
+  }
+}
+
+TEST(SimdKernelTest, EdgeShapesEmptySingleAndRaggedTails) {
+  LevelGuard guard;
+  // Empty inputs on either or both sides.
+  CheckKernelsOnPair({}, {});
+  CheckKernelsOnPair({}, {1, 5, 9});
+  CheckKernelsOnPair({3}, {});
+  // Single-element chains (the single-ancestor case), hit and miss.
+  CheckKernelsOnPair({7}, {7});
+  CheckKernelsOnPair({7}, {8});
+  // Every length pair around the 4- and 8-lane widths, with the only
+  // match planted at the very last element of both sides — the match
+  // must be found by the scalar tail at every ragged remainder.
+  for (size_t la = 1; la <= 19; ++la) {
+    for (size_t lb = 1; lb <= 19; ++lb) {
+      std::vector<uint32_t> a;
+      std::vector<uint32_t> b;
+      for (size_t i = 0; i + 1 < la; ++i) {
+        a.push_back(static_cast<uint32_t>(2 * i));  // evens
+      }
+      for (size_t i = 0; i + 1 < lb; ++i) {
+        b.push_back(static_cast<uint32_t>(2 * i + 1));  // odds
+      }
+      const uint32_t sentinel = static_cast<uint32_t>(2 * (la + lb) + 2);
+      a.push_back(sentinel);
+      b.push_back(sentinel);
+      CheckKernelsOnPair(a, b);
+    }
+  }
+}
+
+/// Runs `compute` once per supported level and expects every level to
+/// reproduce the scalar level's doubles bit for bit.
+template <typename Compute>
+void ExpectBitIdenticalAcrossLevels(Compute&& compute,
+                                    const char* what) {
+  LevelGuard guard;
+  simd::ForceLevel(simd::Level::kScalar);
+  const std::vector<double> want = compute();
+  for (simd::Level level : SupportedLevels()) {
+    if (level == simd::Level::kScalar) continue;
+    simd::ForceLevel(level);
+    const std::vector<double> got = compute();
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(Bits(got[i]), Bits(want[i]))
+          << what << " diverged at " << simd::LevelName(level)
+          << ", sample " << i;
+    }
+  }
+}
+
+/// Deterministic sample of concept pairs covering the whole id range.
+std::vector<std::pair<ConceptId, ConceptId>> SamplePairs(size_t count) {
+  std::mt19937 rng(20150324);
+  std::uniform_int_distribution<int> pick(
+      0, static_cast<int>(Network().size()) - 1);
+  std::vector<std::pair<ConceptId, ConceptId>> pairs;
+  pairs.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    pairs.emplace_back(pick(rng), pick(rng));
+  }
+  return pairs;
+}
+
+TEST(SimdEquivalenceTest, EveryMeasureIsBitIdenticalAcrossLevels) {
+  const SemanticNetwork& network = Network();
+  const auto pairs = SamplePairs(300);
+  auto sweep = [&](const sim::SimilarityMeasure& measure) {
+    return [&network, &pairs, &measure] {
+      std::vector<double> values;
+      values.reserve(pairs.size());
+      for (auto [a, b] : pairs) {
+        values.push_back(measure.Similarity(network, a, b));
+      }
+      return values;
+    };
+  };
+  sim::WuPalmerMeasure wu_palmer;
+  sim::ResnikMeasure resnik;
+  sim::LinMeasure lin;
+  sim::GlossOverlapMeasure gloss;
+  ExpectBitIdenticalAcrossLevels(sweep(wu_palmer), "wu_palmer");
+  ExpectBitIdenticalAcrossLevels(sweep(resnik), "resnik");
+  ExpectBitIdenticalAcrossLevels(sweep(lin), "lin");
+  ExpectBitIdenticalAcrossLevels(sweep(gloss), "gloss_overlap");
+  // Combined gets a fresh measure per sweep so its memo cannot leak
+  // values across levels.
+  ExpectBitIdenticalAcrossLevels(
+      [&network, &pairs] {
+        sim::CombinedMeasure combined;
+        std::vector<double> values;
+        values.reserve(pairs.size());
+        for (auto [a, b] : pairs) {
+          values.push_back(combined.Similarity(network, a, b));
+        }
+        return values;
+      },
+      "combined");
+}
+
+TEST(SimdEquivalenceTest, ContextVectorComparisonsAcrossLevels) {
+  const SemanticNetwork& network = Network();
+  std::mt19937 rng(20150324);
+  std::uniform_int_distribution<int> pick(
+      0, static_cast<int>(network.size()) - 1);
+  std::vector<std::pair<ConceptId, ConceptId>> centers;
+  for (int i = 0; i < 60; ++i) centers.emplace_back(pick(rng), pick(rng));
+  ExpectBitIdenticalAcrossLevels(
+      [&] {
+        std::vector<double> values;
+        core::IdContextVector va;
+        core::IdContextVector vb;
+        for (auto [ca, cb] : centers) {
+          va.Assign(core::BuildConceptIdSphere(network, ca, 2));
+          vb.Assign(core::BuildConceptIdSphere(network, cb, 2));
+          values.push_back(va.Cosine(vb));
+          values.push_back(va.Jaccard(vb));
+          values.push_back(vb.Jaccard(va));
+        }
+        return values;
+      },
+      "context_vector");
+}
+
+TEST(SimdEquivalenceTest, IdContextScoreAcrossLevels) {
+  const SemanticNetwork& network = Network();
+  std::mt19937 rng(20150324);
+  std::uniform_int_distribution<int> pick(
+      0, static_cast<int>(network.size()) - 1);
+  std::vector<core::SenseCandidate> candidates;
+  std::vector<ConceptId> contexts;
+  for (int i = 0; i < 30; ++i) {
+    core::SenseCandidate candidate;
+    candidate.primary = pick(rng);
+    if (i % 3 == 0) candidate.secondary = pick(rng);  // compound
+    candidates.push_back(candidate);
+    contexts.push_back(pick(rng));
+  }
+  ExpectBitIdenticalAcrossLevels(
+      [&] {
+        std::vector<double> values;
+        core::IdContextVector xml_vector;
+        for (size_t i = 0; i < candidates.size(); ++i) {
+          xml_vector.Assign(
+              core::BuildConceptIdSphere(network, contexts[i], 2));
+          values.push_back(core::IdContextScore(
+              network, candidates[i], xml_vector, 2,
+              core::VectorSimilarity::kCosine));
+          values.push_back(core::IdContextScore(
+              network, candidates[i], xml_vector, 2,
+              core::VectorSimilarity::kJaccard));
+        }
+        return values;
+      },
+      "id_context_score");
+}
+
+TEST(SimdEquivalenceTest, OovOnlySpheresCompareCleanly) {
+  // Spheres made purely of overflow (OOV) label ids never intersect a
+  // concept vector; both comparisons must agree with scalar and return
+  // finite values at every level.
+  const SemanticNetwork& network = Network();
+  core::IdSphere oov;
+  oov.radius = 2;
+  const uint32_t base = 1u << 20;  // far beyond any interned id
+  oov.push_back(base, 0);
+  for (int i = 1; i <= 12; ++i) oov.push_back(base + 2 * i, 1 + (i % 2));
+  ExpectBitIdenticalAcrossLevels(
+      [&] {
+        core::IdContextVector oov_vector;
+        oov_vector.Assign(oov);
+        core::IdContextVector concept_vector;
+        concept_vector.Assign(core::BuildConceptIdSphere(network, 0, 2));
+        core::IdContextVector empty_vector;
+        return std::vector<double>{
+            oov_vector.Cosine(concept_vector),
+            oov_vector.Jaccard(concept_vector),
+            concept_vector.Jaccard(oov_vector),
+            oov_vector.Cosine(empty_vector),
+            empty_vector.Jaccard(oov_vector),
+        };
+      },
+      "oov_sphere");
+}
+
+TEST(SimilarityCacheTest, LookupBatchMatchesLookupLoopIncludingStats) {
+  sim::SimilarityWeights weights;
+  runtime::SimilarityCache batch_cache(1 << 10, 4, weights);
+  runtime::SimilarityCache loop_cache(1 << 10, 4, weights);
+  std::mt19937 rng(20150324);
+  std::uniform_int_distribution<uint64_t> key_pick(1, 500);
+  std::vector<uint64_t> inserted;
+  for (int i = 0; i < 200; ++i) {
+    uint64_t key = key_pick(rng);
+    double value = static_cast<double>(key) * 0.25;
+    batch_cache.Insert(key, value);
+    loop_cache.Insert(key, value);
+    inserted.push_back(key);
+  }
+  // Mixed hit/miss batches, including keys never inserted.
+  for (int round = 0; round < 50; ++round) {
+    std::vector<uint64_t> keys;
+    for (int i = 0; i < 12; ++i) {
+      keys.push_back(i % 3 == 0 ? key_pick(rng) + 1000  // guaranteed miss
+                                : inserted[key_pick(rng) % inserted.size()]);
+    }
+    std::vector<double> batch_values(keys.size(), -1.0);
+    std::vector<uint8_t> batch_found(keys.size(), 0xff);
+    batch_cache.LookupBatch(keys.data(), keys.size(), batch_values.data(),
+                            batch_found.data());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      double loop_value = -1.0;
+      bool loop_found = loop_cache.Lookup(keys[i], &loop_value);
+      ASSERT_EQ(batch_found[i] != 0, loop_found) << "key " << keys[i];
+      if (loop_found) {
+        EXPECT_EQ(Bits(batch_values[i]), Bits(loop_value));
+      }
+    }
+  }
+  runtime::CacheStats batch_stats = batch_cache.GetStats();
+  runtime::CacheStats loop_stats = loop_cache.GetStats();
+  EXPECT_EQ(batch_stats.hits, loop_stats.hits);
+  EXPECT_EQ(batch_stats.misses, loop_stats.misses);
+  EXPECT_EQ(batch_stats.entries, loop_stats.entries);
+}
+
+TEST(EngineThreadsTest, ZeroAutoDetectsHardwareConcurrency) {
+  const SemanticNetwork& network = Network();
+  runtime::EngineOptions options;
+  options.threads = 0;
+  runtime::DisambiguationEngine engine(&network, options);
+  runtime::EngineStats stats = engine.stats();
+  EXPECT_GE(stats.worker_threads, 1);
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw > 0) {
+    EXPECT_EQ(stats.worker_threads, static_cast<int>(hw));
+  }
+  // The auto-sized pool must actually process work.
+  runtime::DocumentJob job;
+  job.name = "doc";
+  job.xml = "<movie><actor>star</actor></movie>";
+  std::vector<runtime::DocumentResult> results = engine.RunBatch({job});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].ok);
+}
+
+}  // namespace
+}  // namespace xsdf

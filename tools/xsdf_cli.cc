@@ -60,7 +60,7 @@ int Usage() {
       "  disambiguate <file.xml> [radius]  annotate and print semantic tree\n"
       "  batch <dir|filelist> [flags]      disambiguate a corpus "
       "concurrently\n"
-      "      --threads N   worker threads (default 4)\n"
+      "      --threads N   worker threads (default 4; 0 = auto-detect)\n"
       "      --radius D    sphere radius (default 2)\n"
       "      --passes P    runs over the corpus; caches stay warm "
       "(default 1)\n"
@@ -93,7 +93,8 @@ int Usage() {
       "      --host H            bind address (default 127.0.0.1)\n"
       "      --snapshot FILE     cold-start from a snapshot instead of\n"
       "                          parsing WNDB / building mini-WordNet\n"
-      "      --threads N         engine workers (default 4)\n"
+      "      --threads N         engine workers (default 4; 0 = "
+      "auto-detect)\n"
       "      --radius D          sphere radius (default 2)\n"
       "      --queue-capacity N  admission queue; overflow answers 429\n"
       "      --max-connections N concurrent connections cap (503 "
@@ -256,7 +257,7 @@ int CmdBatch(const SemanticNetwork& network,
       return Usage();
     }
   }
-  if (input.empty() || threads < 1 || passes < 1 || radius < 1) {
+  if (input.empty() || threads < 0 || passes < 1 || radius < 1) {
     return Usage();
   }
 
@@ -671,9 +672,15 @@ int CmdServe(const std::vector<std::string>& args) {
       return Usage();
     }
   }
-  if (options.port < 0 || options.port > 65535 || threads < 1 ||
+  if (options.port < 0 || options.port > 65535 || threads < 0 ||
       radius < 1 || queue_capacity < 1 || options.max_connections < 1) {
     return Usage();
+  }
+  if (threads == 0) {
+    // Resolve auto-detection here (not just in the engine) so the
+    // startup banner below reports the real pool size.
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads < 1) threads = 1;
   }
   options.engine.threads = threads;
   options.engine.queue_capacity = static_cast<size_t>(queue_capacity);

@@ -1,0 +1,63 @@
+#include "obs/prometheus.h"
+
+#include "common/strings.h"
+
+namespace xsdf::obs {
+
+namespace {
+
+bool LegalNameChar(char c, bool first) {
+  if (c == '_' || c == ':') return true;
+  if (c >= 'a' && c <= 'z') return true;
+  if (c >= 'A' && c <= 'Z') return true;
+  return !first && c >= '0' && c <= '9';
+}
+
+}  // namespace
+
+std::string PrometheusName(std::string_view name) {
+  std::string out = "xsdf_";
+  out.reserve(name.size() + 5);
+  for (char c : name) {
+    // `first` is always false here — the "xsdf_" prefix guarantees a
+    // legal leading character, so digits may pass through anywhere.
+    out.push_back(LegalNameChar(c, false) ? c : '_');
+  }
+  return out;
+}
+
+std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = PrometheusName(name) + "_total";
+    out += StrFormat("# TYPE %s counter\n", prom.c_str());
+    out += StrFormat("%s %llu\n", prom.c_str(),
+                     static_cast<unsigned long long>(value));
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = PrometheusName(name);
+    out += StrFormat("# TYPE %s gauge\n", prom.c_str());
+    out += StrFormat("%s %lld\n", prom.c_str(),
+                     static_cast<long long>(value));
+  }
+  for (const HistogramSnapshot& histogram : snapshot.histograms) {
+    const std::string prom = PrometheusName(histogram.name);
+    out += StrFormat("# TYPE %s histogram\n", prom.c_str());
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < histogram.bounds.size(); ++i) {
+      cumulative += i < histogram.counts.size() ? histogram.counts[i] : 0;
+      out += StrFormat("%s_bucket{le=\"%llu\"} %llu\n", prom.c_str(),
+                       static_cast<unsigned long long>(histogram.bounds[i]),
+                       static_cast<unsigned long long>(cumulative));
+    }
+    out += StrFormat("%s_bucket{le=\"+Inf\"} %llu\n", prom.c_str(),
+                     static_cast<unsigned long long>(histogram.count));
+    out += StrFormat("%s_sum %llu\n", prom.c_str(),
+                     static_cast<unsigned long long>(histogram.sum));
+    out += StrFormat("%s_count %llu\n", prom.c_str(),
+                     static_cast<unsigned long long>(histogram.count));
+  }
+  return out;
+}
+
+}  // namespace xsdf::obs

@@ -1,0 +1,33 @@
+#ifndef XSDF_OBS_PROMETHEUS_H_
+#define XSDF_OBS_PROMETHEUS_H_
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace xsdf::obs {
+
+/// `name` rewritten to a legal Prometheus metric name: every character
+/// outside [a-zA-Z0-9_:] becomes '_' (so "serve.request_us" ->
+/// "serve_request_us"), prefixed with "xsdf_".
+std::string PrometheusName(std::string_view name);
+
+/// Renders a MetricsSnapshot in the Prometheus text exposition format
+/// (version 0.0.4) — the `GET /metrics?format=prom` body:
+///
+///   counters   -> `# TYPE xsdf_<name>_total counter` + one sample
+///   gauges     -> `# TYPE xsdf_<name> gauge` + one sample
+///   histograms -> `# TYPE xsdf_<name> histogram` + cumulative
+///                 `_bucket{le="<bound>"}` series ending in
+///                 `le="+Inf"`, plus `_sum` and `_count`
+///
+/// Buckets are cumulative (each le-labeled sample counts everything at
+/// or below that bound), `le="+Inf"` always equals `_count`, and the
+/// output order follows the snapshot (name-sorted) so scrapes diff
+/// cleanly. tools/validate_obs.py `prom` checks exactly this grammar.
+std::string ToPrometheusText(const MetricsSnapshot& snapshot);
+
+}  // namespace xsdf::obs
+
+#endif  // XSDF_OBS_PROMETHEUS_H_

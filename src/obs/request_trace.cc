@@ -1,0 +1,113 @@
+#include "obs/request_trace.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "obs/json_writer.h"
+
+namespace xsdf::obs {
+
+void SlowRequestBuffer::InsertLocked(Window* window,
+                                     std::unique_ptr<RequestTrace> trace) {
+  if (window->size() >= keep_) {
+    if (trace->total_us() <= window->back()->total_us()) return;
+    window->pop_back();
+  }
+  auto position = std::upper_bound(
+      window->begin(), window->end(), trace,
+      [](const std::unique_ptr<RequestTrace>& a,
+         const std::unique_ptr<RequestTrace>& b) {
+        return a->total_us() > b->total_us();
+      });
+  window->insert(position, std::move(trace));
+}
+
+void SlowRequestBuffer::Offer(std::unique_ptr<RequestTrace> trace,
+                              uint64_t now_ns) {
+  if (trace == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!window_started_) {
+    window_started_ = true;
+    window_start_ns_ = now_ns;
+  } else if (now_ns - window_start_ns_ >= window_ns_) {
+    previous_ = std::move(current_);
+    current_.clear();
+    window_start_ns_ = now_ns;
+  }
+  InsertLocked(&current_, std::move(trace));
+}
+
+size_t SlowRequestBuffer::retained() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_.size() + previous_.size();
+}
+
+std::string SlowRequestBuffer::ToChromeTraceJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // One timestamp origin for the whole export so tids line up on a
+  // shared timeline; the earliest span start across retained traces.
+  uint64_t origin_ns = ~0ull;
+  auto scan = [&](const Window& window) {
+    for (const auto& trace : window) {
+      if (trace->start_ns() < origin_ns) origin_ns = trace->start_ns();
+      for (const RequestTrace::Span& span : trace->spans()) {
+        if (span.start_ns < origin_ns) origin_ns = span.start_ns;
+      }
+    }
+  };
+  scan(current_);
+  scan(previous_);
+  if (origin_ns == ~0ull) origin_ns = 0;
+
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("traceEvents");
+  writer.BeginArray();
+  int tid = 0;
+  auto emit = [&](const Window& window, const char* which) {
+    for (const auto& trace : window) {
+      ++tid;
+      writer.BeginObject();
+      writer.Key("ph").Value("M");
+      writer.Key("pid").Value(1);
+      writer.Key("tid").Value(tid);
+      writer.Key("name").Value("thread_name");
+      writer.Key("args").BeginObject();
+      writer.Key("name").Value(StrFormat(
+          "req %016llx %s [%s, %llu us]",
+          static_cast<unsigned long long>(trace->request_id()),
+          trace->label().c_str(), which,
+          static_cast<unsigned long long>(trace->total_us())));
+      writer.EndObject();
+      writer.EndObject();
+      for (const RequestTrace::Span& span : trace->spans()) {
+        writer.BeginObject();
+        writer.Key("ph").Value("X");
+        writer.Key("pid").Value(1);
+        writer.Key("tid").Value(tid);
+        writer.Key("name").Value(span.name);
+        // Chrome trace timestamps are microseconds; keep three decimals
+        // of sub-µs resolution like TraceSession::ToJson does.
+        writer.Key("ts").Raw(StrFormat(
+            "%llu.%03llu",
+            static_cast<unsigned long long>((span.start_ns - origin_ns) /
+                                            1000),
+            static_cast<unsigned long long>((span.start_ns - origin_ns) %
+                                            1000)));
+        writer.Key("dur").Raw(StrFormat(
+            "%llu.%03llu",
+            static_cast<unsigned long long>(span.dur_ns / 1000),
+            static_cast<unsigned long long>(span.dur_ns % 1000)));
+        writer.EndObject();
+      }
+    }
+  };
+  emit(current_, "current");
+  emit(previous_, "previous");
+  writer.EndArray();
+  writer.Key("retained").Value(static_cast<uint64_t>(tid));
+  writer.EndObject();
+  return writer.TakeString();
+}
+
+}  // namespace xsdf::obs

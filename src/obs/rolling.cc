@@ -1,0 +1,90 @@
+#include "obs/rolling.h"
+
+#include <algorithm>
+
+namespace xsdf::obs {
+
+RollingWindowHistogram::RollingWindowHistogram(std::vector<uint64_t> bounds,
+                                               size_t slots,
+                                               uint64_t slot_ns)
+    : bounds_(std::move(bounds)),
+      slot_ns_(slot_ns == 0 ? 1 : slot_ns),
+      slots_(slots == 0 ? 1 : slots) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  for (Slot& slot : slots_) {
+    slot.epoch = kNeverUsed;
+    slot.counts.assign(bounds_.size() + 1, 0);
+  }
+}
+
+RollingWindowHistogram::Slot& RollingWindowHistogram::ClaimSlot(
+    uint64_t epoch) {
+  Slot& slot = slots_[epoch % slots_.size()];
+  if (slot.epoch != epoch) {
+    // The ring wrapped: this slot's samples fell out of the window the
+    // moment `epoch` became current. Reset lazily, on first use.
+    slot.epoch = epoch;
+    std::fill(slot.counts.begin(), slot.counts.end(), 0);
+    slot.count = 0;
+    slot.sum = 0;
+    slot.max = 0;
+  }
+  return slot;
+}
+
+void RollingWindowHistogram::Record(uint64_t value, uint64_t now_ns) {
+  const uint64_t epoch = now_ns / slot_ns_;
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot& slot = ClaimSlot(epoch);
+  slot.counts[bucket] += 1;
+  slot.count += 1;
+  slot.sum += value;
+  slot.max = std::max(slot.max, value);
+  if (first_epoch_ == kNeverUsed) first_epoch_ = epoch;
+}
+
+HistogramSnapshot RollingWindowHistogram::Summarize(uint64_t now_ns) const {
+  const uint64_t epoch = now_ns / slot_ns_;
+  const uint64_t oldest =
+      epoch >= slots_.size() - 1 ? epoch - (slots_.size() - 1) : 0;
+  HistogramSnapshot snapshot;
+  snapshot.bounds = bounds_;
+  snapshot.counts.assign(bounds_.size() + 1, 0);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Slot& slot : slots_) {
+    if (slot.epoch == kNeverUsed || slot.epoch < oldest ||
+        slot.epoch > epoch) {
+      continue;  // stale ring content outside the live window
+    }
+    for (size_t i = 0; i < snapshot.counts.size(); ++i) {
+      snapshot.counts[i] += slot.counts[i];
+    }
+    snapshot.count += slot.count;
+    snapshot.sum += slot.sum;
+    snapshot.max = std::max(snapshot.max, slot.max);
+  }
+  return snapshot;
+}
+
+double RollingWindowHistogram::RatePerSecond(uint64_t now_ns) const {
+  HistogramSnapshot window = Summarize(now_ns);
+  if (window.count == 0) return 0.0;
+  const uint64_t epoch = now_ns / slot_ns_;
+  uint64_t covered_slots = slots_.size();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (first_epoch_ != kNeverUsed && epoch - first_epoch_ + 1 < covered_slots) {
+      covered_slots = epoch - first_epoch_ + 1;
+    }
+  }
+  const double seconds =
+      static_cast<double>(covered_slots) * static_cast<double>(slot_ns_) /
+      1e9;
+  return seconds > 0.0 ? static_cast<double>(window.count) / seconds : 0.0;
+}
+
+}  // namespace xsdf::obs

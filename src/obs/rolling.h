@@ -1,0 +1,73 @@
+#ifndef XSDF_OBS_ROLLING_H_
+#define XSDF_OBS_ROLLING_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace xsdf::obs {
+
+/// A rolling-window latency estimator: a ring of fixed-duration slots
+/// (default 60 x 1 s), each holding one fixed-bucket histogram. Record
+/// lands the sample in the slot owning `now_ns`; Summarize merges every
+/// slot still inside the window into one HistogramSnapshot and reads
+/// percentiles off it — so `/stats` reports "p99 over the last minute"
+/// rather than "p99 since the daemon started".
+///
+/// A slot whose epoch has rotated out is lazily reset by the next
+/// Record that claims it; Summarize simply skips stale slots, so an
+/// idle instrument decays to empty without any timer thread.
+///
+/// Thread safety: one mutex. This instrument is touched once per HTTP
+/// request (not per node or per cache probe), so at any plausible
+/// request rate the critical section — a bucket search plus two adds —
+/// is noise; striping it would buy nothing but bucket-merge complexity.
+class RollingWindowHistogram {
+ public:
+  /// `bounds` as in obs::Histogram (inclusive upper bucket bounds,
+  /// normalized). `slots` x `slot_ns` is the window length.
+  explicit RollingWindowHistogram(
+      std::vector<uint64_t> bounds = Histogram::LatencyBoundsUs(),
+      size_t slots = 60, uint64_t slot_ns = 1000000000ull);
+
+  void Record(uint64_t value, uint64_t now_ns);
+
+  /// Everything still inside the window as one mergeable snapshot
+  /// (bounds match the construction bounds; `name` left empty).
+  HistogramSnapshot Summarize(uint64_t now_ns) const;
+
+  /// Observed event rate over the window: samples-in-window divided by
+  /// the window seconds actually covered (so a 5 s old process is not
+  /// diluted by 55 empty seconds). 0.0 before any sample.
+  double RatePerSecond(uint64_t now_ns) const;
+
+  uint64_t window_ns() const { return slot_ns_ * slots_.size(); }
+
+ private:
+  struct Slot {
+    /// now_ns / slot_ns of the samples held; kNeverUsed when empty.
+    uint64_t epoch;
+    std::vector<uint64_t> counts;  ///< bounds.size() + 1, as Histogram
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t max = 0;
+  };
+  static constexpr uint64_t kNeverUsed = ~0ull;
+
+  /// The slot for `epoch`, reset if it still holds an older epoch.
+  Slot& ClaimSlot(uint64_t epoch);
+
+  std::vector<uint64_t> bounds_;
+  uint64_t slot_ns_;
+  mutable std::mutex mu_;
+  std::vector<Slot> slots_;
+  /// Epoch of the very first sample — bounds the divisor in
+  /// RatePerSecond for young processes.
+  uint64_t first_epoch_ = kNeverUsed;
+};
+
+}  // namespace xsdf::obs
+
+#endif  // XSDF_OBS_ROLLING_H_

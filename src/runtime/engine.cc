@@ -112,9 +112,20 @@ void DisambiguationEngine::WorkerLoop(int worker_index) {
     if (ins_.queue_depth != nullptr) {
       ins_.queue_depth->Record(queue_.size());
     }
-    if (ins_.job_wait_us != nullptr && item->enqueue_ns != 0) {
-      ins_.job_wait_us->Record(
-          (obs::MonotonicNowNs() - item->enqueue_ns + 500) / 1000);
+    uint64_t queue_wait_us = 0;
+    if (item->enqueue_ns != 0) {
+      // enqueue_ns is only stamped when someone wants the timing (the
+      // registry's histogram or this job's request trace), so one
+      // clock read covers both.
+      const uint64_t dequeue_ns = obs::MonotonicNowNs();
+      queue_wait_us = (dequeue_ns - item->enqueue_ns + 500) / 1000;
+      if (ins_.job_wait_us != nullptr) {
+        ins_.job_wait_us->Record(queue_wait_us);
+      }
+      if (item->job.rtrace != nullptr) {
+        item->job.rtrace->Add("queue_wait", item->enqueue_ns,
+                              dequeue_ns - item->enqueue_ns);
+      }
     }
     if (item->job.deadline_ns != 0 &&
         obs::MonotonicNowNs() >= item->job.deadline_ns) {
@@ -127,16 +138,23 @@ void DisambiguationEngine::WorkerLoop(int worker_index) {
       result.name = item->job.name;
       result.deadline_exceeded = true;
       result.error = "deadline exceeded before processing began";
+      result.worker = worker_index;
+      result.queue_wait_us = queue_wait_us;
       if (ins_.deadline_expired != nullptr) ins_.deadline_expired->Increment();
       item->batch->Complete(std::move(result));
       continue;
     }
-    const uint64_t run_start =
-        ins_.job_run_us != nullptr ? obs::MonotonicNowNs() : 0;
+    const bool time_run =
+        ins_.job_run_us != nullptr || item->job.rtrace != nullptr;
+    const uint64_t run_start = time_run ? obs::MonotonicNowNs() : 0;
     DocumentResult result = Process(disambiguator, tree_cache, item->job);
-    if (ins_.job_run_us != nullptr) {
-      ins_.job_run_us->Record((obs::MonotonicNowNs() - run_start + 500) /
-                              1000);
+    result.worker = worker_index;
+    result.queue_wait_us = queue_wait_us;
+    if (time_run) {
+      result.run_us = (obs::MonotonicNowNs() - run_start + 500) / 1000;
+      if (ins_.job_run_us != nullptr) {
+        ins_.job_run_us->Record(result.run_us);
+      }
     }
     documents_.fetch_add(1, std::memory_order_relaxed);
     if (ins_.documents != nullptr) ins_.documents->Increment();
@@ -167,6 +185,7 @@ DocumentResult DisambiguationEngine::Process(
   // composition is identical, so results are byte-for-byte the same.
   obs::Span doc_span(trace_, "document", job.name);
   xsdf::Result<xml::Document> doc = [&] {
+    obs::RequestSpan rspan(job.rtrace, "parse");
     obs::StageTimer timer(ins_.parse_us, trace_, "parse");
     return xml::Parse(job.xml);
   }();
@@ -181,6 +200,7 @@ DocumentResult DisambiguationEngine::Process(
     ins_.arena_reserved_bytes->Record(doc->arena().bytes_reserved());
   }
   xsdf::Result<xml::LabeledTree> tree = [&] {
+    obs::RequestSpan rspan(job.rtrace, "tree_build");
     obs::StageTimer timer(ins_.tree_build_us, trace_, "tree_build");
     return core::BuildTree(*doc, *network_,
                            options_.disambiguator.include_values,
@@ -193,7 +213,10 @@ DocumentResult DisambiguationEngine::Process(
     result.error = tree.status().ToString();
     return result;
   }
-  auto semantic_tree = disambiguator.RunOnTree(std::move(tree).value());
+  auto semantic_tree = [&] {
+    obs::RequestSpan rspan(job.rtrace, "disambiguate");
+    return disambiguator.RunOnTree(std::move(tree).value());
+  }();
   if (!semantic_tree.ok()) {
     result.error = semantic_tree.status().ToString();
     return result;
@@ -202,6 +225,7 @@ DocumentResult DisambiguationEngine::Process(
   result.node_count = semantic_tree->tree.size();
   result.assignment_count = semantic_tree->assignments.size();
   {
+    obs::RequestSpan rspan(job.rtrace, "serialize");
     obs::StageTimer timer(ins_.serialize_us, trace_, "serialize");
     result.semantic_xml = core::SemanticTreeToXml(*semantic_tree, *network_);
   }
@@ -215,7 +239,9 @@ std::vector<DocumentResult> DisambiguationEngine::RunBatch(
   for (size_t i = 0; i < jobs.size(); ++i) {
     jobs[i].index = i;
     WorkItem item{std::move(jobs[i]), &batch};
-    if (ins_.job_wait_us != nullptr) item.enqueue_ns = obs::MonotonicNowNs();
+    if (ins_.job_wait_us != nullptr || item.job.rtrace != nullptr) {
+      item.enqueue_ns = obs::MonotonicNowNs();
+    }
     if (!queue_.Push(std::move(item))) {
       // Queue closed mid-batch (engine shutting down): record the
       // failure locally so the wait below still terminates.
@@ -235,7 +261,9 @@ std::optional<DocumentResult> DisambiguationEngine::TryRunOne(
   Batch batch(1);
   job.index = 0;
   WorkItem item{std::move(job), &batch};
-  if (ins_.job_wait_us != nullptr) item.enqueue_ns = obs::MonotonicNowNs();
+  if (ins_.job_wait_us != nullptr || item.job.rtrace != nullptr) {
+    item.enqueue_ns = obs::MonotonicNowNs();
+  }
   if (!queue_.TryPush(std::move(item))) return std::nullopt;
   std::unique_lock<std::mutex> lock(batch.mu);
   batch.done.wait(lock, [&] { return batch.remaining == 0; });

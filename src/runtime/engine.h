@@ -11,6 +11,7 @@
 #include "core/disambiguator.h"
 #include "core/tree_builder.h"
 #include "obs/metrics.h"
+#include "obs/request_trace.h"
 #include "obs/trace.h"
 #include "runtime/job_queue.h"
 #include "runtime/sense_inventory_cache.h"
@@ -32,6 +33,13 @@ struct DocumentJob {
   /// being processed (deadline_exceeded in the result) — under
   /// overload, expired work is shed instead of run late.
   uint64_t deadline_ns = 0;
+  /// Optional per-request span sink (non-owning; must outlive the
+  /// job's completion). When set, the worker records queue_wait and
+  /// the engine stages (parse/tree_build/disambiguate/serialize) into
+  /// it, and the result carries queue_wait_us/run_us/worker — the
+  /// serve layer's request-scoped observability. Null (the default)
+  /// adds no clock reads to the batch path.
+  obs::RequestTrace* rtrace = nullptr;
 };
 
 /// The outcome for one job. Results of a batch are ordered by job
@@ -47,6 +55,14 @@ struct DocumentResult {
   std::string semantic_xml;    ///< SemanticTreeToXml() of the output
   size_t node_count = 0;       ///< labeled-tree nodes
   size_t assignment_count = 0; ///< disambiguated nodes
+  /// Worker-pool index that handled (or shed) the job; -1 when the job
+  /// never reached a worker (queue closed mid-batch).
+  int worker = -1;
+  /// Timed only when the engine is instrumented or the job carries an
+  /// rtrace (0 otherwise): time on the admission queue, and worker
+  /// processing time.
+  uint64_t queue_wait_us = 0;
+  uint64_t run_us = 0;
 };
 
 struct EngineOptions {
@@ -140,6 +156,10 @@ class DisambiguationEngine {
 
   const EngineOptions& options() const { return options_; }
   int thread_count() const { return static_cast<int>(workers_.size()); }
+  /// Jobs currently waiting for a worker — the live admission-queue
+  /// depth (the serve layer derives Retry-After from it).
+  size_t queue_depth() const { return queue_.size(); }
+  size_t queue_capacity() const { return queue_.capacity(); }
 
  private:
   struct Batch;

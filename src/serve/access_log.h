@@ -1,0 +1,73 @@
+#ifndef XSDF_SERVE_ACCESS_LOG_H_
+#define XSDF_SERVE_ACCESS_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "common/result.h"
+#include "runtime/job_queue.h"
+
+namespace xsdf::serve {
+
+/// A structured JSONL access-log sink, built so the request path never
+/// blocks on disk:
+///
+///   connection thread --(lock-free local buffer)--> Submit(chunk)
+///       --(bounded queue, TryPush)--> writer thread --> fwrite
+///
+/// Each connection formats finished-request lines into its own
+/// std::string (no shared state, no locks) and hands the accumulated
+/// chunk over when it grows past the flush threshold or the connection
+/// ends. Submit never blocks: when the writer falls behind and the
+/// queue is full the chunk is dropped and counted — under overload the
+/// daemon sheds log lines, not requests. `dropped()` is exported via
+/// /stats so silent loss is visible.
+class AccessLog {
+ public:
+  /// One entry per Submit() chunk; 256 chunks of up to ~4 KiB bounds
+  /// the writer backlog at ~1 MiB.
+  explicit AccessLog(std::string path, size_t queue_capacity = 256);
+  ~AccessLog();
+
+  AccessLog(const AccessLog&) = delete;
+  AccessLog& operator=(const AccessLog&) = delete;
+
+  /// Opens (appends to) the file and starts the writer thread. Call
+  /// once before any Submit.
+  Status Open();
+
+  /// Hands a chunk of complete lines to the writer. Never blocks;
+  /// full queue = chunk dropped and counted. Empty chunks are ignored.
+  void Submit(std::string chunk);
+
+  /// Connections flush their local buffer once it exceeds this many
+  /// bytes (and always at connection end), so a busy keep-alive
+  /// connection amortizes queue hand-offs without holding lines
+  /// hostage for long.
+  static constexpr size_t kFlushBytes = 4096;
+
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  uint64_t written_chunks() const {
+    return written_.load(std::memory_order_relaxed);
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  void WriterLoop();
+
+  std::string path_;
+  runtime::BoundedJobQueue<std::string> queue_;
+  std::FILE* file_ = nullptr;
+  std::thread writer_;
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> written_{0};
+};
+
+}  // namespace xsdf::serve
+
+#endif  // XSDF_SERVE_ACCESS_LOG_H_

@@ -9,9 +9,12 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <random>
 #include <utility>
 
 #include "common/strings.h"
@@ -19,6 +22,7 @@
 #include "core/node_query.h"
 #include "core/tree_builder.h"
 #include "obs/json_writer.h"
+#include "obs/prometheus.h"
 #include "obs/trace.h"
 #include "snapshot/snapshot.h"
 #include "xml/parser.h"
@@ -45,9 +49,45 @@ void SetSocketTimeouts(int fd, int timeout_ms) {
   ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
 }
 
+/// The SplitMix64 output permutation: a cheap, well-mixed bijection —
+/// salt + sequence in, uncorrelated-looking request ids out.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Parses exactly 16 lowercase/uppercase hex digits; 0 on any other
+/// shape (0 is never a valid request id, so it doubles as "absent").
+uint64_t ParseRequestIdHex(const std::string& text) {
+  if (text.size() != 16) return 0;
+  uint64_t value = 0;
+  for (char c : text) {
+    uint64_t digit;
+    if (c >= '0' && c <= '9') digit = static_cast<uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') digit = static_cast<uint64_t>(c - 'a') + 10;
+    else if (c >= 'A' && c <= 'F') digit = static_cast<uint64_t>(c - 'A') + 10;
+    else return 0;
+    value = (value << 4) | digit;
+  }
+  return value;
+}
+
+uint64_t WallClockMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
 }  // namespace
 
-Server::Server(ServeOptions options) : options_(std::move(options)) {
+Server::Server(ServeOptions options)
+    : options_(std::move(options)),
+      slow_requests_(options_.slow_request_keep == 0
+                         ? 1
+                         : options_.slow_request_keep) {
   options_.engine.metrics = options_.metrics;
   if (options_.metrics != nullptr) {
     obs::MetricsRegistry* m = options_.metrics;
@@ -56,7 +96,12 @@ Server::Server(ServeOptions options) : options_(std::move(options)) {
     deadline_counter_ = m->GetCounter("serve.deadline_rejects");
     swap_counter_ = m->GetCounter("serve.swaps");
     request_us_ = m->GetHistogram("serve.request_us");
+    request_2xx_us_ = m->GetHistogram("serve.request_2xx_us");
+    request_4xx_us_ = m->GetHistogram("serve.request_4xx_us");
+    request_5xx_us_ = m->GetHistogram("serve.request_5xx_us");
   }
+  std::random_device entropy;
+  request_id_salt_ = (static_cast<uint64_t>(entropy()) << 32) ^ entropy();
 }
 
 Server::~Server() {
@@ -154,6 +199,15 @@ Status Server::Start() {
     return Status::IoError(std::string("getsockname: ") +
                            std::strerror(err));
   }
+  if (!options_.access_log_path.empty()) {
+    auto log = std::make_unique<AccessLog>(options_.access_log_path);
+    Status opened = log->Open();
+    if (!opened.ok()) {
+      ::close(fd);
+      return opened;
+    }
+    access_log_ = std::move(log);
+  }
   port_ = ntohs(addr.sin_port);
   listen_fd_ = fd;
   return Status::Ok();
@@ -197,11 +251,31 @@ void Server::Run() {
       // budget (not the full io timeout) so a slow client being turned
       // away cannot stall accept() for everyone else.
       SetSocketTimeouts(client, kRejectSendTimeoutMs);
+      const uint64_t start_ns = obs::MonotonicNowNs();
+      RequestContext ctx;
+      ctx.request_id = GenerateRequestId();
       HttpResponse busy;
       busy.status = 503;
+      busy.headers.emplace_back(
+          "X-Xsdf-Request-Id",
+          StrFormat("%016llx",
+                    static_cast<unsigned long long>(ctx.request_id)));
       busy.body = "connection capacity reached\n";
       WriteHttpResponse(client, busy, false);
       ::close(client);
+      const uint64_t end_ns = obs::MonotonicNowNs();
+      const uint64_t total_us = (end_ns - start_ns + 500) / 1000;
+      // Connection-capacity sheds are requests the daemon turned away
+      // without ever parsing them: they still count, get latency
+      // attribution (5xx class) and an access-log line — invisible
+      // rejects would make overload look like lost traffic.
+      RecordRequestLatency("", 503, total_us, end_ns);
+      if (access_log_ != nullptr) {
+        std::string line;
+        AppendAccessLine(&line, ctx, "", "", 503, busy.body.size(),
+                         total_us);
+        access_log_->Submit(std::move(line));
+      }
       continue;
     }
     SetSocketTimeouts(client, options_.io_timeout_ms);
@@ -249,7 +323,15 @@ void Server::ReapFinishedConnections() {
 }
 
 void Server::HandleConnection(int fd, uint64_t connection_id) {
+  const bool tracing = options_.slow_request_keep > 0;
+  // Connection-local access-log buffer: formatted lines accumulate
+  // here (no locks, no shared state) and flush to the sink in chunks.
+  std::string log_buffer;
   for (;;) {
+    // One clock read before the blocking read: the gap to `start_ns`
+    // is the "read" span — header+body receive, plus keep-alive idle
+    // time waiting for the request to arrive.
+    const uint64_t read_start_ns = obs::MonotonicNowNs();
     HttpRequest request;
     Status read = ReadHttpRequest(fd, &request, options_.max_body_bytes);
     if (!read.ok()) {
@@ -262,16 +344,51 @@ void Server::HandleConnection(int fd, uint64_t connection_id) {
       }
       break;
     }
-    const uint64_t start_ns =
-        request_us_ != nullptr ? obs::MonotonicNowNs() : 0;
-    HttpResponse response = Dispatch(request);
-    if (request_us_ != nullptr) {
-      request_us_->Record((obs::MonotonicNowNs() - start_ns + 500) / 1000);
+    const uint64_t start_ns = obs::MonotonicNowNs();
+
+    RequestContext ctx;
+    ctx.request_id = ResolveRequestId(request);
+    if (tracing) {
+      ctx.trace =
+          std::make_unique<obs::RequestTrace>(ctx.request_id, read_start_ns);
+      ctx.trace->Add("read", read_start_ns, start_ns - read_start_ns);
     }
+
+    HttpResponse response;
+    {
+      obs::RequestSpan dispatch_span(ctx.trace.get(), "dispatch");
+      response = Dispatch(request, &ctx);
+    }
+    response.headers.emplace_back(
+        "X-Xsdf-Request-Id",
+        StrFormat("%016llx",
+                  static_cast<unsigned long long>(ctx.request_id)));
+
     bool keep_alive =
         request.keep_alive && !stop_.load(std::memory_order_relaxed);
+    const uint64_t send_start_ns = obs::MonotonicNowNs();
     Status written = WriteHttpResponse(fd, response, keep_alive);
+    const uint64_t end_ns = obs::MonotonicNowNs();
+
+    // Total = dispatch + send; the read span (keep-alive idle) is
+    // excluded so slow clients do not masquerade as slow requests.
+    const uint64_t total_us = (end_ns - start_ns + 500) / 1000;
+    RecordRequestLatency(request.path, response.status, total_us, end_ns);
+    if (access_log_ != nullptr) {
+      AppendAccessLine(&log_buffer, ctx, request.method, request.path,
+                       response.status, response.body.size(), total_us);
+    }
+    if (ctx.trace != nullptr) {
+      ctx.trace->Add("send", send_start_ns, end_ns - send_start_ns);
+      ctx.trace->set_total_us(total_us);
+      ctx.trace->set_label(StrFormat("%s %s -> %d", request.method.c_str(),
+                                     request.path.c_str(), response.status));
+      slow_requests_.Offer(std::move(ctx.trace), end_ns);
+    }
     if (!written.ok() || !keep_alive) break;
+  }
+  if (access_log_ != nullptr && !log_buffer.empty()) {
+    access_log_->Submit(std::move(log_buffer));
   }
   {
     std::lock_guard<std::mutex> lock(connections_mu_);
@@ -282,14 +399,83 @@ void Server::HandleConnection(int fd, uint64_t connection_id) {
   active_connections_.fetch_sub(1, std::memory_order_acq_rel);
 }
 
-HttpResponse Server::Dispatch(const HttpRequest& request) {
+uint64_t Server::GenerateRequestId() {
+  return SplitMix64(request_id_salt_ +
+                    request_id_seq_.fetch_add(1, std::memory_order_relaxed));
+}
+
+uint64_t Server::ResolveRequestId(const HttpRequest& request) {
+  uint64_t supplied =
+      ParseRequestIdHex(request.Header("x-xsdf-request-id", ""));
+  return supplied != 0 ? supplied : GenerateRequestId();
+}
+
+void Server::RecordRequestLatency(const std::string& path, int status,
+                                  uint64_t total_us, uint64_t now_ns) {
+  if (request_us_ != nullptr) {
+    request_us_->Record(total_us);
+    obs::Histogram* by_class = status >= 500   ? request_5xx_us_
+                               : status >= 400 ? request_4xx_us_
+                                               : request_2xx_us_;
+    if (by_class != nullptr) by_class->Record(total_us);
+  }
+  obs::RollingWindowHistogram& rolling =
+      path == "/disambiguate" ? rolling_disambiguate_
+      : path == "/explain"    ? rolling_explain_
+                              : rolling_other_;
+  rolling.Record(total_us, now_ns);
+}
+
+void Server::AppendAccessLine(std::string* buffer, const RequestContext& ctx,
+                              const std::string& method,
+                              const std::string& path, int status,
+                              size_t bytes, uint64_t total_us) {
+  obs::JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("ts_ms").Value(WallClockMs());
+  writer.Key("id").Value(StrFormat(
+      "%016llx", static_cast<unsigned long long>(ctx.request_id)));
+  writer.Key("method").Value(method);
+  writer.Key("path").Value(path);
+  writer.Key("status").Value(status);
+  writer.Key("bytes").Value(static_cast<uint64_t>(bytes));
+  writer.Key("total_us").Value(total_us);
+  writer.Key("deadline_ms").Value(ctx.deadline_budget_ms);
+  writer.Key("queue_us").Value(ctx.queue_wait_us);
+  writer.Key("engine_us").Value(ctx.engine_us);
+  writer.Key("worker").Value(static_cast<int64_t>(ctx.worker));
+  writer.EndObject();
+  *buffer += writer.str();
+  *buffer += '\n';
+  if (buffer->size() >= AccessLog::kFlushBytes) {
+    access_log_->Submit(std::move(*buffer));
+    buffer->clear();
+  }
+}
+
+uint64_t Server::RetryAfterSeconds(const ServingState& state,
+                                   uint64_t now_ns) {
+  const double drain_per_s =
+      rolling_drain_.RatePerSecond(now_ns);
+  const double depth = static_cast<double>(state.engine->queue_depth());
+  // depth jobs ahead, drained at the observed rate; with no drain
+  // history yet assume 1/s (the old hardcoded hint's behavior for a
+  // shallow queue).
+  double seconds = std::ceil(depth / std::max(drain_per_s, 1.0));
+  if (seconds < 1.0) return 1;
+  if (seconds > 30.0) return 30;
+  return static_cast<uint64_t>(seconds);
+}
+
+HttpResponse Server::Dispatch(const HttpRequest& request,
+                              RequestContext* ctx) {
   requests_.fetch_add(1, std::memory_order_relaxed);
   if (requests_counter_ != nullptr) requests_counter_->Increment();
   if (request.path == "/disambiguate") {
     if (request.method != "POST") {
       return {405, {}, "POST required\n"};
     }
-    return HandleDisambiguate(request);
+    return HandleDisambiguate(request, ctx);
   }
   if (request.path == "/explain") {
     if (request.method != "POST") {
@@ -297,8 +483,9 @@ HttpResponse Server::Dispatch(const HttpRequest& request) {
     }
     return HandleExplain(request);
   }
-  if (request.path == "/metrics") return HandleMetrics();
+  if (request.path == "/metrics") return HandleMetrics(request);
   if (request.path == "/stats") return HandleStats();
+  if (request.path == "/debug/slow") return HandleDebugSlow();
   if (request.path == "/healthz") {
     HttpResponse response;
     response.body = "ok\n";
@@ -324,7 +511,8 @@ HttpResponse Server::Dispatch(const HttpRequest& request) {
   return {404, {}, "no such endpoint\n"};
 }
 
-HttpResponse Server::HandleDisambiguate(const HttpRequest& request) {
+HttpResponse Server::HandleDisambiguate(const HttpRequest& request,
+                                        RequestContext* ctx) {
   auto state = CurrentState();
   if (state == nullptr) {
     return {503, {}, "no lexicon installed\n"};
@@ -332,10 +520,12 @@ HttpResponse Server::HandleDisambiguate(const HttpRequest& request) {
   runtime::DocumentJob job;
   job.name = request.Header("x-xsdf-doc-name", "request");
   job.xml = request.body;
+  job.rtrace = ctx->trace.get();
   const std::string& deadline_ms =
       request.Header("x-xsdf-deadline-ms", "");
   if (!deadline_ms.empty()) {
     long ms = std::atol(deadline_ms.c_str());
+    ctx->deadline_budget_ms = ms <= 0 ? 0 : static_cast<uint64_t>(ms);
     // ms <= 0 pins the deadline in the past — deterministic 504, used
     // by the tests to exercise shedding without timing races.
     job.deadline_ns =
@@ -354,10 +544,21 @@ HttpResponse Server::HandleDisambiguate(const HttpRequest& request) {
     overload_rejects_.fetch_add(1, std::memory_order_relaxed);
     if (overload_counter_ != nullptr) overload_counter_->Increment();
     response.status = 429;
-    response.headers.emplace_back("Retry-After", "1");
+    response.headers.emplace_back(
+        "Retry-After",
+        StrFormat("%llu",
+                  static_cast<unsigned long long>(RetryAfterSeconds(
+                      *state, obs::MonotonicNowNs()))));
     response.body = "admission queue full\n";
     return response;
   }
+  // The job left the admission queue (processed or shed): one drain
+  // event for the Retry-After rate estimate, plus the engine
+  // attribution the access log reports.
+  rolling_drain_.Record(result->run_us, obs::MonotonicNowNs());
+  ctx->queue_wait_us = result->queue_wait_us;
+  ctx->engine_us = result->run_us;
+  ctx->worker = result->worker;
   if (result->deadline_exceeded) {
     deadline_rejects_.fetch_add(1, std::memory_order_relaxed);
     if (deadline_counter_ != nullptr) deadline_counter_->Increment();
@@ -437,15 +638,36 @@ HttpResponse Server::HandleExplain(const HttpRequest& request) {
   return response;
 }
 
-HttpResponse Server::HandleMetrics() {
+HttpResponse Server::HandleMetrics(const HttpRequest& request) {
   if (options_.metrics == nullptr) {
     return {404, {}, "no metrics registry attached\n"};
   }
   auto state = CurrentState();
   if (state != nullptr) state->engine->PublishStatsToMetrics();
   HttpResponse response;
+  const std::string format = request.QueryParam("format");
+  if (format == "prom") {
+    // Prometheus text exposition 0.0.4 — what a scrape job ingests
+    // directly; the JSON default stays the tooling interchange format.
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = obs::ToPrometheusText(options_.metrics->Snapshot());
+    return response;
+  }
+  if (!format.empty() && format != "json") {
+    return {400, {}, "unknown ?format= (expected json or prom)\n"};
+  }
   response.content_type = "application/json";
   response.body = options_.metrics->ToJson();
+  return response;
+}
+
+HttpResponse Server::HandleDebugSlow() {
+  if (options_.slow_request_keep == 0) {
+    return {404, {}, "request tracing disabled\n"};
+  }
+  HttpResponse response;
+  response.content_type = "application/json";
+  response.body = slow_requests_.ToChromeTraceJson() + "\n";
   return response;
 }
 
@@ -464,6 +686,40 @@ HttpResponse Server::HandleStats() {
   writer.Key("active_connections");
   writer.Value(static_cast<int64_t>(
       active_connections_.load(std::memory_order_relaxed)));
+  {
+    // Rolling one-minute latency per endpoint group: what "is the
+    // daemon healthy right now" needs, as opposed to the lifetime
+    // histograms /metrics exports.
+    const uint64_t now_ns = obs::MonotonicNowNs();
+    writer.Key("endpoints");
+    writer.BeginObject();
+    auto emit = [&](const char* key,
+                    const obs::RollingWindowHistogram& rolling) {
+      obs::HistogramSnapshot window = rolling.Summarize(now_ns);
+      writer.Key(key);
+      writer.BeginObject();
+      writer.Key("window_s").Value(
+          static_cast<uint64_t>(rolling.window_ns() / 1000000000ull));
+      writer.Key("count").Value(window.count);
+      writer.Key("rate_per_s").Value(rolling.RatePerSecond(now_ns));
+      writer.Key("p50_us").Value(window.ApproxPercentile(0.50));
+      writer.Key("p90_us").Value(window.ApproxPercentile(0.90));
+      writer.Key("p99_us").Value(window.ApproxPercentile(0.99));
+      writer.Key("p999_us").Value(window.ApproxPercentile(0.999));
+      writer.Key("max_us").Value(window.max);
+      writer.EndObject();
+    };
+    emit("disambiguate", rolling_disambiguate_);
+    emit("explain", rolling_explain_);
+    emit("other", rolling_other_);
+    writer.EndObject();
+  }
+  if (access_log_ != nullptr) {
+    writer.Key("access_log_dropped");
+    writer.Value(access_log_->dropped());
+  }
+  writer.Key("slow_traces_retained");
+  writer.Value(static_cast<uint64_t>(slow_requests_.retained()));
   if (state != nullptr) {
     writer.Key("generation");
     writer.Value(static_cast<uint64_t>(state->generation));

@@ -13,7 +13,10 @@
 
 #include "common/result.h"
 #include "obs/metrics.h"
+#include "obs/request_trace.h"
+#include "obs/rolling.h"
 #include "runtime/engine.h"
+#include "serve/access_log.h"
 #include "serve/http.h"
 #include "wordnet/semantic_network.h"
 
@@ -39,6 +42,15 @@ struct ServeOptions {
   /// When non-empty, /admin/swap requires a matching
   /// `X-Xsdf-Admin-Token` request header (shared secret).
   std::string admin_token;
+  /// When non-empty, every finished request (including 429/503/504
+  /// rejects) appends one JSON line here; opened at Start(). See
+  /// AccessLog for the non-blocking hand-off and drop accounting.
+  std::string access_log_path;
+  /// Tail-based trace sampling: the N slowest requests of each rolling
+  /// minute keep their full span tree, served at GET /debug/slow as
+  /// Chrome trace JSON. 0 disables per-request tracing entirely (no
+  /// per-request allocations or extra clock reads).
+  size_t slow_request_keep = 8;
   /// Engine configuration applied to every installed lexicon. Its
   /// `metrics` field is overwritten with `metrics` below.
   runtime::EngineOptions engine;
@@ -57,12 +69,19 @@ struct ServeOptions {
 ///                        429 when the queue is full, 504 past deadline)
 ///   POST /explain?node=Q body = XML document -> per-node audit JSON
 ///   GET  /metrics        metrics registry JSON (same schema as the
-///                        batch CLI's --metrics-out file)
-///   GET  /stats          engine + serve counters JSON
+///                        batch CLI's --metrics-out file);
+///                        ?format=prom switches to Prometheus text
+///                        exposition
+///   GET  /stats          engine + serve counters JSON, plus rolling
+///                        one-minute per-endpoint latency percentiles
+///   GET  /debug/slow     the retained slowest-request span trees as
+///                        Chrome trace JSON (tail-based sampling)
 ///   GET  /healthz        liveness probe
 ///   POST /admin/swap?snapshot=PATH   hot lexicon swap
 ///
-/// Every response carries X-Xsdf-Generation and X-Xsdf-Lexicon
+/// Every response carries X-Xsdf-Request-Id (echoing the client's
+/// X-Xsdf-Request-Id when it parses as 16 hex digits, otherwise a
+/// server-generated id) plus X-Xsdf-Generation and X-Xsdf-Lexicon
 /// identifying the serving state that produced it. A request resolves
 /// the current state exactly once, so a concurrent swap can never mix
 /// lexicons within one response; the old state's engine drains and is
@@ -108,18 +127,52 @@ class Server {
     std::string name;
   };
 
+  /// Request-scoped observability state for one in-flight request:
+  /// its id, the optional span tree, and the engine attribution the
+  /// access log reports. Owned by the connection thread.
+  struct RequestContext {
+    uint64_t request_id = 0;
+    std::unique_ptr<obs::RequestTrace> trace;
+    uint64_t deadline_budget_ms = 0;
+    uint64_t queue_wait_us = 0;
+    uint64_t engine_us = 0;
+    int worker = -1;
+  };
+
   std::shared_ptr<ServingState> CurrentState() const;
   void HandleConnection(int fd, uint64_t connection_id);
   /// Joins connection threads whose handlers have finished. Called from
   /// the accept loop so a long-lived daemon never accumulates dead
   /// threads (one stack per connection otherwise).
   void ReapFinishedConnections();
-  HttpResponse Dispatch(const HttpRequest& request);
-  HttpResponse HandleDisambiguate(const HttpRequest& request);
+  HttpResponse Dispatch(const HttpRequest& request, RequestContext* ctx);
+  HttpResponse HandleDisambiguate(const HttpRequest& request,
+                                  RequestContext* ctx);
   HttpResponse HandleExplain(const HttpRequest& request);
-  HttpResponse HandleMetrics();
+  HttpResponse HandleMetrics(const HttpRequest& request);
   HttpResponse HandleStats();
+  HttpResponse HandleDebugSlow();
   HttpResponse HandleSwap(const HttpRequest& request);
+
+  /// A fresh server-generated id (SplitMix64 over a per-process random
+  /// salt + sequence — unique and unguessable enough for correlation,
+  /// not a secret).
+  uint64_t GenerateRequestId();
+  /// The client's X-Xsdf-Request-Id if it parses as nonzero 16-digit
+  /// hex, otherwise GenerateRequestId().
+  uint64_t ResolveRequestId(const HttpRequest& request);
+  /// Records the request into serve.request_us, the per-status-class
+  /// histogram, and the endpoint's rolling window.
+  void RecordRequestLatency(const std::string& path, int status,
+                            uint64_t total_us, uint64_t now_ns);
+  /// Formats one access-log JSONL line into `*buffer` and flushes the
+  /// buffer to the sink when it crosses AccessLog::kFlushBytes.
+  void AppendAccessLine(std::string* buffer, const RequestContext& ctx,
+                        const std::string& method, const std::string& path,
+                        int status, size_t bytes, uint64_t total_us);
+  /// Seconds until the admission queue likely has room, from current
+  /// depth over the rolling drain rate, clamped to [1, 30].
+  uint64_t RetryAfterSeconds(const ServingState& state, uint64_t now_ns);
 
   ServeOptions options_;
   int port_ = 0;
@@ -153,6 +206,30 @@ class Server {
   obs::Counter* deadline_counter_ = nullptr;
   obs::Counter* swap_counter_ = nullptr;
   obs::Histogram* request_us_ = nullptr;
+  /// Status-class views of the same latency (registered eagerly so
+  /// they export with count 0 before the first error) — a p99 that
+  /// collapses under overload is invisible when fast 429s and slow
+  /// 200s share one histogram.
+  obs::Histogram* request_2xx_us_ = nullptr;
+  obs::Histogram* request_4xx_us_ = nullptr;
+  obs::Histogram* request_5xx_us_ = nullptr;
+
+  /// Rolling one-minute windows behind the /stats percentiles, one per
+  /// endpoint group (the two document endpoints individually; all
+  /// control-plane endpoints pooled).
+  obs::RollingWindowHistogram rolling_disambiguate_;
+  obs::RollingWindowHistogram rolling_explain_;
+  obs::RollingWindowHistogram rolling_other_;
+  /// Engine queue-drain events (any TryRunOne that returned — success,
+  /// failure or shed): the denominator of the Retry-After estimate.
+  obs::RollingWindowHistogram rolling_drain_;
+
+  obs::SlowRequestBuffer slow_requests_;
+  std::unique_ptr<AccessLog> access_log_;
+
+  /// Request-id generator state (see ResolveRequestId).
+  uint64_t request_id_salt_ = 0;
+  std::atomic<uint64_t> request_id_seq_{0};
 };
 
 }  // namespace xsdf::serve

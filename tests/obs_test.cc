@@ -4,12 +4,17 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "obs/json_writer.h"
 #include "obs/metrics.h"
+#include "obs/prometheus.h"
+#include "obs/request_trace.h"
+#include "obs/rolling.h"
 #include "obs/trace.h"
 
 namespace xsdf::obs {
@@ -339,6 +344,198 @@ TEST(TraceTest, FreshSessionGetsFreshThreadLogs) {
   ASSERT_EQ(b.event_count(), 1u);
   EXPECT_EQ(a.Snapshot()[0].name, "in_a");
   EXPECT_EQ(b.Snapshot()[0].name, "in_b");
+}
+
+// ---------------------------------------------------------------------------
+// RollingWindowHistogram
+
+/// What the estimator should answer for percentile `p` over `samples`,
+/// computed from first principles: take the exact nearest-rank order
+/// statistic from the sorted samples, then map it to the histogram's
+/// representable answer — the smallest bucket bound at or above it, or
+/// the observed max when it lands in the overflow bucket.
+uint64_t OraclePercentile(std::vector<uint64_t> samples,
+                          const std::vector<uint64_t>& bounds, double p) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  uint64_t rank =
+      static_cast<uint64_t>(p * static_cast<double>(samples.size()));
+  if (rank == 0) rank = 1;
+  uint64_t exact = samples[rank - 1];
+  for (uint64_t bound : bounds) {
+    if (exact <= bound) return bound;
+  }
+  return samples.back();
+}
+
+TEST(RollingWindowHistogramTest, PercentilesMatchSortedSampleOracle) {
+  const std::vector<uint64_t> bounds = {10, 20, 50, 100, 200, 500};
+  RollingWindowHistogram rolling(bounds, /*slots=*/60,
+                                 /*slot_ns=*/1000000000ull);
+  // A deterministic pseudo-random spread including overflow values,
+  // scattered across a few in-window slots.
+  std::vector<uint64_t> samples;
+  uint64_t x = 12345;
+  for (int i = 0; i < 500; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    samples.push_back((x >> 33) % 700);
+  }
+  const uint64_t base_ns = 1000ull * 1000000000ull;
+  for (size_t i = 0; i < samples.size(); ++i) {
+    rolling.Record(samples[i], base_ns + (i % 30) * 1000000000ull);
+  }
+  const uint64_t now_ns = base_ns + 30ull * 1000000000ull;
+  HistogramSnapshot window = rolling.Summarize(now_ns);
+  ASSERT_EQ(window.count, samples.size());
+  for (double p : {0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_EQ(window.ApproxPercentile(p),
+              OraclePercentile(samples, bounds, p))
+        << "p=" << p;
+  }
+  uint64_t expected_sum = 0;
+  uint64_t expected_max = 0;
+  for (uint64_t s : samples) {
+    expected_sum += s;
+    expected_max = std::max(expected_max, s);
+  }
+  EXPECT_EQ(window.sum, expected_sum);
+  EXPECT_EQ(window.max, expected_max);
+}
+
+TEST(RollingWindowHistogramTest, OldSlotsRotateOutOfTheWindow) {
+  RollingWindowHistogram rolling({100}, /*slots=*/3,
+                                 /*slot_ns=*/1000000000ull);
+  const uint64_t second = 1000000000ull;
+  rolling.Record(50, 0 * second);
+  rolling.Record(50, 1 * second);
+  EXPECT_EQ(rolling.Summarize(1 * second).count, 2u);
+  // At t=3 the slot of t=0 has rotated out; at t=10 everything has.
+  EXPECT_EQ(rolling.Summarize(3 * second).count, 1u);
+  EXPECT_EQ(rolling.Summarize(10 * second).count, 0u);
+  // A new sample reclaims a stale slot (lazy reset: old counts must
+  // not leak into the new epoch).
+  rolling.Record(70, 12 * second);
+  HistogramSnapshot window = rolling.Summarize(12 * second);
+  EXPECT_EQ(window.count, 1u);
+  EXPECT_EQ(window.sum, 70u);
+}
+
+TEST(RollingWindowHistogramTest, RatePerSecondUsesCoveredSlotsOnly) {
+  RollingWindowHistogram rolling({100}, /*slots=*/60,
+                                 /*slot_ns=*/1000000000ull);
+  const uint64_t second = 1000000000ull;
+  EXPECT_EQ(rolling.RatePerSecond(5 * second), 0.0);
+  // 40 samples over the first 4 seconds of life: a young process
+  // reports ~10/s, not 40/60.
+  for (int i = 0; i < 40; ++i) {
+    rolling.Record(1, (100 + i % 4) * second);
+  }
+  double rate = rolling.RatePerSecond(103 * second);
+  EXPECT_NEAR(rate, 10.0, 0.01);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition
+
+TEST(PrometheusTest, SanitizesNamesWithPrefix) {
+  EXPECT_EQ(PrometheusName("serve.request_us"), "xsdf_serve_request_us");
+  EXPECT_EQ(PrometheusName("cache.sim-hits"), "xsdf_cache_sim_hits");
+  EXPECT_EQ(PrometheusName("0weird"), "xsdf_0weird");
+}
+
+TEST(PrometheusTest, RendersCountersGaugesAndCumulativeHistograms) {
+  MetricsRegistry registry;
+  registry.GetCounter("engine.documents")->Increment(3);
+  registry.GetGauge("queue.depth")->Set(-2);
+  Histogram* h = registry.GetHistogram("stage.parse_us", {10, 100});
+  h->Record(5);
+  h->Record(50);
+  h->Record(51);
+  h->Record(5000);  // overflow bucket
+  std::string text = ToPrometheusText(registry.Snapshot());
+  EXPECT_NE(text.find("# TYPE xsdf_engine_documents_total counter\n"
+                      "xsdf_engine_documents_total 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE xsdf_queue_depth gauge\n"
+                      "xsdf_queue_depth -2\n"),
+            std::string::npos);
+  // Cumulative buckets: le="10" holds 1, le="100" holds 3, +Inf == count.
+  EXPECT_NE(text.find("xsdf_stage_parse_us_bucket{le=\"10\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("xsdf_stage_parse_us_bucket{le=\"100\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("xsdf_stage_parse_us_bucket{le=\"+Inf\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("xsdf_stage_parse_us_sum 5106\n"), std::string::npos);
+  EXPECT_NE(text.find("xsdf_stage_parse_us_count 4\n"), std::string::npos);
+  // Every line is either a comment or `name value`.
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    ASSERT_NE(end, std::string::npos) << "missing trailing newline";
+    std::string line = text.substr(start, end - start);
+    if (line[0] != '#') {
+      EXPECT_NE(line.find(' '), std::string::npos) << line;
+    }
+    start = end + 1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RequestTrace / SlowRequestBuffer
+
+TEST(RequestTraceTest, NullTraceSpansAreNoOps) {
+  RequestSpan span(nullptr, "free");  // must not crash or record
+  RequestTrace trace(/*request_id=*/0xabcdef, /*start_ns=*/100);
+  {
+    RequestSpan live(&trace, "stage");
+  }
+  ASSERT_EQ(trace.spans().size(), 1u);
+  EXPECT_STREQ(trace.spans()[0].name, "stage");
+}
+
+TEST(SlowRequestBufferTest, KeepsTheSlowestPerWindow) {
+  SlowRequestBuffer buffer(/*keep=*/2,
+                           /*window_ns=*/60ull * 1000000000ull);
+  for (uint64_t us : {10, 500, 20, 900, 30}) {
+    auto trace = std::make_unique<RequestTrace>(us, /*start_ns=*/us * 1000);
+    trace->set_total_us(us);
+    trace->set_label("r" + std::to_string(us));
+    trace->Add("stage", us * 1000, 10);
+    buffer.Offer(std::move(trace), /*now_ns=*/1);
+  }
+  EXPECT_EQ(buffer.retained(), 2u);
+  std::string json = buffer.ToChromeTraceJson();
+  // The two slowest survived, the rest were displaced.
+  EXPECT_NE(json.find("r900"), std::string::npos);
+  EXPECT_NE(json.find("r500"), std::string::npos);
+  EXPECT_EQ(json.find("r30"), std::string::npos);
+}
+
+TEST(SlowRequestBufferTest, WindowRolloverKeepsPreviousWinners) {
+  const uint64_t window_ns = 10ull * 1000000000ull;
+  SlowRequestBuffer buffer(/*keep=*/2, window_ns);
+  auto offer = [&](uint64_t total_us, uint64_t now_ns) {
+    auto trace = std::make_unique<RequestTrace>(total_us, now_ns);
+    trace->set_total_us(total_us);
+    trace->set_label("t" + std::to_string(total_us));
+    buffer.Offer(std::move(trace), now_ns);
+  };
+  offer(100, 0);
+  offer(200, 1);
+  ASSERT_EQ(buffer.retained(), 2u);
+  // Crossing the window boundary: current -> previous, new current
+  // starts fresh; both remain visible.
+  offer(50, window_ns + 1);
+  EXPECT_EQ(buffer.retained(), 3u);
+  std::string json = buffer.ToChromeTraceJson();
+  EXPECT_NE(json.find("previous"), std::string::npos);
+  EXPECT_NE(json.find("t200"), std::string::npos);
+  EXPECT_NE(json.find("t50"), std::string::npos);
+  // One more rollover: the first window's winners age out entirely.
+  offer(60, 2 * window_ns + 2);
+  std::string aged = buffer.ToChromeTraceJson();
+  EXPECT_EQ(aged.find("t200"), std::string::npos);
 }
 
 }  // namespace

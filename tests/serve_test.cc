@@ -5,7 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
@@ -442,6 +446,295 @@ TEST(ServeTest, AdminSwapEnforcesTokenAndSnapshotDirectory) {
 
   std::filesystem::remove_all(dir);
   std::filesystem::remove(outside);
+}
+
+TEST(ServeTest, RequestIdIsEchoedOrGenerated) {
+  auto network = BuildTinyTaxonomy(0);
+  ServeOptions options;
+  options.port = 0;
+  options.engine.threads = 1;
+  Server server(options);
+  ASSERT_TRUE(server.InstallLexicon(network, "tiny").ok());
+  ASSERT_TRUE(server.Start().ok());
+  ServerRunner runner(&server);
+
+  // A well-formed client id (16 hex digits) is honored verbatim.
+  auto supplied = HttpCall(kHost, server.port(), "POST", "/disambiguate",
+                           {{"X-Xsdf-Request-Id", "00000000deadbeef"}},
+                           "<animal><cat/></animal>", kClientTimeoutMs);
+  ASSERT_TRUE(supplied.ok()) << supplied.status().ToString();
+  EXPECT_EQ(supplied->headers.at("x-xsdf-request-id"), "00000000deadbeef");
+
+  // A malformed id is replaced, and ids without one are generated:
+  // 16 hex digits, distinct across requests.
+  auto is_hex16 = [](const std::string& id) {
+    if (id.size() != 16) return false;
+    for (char c : id) {
+      if (!std::isxdigit(static_cast<unsigned char>(c))) return false;
+    }
+    return true;
+  };
+  auto malformed = HttpCall(kHost, server.port(), "POST", "/disambiguate",
+                            {{"X-Xsdf-Request-Id", "not-hex"}},
+                            "<animal><cat/></animal>", kClientTimeoutMs);
+  ASSERT_TRUE(malformed.ok());
+  const std::string id_a = malformed->headers.at("x-xsdf-request-id");
+  EXPECT_TRUE(is_hex16(id_a)) << id_a;
+  EXPECT_NE(id_a, "not-hex");
+
+  auto generated = HttpCall(kHost, server.port(), "GET", "/healthz", {}, "",
+                            kClientTimeoutMs);
+  ASSERT_TRUE(generated.ok());
+  const std::string id_b = generated->headers.at("x-xsdf-request-id");
+  EXPECT_TRUE(is_hex16(id_b)) << id_b;
+  EXPECT_NE(id_a, id_b);
+}
+
+/// Polls `path` until it holds at least `lines` newline-terminated
+/// lines (the access-log writer runs asynchronously) and returns them.
+std::vector<std::string> WaitForLogLines(const std::string& path,
+                                         size_t lines) {
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    std::ifstream in(path, std::ios::binary);
+    std::vector<std::string> out;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty()) out.push_back(line);
+    }
+    if (out.size() >= lines) return out;
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  return {};
+}
+
+TEST(ServeTest, AccessLogRecordsEveryStatusWithFullSchema) {
+  auto network = MiniNetwork();
+  std::filesystem::path log_path =
+      std::filesystem::temp_directory_path() / "xsdf_serve_access_test.jsonl";
+  std::filesystem::remove(log_path);
+
+  ServeOptions options;
+  options.port = 0;
+  options.engine.threads = 1;
+  options.access_log_path = log_path.string();
+  Server server(options);
+  ASSERT_TRUE(server.InstallLexicon(network, "mini").ok());
+  ASSERT_TRUE(server.Start().ok());
+  {
+    ServerRunner runner(&server);
+    auto ok = HttpCall(kHost, server.port(), "POST", "/disambiguate",
+                       {{"X-Xsdf-Request-Id", "00000000000cafe5"}},
+                       "<animal><cat/></animal>", kClientTimeoutMs);
+    ASSERT_TRUE(ok.ok());
+    ASSERT_EQ(ok->status, 200);
+    auto bad = HttpCall(kHost, server.port(), "POST", "/disambiguate", {},
+                        "<unclosed>", kClientTimeoutMs);
+    ASSERT_TRUE(bad.ok());
+    ASSERT_EQ(bad->status, 400);
+    // Deadline already expired: shed by the worker, still logged (the
+    // whole point of S-class logging — rejected traffic is visible).
+    auto shed = HttpCall(kHost, server.port(), "POST", "/disambiguate",
+                         {{"X-Xsdf-Deadline-Ms", "0"}},
+                         "<animal><dog/></animal>", kClientTimeoutMs);
+    ASSERT_TRUE(shed.ok());
+    ASSERT_EQ(shed->status, 504);
+  }  // runner drains; each HttpCall closed its connection -> flushed
+
+  std::vector<std::string> lines = WaitForLogLines(log_path.string(), 3);
+  ASSERT_EQ(lines.size(), 3u);
+  for (const std::string& line : lines) {
+    // Field-completeness: every key present on every line, whatever
+    // the status (the schema tools/validate_obs.py accesslog checks).
+    for (const char* key :
+         {"\"ts_ms\":", "\"id\":", "\"method\":", "\"path\":",
+          "\"status\":", "\"bytes\":", "\"total_us\":", "\"deadline_ms\":",
+          "\"queue_us\":", "\"engine_us\":", "\"worker\":"}) {
+      EXPECT_NE(line.find(key), std::string::npos)
+          << "missing " << key << " in: " << line;
+    }
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+  EXPECT_NE(lines[0].find("\"id\":\"00000000000cafe5\""), std::string::npos)
+      << lines[0];
+  EXPECT_NE(lines[0].find("\"status\":200"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"status\":400"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"status\":504"), std::string::npos);
+  // The 200 ran through the engine: a worker claimed it.
+  EXPECT_EQ(lines[0].find("\"worker\":-1"), std::string::npos) << lines[0];
+  std::filesystem::remove(log_path);
+}
+
+TEST(ServeTest, RetryAfterIsABoundedIntegerOn429) {
+  auto network = MiniNetwork();
+  ServeOptions options;
+  options.port = 0;
+  options.engine.threads = 1;
+  options.engine.queue_capacity = 1;
+  Server server(options);
+  ASSERT_TRUE(server.InstallLexicon(network, "mini").ok());
+  ASSERT_TRUE(server.Start().ok());
+  ServerRunner runner(&server);
+
+  std::string xml = "<hospital>";
+  for (int i = 0; i < 12; ++i) {
+    xml += "<patient><condition>cold</condition><doctor>head</doctor>"
+           "<bank>blood</bank></patient>";
+  }
+  xml += "</hospital>";
+
+  std::atomic<int> rejected{0};
+  std::atomic<int> bad_header{0};
+  for (int round = 0; round < 5 && rejected.load() == 0; ++round) {
+    std::vector<std::thread> clients;
+    for (int i = 0; i < 8; ++i) {
+      clients.emplace_back([&] {
+        auto response = HttpCall(kHost, server.port(), "POST",
+                                 "/disambiguate", {}, xml, kClientTimeoutMs);
+        if (!response.ok() || response->status != 429) return;
+        ++rejected;
+        auto it = response->headers.find("retry-after");
+        if (it == response->headers.end()) {
+          ++bad_header;
+          return;
+        }
+        char* end = nullptr;
+        long seconds = std::strtol(it->second.c_str(), &end, 10);
+        // Derived from queue depth / drain rate, but always a plain
+        // integer in [1, 30] whatever the live rates were.
+        if (end == it->second.c_str() || *end != '\0' || seconds < 1 ||
+            seconds > 30) {
+          ++bad_header;
+        }
+      });
+    }
+    for (std::thread& client : clients) client.join();
+  }
+  EXPECT_GT(rejected.load(), 0)
+      << "no request was shed across 5 rounds of 8 concurrent clients";
+  EXPECT_EQ(bad_header.load(), 0);
+}
+
+TEST(ServeTest, MetricsPrometheusExposition) {
+  auto network = MiniNetwork();
+  obs::MetricsRegistry registry;
+  ServeOptions options;
+  options.port = 0;
+  options.engine.threads = 1;
+  options.metrics = &registry;
+  Server server(options);
+  ASSERT_TRUE(server.InstallLexicon(network, "mini").ok());
+  ASSERT_TRUE(server.Start().ok());
+  ServerRunner runner(&server);
+
+  auto doc = HttpCall(kHost, server.port(), "POST", "/disambiguate", {},
+                      "<animal><cat/></animal>", kClientTimeoutMs);
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->status, 200);
+
+  auto prom = HttpCall(kHost, server.port(), "GET", "/metrics?format=prom",
+                       {}, "", kClientTimeoutMs);
+  ASSERT_TRUE(prom.ok());
+  EXPECT_EQ(prom->status, 200);
+  EXPECT_NE(prom->headers.at("content-type").find("text/plain"),
+            std::string::npos);
+  const std::string& text = prom->body;
+  EXPECT_NE(text.find("# TYPE xsdf_serve_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE xsdf_serve_request_us histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("xsdf_serve_request_us_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("xsdf_serve_request_us_sum"), std::string::npos);
+  EXPECT_NE(text.find("xsdf_serve_request_us_count"), std::string::npos);
+  // The status-class histograms exist (count 0 or more) from startup.
+  EXPECT_NE(text.find("xsdf_serve_request_2xx_us_count"),
+            std::string::npos);
+  EXPECT_NE(text.find("xsdf_serve_request_5xx_us_count"),
+            std::string::npos);
+
+  auto bad = HttpCall(kHost, server.port(), "GET", "/metrics?format=xml",
+                      {}, "", kClientTimeoutMs);
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(bad->status, 400);
+
+  // The JSON default is unchanged by the new renderer.
+  auto json = HttpCall(kHost, server.port(), "GET", "/metrics", {}, "",
+                       kClientTimeoutMs);
+  ASSERT_TRUE(json.ok());
+  EXPECT_EQ(json->status, 200);
+  EXPECT_NE(json->body.find("\"histograms\""), std::string::npos);
+}
+
+TEST(ServeTest, StatsReportsRollingPercentilesAndDebugSlowHasSpans) {
+  auto network = MiniNetwork();
+  ServeOptions options;
+  options.port = 0;
+  options.engine.threads = 1;
+  Server server(options);
+  ASSERT_TRUE(server.InstallLexicon(network, "mini").ok());
+  ASSERT_TRUE(server.Start().ok());
+  ServerRunner runner(&server);
+
+  for (int i = 0; i < 3; ++i) {
+    auto doc = HttpCall(kHost, server.port(), "POST", "/disambiguate",
+                        {{"X-Xsdf-Request-Id", "000000000000bead"}},
+                        "<animal><cat/></animal>", kClientTimeoutMs);
+    ASSERT_TRUE(doc.ok());
+    ASSERT_EQ(doc->status, 200);
+  }
+
+  auto stats = HttpCall(kHost, server.port(), "GET", "/stats", {}, "",
+                        kClientTimeoutMs);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->status, 200);
+  for (const char* key :
+       {"\"endpoints\"", "\"disambiguate\"", "\"p50_us\"", "\"p99_us\"",
+        "\"p999_us\"", "\"rate_per_s\"", "\"slow_traces_retained\""}) {
+    EXPECT_NE(stats->body.find(key), std::string::npos) << key;
+  }
+  // Three completed /disambiguate requests inside the rolling minute.
+  EXPECT_NE(stats->body.find("\"count\":3"), std::string::npos)
+      << stats->body;
+
+  auto slow = HttpCall(kHost, server.port(), "GET", "/debug/slow", {}, "",
+                       kClientTimeoutMs);
+  ASSERT_TRUE(slow.ok());
+  EXPECT_EQ(slow->status, 200);
+  const std::string& trace = slow->body;
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  // The span tree covers the full request path: connection-side read
+  // and send, queue wait, and the engine stages.
+  for (const char* span : {"\"read\"", "\"queue_wait\"", "\"parse\"",
+                           "\"tree_build\"", "\"disambiguate\"",
+                           "\"serialize\"", "\"send\""}) {
+    EXPECT_NE(trace.find(span), std::string::npos) << span;
+  }
+  // Traces are labeled with the request id, so a log line and a span
+  // tree correlate without guesswork.
+  EXPECT_NE(trace.find("req 000000000000bead"), std::string::npos);
+  EXPECT_NE(trace.find("POST /disambiguate -> 200"), std::string::npos);
+}
+
+TEST(ServeTest, DisabledTracingTurnsDebugSlowOff) {
+  auto network = BuildTinyTaxonomy(0);
+  ServeOptions options;
+  options.port = 0;
+  options.engine.threads = 1;
+  options.slow_request_keep = 0;
+  Server server(options);
+  ASSERT_TRUE(server.InstallLexicon(network, "tiny").ok());
+  ASSERT_TRUE(server.Start().ok());
+  ServerRunner runner(&server);
+
+  auto doc = HttpCall(kHost, server.port(), "POST", "/disambiguate", {},
+                      "<animal><cat/></animal>", kClientTimeoutMs);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->status, 200);
+  auto slow = HttpCall(kHost, server.port(), "GET", "/debug/slow", {}, "",
+                       kClientTimeoutMs);
+  ASSERT_TRUE(slow.ok());
+  EXPECT_EQ(slow->status, 404);
 }
 
 }  // namespace

@@ -7,6 +7,12 @@ Subcommands:
   explain BATCH EXPLAIN  `xsdf explain` output vs `xsdf batch` stdout:
                          the audited chosen sense must be byte-identical
                          to the concept the batch pipeline assigned
+  prom FILE              GET /metrics?format=prom capture: text exposition
+                         format 0.0.4 grammar + histogram bucket invariants
+  accesslog FILE         `xsdf serve --access-log` JSONL: every line parses
+                         and matches the access_log schema
+  loadgen FILE           `xsdf loadgen --json` report: every section matches
+                         the loadgen schema + latency ordering invariants
 
 Uses only the standard library; the schema files under tools/schemas/
 are a small JSON-Schema subset (type / required / properties /
@@ -261,6 +267,200 @@ def validate_explain(args):
     return 0
 
 
+_PROM_NAME = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_PROM_SAMPLE = re.compile(
+    r"([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(-?[0-9.eE+]+|\+Inf|-Inf|NaN)$"
+)
+
+
+def validate_prom(args):
+    """Prometheus text exposition format 0.0.4 grammar + invariants.
+
+    Beyond line grammar: every sample's metric must be declared by a
+    preceding # TYPE line, histogram buckets must be cumulative with a
+    +Inf bucket equal to _count, and counters must end in _total.
+    """
+    with open(args.file, "r", encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    errors = []
+    types = {}  # metric family name -> counter|gauge|histogram
+    samples = []  # (name, labels, value)
+    for number, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in (
+                "counter", "gauge", "histogram", "summary", "untyped"
+            ):
+                errors.append(f"line {number}: malformed TYPE line: {line}")
+                continue
+            if not _PROM_NAME.match(parts[2]):
+                errors.append(f"line {number}: bad metric name '{parts[2]}'")
+            if parts[2] in types:
+                errors.append(f"line {number}: duplicate TYPE for {parts[2]}")
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("# HELP ") or line.startswith("#"):
+            continue
+        match = _PROM_SAMPLE.match(line)
+        if not match:
+            errors.append(f"line {number}: unparseable sample: {line}")
+            continue
+        name, labels, value = match.groups()
+        samples.append((name, labels or "", value, number))
+
+    def family(name):
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in types:
+                return name[: -len(suffix)]
+        return name
+
+    by_family = {}
+    for name, labels, value, number in samples:
+        fam = family(name)
+        if fam not in types:
+            errors.append(f"line {number}: sample '{name}' has no TYPE line")
+            continue
+        by_family.setdefault(fam, []).append((name, labels, value))
+
+    for fam, kind in sorted(types.items()):
+        rows = by_family.get(fam, [])
+        if not rows:
+            errors.append(f"metric {fam}: TYPE declared but no samples")
+            continue
+        if kind == "counter":
+            if not fam.endswith("_total"):
+                errors.append(f"counter {fam}: name must end in _total")
+            for _, _, value in rows:
+                if float(value) < 0:
+                    errors.append(f"counter {fam}: negative value {value}")
+        if kind == "histogram":
+            buckets = []
+            count = total = None
+            for name, labels, value in rows:
+                if name == fam + "_bucket":
+                    le = re.search(r'le="([^"]*)"', labels)
+                    if not le:
+                        errors.append(f"histogram {fam}: bucket without le=")
+                        continue
+                    buckets.append((le.group(1), int(float(value))))
+                elif name == fam + "_count":
+                    count = int(float(value))
+                elif name == fam + "_sum":
+                    total = float(value)
+            if count is None or total is None:
+                errors.append(f"histogram {fam}: missing _sum or _count")
+                continue
+            if not buckets or buckets[-1][0] != "+Inf":
+                errors.append(f"histogram {fam}: final bucket must be +Inf")
+                continue
+            cumulative = [value for _, value in buckets]
+            if cumulative != sorted(cumulative):
+                errors.append(f"histogram {fam}: buckets not cumulative")
+            if buckets[-1][1] != count:
+                errors.append(
+                    f"histogram {fam}: +Inf bucket {buckets[-1][1]} != "
+                    f"_count {count}"
+                )
+    if errors:
+        return fail(errors)
+    kinds = {}
+    for kind in types.values():
+        kinds[kind] = kinds.get(kind, 0) + 1
+    summary = ", ".join(f"{n} {k}" for k, n in sorted(kinds.items()))
+    print(f"OK: prometheus exposition valid ({summary}; {len(samples)} samples)")
+    return 0
+
+
+def validate_accesslog(args):
+    schema = load_json(os.path.join(SCHEMA_DIR, "access_log.schema.json"))
+    errors = []
+    lines = 0
+    statuses = {}
+    with open(args.file, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            lines += 1
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                errors.append(f"line {number}: not JSON ({error})")
+                continue
+            errors.extend(check_schema(record, schema, f"line {number}"))
+            status = record.get("status")
+            statuses[status] = statuses.get(status, 0) + 1
+            # A request that reached a worker must carry attribution;
+            # one that never did must not claim engine time.
+            worker = record.get("worker", -1)
+            if worker == -1 and record.get("engine_us", 0) != 0:
+                errors.append(
+                    f"line {number}: engine_us without a worker claim"
+                )
+    if lines == 0:
+        errors.append("access log is empty")
+    if args.require_status:
+        for wanted in args.require_status:
+            if wanted not in statuses:
+                errors.append(
+                    f"no line with status {wanted} (saw {sorted(statuses)})"
+                )
+    if errors:
+        return fail(errors)
+    spread = ", ".join(f"{s}:{n}" for s, n in sorted(statuses.items()))
+    print(f"OK: access log valid ({lines} lines; status {spread})")
+    return 0
+
+
+def validate_loadgen(args):
+    data = load_json(args.file)
+    schema = load_json(os.path.join(SCHEMA_DIR, "loadgen.schema.json"))
+    errors = []
+    if not isinstance(data, dict) or not data:
+        return fail(["loadgen report must be a non-empty object of sections"])
+    for label, section in sorted(data.items()):
+        errors.extend(check_schema(section, schema, f"$.{label}"))
+        if not isinstance(section, dict):
+            continue
+        latency = section.get("latency_us", {})
+        ordered = [
+            latency.get(key, 0)
+            for key in ("min", "p50", "p90", "p99", "p999", "max")
+        ]
+        if ordered != sorted(ordered):
+            errors.append(f"$.{label}: latency percentiles not monotone")
+        completed = section.get("completed", 0)
+        if latency.get("count") != completed:
+            errors.append(
+                f"$.{label}: latency count {latency.get('count')} != "
+                f"completed {completed}"
+            )
+        by_status = sum(section.get("status", {}).values())
+        if by_status != completed:
+            errors.append(
+                f"$.{label}: status counts sum {by_status} != "
+                f"completed {completed}"
+            )
+        if completed > 0 and not section.get("coordinated_omission_safe"):
+            errors.append(f"$.{label}: latencies not CO-safe")
+    if args.require_status:
+        seen = set()
+        for section in data.values():
+            if isinstance(section, dict):
+                seen.update(section.get("status", {}))
+        for wanted in args.require_status:
+            if str(wanted) not in seen:
+                errors.append(
+                    f"no section observed status {wanted} (saw {sorted(seen)})"
+                )
+    if errors:
+        return fail(errors)
+    print(f"OK: loadgen report valid ({len(data)} section(s))")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     commands = parser.add_subparsers(dest="command", required=True)
@@ -278,6 +478,25 @@ def main():
     explain.add_argument("batch", help="captured `xsdf batch` stdout")
     explain.add_argument("explain", help="`xsdf explain` JSON output")
     explain.set_defaults(handler=validate_explain)
+
+    prom = commands.add_parser("prom")
+    prom.add_argument("file", help="captured GET /metrics?format=prom body")
+    prom.set_defaults(handler=validate_prom)
+
+    accesslog = commands.add_parser("accesslog")
+    accesslog.add_argument("file", help="`xsdf serve --access-log` JSONL file")
+    accesslog.add_argument(
+        "--require-status", type=int, action="append", default=[],
+        help="fail unless a line with this status code is present "
+             "(repeatable)")
+    accesslog.set_defaults(handler=validate_accesslog)
+
+    loadgen = commands.add_parser("loadgen")
+    loadgen.add_argument("file", help="`xsdf loadgen --json` report file")
+    loadgen.add_argument(
+        "--require-status", type=int, action="append", default=[],
+        help="fail unless some section observed this status (repeatable)")
+    loadgen.set_defaults(handler=validate_loadgen)
 
     args = parser.parse_args()
     return args.handler(args)

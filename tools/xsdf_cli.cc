@@ -19,12 +19,14 @@
 #include <atomic>
 #include <cctype>
 #include <chrono>
+#include <cmath>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -105,11 +107,33 @@ int Usage() {
       "inside DIR\n"
       "      --admin-token T     require X-Xsdf-Admin-Token: T on "
       "/admin/swap\n"
+      "      --access-log FILE   append one JSON line per request "
+      "(JSONL)\n"
+      "      --slow-keep N       slowest traces kept per window for\n"
+      "                          GET /debug/slow (default 8; 0 turns\n"
+      "                          request tracing off)\n"
       "  client <host:port> <dir|filelist> [--concurrency N]\n"
       "                                    drive a serve instance; "
       "prints\n"
       "                                    batch-format output, retries "
       "429\n"
+      "  loadgen <host:port> <file.xml | corpus_dir> [flags]\n"
+      "                                    open-loop load test against "
+      "a serve\n"
+      "                                    instance (Poisson arrivals, "
+      "latency\n"
+      "                                    measured from the scheduled "
+      "arrival\n"
+      "                                    time - coordinated-omission "
+      "safe)\n"
+      "      --rps R             offered load, requests/second "
+      "(default 20)\n"
+      "      --duration-s S      test length (default 5)\n"
+      "      --concurrency N     sender threads (default 32)\n"
+      "      --deadline-ms D     X-Xsdf-Deadline-Ms on every request\n"
+      "      --seed S            arrival-schedule seed (default 1)\n"
+      "      --json FILE         write (or merge into) a JSON report\n"
+      "      --label L           report key (default loadgen_<R>rps)\n"
       "env: XSDF_WNDB_DIR=<dir> loads a WNDB directory instead of the\n"
       "     bundled mini-WordNet\n");
   return 2;
@@ -667,6 +691,14 @@ int CmdServe(const std::vector<std::string>& args) {
       }
     } else if (arg == "--admin-token") {
       if (!ParseStringValue(args, &i, &options.admin_token)) return Usage();
+    } else if (arg == "--access-log") {
+      if (!ParseStringValue(args, &i, &options.access_log_path)) {
+        return Usage();
+      }
+    } else if (arg == "--slow-keep") {
+      int keep = 0;
+      if (!ParseIntValue(args, &i, &keep) || keep < 0) return Usage();
+      options.slow_request_keep = static_cast<size_t>(keep);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return Usage();
@@ -743,6 +775,287 @@ int CmdServe(const std::vector<std::string>& args) {
   g_serve_instance = nullptr;
   std::fprintf(stderr, "drained, shutting down\n");
   return 0;
+}
+
+/// SplitMix64 — the arrival-schedule PRNG (seeded, so two runs against
+/// the same daemon offer the identical request timeline).
+uint64_t LoadgenMix64(uint64_t* state) {
+  uint64_t x = (*state += 0x9e3779b97f4a7c15ull);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Exact nearest-rank percentile over a sorted sample vector.
+uint64_t SamplePercentile(const std::vector<uint64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  double rank = std::ceil(p * static_cast<double>(sorted.size()));
+  size_t index = rank < 1.0 ? 0 : static_cast<size_t>(rank) - 1;
+  if (index >= sorted.size()) index = sorted.size() - 1;
+  return sorted[index];
+}
+
+int CmdLoadgen(const std::vector<std::string>& args) {
+  std::string endpoint;
+  std::string input;
+  int rps = 20;
+  int duration_s = 5;
+  int concurrency = 32;
+  int deadline_ms = 0;
+  int seed = 1;
+  int timeout_ms = 60000;
+  std::string json_out;
+  std::string label;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--rps") {
+      if (!ParseIntValue(args, &i, &rps)) return Usage();
+    } else if (arg == "--duration-s") {
+      if (!ParseIntValue(args, &i, &duration_s)) return Usage();
+    } else if (arg == "--concurrency") {
+      if (!ParseIntValue(args, &i, &concurrency)) return Usage();
+    } else if (arg == "--deadline-ms") {
+      if (!ParseIntValue(args, &i, &deadline_ms)) return Usage();
+    } else if (arg == "--seed") {
+      if (!ParseIntValue(args, &i, &seed)) return Usage();
+    } else if (arg == "--timeout-ms") {
+      if (!ParseIntValue(args, &i, &timeout_ms)) return Usage();
+    } else if (arg == "--json") {
+      if (!ParseStringValue(args, &i, &json_out)) return Usage();
+    } else if (arg == "--label") {
+      if (!ParseStringValue(args, &i, &label)) return Usage();
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return Usage();
+    } else if (endpoint.empty()) {
+      endpoint = arg;
+    } else if (input.empty()) {
+      input = arg;
+    } else {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+      return Usage();
+    }
+  }
+  size_t colon = endpoint.rfind(':');
+  if (endpoint.empty() || input.empty() || rps < 1 || duration_s < 1 ||
+      concurrency < 1 || timeout_ms < 1 || colon == std::string::npos) {
+    return Usage();
+  }
+  std::string host = endpoint.substr(0, colon);
+  int port = std::atoi(endpoint.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) return Usage();
+  if (label.empty()) label = "loadgen_" + std::to_string(rps) + "rps";
+
+  // A file is sent as-is; a directory round-robins its .xml documents
+  // across the schedule (same corpus convention as `xsdf client`).
+  std::vector<std::string> bodies;
+  std::vector<std::string> names;
+  std::error_code ec;
+  if (std::filesystem::is_directory(input, ec)) {
+    std::vector<std::filesystem::path> paths;
+    for (const auto& entry : std::filesystem::directory_iterator(input)) {
+      if (entry.is_regular_file() && entry.path().extension() == ".xml") {
+        paths.push_back(entry.path());
+      }
+    }
+    std::sort(paths.begin(), paths.end());
+    for (const auto& path : paths) {
+      std::ifstream file(path, std::ios::binary);
+      std::ostringstream content;
+      content << file.rdbuf();
+      bodies.push_back(content.str());
+      names.push_back(path.string());
+    }
+    if (bodies.empty()) {
+      std::fprintf(stderr, "no .xml documents in %s\n", input.c_str());
+      return 1;
+    }
+  } else {
+    std::ifstream file(input, std::ios::binary);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", input.c_str());
+      return 1;
+    }
+    std::ostringstream content;
+    content << file.rdbuf();
+    bodies.push_back(content.str());
+    names.push_back(input);
+  }
+
+  // Open-loop Poisson schedule, precomputed: exponential inter-arrival
+  // gaps at the offered rate, independent of how the server responds.
+  // Senders never wait for a previous response before the next send is
+  // due, and latency is measured from the *scheduled* arrival — a
+  // stalled server inflates the recorded tail instead of silently
+  // thinning the offered load (the coordinated-omission trap).
+  std::vector<uint64_t> schedule_ns;
+  {
+    uint64_t prng = static_cast<uint64_t>(seed);
+    const double horizon_s = static_cast<double>(duration_s);
+    double t = 0.0;
+    for (;;) {
+      // Uniform in (0, 1]: top 53 bits, with 0 mapped away so log() is
+      // finite.
+      double u =
+          (static_cast<double>(LoadgenMix64(&prng) >> 11) + 1.0) / 9007199254740993.0;
+      t += -std::log(u) / static_cast<double>(rps);
+      if (t >= horizon_s) break;
+      schedule_ns.push_back(static_cast<uint64_t>(t * 1e9));
+    }
+  }
+  if (schedule_ns.empty()) {
+    std::fprintf(stderr, "empty schedule (rps too low for duration)\n");
+    return 1;
+  }
+
+  struct SenderState {
+    std::vector<uint64_t> latency_us;
+    std::map<int, uint64_t> by_status;
+    uint64_t errors = 0;
+  };
+  std::vector<SenderState> senders(static_cast<size_t>(concurrency));
+  std::atomic<size_t> next{0};
+  const auto test_start = std::chrono::steady_clock::now();
+  auto sender = [&](SenderState* state) {
+    for (;;) {
+      size_t index = next.fetch_add(1);
+      if (index >= schedule_ns.size()) return;
+      const size_t doc = index % bodies.size();
+      std::vector<std::pair<std::string, std::string>> headers = {
+          {"X-Xsdf-Doc-Name", names[doc]}};
+      if (deadline_ms > 0) {
+        headers.emplace_back("X-Xsdf-Deadline-Ms",
+                             std::to_string(deadline_ms));
+      }
+      const auto scheduled =
+          test_start + std::chrono::nanoseconds(schedule_ns[index]);
+      // Behind schedule (all senders busy): send immediately; the
+      // queueing delay stays inside the recorded latency.
+      std::this_thread::sleep_until(scheduled);
+      auto response = xsdf::serve::HttpCall(host, port, "POST",
+                                            "/disambiguate", headers,
+                                            bodies[doc], timeout_ms);
+      const auto done = std::chrono::steady_clock::now();
+      if (!response.ok()) {
+        ++state->errors;
+        continue;
+      }
+      state->by_status[response->status]++;
+      state->latency_us.push_back(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(done -
+                                                                scheduled)
+              .count()));
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(senders.size());
+  for (SenderState& state : senders) {
+    threads.emplace_back(sender, &state);
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    test_start)
+          .count();
+
+  std::vector<uint64_t> latencies;
+  std::map<int, uint64_t> by_status;
+  uint64_t errors = 0;
+  for (const SenderState& state : senders) {
+    latencies.insert(latencies.end(), state.latency_us.begin(),
+                     state.latency_us.end());
+    for (const auto& [status, count] : state.by_status) {
+      by_status[status] += count;
+    }
+    errors += state.errors;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  uint64_t latency_sum = 0;
+  for (uint64_t value : latencies) latency_sum += value;
+
+  xsdf::obs::JsonWriter report;
+  report.BeginObject();
+  report.Key("target_rps").Value(rps);
+  report.Key("duration_s").Value(duration_s);
+  report.Key("concurrency").Value(concurrency);
+  report.Key("seed").Value(seed);
+  report.Key("offered").Value(static_cast<uint64_t>(schedule_ns.size()));
+  report.Key("completed").Value(static_cast<uint64_t>(latencies.size()));
+  report.Key("errors").Value(errors);
+  report.Key("achieved_rps")
+      .Value(wall_s > 0.0
+                 ? static_cast<double>(latencies.size()) / wall_s
+                 : 0.0);
+  report.Key("coordinated_omission_safe").Value(true);
+  report.Key("status");
+  report.BeginObject();
+  for (const auto& [status, count] : by_status) {
+    report.Key(std::to_string(status)).Value(count);
+  }
+  report.EndObject();
+  report.Key("latency_us");
+  report.BeginObject();
+  report.Key("count").Value(static_cast<uint64_t>(latencies.size()));
+  report.Key("min").Value(latencies.empty() ? 0 : latencies.front());
+  report.Key("p50").Value(SamplePercentile(latencies, 0.50));
+  report.Key("p90").Value(SamplePercentile(latencies, 0.90));
+  report.Key("p99").Value(SamplePercentile(latencies, 0.99));
+  report.Key("p999").Value(SamplePercentile(latencies, 0.999));
+  report.Key("max").Value(latencies.empty() ? 0 : latencies.back());
+  report.Key("mean").Value(
+      latencies.empty()
+          ? 0.0
+          : static_cast<double>(latency_sum) /
+                static_cast<double>(latencies.size()));
+  report.EndObject();
+  report.EndObject();
+
+  std::fprintf(
+      stderr,
+      "%s: offered %zu @ %d rps, completed %zu (%llu errors) | "
+      "p50 %llu us, p99 %llu us, max %llu us\n",
+      label.c_str(), schedule_ns.size(), rps, latencies.size(),
+      static_cast<unsigned long long>(errors),
+      static_cast<unsigned long long>(SamplePercentile(latencies, 0.50)),
+      static_cast<unsigned long long>(SamplePercentile(latencies, 0.99)),
+      static_cast<unsigned long long>(
+          latencies.empty() ? 0 : latencies.back()));
+  for (const auto& [status, count] : by_status) {
+    std::fprintf(stderr, "  HTTP %d: %llu\n", status,
+                 static_cast<unsigned long long>(count));
+  }
+
+  if (!json_out.empty()) {
+    // Merge into an existing JSON object file (e.g. BENCH_serve.json,
+    // whose writer we control) by replacing its final '}' with our
+    // keyed section; otherwise write a fresh single-key object.
+    std::string existing;
+    {
+      std::ifstream in(json_out, std::ios::binary);
+      if (in) {
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        existing = buffer.str();
+      }
+    }
+    while (!existing.empty() &&
+           (existing.back() == '\n' || existing.back() == ' ')) {
+      existing.pop_back();
+    }
+    std::string merged;
+    if (!existing.empty() && existing.back() == '}' && existing != "{}") {
+      existing.pop_back();
+      merged = existing + ",\n  \"" + label + "\": " + report.str() + "\n}\n";
+    } else {
+      merged = "{\n  \"" + label + "\": " + report.str() + "\n}\n";
+    }
+    if (!WriteTextFile(json_out, merged)) return 1;
+    std::fprintf(stderr, "report merged into %s as \"%s\"\n",
+                 json_out.c_str(), label.c_str());
+  } else {
+    std::printf("%s\n", report.str().c_str());
+  }
+  return errors == schedule_ns.size() ? 1 : 0;
 }
 
 int CmdClient(const std::vector<std::string>& args) {
@@ -931,6 +1244,9 @@ int main(int argc, char** argv) {
   }
   if (command == "client") {
     return CmdClient(rest);
+  }
+  if (command == "loadgen") {
+    return CmdLoadgen(rest);
   }
   return Usage();
 }

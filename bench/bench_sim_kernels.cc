@@ -31,10 +31,15 @@
 
 #include "bench_env.h"
 #include "common/simd.h"
+#include "core/disambiguator.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
 #include "runtime/similarity_cache.h"
 #include "sim/combined.h"
+#include "sim/conceptual_density.h"
 #include "sim/gloss_overlap.h"
 #include "sim/lin.h"
+#include "sim/measure_config.h"
 #include "sim/resnik.h"
 #include "sim/wu_palmer.h"
 #include "wordnet/mini_wordnet.h"
@@ -186,6 +191,74 @@ std::vector<MicroResult> RunSimdKernelMicro() {
   return results;
 }
 
+/// One row of the accuracy-vs-latency table: full disambiguation over
+/// the generated experiments corpus under one measure composition.
+struct AccuracyLatency {
+  std::string label;
+  std::string spec;
+  xsdf::eval::PrfScores scores;
+  double us_per_doc = 0.0;
+};
+
+/// Scores every production composition on the experiments corpus
+/// (single thread, radius 2) and times RunOnTree only — the data
+/// behind README's "Choosing measures" table. Accuracy must match
+/// tests/golden/accuracy_golden.json; latency is this machine's.
+std::vector<AccuracyLatency> RunAccuracyVsLatency(
+    const SemanticNetwork& network) {
+  std::vector<AccuracyLatency> out;
+  auto corpus_result = xsdf::eval::BuildCorpus(network);
+  if (!corpus_result.ok()) {
+    std::fprintf(stderr, "BuildCorpus: %s\n",
+                 corpus_result.status().ToString().c_str());
+    return out;
+  }
+  const auto& corpus = *corpus_result;
+
+  std::vector<std::pair<std::string, xsdf::sim::MeasureConfig>> configs;
+  configs.emplace_back("paper-hybrid",
+                       xsdf::sim::MeasureConfig::PaperHybrid());
+  for (const char* name : {"wu-palmer", "lin", "gloss-overlap", "resnik",
+                           "conceptual-density"}) {
+    xsdf::sim::MeasureConfig single;
+    single.entries = {{name, 1.0}};
+    configs.emplace_back(name, single);
+  }
+  configs.emplace_back(
+      "hybrid-plus-density",
+      *xsdf::sim::MeasureConfig::Parse(
+          "wu-palmer:0.25,lin:0.25,gloss-overlap:0.25,"
+          "conceptual-density:0.25"));
+
+  for (const auto& [label, config] : configs) {
+    xsdf::core::DisambiguatorOptions options;
+    options.sphere_radius = 2;
+    options.measure_config = config;
+    xsdf::core::Disambiguator disambiguator(&network, options);
+    std::vector<xsdf::eval::PrfScores> parts;
+    double total_us = 0.0;
+    size_t docs = 0;
+    for (const auto& doc : corpus) {
+      auto start = std::chrono::steady_clock::now();
+      auto result = disambiguator.RunOnTree(doc.tree);
+      total_us += std::chrono::duration<double, std::micro>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+      if (!result.ok()) continue;
+      ++docs;
+      parts.push_back(
+          xsdf::eval::ScoreOnNodes(*result, doc.gold, doc.target_sample));
+    }
+    AccuracyLatency row;
+    row.label = label;
+    row.spec = config.ToSpec();
+    row.scores = xsdf::eval::CombinePrf(parts);
+    row.us_per_doc = docs > 0 ? total_us / static_cast<double>(docs) : 0.0;
+    out.push_back(row);
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -214,6 +287,7 @@ int main(int argc, char** argv) {
   xsdf::sim::ResnikMeasure resnik;
   xsdf::sim::LinMeasure lin;
   xsdf::sim::GlossOverlapMeasure gloss;
+  xsdf::sim::ConceptualDensityMeasure density;
 
   // Bit-exact equivalence gate: every fast kernel must reproduce its
   // legacy score on every sampled pair. Run in both modes — a
@@ -237,12 +311,21 @@ int main(int argc, char** argv) {
                        ConceptId b) {
     return xsdf::sim::GlossOverlapMeasure().Similarity(n, a, b);
   };
+  auto density_fast = [](const SemanticNetwork& n, ConceptId a,
+                         ConceptId b) {
+    // One shared instance: the subtree table is lazily built once, as
+    // in production; a fresh instance per call would time table builds.
+    static xsdf::sim::ConceptualDensityMeasure measure;
+    return measure.Similarity(n, a, b);
+  };
   const Check checks[] = {
       {"wu_palmer", wu_fast, &xsdf::sim::WuPalmerMeasure::LegacySimilarity},
       {"resnik", resnik_fast, &xsdf::sim::ResnikMeasure::LegacySimilarity},
       {"lin", lin_fast, &xsdf::sim::LinMeasure::LegacySimilarity},
       {"gloss_overlap", gloss_fast,
        &xsdf::sim::GlossOverlapMeasure::LegacySimilarity},
+      {"conceptual_density", density_fast,
+       &xsdf::sim::ConceptualDensityMeasure::LegacySimilarity},
   };
   size_t mismatches = 0;
   const std::vector<xsdf::simd::Level> levels = SupportedLevels();
@@ -267,7 +350,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%zu kernel mismatches\n", mismatches);
     return 1;
   }
-  std::printf("equivalence: %zu pairs x 4 kernels x %zu levels "
+  std::printf("equivalence: %zu pairs x 5 kernels x %zu levels "
               "bit-identical\n",
               pairs.size(), levels.size());
   if (smoke) return 0;
@@ -324,6 +407,21 @@ int main(int argc, char** argv) {
                          });
   results.push_back(gl);
 
+  KernelResult cd{"conceptual_density"};
+  cd.legacy_ns = TimePairs(pairs, rounds, &checksum,
+                           [&](ConceptId a, ConceptId b) {
+                             return xsdf::sim::ConceptualDensityMeasure::
+                                 LegacySimilarity(network, a, b);
+                           });
+  // Prime the lazily built subtree table so fast_ns is the per-pair
+  // steady state, not a one-off table build.
+  density.Similarity(network, pairs[0].first, pairs[0].second);
+  cd.fast_ns = TimePairs(pairs, rounds, &checksum,
+                         [&](ConceptId a, ConceptId b) {
+                           return density.Similarity(network, a, b);
+                         });
+  results.push_back(cd);
+
   // Warm path: CombinedMeasure through a primed shared SimilarityCache
   // — the cost of a cache hit, which dominates steady-state batches.
   xsdf::sim::SimilarityWeights weights;
@@ -345,6 +443,16 @@ int main(int argc, char** argv) {
                 r.legacy_ns, r.fast_ns, r.speedup());
   }
   std::printf("%-14s %14s %14.1f\n", "combined-warm", "-", warm_ns);
+
+  // Full-pipeline accuracy vs latency per measure composition.
+  std::vector<AccuracyLatency> accuracy = RunAccuracyVsLatency(network);
+  std::printf("%-20s %9s %9s %9s %11s\n", "composition", "precision",
+              "recall", "f", "us/doc");
+  for (const AccuracyLatency& row : accuracy) {
+    std::printf("%-20s %9.4f %9.4f %9.4f %11.1f\n", row.label.c_str(),
+                row.scores.precision, row.scores.recall,
+                row.scores.f_value, row.us_per_doc);
+  }
 
   // Raw dispatched-kernel timings per level: the lane-width effect
   // itself, isolated from measure-level table walks and FP.
@@ -378,6 +486,19 @@ int main(int argc, char** argv) {
                  "\"fast_ns_per_pair\": %.1f, \"speedup\": %.2f}%s\n",
                  r.name.c_str(), r.legacy_ns, r.fast_ns, r.speedup(),
                  i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(json, "  ],\n");
+  std::fprintf(json, "  \"accuracy_vs_latency\": [\n");
+  for (size_t i = 0; i < accuracy.size(); ++i) {
+    const AccuracyLatency& row = accuracy[i];
+    std::fprintf(json,
+                 "    {\"label\": \"%s\", \"measures\": \"%s\", "
+                 "\"precision\": %.4f, \"recall\": %.4f, \"f\": %.4f, "
+                 "\"us_per_doc\": %.1f}%s\n",
+                 row.label.c_str(), row.spec.c_str(),
+                 row.scores.precision, row.scores.recall,
+                 row.scores.f_value, row.us_per_doc,
+                 i + 1 < accuracy.size() ? "," : "");
   }
   std::fprintf(json, "  ],\n");
   std::fprintf(json, "  \"simd_kernel_micro\": [\n");

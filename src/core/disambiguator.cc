@@ -15,7 +15,7 @@ Disambiguator::Disambiguator(const wordnet::SemanticNetwork* network,
                              DisambiguatorOptions options)
     : network_(network),
       options_(options),
-      measure_(options.similarity_weights) {
+      measure_(options.EffectiveMeasureConfig()) {
   measure_.set_external_cache(options_.similarity_cache);
   if (options_.label_space != nullptr) {
     label_space_ = options_.label_space;

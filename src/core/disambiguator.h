@@ -62,6 +62,22 @@ struct DisambiguatorOptions {
   /// Semantic similarity combination (Definition 9).
   sim::SimilarityWeights similarity_weights;
 
+  /// Registry measure composition (the `--measures` flag). When
+  /// non-empty it overrides `similarity_weights` and must be valid
+  /// (MeasureConfig::Validate() OK — the CLI guarantees this by going
+  /// through MeasureConfig::Parse); when empty the paper hybrid under
+  /// `similarity_weights` is used. Always read it through
+  /// EffectiveMeasureConfig() so the measure the disambiguator builds,
+  /// the fingerprint the engine keys its similarity cache on, and the
+  /// spec string serve reports can never disagree.
+  sim::MeasureConfig measure_config;
+
+  /// The composition actually in effect under the override rule above.
+  sim::MeasureConfig EffectiveMeasureConfig() const {
+    return measure_config.empty() ? similarity_weights.ToConfig()
+                                  : measure_config;
+  }
+
   /// Disambiguation process and, for kCombined, its weights (Eq. 13).
   DisambiguationProcess process = DisambiguationProcess::kConceptBased;
   CombinationWeights combination_weights;

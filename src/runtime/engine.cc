@@ -75,10 +75,13 @@ DisambiguationEngine::DisambiguationEngine(
   label_space_ = std::make_unique<core::LabelSpace>(network_);
   options_.disambiguator.label_space = label_space_.get();
   if (options_.enable_similarity_cache) {
+    // Keyed on the full effective composition: a cache built for one
+    // --measures config can never serve (or be polluted by) another.
     similarity_cache_ = std::make_unique<SimilarityCache>(
         options_.similarity_cache_capacity,
         options_.similarity_cache_shards,
-        options_.disambiguator.similarity_weights);
+        SimilarityCache::ConfigFingerprint(
+            options_.disambiguator.EffectiveMeasureConfig()));
     options_.disambiguator.similarity_cache = similarity_cache_.get();
   }
   if (options_.enable_sense_cache) {

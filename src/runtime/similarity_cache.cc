@@ -36,8 +36,8 @@ size_t RoundUpPow2(size_t n) {
 }  // namespace
 
 SimilarityCache::SimilarityCache(size_t capacity, size_t stripe_count,
-                                 const sim::SimilarityWeights& weights)
-    : weights_fp_(WeightsFingerprint(weights)) {
+                                 uint64_t config_fingerprint)
+    : config_fp_(config_fingerprint) {
   size_t slots = RoundUpPow2(capacity < 64 ? 64 : capacity);
   size_t set_count = slots / kWays;
   set_mask_ = set_count - 1;
@@ -47,19 +47,25 @@ SimilarityCache::SimilarityCache(size_t capacity, size_t stripe_count,
   stripes_ = std::make_unique<Stripe[]>(stripes);
 }
 
+SimilarityCache::SimilarityCache(size_t capacity, size_t stripe_count,
+                                 const sim::SimilarityWeights& weights)
+    : SimilarityCache(capacity, stripe_count, WeightsFingerprint(weights)) {}
+
+uint64_t SimilarityCache::ConfigFingerprint(
+    const sim::MeasureConfig& config) {
+  return config.Fingerprint();
+}
+
 uint64_t SimilarityCache::WeightsFingerprint(
     const sim::SimilarityWeights& weights) {
-  uint64_t fp = Mix64(DoubleBits(weights.edge));
-  fp = Mix64(fp ^ DoubleBits(weights.node));
-  fp = Mix64(fp ^ DoubleBits(weights.gloss));
-  return fp;
+  return ConfigFingerprint(weights.ToConfig());
 }
 
 uint64_t SimilarityCache::MixKey(uint64_t pair_key) const {
   // Bijective in pair_key for the fixed fingerprint, so no two pairs
-  // share a stored key; XOR keeps distinct weight configurations on
+  // share a stored key; XOR keeps distinct measure compositions on
   // disjoint key sets if callers ever share one store.
-  return Mix64(pair_key) ^ weights_fp_;
+  return Mix64(pair_key) ^ config_fp_;
 }
 
 bool SimilarityCache::Lookup(uint64_t pair_key, double* value) {

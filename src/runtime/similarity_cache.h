@@ -13,12 +13,17 @@ namespace xsdf::runtime {
 
 /// Thread-safe shared memo for sim::CombinedMeasure, shared by every
 /// worker of an engine. Entries are keyed on (concept pair, measure
-/// weights): the pair key comes from the measure through the
-/// SimilarityCacheHook interface, and the weights fingerprint is fixed
-/// at construction.
+/// composition): the pair key comes from the measure through the
+/// SimilarityCacheHook interface, and the fingerprint of the full
+/// ordered (measure-name, weight) composition — MeasureConfig::
+/// Fingerprint() — is fixed at construction. Keying on the whole
+/// composition, not just the three default weights, means two
+/// different configs (say the paper hybrid and conceptual-density:1)
+/// occupy provably disjoint key spaces and can never alias an entry,
+/// even if a future refactor shares one table between them.
 ///
 /// The stored key is a single pre-mixed 64-bit word,
-/// Mix64(pair_key) ^ weights_fp. Mix64 is bijective, so within one
+/// Mix64(pair_key) ^ config_fp. Mix64 is bijective, so within one
 /// cache instance (one fixed fingerprint) distinct pairs can never
 /// collide, and the mixed bits index the table directly.
 ///
@@ -40,6 +45,13 @@ class SimilarityCache : public sim::SimilarityCacheHook {
   /// `capacity` is rounded up to a power-of-two slot count (>= 64).
   /// `stripe_count` stripes the statistics counters (rounded up to a
   /// power of two); it no longer affects data placement.
+  /// `config_fingerprint` is the MeasureConfig::Fingerprint() of the
+  /// composition whose values this cache stores.
+  SimilarityCache(size_t capacity, size_t stripe_count,
+                  uint64_t config_fingerprint);
+
+  /// Convenience: a cache for the paper hybrid under `weights`
+  /// (fingerprint = ConfigFingerprint(weights.ToConfig())).
   SimilarityCache(size_t capacity, size_t stripe_count,
                   const sim::SimilarityWeights& weights);
 
@@ -58,9 +70,23 @@ class SimilarityCache : public sim::SimilarityCacheHook {
   void ResetCounters();
   void Clear();
 
-  /// 64-bit fingerprint of a weight configuration (bit-exact on the
-  /// three component weights).
+  /// 64-bit fingerprint of a measure composition (bit-exact on the
+  /// ordered names and weights) — MeasureConfig::Fingerprint().
+  static uint64_t ConfigFingerprint(const sim::MeasureConfig& config);
+
+  /// Fingerprint of the paper hybrid under `weights`; equal to
+  /// ConfigFingerprint(weights.ToConfig()), so a weights-constructed
+  /// cache and a config-constructed cache for the same composition
+  /// agree.
   static uint64_t WeightsFingerprint(const sim::SimilarityWeights& weights);
+
+  /// Test hook: the mixed stored key for `pair_key` under this cache's
+  /// fingerprint. Lets tests prove that two caches for different
+  /// configs map the same concept pair to different keys (no aliasing
+  /// were their tables ever merged).
+  uint64_t MixKeyForTest(uint64_t pair_key) const {
+    return MixKey(pair_key);
+  }
 
   static constexpr size_t kWays = 4;
 
@@ -90,7 +116,7 @@ class SimilarityCache : public sim::SimilarityCacheHook {
     return stripes_[set_index & stripe_mask_];
   }
 
-  uint64_t weights_fp_;
+  uint64_t config_fp_;
   size_t set_mask_ = 0;
   size_t stripe_mask_ = 0;
   std::unique_ptr<Set[]> sets_;

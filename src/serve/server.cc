@@ -89,6 +89,8 @@ Server::Server(ServeOptions options)
                          ? 1
                          : options_.slow_request_keep) {
   options_.engine.metrics = options_.metrics;
+  measure_spec_ =
+      options_.engine.disambiguator.EffectiveMeasureConfig().ToSpec();
   if (options_.metrics != nullptr) {
     obs::MetricsRegistry* m = options_.metrics;
     requests_counter_ = m->GetCounter("serve.requests");
@@ -444,6 +446,7 @@ void Server::AppendAccessLine(std::string* buffer, const RequestContext& ctx,
   writer.Key("queue_us").Value(ctx.queue_wait_us);
   writer.Key("engine_us").Value(ctx.engine_us);
   writer.Key("worker").Value(static_cast<int64_t>(ctx.worker));
+  writer.Key("measures").Value(measure_spec_);
   writer.EndObject();
   *buffer += writer.str();
   *buffer += '\n';
@@ -610,6 +613,8 @@ HttpResponse Server::HandleExplain(const HttpRequest& request) {
   writer.Value(static_cast<uint64_t>(state->generation));
   writer.Key("lexicon");
   writer.Value(state->name);
+  writer.Key("measures");
+  writer.Value(measure_spec_);
   writer.Key("nodes");
   writer.BeginArray();
   size_t explained = 0;
@@ -634,6 +639,7 @@ HttpResponse Server::HandleExplain(const HttpRequest& request) {
       "X-Xsdf-Generation",
       StrFormat("%llu", static_cast<unsigned long long>(state->generation)));
   response.headers.emplace_back("X-Xsdf-Lexicon", state->name);
+  response.headers.emplace_back("X-Xsdf-Measures", measure_spec_);
   response.body = writer.str() + "\n";
   return response;
 }
@@ -725,6 +731,8 @@ HttpResponse Server::HandleStats() {
     writer.Value(static_cast<uint64_t>(state->generation));
     writer.Key("lexicon");
     writer.Value(state->name);
+    writer.Key("measures");
+    writer.Value(measure_spec_);
     writer.Key("engine");
     writer.Value(runtime::FormatEngineStats(state->engine->stats()));
   }

@@ -227,6 +227,13 @@ class Server {
   obs::SlowRequestBuffer slow_requests_;
   std::unique_ptr<AccessLog> access_log_;
 
+  /// Canonical spec of the active similarity composition (the
+  /// `--measures` string after parsing, or the paper default);
+  /// reported by /explain, /stats, and every access-log line so a
+  /// response can always be traced to the measure config that
+  /// produced it.
+  std::string measure_spec_;
+
   /// Request-id generator state (see ResolveRequestId).
   uint64_t request_id_salt_ = 0;
   std::atomic<uint64_t> request_id_seq_{0};

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 #include "sim/gloss_overlap.h"
 #include "sim/lin.h"
@@ -14,8 +16,12 @@ bool SimilarityWeights::Valid() const {
   return std::fabs(edge + node + gloss - 1.0) < 1e-9;
 }
 
+MeasureConfig SimilarityWeights::ToConfig() const {
+  return MeasureConfig::PaperHybrid(edge, node, gloss);
+}
+
 CombinedMeasure::CombinedMeasure(SimilarityWeights weights)
-    : weights_(weights) {
+    : weights_(weights), config_(weights.ToConfig()) {
   components_.emplace_back(std::make_unique<WuPalmerMeasure>(),
                            weights.edge);
   components_.emplace_back(std::make_unique<LinMeasure>(), weights.node);
@@ -23,21 +29,36 @@ CombinedMeasure::CombinedMeasure(SimilarityWeights weights)
                            weights.gloss);
 }
 
+CombinedMeasure::CombinedMeasure(const MeasureConfig& config)
+    : config_(config) {
+  Status status = config.Validate();
+  if (!status.ok()) {
+    std::fprintf(stderr, "CombinedMeasure: invalid measure config: %s\n",
+                 status.ToString().c_str());
+    std::abort();
+  }
+  for (const auto& [name, weight] : config.entries) {
+    // Cannot fail: Validate() resolved every name above.
+    auto measure = MeasureRegistry::Global().Create(name);
+    components_.emplace_back(std::move(measure).value(), weight);
+  }
+}
+
 Result<std::unique_ptr<CombinedMeasure>> CombinedMeasure::FromRegistry(
     const std::vector<std::pair<std::string, double>>& weighted_names) {
-  double total = 0.0;
-  for (const auto& [name, weight] : weighted_names) {
-    if (weight < 0.0) {
-      return Status::InvalidArgument("negative weight for measure " + name);
-    }
-    total += weight;
-  }
-  if (std::fabs(total - 1.0) > 1e-9) {
-    return Status::InvalidArgument("measure weights must sum to 1");
-  }
+  MeasureConfig config;
+  config.entries = weighted_names;
+  return FromRegistry(config);
+}
+
+Result<std::unique_ptr<CombinedMeasure>> CombinedMeasure::FromRegistry(
+    const MeasureConfig& config) {
+  Status status = config.Validate();
+  if (!status.ok()) return status;
   auto combined =
       std::unique_ptr<CombinedMeasure>(new CombinedMeasure(RawTag{}));
-  for (const auto& [name, weight] : weighted_names) {
+  combined->config_ = config;
+  for (const auto& [name, weight] : config.entries) {
     auto measure = MeasureRegistry::Global().Create(name);
     if (!measure.ok()) return measure.status();
     combined->components_.emplace_back(std::move(measure).value(), weight);

@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "sim/measure.h"
+#include "sim/measure_config.h"
 
 namespace xsdf::sim {
 
@@ -20,6 +21,10 @@ struct SimilarityWeights {
 
   /// True when weights are non-negative and sum to 1 (within 1e-9).
   bool Valid() const;
+
+  /// These weights as the equivalent registry composition:
+  /// {wu-palmer: edge, lin: node, gloss-overlap: gloss}.
+  MeasureConfig ToConfig() const;
 };
 
 /// Pluggable memo store for combined similarity values, keyed on the
@@ -60,10 +65,22 @@ class CombinedMeasure : public SimilarityMeasure {
  public:
   explicit CombinedMeasure(SimilarityWeights weights = {});
 
+  /// Builds the composition described by `config`, resolving each name
+  /// through MeasureRegistry::Global(). `config` must be valid
+  /// (Validate() OK — e.g. produced by MeasureConfig::Parse or
+  /// SimilarityWeights::ToConfig); an invalid config aborts, since a
+  /// constructor cannot report the error. Fallible callers go through
+  /// FromRegistry.
+  explicit CombinedMeasure(const MeasureConfig& config);
+
   /// Builds a combined measure from arbitrary registered measure names
   /// and weights (extensibility hook beyond the three defaults).
   static Result<std::unique_ptr<CombinedMeasure>> FromRegistry(
       const std::vector<std::pair<std::string, double>>& weighted_names);
+
+  /// Same, from a parsed measure config.
+  static Result<std::unique_ptr<CombinedMeasure>> FromRegistry(
+      const MeasureConfig& config);
 
   double Similarity(const wordnet::SemanticNetwork& network,
                     wordnet::ConceptId a,
@@ -84,6 +101,11 @@ class CombinedMeasure : public SimilarityMeasure {
   std::string name() const override { return "combined"; }
 
   const SimilarityWeights& weights() const { return weights_; }
+
+  /// The registry composition this measure was built from (for the
+  /// weights constructor, the equivalent ToConfig()). Its Fingerprint()
+  /// is what an external similarity cache must be keyed on.
+  const MeasureConfig& config() const { return config_; }
 
   /// Drops the memoization table (call when switching networks).
   void ClearCache() const { cache_.clear(); }
@@ -114,6 +136,7 @@ class CombinedMeasure : public SimilarityMeasure {
                          wordnet::ConceptId a, wordnet::ConceptId b) const;
 
   SimilarityWeights weights_;
+  MeasureConfig config_;
   std::vector<std::pair<std::unique_ptr<SimilarityMeasure>, double>>
       components_;
   mutable std::unordered_map<uint64_t, double> cache_;

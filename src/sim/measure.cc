@@ -1,7 +1,9 @@
 #include "sim/measure.h"
 
 #include <algorithm>
+#include <mutex>
 
+#include "sim/conceptual_density.h"
 #include "sim/gloss_overlap.h"
 #include "sim/lin.h"
 #include "sim/resnik.h"
@@ -19,12 +21,16 @@ MeasureRegistry& MeasureRegistry::Global() {
                 [] { return std::make_unique<GlossOverlapMeasure>(); });
     r->Register("resnik",
                 [] { return std::make_unique<ResnikMeasure>(); });
+    r->Register("conceptual-density", [] {
+      return std::make_unique<ConceptualDensityMeasure>();
+    });
     return r;
   }();
   return *registry;
 }
 
 void MeasureRegistry::Register(const std::string& name, Factory factory) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   for (auto& [existing, f] : factories_) {
     if (existing == name) {
       f = std::move(factory);
@@ -36,6 +42,7 @@ void MeasureRegistry::Register(const std::string& name, Factory factory) {
 
 Result<std::unique_ptr<SimilarityMeasure>> MeasureRegistry::Create(
     const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   for (const auto& [existing, factory] : factories_) {
     if (existing == name) return factory();
   }
@@ -43,6 +50,7 @@ Result<std::unique_ptr<SimilarityMeasure>> MeasureRegistry::Create(
 }
 
 std::vector<std::string> MeasureRegistry::Names() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(factories_.size());
   for (const auto& [name, factory] : factories_) names.push_back(name);

@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -31,12 +32,19 @@ class SimilarityMeasure {
 /// Registry of similarity measures, allowing users to plug in their own
 /// measures and to select/compose measures by name (the paper's
 /// requirement that the set of measures be extensible, §3.5.1).
+///
+/// Thread-safe: Register takes an exclusive lock, Create/Names take a
+/// shared lock, so plugins may register concurrently with serve-side
+/// measure construction (hot lexicon swap builds per-worker measures
+/// while Register may run). Factories themselves must be callable
+/// concurrently (the built-ins are stateless lambdas).
 class MeasureRegistry {
  public:
   using Factory = std::function<std::unique_ptr<SimilarityMeasure>()>;
 
   /// The process-wide registry, pre-populated with the built-in
-  /// measures (wu-palmer, lin, gloss-overlap).
+  /// measures (wu-palmer, lin, gloss-overlap, resnik,
+  /// conceptual-density).
   static MeasureRegistry& Global();
 
   /// Registers `factory` under `name`; overwrite semantics.
@@ -50,6 +58,7 @@ class MeasureRegistry {
   std::vector<std::string> Names() const;
 
  private:
+  mutable std::shared_mutex mu_;
   std::vector<std::pair<std::string, Factory>> factories_;
 };
 

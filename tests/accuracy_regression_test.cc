@@ -1,0 +1,187 @@
+// Golden accuracy-regression harness: scores the paper's hybrid, every
+// single registered measure, and hybrid+conceptual-density on the
+// EXPERIMENTS.md evaluation corpus (eval::BuildCorpus, the Table 3
+// ten-family generator at the paper's seed) and byte-compares the
+// report against tests/golden/accuracy_golden.json. The pinned numbers
+// are the integer (gold, attempted, correct) counts per group plus the
+// derived P/R/F — so a kernel "optimization" that silently flips even
+// one sense assignment under any measure composition fails this test,
+// not a human eyeballing a benchmark table.
+//
+// Regenerating after an *intentional* accuracy change:
+//   XSDF_UPDATE_GOLDEN=1 ./accuracy_regression_test
+// rewrites the golden in the source tree; review the diff like code.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/disambiguator.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "sim/measure_config.h"
+#include "wordnet/mini_wordnet.h"
+
+namespace xsdf {
+namespace {
+
+constexpr char kGoldenPath[] =
+    XSDF_SOURCE_DIR "/tests/golden/accuracy_golden.json";
+constexpr uint64_t kCorpusSeed = 20150323;
+constexpr int kRadius = 2;
+
+const wordnet::SemanticNetwork& Network() {
+  static const wordnet::SemanticNetwork* network = [] {
+    auto result = wordnet::BuildMiniWordNet();
+    return new wordnet::SemanticNetwork(std::move(result).value());
+  }();
+  return *network;
+}
+
+const std::vector<eval::CorpusDocument>& Corpus() {
+  static const std::vector<eval::CorpusDocument>* corpus = [] {
+    auto built = eval::BuildCorpus(Network(), kCorpusSeed);
+    EXPECT_TRUE(built.ok());
+    return new std::vector<eval::CorpusDocument>(std::move(built).value());
+  }();
+  return *corpus;
+}
+
+/// Same loop as eval's RunOnGroup: one disambiguator per group, scored
+/// on the shared target sample against the resolved gold.
+eval::PrfScores ScoreGroup(int group, const sim::MeasureConfig& config) {
+  core::DisambiguatorOptions options;
+  options.sphere_radius = kRadius;
+  options.measure_config = config;
+  core::Disambiguator disambiguator(&Network(), options);
+  std::vector<eval::PrfScores> parts;
+  for (const eval::CorpusDocument& doc : Corpus()) {
+    if (doc.dataset.group != group) continue;
+    auto result = disambiguator.RunOnTree(doc.tree);
+    if (!result.ok()) continue;
+    parts.push_back(eval::ScoreOnNodes(*result, doc.gold,
+                                       doc.target_sample));
+  }
+  return eval::CombinePrf(parts);
+}
+
+void AppendCounts(std::string* out, const eval::PrfScores& scores) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "\"gold\": %d, \"attempted\": %d, \"correct\": %d, "
+                "\"precision\": %.6f, \"recall\": %.6f, \"f\": %.6f",
+                scores.gold_total, scores.attempted, scores.correct,
+                scores.precision, scores.recall, scores.f_value);
+  *out += buf;
+}
+
+/// The full deterministic report; every golden byte comes from here.
+std::string BuildReport() {
+  struct NamedConfig {
+    const char* label;
+    sim::MeasureConfig config;
+  };
+  std::vector<NamedConfig> configs;
+  configs.push_back({"paper-hybrid", sim::MeasureConfig::PaperHybrid()});
+  for (const char* name : {"wu-palmer", "lin", "gloss-overlap", "resnik",
+                           "conceptual-density"}) {
+    sim::MeasureConfig single;
+    single.entries = {{name, 1.0}};
+    configs.push_back({name, single});
+  }
+  configs.push_back(
+      {"hybrid-plus-density",
+       *sim::MeasureConfig::Parse("wu-palmer:0.25,lin:0.25,"
+                                  "gloss-overlap:0.25,"
+                                  "conceptual-density:0.25")});
+
+  std::string out;
+  char buf[160];
+  out += "{\n";
+  std::snprintf(buf, sizeof(buf),
+                "  \"corpus_seed\": %llu,\n  \"radius\": %d,\n",
+                static_cast<unsigned long long>(kCorpusSeed), kRadius);
+  out += buf;
+  out += "  \"configs\": [\n";
+  for (size_t c = 0; c < configs.size(); ++c) {
+    out += "    {\"label\": \"";
+    out += configs[c].label;
+    out += "\", \"measures\": \"";
+    out += configs[c].config.ToSpec();
+    out += "\",\n     \"groups\": [\n";
+    std::vector<eval::PrfScores> parts;
+    for (int group = 1; group <= 4; ++group) {
+      eval::PrfScores scores = ScoreGroup(group, configs[c].config);
+      parts.push_back(scores);
+      std::snprintf(buf, sizeof(buf), "       {\"group\": %d, ", group);
+      out += buf;
+      AppendCounts(&out, scores);
+      out += group < 4 ? "},\n" : "}\n";
+    }
+    out += "     ],\n     \"overall\": {";
+    AppendCounts(&out, eval::CombinePrf(parts));
+    out += c + 1 < configs.size() ? "}},\n" : "}}\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+TEST(AccuracyRegressionTest, MatchesGolden) {
+  std::string report = BuildReport();
+  if (std::getenv("XSDF_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(kGoldenPath, std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << kGoldenPath;
+    out << report;
+    ASSERT_TRUE(out.good());
+    std::printf("golden rewritten: %s\n", kGoldenPath);
+    return;
+  }
+  std::ifstream in(kGoldenPath, std::ios::binary);
+  ASSERT_TRUE(in) << kGoldenPath
+                  << " missing; run with XSDF_UPDATE_GOLDEN=1 to create";
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(report, golden.str())
+      << "accuracy drifted from the golden report; if the change is "
+         "intentional, regenerate with XSDF_UPDATE_GOLDEN=1 and review "
+         "the diff";
+}
+
+// Sanity floor independent of the golden bytes: the paper hybrid must
+// actually disambiguate (non-trivial recall) and conceptual-density:1
+// must run the full corpus without degenerating to zero attempts —
+// the acceptance bar for "a production measure", not a stub.
+TEST(AccuracyRegressionTest, ConfigsProduceNonTrivialScores) {
+  eval::PrfScores hybrid;
+  eval::PrfScores density;
+  {
+    std::vector<eval::PrfScores> parts;
+    for (int group = 1; group <= 4; ++group) {
+      parts.push_back(ScoreGroup(group, sim::MeasureConfig::PaperHybrid()));
+    }
+    hybrid = eval::CombinePrf(parts);
+  }
+  {
+    sim::MeasureConfig config;
+    config.entries = {{"conceptual-density", 1.0}};
+    std::vector<eval::PrfScores> parts;
+    for (int group = 1; group <= 4; ++group) {
+      parts.push_back(ScoreGroup(group, config));
+    }
+    density = eval::CombinePrf(parts);
+  }
+  EXPECT_GT(hybrid.gold_total, 100);
+  EXPECT_GT(hybrid.recall, 0.3);
+  EXPECT_EQ(density.gold_total, hybrid.gold_total)
+      << "same corpus, same target sample";
+  EXPECT_GT(density.attempted, 0);
+  EXPECT_GT(density.recall, 0.1);
+}
+
+}  // namespace
+}  // namespace xsdf

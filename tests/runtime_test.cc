@@ -281,6 +281,79 @@ TEST(SimilarityCacheTest, WeightFingerprintsDistinguishConfigs) {
             SimilarityCache::WeightsFingerprint(sim::SimilarityWeights{}));
 }
 
+// Regression for the pre-registry fingerprint, which hashed only the
+// three default weights: two registry compositions that share every
+// weight (and hence every pair key) must still land on distinct cache
+// slots. MixKeyForTest exposes the stored key; different mixed keys
+// for the same pair is exactly "no aliasing even if the tables were
+// ever merged".
+TEST(SimilarityCacheTest, DistinctConfigsNeverShareCacheSlots) {
+  auto hybrid = sim::MeasureConfig::PaperHybrid();
+  auto density = *sim::MeasureConfig::Parse("conceptual-density:1");
+  // Same single weight 1.0, different measure name — the case the old
+  // weights-only fingerprint aliased.
+  auto wu_only = *sim::MeasureConfig::Parse("wu-palmer:1");
+  auto resnik_only = *sim::MeasureConfig::Parse("resnik:1");
+  SimilarityCache cache_a(128, 4,
+                          SimilarityCache::ConfigFingerprint(wu_only));
+  SimilarityCache cache_b(128, 4,
+                          SimilarityCache::ConfigFingerprint(resnik_only));
+  SimilarityCache cache_c(128, 4,
+                          SimilarityCache::ConfigFingerprint(hybrid));
+  SimilarityCache cache_d(128, 4,
+                          SimilarityCache::ConfigFingerprint(density));
+  for (uint64_t pair_key : {uint64_t{0}, uint64_t{1}, uint64_t{42},
+                            (uint64_t{7} << 32) | 9, ~uint64_t{0}}) {
+    EXPECT_NE(cache_a.MixKeyForTest(pair_key),
+              cache_b.MixKeyForTest(pair_key));
+    EXPECT_NE(cache_c.MixKeyForTest(pair_key),
+              cache_d.MixKeyForTest(pair_key));
+    EXPECT_NE(cache_a.MixKeyForTest(pair_key),
+              cache_c.MixKeyForTest(pair_key));
+  }
+  // Same composition -> same keys (two engines with one config still
+  // agree on what an entry means).
+  SimilarityCache cache_c2(128, 4,
+                           SimilarityCache::ConfigFingerprint(hybrid));
+  EXPECT_EQ(cache_c.MixKeyForTest(42), cache_c2.MixKeyForTest(42));
+  // And a value inserted under one config is invisible under another
+  // even for the identical pair key.
+  cache_a.Insert(42, 0.25);
+  double value = 0.0;
+  ASSERT_TRUE(cache_a.Lookup(42, &value));
+  EXPECT_FALSE(cache_b.Lookup(42, &value));
+}
+
+// The engine keys its shared cache on the *effective* measure config,
+// so two engines differing only in --measures resolve the same
+// document against disjoint cache key spaces and produce their own
+// (different) outputs.
+TEST(EngineTest, MeasureConfigChangesOutputAndCacheKeys) {
+  const auto& network = Network();
+  EngineOptions base;
+  base.threads = 2;
+  EngineOptions density = base;
+  density.disambiguator.measure_config =
+      *sim::MeasureConfig::Parse("conceptual-density:1");
+  DisambiguationEngine hybrid_engine(&network, base);
+  DisambiguationEngine density_engine(&network, density);
+  std::vector<DocumentJob> jobs;
+  const auto& figure1 = datasets::Figure1Documents();
+  ASSERT_FALSE(figure1.empty());
+  jobs.push_back({0, figure1[0].name, figure1[0].xml});
+  auto hybrid_results = hybrid_engine.RunBatch(jobs);
+  auto density_results = density_engine.RunBatch(jobs);
+  ASSERT_EQ(hybrid_results.size(), 1u);
+  ASSERT_EQ(density_results.size(), 1u);
+  ASSERT_TRUE(hybrid_results[0].ok);
+  ASSERT_TRUE(density_results[0].ok);
+  // Both run to completion; the effective config is what the engine
+  // fingerprinted, so rerunning under the same config is stable.
+  auto hybrid_again = hybrid_engine.RunBatch(jobs);
+  ASSERT_TRUE(hybrid_again[0].ok);
+  EXPECT_EQ(hybrid_again[0].semantic_xml, hybrid_results[0].semantic_xml);
+}
+
 TEST(SimilarityCacheTest, MeasureUsesExternalCache) {
   const auto& network = Network();
   sim::CombinedMeasure measure;

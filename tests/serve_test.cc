@@ -15,8 +15,10 @@
 #include <thread>
 #include <vector>
 
+#include "datasets/generator.h"
 #include "runtime/engine.h"
 #include "serve/http.h"
+#include "sim/measure_config.h"
 #include "serve/server.h"
 #include "snapshot/snapshot.h"
 #include "wordnet/mini_wordnet.h"
@@ -548,7 +550,8 @@ TEST(ServeTest, AccessLogRecordsEveryStatusWithFullSchema) {
     for (const char* key :
          {"\"ts_ms\":", "\"id\":", "\"method\":", "\"path\":",
           "\"status\":", "\"bytes\":", "\"total_us\":", "\"deadline_ms\":",
-          "\"queue_us\":", "\"engine_us\":", "\"worker\":"}) {
+          "\"queue_us\":", "\"engine_us\":", "\"worker\":",
+          "\"measures\":"}) {
       EXPECT_NE(line.find(key), std::string::npos)
           << "missing " << key << " in: " << line;
     }
@@ -714,6 +717,95 @@ TEST(ServeTest, StatsReportsRollingPercentilesAndDebugSlowHasSpans) {
   // tree correlate without guesswork.
   EXPECT_NE(trace.find("req 000000000000bead"), std::string::npos);
   EXPECT_NE(trace.find("POST /disambiguate -> 200"), std::string::npos);
+}
+
+TEST(ServeTest, MeasureConfigSurfacesInExplainStatsAndAccessLog) {
+  // A server started under a non-default --measures composition must
+  // (a) answer byte-identically to an engine under the same config,
+  // (b) report the canonical spec in /explain (body + header) and
+  // /stats, and (c) stamp every access-log line with it — so an
+  // operator can always tell which composition produced a response.
+  auto network = MiniNetwork();
+  auto parsed = sim::MeasureConfig::Parse(
+      "wu-palmer:0.25,lin:0.25,gloss-overlap:0.25,conceptual-density:0.25");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const std::string spec = parsed->ToSpec();
+
+  std::filesystem::path log_path =
+      std::filesystem::temp_directory_path() / "xsdf_serve_measures_test.jsonl";
+  std::filesystem::remove(log_path);
+
+  ServeOptions options;
+  options.port = 0;
+  options.engine.threads = 2;
+  options.engine.disambiguator.measure_config = *parsed;
+  options.access_log_path = log_path.string();
+  Server server(options);
+  ASSERT_TRUE(server.InstallLexicon(network, "mini").ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  // Find a corpus document whose output under hybrid+density differs
+  // from the paper default, so the test cannot silently pass because
+  // the config was ignored everywhere. The generated Amazon family
+  // discriminates today; searching keeps the test robust if the
+  // generators change.
+  std::string xml;
+  std::string engine_answer;
+  {
+    runtime::EngineOptions engine_options;
+    engine_options.threads = 1;
+    engine_options.disambiguator.measure_config = *parsed;
+    runtime::DisambiguationEngine engine(network.get(), engine_options);
+    for (const auto* generator : datasets::AllDatasets()) {
+      for (const auto& doc : generator->Generate(20150323)) {
+        auto results = engine.RunBatch({{0, doc.name, doc.xml}});
+        ASSERT_TRUE(results[0].ok) << results[0].error;
+        if (results[0].semantic_xml != EngineAnswer(*network, doc.xml)) {
+          xml = doc.xml;
+          engine_answer = results[0].semantic_xml;
+          break;
+        }
+      }
+      if (!xml.empty()) break;
+    }
+  }
+  ASSERT_FALSE(xml.empty())
+      << "no generated document discriminates hybrid+density from the "
+         "paper default";
+
+  {
+    ServerRunner runner(&server);
+    auto response = HttpCall(kHost, server.port(), "POST", "/disambiguate",
+                             {}, xml, kClientTimeoutMs);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response->status, 200);
+    EXPECT_EQ(response->body, engine_answer);
+
+    // node=1: the document element — present whatever document the
+    // search above settled on.
+    auto explain = HttpCall(kHost, server.port(), "POST",
+                            "/explain?node=1", {}, xml, kClientTimeoutMs);
+    ASSERT_TRUE(explain.ok()) << explain.status().ToString();
+    EXPECT_EQ(explain->status, 200);
+    EXPECT_NE(explain->body.find("\"measures\":\"" + spec + "\""),
+              std::string::npos)
+        << explain->body;
+    EXPECT_EQ(explain->headers.at("x-xsdf-measures"), spec);
+
+    auto stats = HttpCall(kHost, server.port(), "GET", "/stats", {}, "",
+                          kClientTimeoutMs);
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats->status, 200);
+    EXPECT_NE(stats->body.find(spec), std::string::npos) << stats->body;
+  }
+
+  std::vector<std::string> lines = WaitForLogLines(log_path.string(), 3);
+  ASSERT_GE(lines.size(), 3u);
+  for (const std::string& line : lines) {
+    EXPECT_NE(line.find("\"measures\":\"" + spec + "\""), std::string::npos)
+        << line;
+  }
+  std::filesystem::remove(log_path);
 }
 
 TEST(ServeTest, DisabledTracingTurnsDebugSlowOff) {

@@ -226,7 +226,8 @@ TEST(CombinedTest, FromRegistryRejectsBadInput) {
 
 TEST(MeasureRegistryTest, BuiltInsPresent) {
   auto names = MeasureRegistry::Global().Names();
-  EXPECT_EQ(names, (std::vector<std::string>{"gloss-overlap", "lin",
+  EXPECT_EQ(names, (std::vector<std::string>{"conceptual-density",
+                                             "gloss-overlap", "lin",
                                              "resnik", "wu-palmer"}));
 }
 
@@ -277,7 +278,95 @@ TEST_P(MeasurePropertyTest, RangeSymmetryIdentity) {
 
 INSTANTIATE_TEST_SUITE_P(AllMeasures, MeasurePropertyTest,
                          ::testing::Values("wu-palmer", "lin",
-                                           "gloss-overlap", "resnik"));
+                                           "gloss-overlap", "resnik",
+                                           "conceptual-density"));
+
+// ---- MeasureConfig: the --measures grammar and its rejections ------------
+// Every malformed spec must come back as a status (a CLI usage error),
+// never a crash; satellite coverage for the end-to-end flag.
+
+TEST(MeasureConfigTest, ParsesAndRoundTrips) {
+  auto config = MeasureConfig::Parse("wu-palmer:0.5,lin:0.5");
+  ASSERT_TRUE(config.ok());
+  ASSERT_EQ(config->entries.size(), 2u);
+  EXPECT_EQ(config->entries[0].first, "wu-palmer");
+  EXPECT_DOUBLE_EQ(config->entries[0].second, 0.5);
+  EXPECT_EQ(config->ToSpec(), "wu-palmer:0.5,lin:0.5");
+  auto reparsed = MeasureConfig::Parse(config->ToSpec());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(*reparsed, *config);
+}
+
+TEST(MeasureConfigTest, ParseNormalizesNearMissSums) {
+  auto config = MeasureConfig::Parse(
+      "wu-palmer:0.333333,lin:0.333333,gloss-overlap:0.333333");
+  ASSERT_TRUE(config.ok());
+  double total = 0.0;
+  for (const auto& [name, weight] : config->entries) total += weight;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(MeasureConfigTest, RejectsEmptyString) {
+  EXPECT_FALSE(MeasureConfig::Parse("").ok());
+}
+
+TEST(MeasureConfigTest, RejectsUnknownName) {
+  auto config = MeasureConfig::Parse("no-such-measure:1.0");
+  ASSERT_FALSE(config.ok());
+  EXPECT_EQ(config.status().code(), StatusCode::kNotFound);
+}
+
+TEST(MeasureConfigTest, RejectsNegativeWeight) {
+  EXPECT_FALSE(MeasureConfig::Parse("wu-palmer:-0.5,lin:1.5").ok());
+}
+
+TEST(MeasureConfigTest, RejectsNonNormalizedSum) {
+  EXPECT_FALSE(MeasureConfig::Parse("wu-palmer:0.5,lin:0.6").ok());
+  EXPECT_FALSE(MeasureConfig::Parse("wu-palmer:0.2,lin:0.2").ok());
+}
+
+TEST(MeasureConfigTest, RejectsDuplicateNames) {
+  EXPECT_FALSE(MeasureConfig::Parse("lin:0.5,lin:0.5").ok());
+}
+
+TEST(MeasureConfigTest, RejectsMalformedItems) {
+  EXPECT_FALSE(MeasureConfig::Parse("wu-palmer").ok());
+  EXPECT_FALSE(MeasureConfig::Parse("wu-palmer:").ok());
+  EXPECT_FALSE(MeasureConfig::Parse(":1.0").ok());
+  EXPECT_FALSE(MeasureConfig::Parse("wu-palmer:abc").ok());
+  EXPECT_FALSE(MeasureConfig::Parse("wu-palmer:0.5,,lin:0.5").ok());
+  EXPECT_FALSE(MeasureConfig::Parse("wu-palmer:nan").ok());
+}
+
+TEST(MeasureConfigTest, FingerprintSeparatesCompositions) {
+  auto hybrid = MeasureConfig::PaperHybrid();
+  auto density = *MeasureConfig::Parse("conceptual-density:1");
+  auto wu = *MeasureConfig::Parse("wu-palmer:1");
+  // Same weights, different names; same entries, different order.
+  auto ab = *MeasureConfig::Parse("wu-palmer:0.5,lin:0.5");
+  auto cb = *MeasureConfig::Parse("resnik:0.5,lin:0.5");
+  auto ba = *MeasureConfig::Parse("lin:0.5,wu-palmer:0.5");
+  EXPECT_NE(hybrid.Fingerprint(), density.Fingerprint());
+  EXPECT_NE(density.Fingerprint(), wu.Fingerprint());
+  EXPECT_NE(ab.Fingerprint(), cb.Fingerprint());
+  EXPECT_NE(ab.Fingerprint(), ba.Fingerprint());
+  EXPECT_EQ(ab.Fingerprint(),
+            MeasureConfig::Parse("wu-palmer:0.5,lin:0.5")->Fingerprint());
+  // The weights shorthand and its explicit config agree.
+  SimilarityWeights thirds;
+  EXPECT_EQ(thirds.ToConfig().Fingerprint(), hybrid.Fingerprint());
+}
+
+TEST(MeasureConfigTest, CombinedFromConfigMatchesWeightsPath) {
+  const SemanticNetwork& network = Network();
+  CombinedMeasure by_weights{SimilarityWeights{}};
+  CombinedMeasure by_config{MeasureConfig::PaperHybrid()};
+  ConceptId a = Key("actor.n");
+  ConceptId b = Key("actress.n");
+  EXPECT_DOUBLE_EQ(by_weights.Similarity(network, a, b),
+                   by_config.Similarity(network, a, b));
+  EXPECT_EQ(by_config.config().ToSpec(), by_weights.config().ToSpec());
+}
 
 }  // namespace
 }  // namespace xsdf::sim

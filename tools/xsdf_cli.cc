@@ -44,6 +44,7 @@
 #include "runtime/engine.h"
 #include "serve/http.h"
 #include "serve/server.h"
+#include "sim/measure_config.h"
 #include "snapshot/snapshot.h"
 #include "wordnet/mini_wordnet.h"
 #include "wordnet/wndb.h"
@@ -64,6 +65,11 @@ int Usage() {
       "concurrently\n"
       "      --threads N   worker threads (default 4; 0 = auto-detect)\n"
       "      --radius D    sphere radius (default 2)\n"
+      "      --measures M  similarity composition name:weight,...\n"
+      "                    over registered measures (wu-palmer, lin,\n"
+      "                    gloss-overlap, resnik, conceptual-density);\n"
+      "                    weights must sum to 1 (default: the paper\n"
+      "                    hybrid, equal thirds wu-palmer/lin/gloss)\n"
       "      --passes P    runs over the corpus; caches stay warm "
       "(default 1)\n"
       "      --no-cache    disable the shared similarity/sense caches\n"
@@ -72,7 +78,7 @@ int Usage() {
       "JSON\n"
       "      --trace-out FILE    write Chrome trace-event JSON "
       "(Perfetto)\n"
-      "  explain <file.xml> <node> [--radius D]\n"
+      "  explain <file.xml> <node> [--radius D] [--measures M]\n"
       "                                    per-node disambiguation audit "
       "as JSON;\n"
       "                                    <node> is a numeric node id or "
@@ -98,6 +104,7 @@ int Usage() {
       "      --threads N         engine workers (default 4; 0 = "
       "auto-detect)\n"
       "      --radius D          sphere radius (default 2)\n"
+      "      --measures M        similarity composition (see batch)\n"
       "      --queue-capacity N  admission queue; overflow answers 429\n"
       "      --max-connections N concurrent connections cap (503 "
       "beyond)\n"
@@ -181,6 +188,29 @@ bool ParseStringValue(const std::vector<std::string>& args, size_t* i,
   return !out->empty();
 }
 
+/// Parses the `--measures name:weight,...` value into `*out` through
+/// MeasureConfig::Parse (which validates against the measure registry).
+/// Any rejection — missing value, empty string, unknown name, negative
+/// weight, duplicate name, weights not summing to 1 — prints the
+/// reason and returns false, which the callers turn into a usage
+/// error.
+bool ParseMeasuresValue(const std::vector<std::string>& args, size_t* i,
+                        xsdf::sim::MeasureConfig* out) {
+  if (*i + 1 >= args.size()) {
+    std::fprintf(stderr, "--measures needs a value\n");
+    return false;
+  }
+  ++*i;
+  auto config = xsdf::sim::MeasureConfig::Parse(args[*i]);
+  if (!config.ok()) {
+    std::fprintf(stderr, "--measures: %s\n",
+                 config.status().ToString().c_str());
+    return false;
+  }
+  *out = std::move(config).value();
+  return true;
+}
+
 bool WriteTextFile(const std::string& path, const std::string& content) {
   std::ofstream out(path, std::ios::binary);
   if (!out) {
@@ -255,6 +285,7 @@ int CmdBatch(const SemanticNetwork& network,
   bool quiet = false;
   std::string metrics_out;
   std::string trace_out;
+  xsdf::sim::MeasureConfig measures;
   for (size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
     if (arg == "--threads") {
@@ -263,6 +294,8 @@ int CmdBatch(const SemanticNetwork& network,
       if (!ParseIntValue(args, &i, &radius)) return Usage();
     } else if (arg == "--passes") {
       if (!ParseIntValue(args, &i, &passes)) return Usage();
+    } else if (arg == "--measures") {
+      if (!ParseMeasuresValue(args, &i, &measures)) return Usage();
     } else if (arg == "--no-cache") {
       no_cache = true;
     } else if (arg == "--quiet") {
@@ -319,6 +352,7 @@ int CmdBatch(const SemanticNetwork& network,
   xsdf::runtime::EngineOptions options;
   options.threads = threads;
   options.disambiguator.sphere_radius = radius;
+  options.disambiguator.measure_config = measures;
   options.enable_similarity_cache = !no_cache;
   options.enable_sense_cache = !no_cache;
   options.metrics = metrics.get();
@@ -374,10 +408,13 @@ int CmdExplain(const SemanticNetwork& network,
   std::string file;
   std::string query;
   int radius = 2;
+  xsdf::sim::MeasureConfig measures;
   for (size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
     if (arg == "--radius") {
       if (!ParseIntValue(args, &i, &radius)) return Usage();
+    } else if (arg == "--measures") {
+      if (!ParseMeasuresValue(args, &i, &measures)) return Usage();
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return Usage();
@@ -401,6 +438,7 @@ int CmdExplain(const SemanticNetwork& network,
   // around), so the audited choice reproduces the batch output exactly.
   xsdf::core::DisambiguatorOptions options;
   options.sphere_radius = radius;
+  options.measure_config = measures;
   auto tree =
       xsdf::core::BuildTree(*doc, network, options.include_values);
   if (!tree.ok()) {
@@ -424,6 +462,8 @@ int CmdExplain(const SemanticNetwork& network,
   writer.Value(query);
   writer.Key("radius");
   writer.Value(radius);
+  writer.Key("measures");
+  writer.Value(options.EffectiveMeasureConfig().ToSpec());
   writer.Key("nodes");
   writer.BeginArray();
   size_t explained = 0;
@@ -667,6 +707,7 @@ int CmdServe(const std::vector<std::string>& args) {
   int radius = 2;
   int threads = 4;
   int queue_capacity = 64;
+  xsdf::sim::MeasureConfig measures;
   for (size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
     if (arg == "--port") {
@@ -679,6 +720,8 @@ int CmdServe(const std::vector<std::string>& args) {
       if (!ParseIntValue(args, &i, &threads)) return Usage();
     } else if (arg == "--radius") {
       if (!ParseIntValue(args, &i, &radius)) return Usage();
+    } else if (arg == "--measures") {
+      if (!ParseMeasuresValue(args, &i, &measures)) return Usage();
     } else if (arg == "--queue-capacity") {
       if (!ParseIntValue(args, &i, &queue_capacity)) return Usage();
     } else if (arg == "--max-connections") {
@@ -717,6 +760,7 @@ int CmdServe(const std::vector<std::string>& args) {
   options.engine.threads = threads;
   options.engine.queue_capacity = static_cast<size_t>(queue_capacity);
   options.engine.disambiguator.sphere_radius = radius;
+  options.engine.disambiguator.measure_config = measures;
   xsdf::obs::MetricsRegistry metrics;
   options.metrics = &metrics;
 

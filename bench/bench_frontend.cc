@@ -29,8 +29,10 @@
 #include "core/context_vector.h"
 #include "core/label_space.h"
 #include "core/scores.h"
+#include "core/streaming_builder.h"
 #include "core/tree_builder.h"
 #include "datasets/generator.h"
+#include "runtime/engine.h"
 #include "text/preprocess.h"
 #include "wordnet/mini_wordnet.h"
 #include "xml/labeled_tree.h"
@@ -117,6 +119,112 @@ double SumVector(const IdContextVector& vector) {
   double sum = 0.0;
   for (double weight : vector.weights()) sum += weight;
   return sum;
+}
+
+/// The giant-document section: streaming vs DOM front end on one
+/// ~50 MB synthetic document (time + transient memory beyond the
+/// input buffer), and the engine's 1-vs-8-worker end-to-end run on a
+/// smaller giant document (steal counts + scaling).
+struct GiantDocResult {
+  size_t frontend_doc_bytes = 0;
+  double streaming_build_us = 0.0;
+  double dom_build_us = 0.0;
+  size_t scaffold_peak_bytes = 0;   ///< streaming transient scaffold
+  size_t dom_arena_bytes = 0;       ///< DOM arena reservation
+  double scaffold_pct_of_doc = 0.0;
+  size_t engine_doc_bytes = 0;
+  double engine_1t_us = 0.0;
+  double engine_8t_us = 0.0;
+  double speedup_8t_vs_1t = 0.0;
+  double docs_per_s_8t = 0.0;
+  uint64_t subtree_steals = 0;
+};
+
+GiantDocResult RunGiantDocSection(const SemanticNetwork& network) {
+  GiantDocResult giant;
+
+  // Front-end memory + time on the acceptance-sized document.
+  {
+    auto docs = xsdf::datasets::GiantDocuments(
+        /*count=*/1, /*target_bytes=*/50u << 20, /*seed=*/17);
+    const std::string& xml = docs[0].xml;
+    giant.frontend_doc_bytes = xml.size();
+    for (int round = 0; round < 2; ++round) {
+      xsdf::core::StreamingBuildStats stats;
+      auto start = std::chrono::steady_clock::now();
+      auto tree = xsdf::core::BuildTreeStreaming(
+          xml, network, {}, /*include_values=*/true, nullptr, nullptr,
+          &stats);
+      double us = std::chrono::duration<double, std::micro>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+      if (!tree.ok()) {
+        std::fprintf(stderr, "giant streaming build failed: %s\n",
+                     tree.status().ToString().c_str());
+        return giant;
+      }
+      if (round == 0 || us < giant.streaming_build_us) {
+        giant.streaming_build_us = us;
+      }
+      giant.scaffold_peak_bytes = stats.scaffold_peak_bytes;
+    }
+    for (int round = 0; round < 2; ++round) {
+      auto start = std::chrono::steady_clock::now();
+      auto doc = xsdf::xml::Parse(xml);
+      if (!doc.ok()) {
+        std::fprintf(stderr, "giant DOM parse failed: %s\n",
+                     doc.status().ToString().c_str());
+        return giant;
+      }
+      auto tree = xsdf::core::BuildTree(*doc, network);
+      double us = std::chrono::duration<double, std::micro>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+      if (!tree.ok()) return giant;
+      if (round == 0 || us < giant.dom_build_us) giant.dom_build_us = us;
+      giant.dom_arena_bytes = doc->arena().bytes_reserved();
+    }
+    giant.scaffold_pct_of_doc =
+        100.0 * static_cast<double>(giant.scaffold_peak_bytes) /
+        static_cast<double>(xml.size());
+  }
+
+  // End-to-end engine scaling on one smaller giant document (the full
+  // disambiguation dominates here, so a multi-MB doc is plenty to
+  // exercise the subtree fan-out).
+  {
+    auto docs = xsdf::datasets::GiantDocuments(
+        /*count=*/1, /*target_bytes=*/4u << 20, /*seed=*/17);
+    giant.engine_doc_bytes = docs[0].xml.size();
+    std::vector<xsdf::runtime::DocumentJob> jobs;
+    jobs.push_back({0, docs[0].name, std::move(docs[0].xml)});
+    for (int threads : {1, 8}) {
+      xsdf::runtime::EngineOptions options;
+      options.threads = threads;
+      xsdf::runtime::DisambiguationEngine engine(&network, options);
+      auto start = std::chrono::steady_clock::now();
+      auto results = engine.RunBatch(jobs);
+      double us = std::chrono::duration<double, std::micro>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+      if (results.empty() || !results[0].ok) {
+        std::fprintf(stderr, "giant engine run failed (%d threads)\n",
+                     threads);
+        return giant;
+      }
+      if (threads == 1) {
+        giant.engine_1t_us = us;
+      } else {
+        giant.engine_8t_us = us;
+        giant.docs_per_s_8t = us > 0.0 ? 1e6 / us : 0.0;
+        giant.subtree_steals = engine.stats().subtree_steals;
+      }
+    }
+    giant.speedup_8t_vs_1t = giant.engine_8t_us > 0.0
+                                 ? giant.engine_1t_us / giant.engine_8t_us
+                                 : 0.0;
+  }
+  return giant;
 }
 
 }  // namespace
@@ -367,6 +475,8 @@ int main(int argc, char** argv) {
   });
   results.push_back(e2e_stage);
 
+  GiantDocResult giant = RunGiantDocSection(network);
+
   std::printf(
       "%zu docs, %zu nodes, best of %d rounds (checksum %.6f)\n",
       docs.size(), total_nodes, rounds, checksum);
@@ -378,6 +488,19 @@ int main(int argc, char** argv) {
     std::printf("%-16s %15.1f %15.1f %8.2fx\n", r.name.c_str(),
                 r.baseline_ns / 1000.0, r.fast_ns / 1000.0, r.speedup());
   }
+  std::printf(
+      "giant doc (%zu bytes): streaming build %.1f ms (scaffold peak "
+      "%zu bytes, %.2f%% of doc), DOM build %.1f ms (arena %zu bytes)\n",
+      giant.frontend_doc_bytes, giant.streaming_build_us / 1000.0,
+      giant.scaffold_peak_bytes, giant.scaffold_pct_of_doc,
+      giant.dom_build_us / 1000.0, giant.dom_arena_bytes);
+  std::printf(
+      "giant engine (%zu bytes): 1t %.1f ms, 8t %.1f ms "
+      "(%.2fx, %.3f docs/s, %llu steals)\n",
+      giant.engine_doc_bytes, giant.engine_1t_us / 1000.0,
+      giant.engine_8t_us / 1000.0, giant.speedup_8t_vs_1t,
+      giant.docs_per_s_8t,
+      static_cast<unsigned long long>(giant.subtree_steals));
 
   std::FILE* json = std::fopen(json_path, "w");
   if (json == nullptr) {
@@ -399,7 +522,31 @@ int main(int argc, char** argv) {
                  r.fast_ns / 1000.0, r.speedup(),
                  i + 1 < results.size() ? "," : "");
   }
-  std::fprintf(json, "  ]\n}\n");
+  std::fprintf(json, "  ],\n");
+  // The 8t-vs-1t speedup is only meaningful on multi-core hardware;
+  // the single_core_warning env field above flags degenerate runs.
+  std::fprintf(json, "  \"giant_doc\": {\n");
+  std::fprintf(json, "    \"frontend_doc_bytes\": %zu,\n",
+               giant.frontend_doc_bytes);
+  std::fprintf(json, "    \"streaming_build_us\": %.1f,\n",
+               giant.streaming_build_us);
+  std::fprintf(json, "    \"dom_build_us\": %.1f,\n", giant.dom_build_us);
+  std::fprintf(json, "    \"scaffold_peak_bytes\": %zu,\n",
+               giant.scaffold_peak_bytes);
+  std::fprintf(json, "    \"dom_arena_bytes\": %zu,\n",
+               giant.dom_arena_bytes);
+  std::fprintf(json, "    \"scaffold_pct_of_doc\": %.3f,\n",
+               giant.scaffold_pct_of_doc);
+  std::fprintf(json, "    \"engine_doc_bytes\": %zu,\n",
+               giant.engine_doc_bytes);
+  std::fprintf(json, "    \"engine_1t_us\": %.1f,\n", giant.engine_1t_us);
+  std::fprintf(json, "    \"engine_8t_us\": %.1f,\n", giant.engine_8t_us);
+  std::fprintf(json, "    \"speedup_8t_vs_1t\": %.2f,\n",
+               giant.speedup_8t_vs_1t);
+  std::fprintf(json, "    \"docs_per_s_8t\": %.3f,\n", giant.docs_per_s_8t);
+  std::fprintf(json, "    \"subtree_steals\": %llu\n",
+               static_cast<unsigned long long>(giant.subtree_steals));
+  std::fprintf(json, "  }\n}\n");
   std::fclose(json);
   std::printf("results written to %s\n", json_path);
   return 0;

@@ -272,6 +272,13 @@ Result<NodeAudit> Disambiguator::ExplainNode(const xml::LabeledTree& tree,
   return audit;
 }
 
+std::vector<xml::NodeId> Disambiguator::SelectTargets(
+    const xml::LabeledTree& tree) const {
+  obs::StageTimer timer(ins_.select_us, options_.trace, "select");
+  return SelectTargetNodes(tree, *network_, options_.ambiguity_threshold,
+                           options_.ambiguity_weights);
+}
+
 Result<SemanticTree> Disambiguator::RunOnTree(xml::LabeledTree tree) const {
   // Trees handed in without interned labels get one id-assignment pass
   // up front, so every per-node sphere below runs on the id path.
@@ -286,12 +293,7 @@ Result<SemanticTree> Disambiguator::RunOnTree(xml::LabeledTree tree) const {
   StageAccum* acc =
       (ins_.context_us != nullptr || ins_.score_us != nullptr) ? &accum
                                                                : nullptr;
-  std::vector<xml::NodeId> targets;
-  {
-    obs::StageTimer timer(ins_.select_us, options_.trace, "select");
-    targets = SelectTargetNodes(tree, *network_, options_.ambiguity_threshold,
-                                options_.ambiguity_weights);
-  }
+  std::vector<xml::NodeId> targets = SelectTargets(tree);
   for (xml::NodeId id : targets) {
     auto assignment = DisambiguateNodeImpl(tree, id, acc, nullptr);
     if (!assignment.ok()) continue;  // senseless labels stay untouched

@@ -213,6 +213,16 @@ class Disambiguator {
   /// Runs selection + disambiguation on an already-built tree.
   Result<SemanticTree> RunOnTree(xml::LabeledTree tree) const;
 
+  /// The target nodes RunOnTree would disambiguate, in selection
+  /// order, timed into stage.select_us. Exposed so the runtime engine
+  /// can split the per-target DisambiguateNode() loop into stealable
+  /// chunks across workers — DisambiguateNode is a pure function of
+  /// (tree, id) for identically-configured disambiguators, so chunk
+  /// placement never changes results. Requires a tree whose label ids
+  /// match this disambiguator's expectations (the id-assignment pass
+  /// RunOnTree applies to id-less trees is NOT run here).
+  std::vector<xml::NodeId> SelectTargets(const xml::LabeledTree& tree) const;
+
   /// Disambiguates a single node of `tree`; returns the winning
   /// assignment, or NotFound when the label has no candidate senses.
   Result<SenseAssignment> DisambiguateNode(const xml::LabeledTree& tree,

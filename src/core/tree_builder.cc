@@ -21,14 +21,61 @@ std::vector<std::string> LabelSenseTokens(
   return tokens;
 }
 
+const xml::ResolvedLabel& ResolveTagMemo(
+    TreeBuildCache& cache, const wordnet::SemanticNetwork& network,
+    LabelSpace* label_space, const std::string& tag) {
+  auto [it, inserted] = cache.tags.try_emplace(tag);
+  if (inserted) {
+    text::LexiconProbe probe = [&network](const std::string& lemma) {
+      return network.Contains(lemma);
+    };
+    it->second.label = text::PreprocessTagName(tag, probe).label;
+    if (label_space != nullptr) {
+      it->second.id = label_space->Resolve(it->second.label);
+    }
+  }
+  return it->second;
+}
+
+const std::vector<xml::ResolvedLabel>& TokenizeValueMemo(
+    TreeBuildCache& cache, const wordnet::SemanticNetwork& network,
+    LabelSpace* label_space, const std::string& value) {
+  // Two-level value memo: whole values repeat less than their tokens,
+  // so a miss on the value still reuses each token's (pure)
+  // normalization + interning. The composition below is
+  // PreprocessTextValue() step for step, and interning on first sight
+  // of a label follows build order exactly as per-node resolution
+  // would, so memoized output is identical to the direct call.
+  auto [it, inserted] = cache.values.try_emplace(value);
+  if (inserted) {
+    text::LexiconProbe probe = [&network](const std::string& lemma) {
+      return network.Contains(lemma);
+    };
+    std::vector<std::string> tokens =
+        text::RemoveStopWords(text::Tokenize(value));
+    it->second.reserve(tokens.size());
+    for (const std::string& token : tokens) {
+      if (!text::HasLetter(token)) continue;  // drop pure numbers
+      auto [tit, tinserted] = cache.tokens.try_emplace(token);
+      if (tinserted) {
+        tit->second.label = text::NormalizeToken(token, probe);
+        // Tokens that normalize to nothing never become nodes, so
+        // they are never interned (matches the per-node path).
+        if (label_space != nullptr && !tit->second.label.empty()) {
+          tit->second.id = label_space->Resolve(tit->second.label);
+        }
+      }
+      it->second.push_back(tit->second);
+    }
+  }
+  return it->second;
+}
+
 Result<xml::LabeledTree> BuildTree(const xml::Document& doc,
                                    const wordnet::SemanticNetwork& network,
                                    bool include_values,
                                    LabelSpace* label_space,
                                    TreeBuildCache* cache) {
-  text::LexiconProbe probe = [&network](const std::string& lemma) {
-    return network.Contains(lemma);
-  };
   // Documents repeat the same raw tags and values over and over, so
   // the (pure) pre-processing functions are memoized: into the
   // caller's persistent cache when one is passed (cross-document
@@ -39,46 +86,14 @@ Result<xml::LabeledTree> BuildTree(const xml::Document& doc,
   xml::TreeBuildOptions options;
   options.include_values = include_values;
   options.resolved_label_transform =
-      [probe, cache, label_space](
+      [&network, cache, label_space](
           const std::string& tag) -> const xml::ResolvedLabel& {
-    auto [it, inserted] = cache->tags.try_emplace(tag);
-    if (inserted) {
-      it->second.label = text::PreprocessTagName(tag, probe).label;
-      if (label_space != nullptr) {
-        it->second.id = label_space->Resolve(it->second.label);
-      }
-    }
-    return it->second;
+    return ResolveTagMemo(*cache, network, label_space, tag);
   };
-  // Two-level value memo: whole values repeat less than their tokens,
-  // so a miss on the value still reuses each token's (pure)
-  // normalization + interning. The composition below is
-  // PreprocessTextValue() step for step, and interning on first sight
-  // of a label follows build order exactly as per-node resolution
-  // would, so memoized output is identical to the direct call.
   options.resolved_value_tokenizer =
-      [probe, cache, label_space](const std::string& value)
+      [&network, cache, label_space](const std::string& value)
       -> const std::vector<xml::ResolvedLabel>& {
-    auto [it, inserted] = cache->values.try_emplace(value);
-    if (inserted) {
-      std::vector<std::string> tokens =
-          text::RemoveStopWords(text::Tokenize(value));
-      it->second.reserve(tokens.size());
-      for (const std::string& token : tokens) {
-        if (!text::HasLetter(token)) continue;  // drop pure numbers
-        auto [tit, tinserted] = cache->tokens.try_emplace(token);
-        if (tinserted) {
-          tit->second.label = text::NormalizeToken(token, probe);
-          // Tokens that normalize to nothing never become nodes, so
-          // they are never interned (matches the per-node path).
-          if (label_space != nullptr && !tit->second.label.empty()) {
-            tit->second.id = label_space->Resolve(tit->second.label);
-          }
-        }
-        it->second.push_back(tit->second);
-      }
-    }
-    return it->second;
+    return TokenizeValueMemo(*cache, network, label_space, value);
   };
   return BuildLabeledTree(doc, options);
 }

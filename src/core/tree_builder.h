@@ -34,6 +34,23 @@ struct TreeBuildCache {
   std::unordered_map<std::string, xml::ResolvedLabel> tokens;
 };
 
+/// Memoized raw-tag -> (preprocessed label, interned id) mapping: the
+/// exact hook BuildTree installs as resolved_label_transform, exposed
+/// so the streaming front end interns through the same memo and the
+/// two builders stay byte- and id-identical. The returned reference is
+/// a cache entry — valid until the cache is destroyed.
+const xml::ResolvedLabel& ResolveTagMemo(
+    TreeBuildCache& cache, const wordnet::SemanticNetwork& network,
+    LabelSpace* label_space, const std::string& tag);
+
+/// Memoized raw-value -> preprocessed, interned token list (BuildTree's
+/// resolved_value_tokenizer hook), under the same sharing contract as
+/// ResolveTagMemo. Tokens that normalize to nothing keep an empty label
+/// and are never interned; builders skip them.
+const std::vector<xml::ResolvedLabel>& TokenizeValueMemo(
+    TreeBuildCache& cache, const wordnet::SemanticNetwork& network,
+    LabelSpace* label_space, const std::string& value);
+
 /// Splits a node label into the lemma tokens that carry its senses:
 /// a label the network knows as one lemma (including collocations like
 /// "first_name") is a single token; otherwise an underscore-joined

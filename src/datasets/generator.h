@@ -47,6 +47,20 @@ const std::vector<const DatasetGenerator*>& AllDatasets();
 /// and tests), with gold senses.
 std::vector<GeneratedDocument> Figure1Documents();
 
+/// Synthesizes `count` giant documents of roughly `target_bytes` bytes
+/// each (the `xsdf gen-corpus --giant` mode), deterministic in `seed`.
+/// Documents alternate a deep profile (long element spines approaching
+/// but never exceeding the default ParseLimits depth budget) and a wide
+/// profile (large sibling fan-outs with attributes), both mixed with
+/// mini-WordNet vocabulary so the full pipeline does real resolution
+/// work at scale. The XML is emitted directly into one string — no DOM
+/// is materialized, so generation itself stays cheap at any size. No
+/// gold standard is attached (giant docs exercise throughput and
+/// memory, not accuracy).
+std::vector<GeneratedDocument> GiantDocuments(int count,
+                                              size_t target_bytes,
+                                              uint64_t seed);
+
 }  // namespace xsdf::datasets
 
 #endif  // XSDF_DATASETS_GENERATOR_H_

@@ -675,7 +675,105 @@ class ClubGenerator : public DatasetGenerator {
   }
 };
 
+// ===================== Giant documents (gen-corpus --giant) ==============
+
+/// Vocabulary shared by the giant profiles: every word resolves in the
+/// mini-WordNet, so tag and token interning does real lexicon work.
+const std::vector<Vocab>& GiantWords() {
+  static const std::vector<Vocab>* kWords = new std::vector<Vocab>{
+      {"star", "star.celestial.n"},  {"light", "light.n"},
+      {"sun", "sun.n"},              {"shade", "shade.n"},
+      {"king", "king.n"},            {"prince", "prince.n"},
+      {"word", "word.n"},            {"name", "name.n"},
+      {"verse", "verse.line.n"},     {"poem", "poem.n"},
+      {"club", "club.golf.n"},       {"record", "record.disc.n"},
+      {"book", "book.n"},            {"album", "album.n"},
+      {"music", "music.n.art"},      {"sport", "sport.n"},
+      {"game", "game.n"},            {"food", "food.n"},
+      {"title", "title.name.n"},     {"house", "firm.n"},
+      {"press", "press.n"},          {"member", "member.limb.n"},
+      {"city", "city.n"},            {"tree", "tree.diagram.n"},
+  };
+  return *kWords;
+}
+
+/// Appends `words` space-separated vocabulary words.
+void AppendGiantText(std::string& out, Rng& rng, int words) {
+  const std::vector<Vocab>& pool = GiantWords();
+  for (int w = 0; w < words; ++w) {
+    if (w != 0) out += ' ';
+    out += pool[rng.UniformInt(pool.size())].word;
+  }
+}
+
+/// One deep block: an element spine `depth` levels tall with a few
+/// text leaves at the bottom. `depth` is capped well under the default
+/// ParseLimits::max_depth = 256 budget (the root adds one more level).
+void AppendDeepBlock(std::string& out, Rng& rng) {
+  const int depth = 32 + static_cast<int>(rng.UniformInt(32));
+  for (int i = 0; i < depth; ++i) {
+    out += (i % 2 == 0) ? "<section>" : "<chapter>";
+  }
+  const int lines = 3 + static_cast<int>(rng.UniformInt(4));
+  for (int l = 0; l < lines; ++l) {
+    out += "<line>";
+    AppendGiantText(out, rng, 3 + static_cast<int>(rng.UniformInt(4)));
+    out += "</line>";
+  }
+  for (int i = depth - 1; i >= 0; --i) {
+    out += (i % 2 == 0) ? "</section>" : "</chapter>";
+  }
+  out += '\n';
+}
+
+/// One wide block: a flat fan of sibling records with attributes.
+void AppendWideBlock(std::string& out, Rng& rng) {
+  const std::vector<Vocab>& pool = GiantWords();
+  out += "<records>";
+  const int fan = 48 + static_cast<int>(rng.UniformInt(48));
+  for (int r = 0; r < fan; ++r) {
+    const Vocab& kind = pool[rng.UniformInt(pool.size())];
+    out += StrFormat("<record id=\"%d\" kind=\"%s\"><title>",
+                     static_cast<int>(rng.UniformInt(1 << 20)), kind.word);
+    AppendGiantText(out, rng, 2 + static_cast<int>(rng.UniformInt(3)));
+    out += StrFormat("</title><price>%d</price></record>",
+                     1 + static_cast<int>(rng.UniformInt(500)));
+  }
+  out += "</records>\n";
+}
+
 }  // namespace
+
+std::vector<GeneratedDocument> GiantDocuments(int count,
+                                              size_t target_bytes,
+                                              uint64_t seed) {
+  std::vector<GeneratedDocument> docs;
+  docs.reserve(static_cast<size_t>(count < 0 ? 0 : count));
+  for (int d = 0; d < count; ++d) {
+    Rng rng(seed + 131 + static_cast<uint64_t>(d) * 6700417);
+    GeneratedDocument doc;
+    doc.name = StrFormat("giant_%03d.xml", d);
+    std::string& xml = doc.xml;
+    xml.reserve(target_bytes + (64u << 10));
+    xml += "<?xml version=\"1.0\"?>\n<library>\n";
+    // Even documents lead with deep spines, odd with wide fans; both
+    // profiles interleave 3:1 so every giant doc exercises recursion
+    // depth and sibling fan-out together.
+    const bool deep_major = (d % 2 == 0);
+    size_t block = 0;
+    while (xml.size() < target_bytes) {
+      const bool deep = (block++ % 4 != 3) == deep_major;
+      if (deep) {
+        AppendDeepBlock(xml, rng);
+      } else {
+        AppendWideBlock(xml, rng);
+      }
+    }
+    xml += "</library>\n";
+    docs.push_back(std::move(doc));
+  }
+  return docs;
+}
 
 const std::vector<const DatasetGenerator*>& AllDatasets() {
   static const std::vector<const DatasetGenerator*>* kAll = [] {

@@ -1,9 +1,12 @@
 #include "runtime/engine.h"
 
+#include <algorithm>
 #include <condition_variable>
 #include <mutex>
+#include <utility>
 
 #include "common/strings.h"
+#include "core/streaming_builder.h"
 #include "core/tree_builder.h"
 #include "xml/parser.h"
 
@@ -30,6 +33,33 @@ struct DisambiguationEngine::Batch {
     // unlocked notify could touch a destroyed condition variable.
     if (--remaining == 0) done.notify_all();
   }
+};
+
+/// Shared state for one document's chunked target fan-out. The owning
+/// worker keeps it on its stack frame (via shared_ptr, so late-arriving
+/// helper tickets stay safe after the owner moves on) and blocks until
+/// chunks_done reaches chunk_count. `tree` and `targets` point into the
+/// owner's frame: a worker only dereferences them while it holds a
+/// claimed chunk, every claim precedes its chunks_done increment, and
+/// the owner cannot unwind before the final increment — so the pointers
+/// are never read after they die. Workers that dequeue a ticket after
+/// all chunks are claimed observe next_chunk >= chunk_count and return
+/// without touching either pointer.
+struct DisambiguationEngine::SubtreeWork {
+  const xml::LabeledTree* tree = nullptr;
+  const std::vector<xml::NodeId>* targets = nullptr;
+  size_t chunk_size = 0;
+  size_t chunk_count = 0;
+  int owner_worker = -1;
+  std::atomic<size_t> next_chunk{0};
+  std::atomic<size_t> chunks_done{0};
+  /// Per-chunk (target, assignment) pairs in target order; merged by
+  /// the owner chunk by chunk, so the result is independent of which
+  /// worker ran what when.
+  std::vector<std::vector<std::pair<xml::NodeId, core::SenseAssignment>>>
+      chunk_results;
+  std::mutex mu;
+  std::condition_variable done_cv;
 };
 
 DisambiguationEngine::DisambiguationEngine(
@@ -112,6 +142,16 @@ void DisambiguationEngine::WorkerLoop(int worker_index) {
   core::Disambiguator disambiguator(network_, options_.disambiguator);
   core::TreeBuildCache tree_cache;
   while (auto item = queue_.Pop()) {
+    if (item->subtree != nullptr) {
+      // Helper ticket: steal target chunks from another worker's
+      // in-flight document. Deliberately none of the per-document
+      // bookkeeping below — the owner's dequeue already accounted for
+      // the document (engine.documents must equal stage.parse_us
+      // samples, the invariant tools/validate_obs.py checks).
+      RunSubtreeChunks(*item->subtree, disambiguator, worker_index);
+      subtree_tickets_.fetch_sub(1, std::memory_order_relaxed);
+      continue;
+    }
     if (ins_.queue_depth != nullptr) {
       ins_.queue_depth->Record(queue_.size());
     }
@@ -150,7 +190,8 @@ void DisambiguationEngine::WorkerLoop(int worker_index) {
     const bool time_run =
         ins_.job_run_us != nullptr || item->job.rtrace != nullptr;
     const uint64_t run_start = time_run ? obs::MonotonicNowNs() : 0;
-    DocumentResult result = Process(disambiguator, tree_cache, item->job);
+    DocumentResult result =
+        Process(disambiguator, tree_cache, item->job, worker_index);
     result.worker = worker_index;
     result.queue_wait_us = queue_wait_us;
     if (time_run) {
@@ -179,7 +220,8 @@ void DisambiguationEngine::WorkerLoop(int worker_index) {
 
 DocumentResult DisambiguationEngine::Process(
     const core::Disambiguator& disambiguator,
-    core::TreeBuildCache& tree_cache, const DocumentJob& job) const {
+    core::TreeBuildCache& tree_cache, const DocumentJob& job,
+    int worker_index) {
   DocumentResult result;
   result.index = job.index;
   result.name = job.name;
@@ -187,30 +229,44 @@ DocumentResult DisambiguationEngine::Process(
   // RunOnXml) so each gets its own span and latency histogram; the
   // composition is identical, so results are byte-for-byte the same.
   obs::Span doc_span(trace_, "document", job.name);
-  xsdf::Result<xml::Document> doc = [&] {
-    obs::RequestSpan rspan(job.rtrace, "parse");
-    obs::StageTimer timer(ins_.parse_us, trace_, "parse");
-    return xml::Parse(job.xml);
-  }();
-  if (!doc.ok()) {
-    result.error = doc.status().ToString();
-    return result;
-  }
-  if (ins_.arena_used_bytes != nullptr) {
-    // One sample per document: how much of the bump arena the parse
-    // actually consumed vs. what its blocks reserve.
-    ins_.arena_used_bytes->Record(doc->arena().bytes_used());
-    ins_.arena_reserved_bytes->Record(doc->arena().bytes_reserved());
-  }
-  xsdf::Result<xml::LabeledTree> tree = [&] {
+  xml::ParseOptions parse_options;
+  parse_options.limits = options_.parse_limits;
+  core::LabelSpace* build_space =
+      options_.disambiguator.use_id_frontend ? label_space_.get() : nullptr;
+  xsdf::Result<xml::LabeledTree> tree = [&]() -> xsdf::Result<xml::LabeledTree> {
+    if (options_.streaming_frontend) {
+      // Fused parse + tree build: one streaming pass, no DOM. The
+      // whole front end lands in stage.parse_us so its sample count
+      // keeps matching engine.documents (tools/validate_obs.py);
+      // stage.tree_build_us stays registered but unsampled.
+      obs::RequestSpan rspan(job.rtrace, "parse");
+      obs::StageTimer timer(ins_.parse_us, trace_, "parse");
+      core::StreamingBuildStats build_stats;
+      auto built = core::BuildTreeStreaming(
+          job.xml, *network_, parse_options,
+          options_.disambiguator.include_values, build_space, &tree_cache,
+          &build_stats);
+      NoteFrontendPeak(build_stats.scaffold_peak_bytes);
+      return built;
+    }
+    xsdf::Result<xml::Document> doc = [&] {
+      obs::RequestSpan rspan(job.rtrace, "parse");
+      obs::StageTimer timer(ins_.parse_us, trace_, "parse");
+      return xml::Parse(job.xml, parse_options);
+    }();
+    if (!doc.ok()) return doc.status();
+    if (ins_.arena_used_bytes != nullptr) {
+      // One sample per document: how much of the bump arena the parse
+      // actually consumed vs. what its blocks reserve.
+      ins_.arena_used_bytes->Record(doc->arena().bytes_used());
+      ins_.arena_reserved_bytes->Record(doc->arena().bytes_reserved());
+    }
+    NoteFrontendPeak(doc->arena().bytes_reserved());
     obs::RequestSpan rspan(job.rtrace, "tree_build");
     obs::StageTimer timer(ins_.tree_build_us, trace_, "tree_build");
     return core::BuildTree(*doc, *network_,
                            options_.disambiguator.include_values,
-                           options_.disambiguator.use_id_frontend
-                               ? label_space_.get()
-                               : nullptr,
-                           &tree_cache);
+                           build_space, &tree_cache);
   }();
   if (!tree.ok()) {
     result.error = tree.status().ToString();
@@ -218,7 +274,8 @@ DocumentResult DisambiguationEngine::Process(
   }
   auto semantic_tree = [&] {
     obs::RequestSpan rspan(job.rtrace, "disambiguate");
-    return disambiguator.RunOnTree(std::move(tree).value());
+    return DisambiguateTree(disambiguator, std::move(tree).value(),
+                            worker_index);
   }();
   if (!semantic_tree.ok()) {
     result.error = semantic_tree.status().ToString();
@@ -235,13 +292,136 @@ DocumentResult DisambiguationEngine::Process(
   return result;
 }
 
+Result<core::SemanticTree> DisambiguationEngine::DisambiguateTree(
+    const core::Disambiguator& disambiguator, xml::LabeledTree tree,
+    int worker_index) {
+  // Chunked fan-out requires another worker to steal chunks and a tree
+  // whose label ids are already interned (SelectTargets does not
+  // replicate RunOnTree's id-assignment pass for id-less trees).
+  const bool eligible =
+      options_.subtree_parallelism && workers_.size() > 1 &&
+      (!options_.disambiguator.use_id_frontend || tree.has_label_ids());
+  if (!eligible) return disambiguator.RunOnTree(std::move(tree));
+  std::vector<xml::NodeId> targets = disambiguator.SelectTargets(tree);
+  const size_t chunk_size =
+      std::max<size_t>(options_.subtree_chunk_targets, 1);
+  core::SemanticTree result;
+  if (targets.size() <
+      std::max(options_.subtree_min_targets, 2 * chunk_size)) {
+    // Too few targets to amortize ticket overhead: the same sequential
+    // per-target loop RunOnTree runs.
+    for (xml::NodeId id : targets) {
+      auto assignment = disambiguator.DisambiguateNode(tree, id);
+      if (!assignment.ok()) continue;  // senseless labels stay untouched
+      result.assignments.emplace(id, std::move(assignment).value());
+    }
+    result.tree = std::move(tree);
+    return result;
+  }
+  auto work = std::make_shared<SubtreeWork>();
+  work->tree = &tree;
+  work->targets = &targets;
+  work->chunk_size = chunk_size;
+  work->chunk_count = (targets.size() + chunk_size - 1) / chunk_size;
+  work->owner_worker = worker_index;
+  work->chunk_results.resize(work->chunk_count);
+  // At most chunk_count - 1 helpers can find work (the owner drains
+  // too). TryPush only: when the queue is full the owner simply runs
+  // more chunks itself — an owner never blocks on its own fan-out, so
+  // every document always makes progress even with zero helpers.
+  const size_t helpers =
+      std::min(workers_.size() - 1, work->chunk_count - 1);
+  for (size_t i = 0; i < helpers; ++i) {
+    WorkItem ticket;
+    ticket.subtree = work;
+    subtree_tickets_.fetch_add(1, std::memory_order_relaxed);
+    if (!queue_.TryPush(std::move(ticket))) {
+      subtree_tickets_.fetch_sub(1, std::memory_order_relaxed);
+      break;
+    }
+  }
+  RunSubtreeChunks(*work, disambiguator, worker_index);
+  {
+    std::unique_lock<std::mutex> lock(work->mu);
+    work->done_cv.wait(lock, [&] {
+      return work->chunks_done.load(std::memory_order_acquire) ==
+             work->chunk_count;
+    });
+  }
+  subtree_parallel_docs_.fetch_add(1, std::memory_order_relaxed);
+  // Merge in chunk (= target) order. The map is keyed by NodeId and
+  // serialization walks the tree by id, so insertion order can never
+  // leak into the output anyway — the fixed order just keeps the merge
+  // deterministic for debugging.
+  for (auto& chunk : work->chunk_results) {
+    for (auto& entry : chunk) {
+      result.assignments.emplace(entry.first, std::move(entry.second));
+    }
+  }
+  result.tree = std::move(tree);
+  return result;
+}
+
+void DisambiguationEngine::RunSubtreeChunks(
+    SubtreeWork& work, const core::Disambiguator& disambiguator,
+    int worker_index) {
+  while (true) {
+    const size_t chunk =
+        work.next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= work.chunk_count) return;
+    if (worker_index != work.owner_worker) {
+      subtree_steals_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Container span for the per-node spans below: on a stealing
+    // worker's tid there is no enclosing "document" span, so the trace
+    // validator accepts "subtree_chunk" as the alternative container.
+    obs::Span chunk_span(trace_, "subtree_chunk",
+                         StrFormat("chunk %zu/%zu", chunk, work.chunk_count));
+    const std::vector<xml::NodeId>& targets = *work.targets;
+    const size_t begin = chunk * work.chunk_size;
+    const size_t end = std::min(begin + work.chunk_size, targets.size());
+    std::vector<std::pair<xml::NodeId, core::SenseAssignment>>& out =
+        work.chunk_results[chunk];
+    out.reserve(end - begin);
+    // DisambiguateNode is a pure function of (tree, id) for
+    // identically-configured disambiguators, so running this chunk
+    // under a helper's Disambiguator yields the exact bytes the owner
+    // would have produced.
+    for (size_t i = begin; i < end; ++i) {
+      auto assignment =
+          disambiguator.DisambiguateNode(*work.tree, targets[i]);
+      if (!assignment.ok()) continue;  // senseless labels stay untouched
+      out.emplace_back(targets[i], std::move(assignment).value());
+    }
+    const size_t done =
+        work.chunks_done.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (done == work.chunk_count) {
+      // Notify under the mutex: the owner may destroy the frame the
+      // moment it observes the final count, and pairing notify with mu
+      // closes the missed-wakeup window against its predicate check.
+      std::lock_guard<std::mutex> lock(work.mu);
+      work.done_cv.notify_all();
+    }
+  }
+}
+
+void DisambiguationEngine::NoteFrontendPeak(uint64_t bytes) {
+  uint64_t current = frontend_peak_bytes_.load(std::memory_order_relaxed);
+  while (bytes > current &&
+         !frontend_peak_bytes_.compare_exchange_weak(
+             current, bytes, std::memory_order_relaxed)) {
+  }
+}
+
 std::vector<DocumentResult> DisambiguationEngine::RunBatch(
     std::vector<DocumentJob> jobs) {
   if (jobs.empty()) return {};
   Batch batch(jobs.size());
   for (size_t i = 0; i < jobs.size(); ++i) {
     jobs[i].index = i;
-    WorkItem item{std::move(jobs[i]), &batch};
+    WorkItem item;
+    item.job = std::move(jobs[i]);
+    item.batch = &batch;
     if (ins_.job_wait_us != nullptr || item.job.rtrace != nullptr) {
       item.enqueue_ns = obs::MonotonicNowNs();
     }
@@ -263,7 +443,9 @@ std::optional<DocumentResult> DisambiguationEngine::TryRunOne(
     DocumentJob job) {
   Batch batch(1);
   job.index = 0;
-  WorkItem item{std::move(job), &batch};
+  WorkItem item;
+  item.job = std::move(job);
+  item.batch = &batch;
   if (ins_.job_wait_us != nullptr || item.job.rtrace != nullptr) {
     item.enqueue_ns = obs::MonotonicNowNs();
   }
@@ -280,6 +462,11 @@ EngineStats DisambiguationEngine::stats() const {
   stats.nodes = nodes_.load(std::memory_order_relaxed);
   stats.assignments = assignments_.load(std::memory_order_relaxed);
   stats.worker_threads = thread_count();
+  stats.subtree_parallel_docs =
+      subtree_parallel_docs_.load(std::memory_order_relaxed);
+  stats.subtree_steals = subtree_steals_.load(std::memory_order_relaxed);
+  stats.frontend_peak_bytes =
+      frontend_peak_bytes_.load(std::memory_order_relaxed);
   if (similarity_cache_) stats.similarity_cache = similarity_cache_->GetStats();
   if (sense_cache_) stats.sense_cache = sense_cache_->GetStats();
   return stats;
@@ -306,6 +493,17 @@ void DisambiguationEngine::PublishStatsToMetrics() {
   publish_cache("cache.sense", s.sense_cache);
   m->GetGauge("engine.worker_threads")
       ->Set(static_cast<int64_t>(s.worker_threads));
+  // Giant-document front end: worst per-document scaffolding footprint
+  // and the intra-document work-stealing activity (see DESIGN.md §15).
+  m->GetGauge("frontend.arena_peak_bytes")
+      ->Set(static_cast<int64_t>(s.frontend_peak_bytes));
+  m->GetGauge("engine.subtree_steals")
+      ->Set(static_cast<int64_t>(s.subtree_steals));
+  m->GetGauge("engine.subtree_parallel_docs")
+      ->Set(static_cast<int64_t>(s.subtree_parallel_docs));
+  m->GetGauge("engine.subtree_queue_depth")
+      ->Set(static_cast<int64_t>(
+          subtree_tickets_.load(std::memory_order_relaxed)));
   // Label-space occupancy: how much of the id universe the corpus
   // touched beyond the network's own vocabulary.
   m->GetGauge("label_space.network_size")
@@ -321,6 +519,10 @@ void DisambiguationEngine::ResetCounters() {
   failures_.store(0, std::memory_order_relaxed);
   nodes_.store(0, std::memory_order_relaxed);
   assignments_.store(0, std::memory_order_relaxed);
+  subtree_parallel_docs_.store(0, std::memory_order_relaxed);
+  subtree_steals_.store(0, std::memory_order_relaxed);
+  // frontend_peak_bytes_ deliberately survives: it is a lifetime
+  // high-water mark, not a rate (see EngineStats).
   if (similarity_cache_) similarity_cache_->ResetCounters();
   if (sense_cache_) sense_cache_->ResetCounters();
 }

@@ -18,6 +18,7 @@
 #include "runtime/similarity_cache.h"
 #include "runtime/stats.h"
 #include "wordnet/semantic_network.h"
+#include "xml/parser.h"
 
 namespace xsdf::runtime {
 
@@ -84,6 +85,29 @@ struct EngineOptions {
   bool enable_sense_cache = true;
   size_t sense_cache_capacity = 4096;
   size_t sense_cache_shards = 8;
+
+  /// Front-end selection: true (the default) fuses parse + tree build
+  /// into the one-pass streaming build (no DOM materialized, bounded
+  /// scaffolding memory — core::BuildTreeStreaming); false keeps the
+  /// two-pass DOM build. Both produce byte-identical output for every
+  /// document (the DOM path is retained as the bit-identity oracle,
+  /// enforced by tests and the giant-doc CI job).
+  bool streaming_frontend = true;
+
+  /// Parser hardening budgets applied to every document on both front
+  /// ends (the CLI's --max-input-bytes / --max-depth land here).
+  xml::ParseLimits parse_limits;
+
+  /// Intra-document parallelism: when a multi-worker engine selects at
+  /// least `subtree_min_targets` target nodes in one document, the
+  /// owning worker splits the target list into `subtree_chunk_targets`
+  /// sized chunks and publishes helper tickets on the shared job queue
+  /// so idle workers steal chunks — 8 workers saturate on a single
+  /// giant file. Chunk placement never affects output: per-node
+  /// disambiguation is pure and the merge follows target order.
+  bool subtree_parallelism = true;
+  size_t subtree_min_targets = 64;
+  size_t subtree_chunk_targets = 32;
 
   /// Pipeline configuration applied by every worker.
   core::DisambiguatorOptions disambiguator;
@@ -163,10 +187,15 @@ class DisambiguationEngine {
 
  private:
   struct Batch;
+  struct SubtreeWork;
   struct WorkItem {
     DocumentJob job;
     Batch* batch = nullptr;
     uint64_t enqueue_ns = 0;  ///< MonotonicNowNs() at Push; 0 = untimed
+    /// When set, this item is a helper ticket for another worker's
+    /// in-flight document: the dequeuing worker steals target chunks
+    /// from it instead of processing `job`/`batch` (both unset).
+    std::shared_ptr<SubtreeWork> subtree;
   };
   /// Engine-level instrument handles, resolved once against
   /// options_.metrics (all null without a registry).
@@ -190,7 +219,24 @@ class DisambiguationEngine {
   void WorkerLoop(int worker_index);
   DocumentResult Process(const core::Disambiguator& disambiguator,
                          core::TreeBuildCache& tree_cache,
-                         const DocumentJob& job) const;
+                         const DocumentJob& job, int worker_index);
+
+  /// Selection + per-target disambiguation for one document, chunked
+  /// across workers when the target list is big enough (else an inline
+  /// sequential loop / RunOnTree). Byte-identical to RunOnTree.
+  Result<core::SemanticTree> DisambiguateTree(
+      const core::Disambiguator& disambiguator, xml::LabeledTree tree,
+      int worker_index);
+
+  /// Claims and runs chunks of `work` until none remain. Called by the
+  /// owning worker (which then waits for stolen chunks to finish) and
+  /// by any worker that dequeues one of the helper tickets.
+  void RunSubtreeChunks(SubtreeWork& work,
+                        const core::Disambiguator& disambiguator,
+                        int worker_index);
+
+  /// Raises the lifetime front-end scaffolding high-water mark.
+  void NoteFrontendPeak(uint64_t bytes);
 
   const wordnet::SemanticNetwork* network_;
   EngineOptions options_;
@@ -209,6 +255,12 @@ class DisambiguationEngine {
   std::atomic<uint64_t> failures_{0};
   std::atomic<uint64_t> nodes_{0};
   std::atomic<uint64_t> assignments_{0};
+  std::atomic<uint64_t> subtree_parallel_docs_{0};
+  std::atomic<uint64_t> subtree_steals_{0};
+  /// Helper tickets currently on the queue or being drained — the live
+  /// engine.subtree_queue_depth gauge.
+  std::atomic<uint64_t> subtree_tickets_{0};
+  std::atomic<uint64_t> frontend_peak_bytes_{0};
 };
 
 }  // namespace xsdf::runtime

@@ -43,6 +43,9 @@ NodeId LabeledTree::AddNode(NodeId parent, std::string label,
   nodes_.push_back(std::move(node));
   label_ids_.push_back(label_id);
   if (label_id == kNoLabelId) ++missing_label_ids_;
+  max_depth_.store(CachedMax::kUnset);
+  max_fan_out_.store(CachedMax::kUnset);
+  max_density_.store(CachedMax::kUnset);
   return nodes_.back().id;
 }
 
@@ -103,24 +106,33 @@ int LabeledTree::DistinctChildLabelCount(NodeId id) const {
 }
 
 int LabeledTree::MaxDepth() const {
+  int cached = max_depth_.load();
+  if (cached != CachedMax::kUnset) return cached;
   int max_depth = 0;
   for (const TreeNode& n : nodes_) max_depth = std::max(max_depth, n.depth);
+  max_depth_.store(max_depth);
   return max_depth;
 }
 
 int LabeledTree::MaxFanOut() const {
+  int cached = max_fan_out_.load();
+  if (cached != CachedMax::kUnset) return cached;
   int max_fan_out = 0;
   for (const TreeNode& n : nodes_) {
     max_fan_out = std::max(max_fan_out, n.fan_out());
   }
+  max_fan_out_.store(max_fan_out);
   return max_fan_out;
 }
 
 int LabeledTree::MaxDensity() const {
+  int cached = max_density_.load();
+  if (cached != CachedMax::kUnset) return cached;
   int max_density = 0;
   for (const TreeNode& n : nodes_) {
     max_density = std::max(max_density, DistinctChildLabelCount(n.id));
   }
+  max_density_.store(max_density);
   return max_density;
 }
 

@@ -2,6 +2,7 @@
 #define XSDF_XML_LABELED_TREE_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <span>
@@ -109,11 +110,17 @@ class LabeledTree {
   /// density factor x.f-bar (Proposition 3).
   int DistinctChildLabelCount(NodeId id) const;
 
-  /// Max(depth(T)): the maximum node depth in the tree.
+  /// Max(depth(T)): the maximum node depth in the tree. Memoized after
+  /// the first call (AddNode invalidates); the per-node ambiguity
+  /// degree normalizes by this, and recomputing the maximum per target
+  /// made giant-document disambiguation quadratic.
   int MaxDepth() const;
-  /// Max(fan-out(T)): the maximum node fan-out in the tree.
+  /// Max(fan-out(T)): the maximum node fan-out in the tree. Memoized
+  /// like MaxDepth().
   int MaxFanOut() const;
   /// Max(fan-out-bar(T)): the maximum distinct-child-label count.
+  /// Memoized like MaxDepth() — the uncached scan hashes every child
+  /// label of every node, by far the most expensive of the three.
   int MaxDensity() const;
 
   /// Number of edges on the path between `a` and `b` (Definition 4's
@@ -138,11 +145,40 @@ class LabeledTree {
   std::vector<NodeId> Subtree(NodeId id) const;
 
  private:
+  /// A memo cell for the tree-wide maxima above. Reads and writes are
+  /// relaxed atomics so that concurrent disambiguation of one tree
+  /// (the engine's subtree work stealing) may race on the first
+  /// computation: every racer derives the same value from the same
+  /// immutable nodes, so the race is value-benign. Copyable so the
+  /// tree keeps its implicit copy/move operations (a copy inherits
+  /// the source's memo, which is equally valid for identical nodes).
+  class CachedMax {
+   public:
+    static constexpr int kUnset = -1;
+    CachedMax() = default;
+    CachedMax(const CachedMax& other)
+        : value_(other.value_.load(std::memory_order_relaxed)) {}
+    CachedMax& operator=(const CachedMax& other) {
+      value_.store(other.value_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+      return *this;
+    }
+    int load() const { return value_.load(std::memory_order_relaxed); }
+    void store(int value) {
+      value_.store(value, std::memory_order_relaxed);
+    }
+   private:
+    std::atomic<int> value_{kUnset};
+  };
+
   std::vector<TreeNode> nodes_;
   /// Interned label per node, parallel to nodes_ (kNoLabelId when the
   /// node was added without one).
   std::vector<uint32_t> label_ids_;
   size_t missing_label_ids_ = 0;  ///< count of kNoLabelId entries
+  mutable CachedMax max_depth_;
+  mutable CachedMax max_fan_out_;
+  mutable CachedMax max_density_;
 };
 
 /// A preprocessed node label together with its interned id

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <memory>
 #include <sstream>
+#include <vector>
 
 #include "common/strings.h"
 
@@ -133,34 +134,166 @@ class Cursor {
   int column_ = 1;
 };
 
-/// Recursive-descent parser over a Cursor.
-class Parser {
+/// Materializing sink: reproduces the DOM `Parse` has always built.
+/// Children, text, CDATA, and kept comments attach to the innermost
+/// open element in event order, so the resulting tree is the same the
+/// previous recursive build produced.
+class DomSink {
  public:
-  Parser(std::string_view input, const ParseOptions& options)
+  explicit DomSink(Document* doc) : doc_(doc) {}
+
+  void SetVersion(std::string value) { doc_->set_version(std::move(value)); }
+  void SetEncoding(std::string value) {
+    doc_->set_encoding(std::move(value));
+  }
+
+  void PrologComment(std::string content) {
+    Node* node = doc_->NewNode(NodeKind::kComment);
+    node->set_text(std::move(content));
+    doc_->AddPrologNode(node);
+  }
+
+  void PrologProcessingInstruction(std::string content) {
+    Node* node = doc_->NewNode(NodeKind::kProcessingInstruction);
+    size_t space = content.find(' ');
+    node->set_name(content.substr(0, space));
+    if (space != std::string::npos) {
+      node->set_text(content.substr(space + 1));
+    }
+    doc_->AddPrologNode(node);
+  }
+
+  Status StartElement(std::string_view name) {
+    Node* element = doc_->NewNode(NodeKind::kElement);
+    element->set_name(std::string(name));
+    if (open_.empty()) {
+      doc_->set_root(element);
+    } else {
+      open_.back()->AddChild(element);
+    }
+    open_.push_back(element);
+    return Status::Ok();
+  }
+
+  size_t AttributeCount() const { return open_.back()->attributes().size(); }
+  bool HasAttribute(std::string_view name) const {
+    return open_.back()->FindAttribute(name) != nullptr;
+  }
+
+  Status AddAttribute(std::string_view name, std::string value) {
+    open_.back()->AddAttribute(std::string(name), std::move(value));
+    return Status::Ok();
+  }
+
+  Status FinishStartTag() { return Status::Ok(); }
+
+  Status AddText(std::string text) {
+    open_.back()->AddText(std::move(text));
+    return Status::Ok();
+  }
+
+  Status AddCData(std::string text) {
+    Node* cdata = doc_->NewNode(NodeKind::kCData);
+    cdata->set_text(std::move(text));
+    open_.back()->AddChild(cdata);
+    return Status::Ok();
+  }
+
+  void AddComment(std::string content) {
+    Node* comment = doc_->NewNode(NodeKind::kComment);
+    comment->set_text(std::move(content));
+    open_.back()->AddChild(comment);
+  }
+
+  Status EndElement(std::string_view name) {
+    (void)name;
+    open_.pop_back();
+    return Status::Ok();
+  }
+
+ private:
+  Document* doc_;
+  std::vector<Node*> open_;
+};
+
+/// Forwarding sink for `StreamParse`: no DOM, no arena — just the
+/// per-start-tag attribute-name scratch the duplicate check needs.
+class HandlerSink {
+ public:
+  explicit HandlerSink(StreamHandler* handler) : handler_(handler) {}
+
+  void SetVersion(std::string value) { (void)value; }
+  void SetEncoding(std::string value) { (void)value; }
+  void PrologComment(std::string content) { (void)content; }
+  void PrologProcessingInstruction(std::string content) { (void)content; }
+  void AddComment(std::string content) { (void)content; }
+
+  Status StartElement(std::string_view name) {
+    attr_names_.clear();
+    return handler_->OnStartElement(name);
+  }
+
+  size_t AttributeCount() const { return attr_names_.size(); }
+  bool HasAttribute(std::string_view name) const {
+    for (const std::string& existing : attr_names_) {
+      if (existing == name) return true;
+    }
+    return false;
+  }
+
+  Status AddAttribute(std::string_view name, std::string value) {
+    attr_names_.emplace_back(name);
+    return handler_->OnAttribute(name, std::move(value));
+  }
+
+  Status FinishStartTag() { return handler_->OnStartTagDone(); }
+  Status AddText(std::string text) { return handler_->OnText(std::move(text)); }
+  Status AddCData(std::string text) {
+    return handler_->OnCData(std::move(text));
+  }
+  Status EndElement(std::string_view name) {
+    return handler_->OnEndElement(name);
+  }
+
+ private:
+  StreamHandler* handler_;
+  /// Attribute names of the currently open start tag (cleared at
+  /// StartElement — attributes can only occur before any child opens).
+  std::vector<std::string> attr_names_;
+};
+
+/// Recursive-descent parser over a Cursor, emitting structure into a
+/// Sink. `DomSink` materializes the document `Parse` returns;
+/// `HandlerSink` forwards events to a StreamHandler for the one-pass
+/// streaming front end. Both instantiate this same template, so the
+/// grammar, limit checks, entity budget, and text-node boundaries are
+/// shared — the property the streaming-vs-DOM bit-identity tests pin.
+template <typename Sink>
+class ParserT {
+ public:
+  ParserT(std::string_view input, const ParseOptions& options, Sink* sink)
       : cursor_(input),
         options_(options),
+        sink_(sink),
         entity_budget_(options.limits.max_entity_references) {}
 
-  Result<Document> Run() {
-    Document doc;
-    doc_ = &doc;
-    XSDF_RETURN_IF_ERROR(ParseProlog(&doc));
-    auto root = ParseElement();
-    if (!root.ok()) return root.status();
-    doc.set_root(root.value());
+  Status Run() {
+    XSDF_RETURN_IF_ERROR(ParseProlog());
+    XSDF_RETURN_IF_ERROR(ParseElement());
     cursor_.SkipWhitespace();
-    // Trailing misc: comments and PIs are allowed after the root.
+    // Trailing misc: comments and PIs are allowed after the root
+    // (always dropped, matching the previous behavior).
     while (!cursor_.AtEnd()) {
       if (cursor_.LookingAt("<!--")) {
-        XSDF_RETURN_IF_ERROR(SkipComment(nullptr));
+        XSDF_RETURN_IF_ERROR(SkipComment(/*in_prolog=*/false));
       } else if (cursor_.LookingAt("<?")) {
-        XSDF_RETURN_IF_ERROR(SkipProcessingInstruction(nullptr));
+        XSDF_RETURN_IF_ERROR(SkipProcessingInstruction(/*in_prolog=*/false));
       } else {
         return Error("unexpected content after root element");
       }
       cursor_.SkipWhitespace();
     }
-    return doc;
+    return Status::Ok();
   }
 
  private:
@@ -183,22 +316,22 @@ class Parser {
     return DecodeEntities(raw, budget);
   }
 
-  Status ParseProlog(Document* doc) {
+  Status ParseProlog() {
     cursor_.SkipWhitespace();
     // "<?xml" must be followed by whitespace to be the declaration —
     // "<?xml-stylesheet ...?>" is an ordinary processing instruction.
     if (cursor_.LookingAt("<?xml") &&
         std::isspace(static_cast<unsigned char>(cursor_.PeekAt(5)))) {
-      XSDF_RETURN_IF_ERROR(ParseXmlDeclaration(doc));
+      XSDF_RETURN_IF_ERROR(ParseXmlDeclaration());
     }
     cursor_.SkipWhitespace();
     while (!cursor_.AtEnd()) {
       if (cursor_.LookingAt("<!--")) {
-        XSDF_RETURN_IF_ERROR(SkipComment(doc));
+        XSDF_RETURN_IF_ERROR(SkipComment(/*in_prolog=*/true));
       } else if (cursor_.LookingAt("<!DOCTYPE")) {
         XSDF_RETURN_IF_ERROR(SkipDoctype());
       } else if (cursor_.LookingAt("<?")) {
-        XSDF_RETURN_IF_ERROR(SkipProcessingInstruction(doc));
+        XSDF_RETURN_IF_ERROR(SkipProcessingInstruction(/*in_prolog=*/true));
       } else {
         break;
       }
@@ -210,7 +343,7 @@ class Parser {
     return Status::Ok();
   }
 
-  Status ParseXmlDeclaration(Document* doc) {
+  Status ParseXmlDeclaration() {
     cursor_.Match("<?xml");
     while (!cursor_.AtEnd() && !cursor_.LookingAt("?>")) {
       cursor_.SkipWhitespace();
@@ -233,12 +366,12 @@ class Parser {
         if (!IsValidXmlVersion(*value)) {
           return Error("malformed XML version \"" + *value + "\"");
         }
-        doc->set_version(std::move(value).value());
+        sink_->SetVersion(std::move(value).value());
       } else if (*name == "encoding") {
         if (!IsValidEncodingName(*value)) {
           return Error("malformed encoding name \"" + *value + "\"");
         }
-        doc->set_encoding(std::move(value).value());
+        sink_->SetEncoding(std::move(value).value());
       }
       // `standalone` is accepted and ignored.
     }
@@ -262,17 +395,15 @@ class Parser {
     return Error("unterminated DOCTYPE declaration");
   }
 
-  Status SkipComment(Document* doc) {
+  Status SkipComment(bool in_prolog) {
     cursor_.Match("<!--");
     size_t begin = cursor_.pos();
     while (!cursor_.AtEnd()) {
       if (cursor_.LookingAt("-->")) {
         std::string content(cursor_.Slice(begin, cursor_.pos()));
         cursor_.Match("-->");
-        if (options_.keep_comments && doc != nullptr) {
-          Node* node = doc->NewNode(NodeKind::kComment);
-          node->set_text(std::move(content));
-          doc->AddPrologNode(node);
+        if (options_.keep_comments && in_prolog) {
+          sink_->PrologComment(std::move(content));
         }
         return Status::Ok();
       }
@@ -281,21 +412,15 @@ class Parser {
     return Error("unterminated comment");
   }
 
-  Status SkipProcessingInstruction(Document* doc) {
+  Status SkipProcessingInstruction(bool in_prolog) {
     cursor_.Match("<?");
     size_t begin = cursor_.pos();
     while (!cursor_.AtEnd()) {
       if (cursor_.LookingAt("?>")) {
         std::string content(cursor_.Slice(begin, cursor_.pos()));
         cursor_.Match("?>");
-        if (options_.keep_processing_instructions && doc != nullptr) {
-          Node* node = doc->NewNode(NodeKind::kProcessingInstruction);
-          size_t space = content.find(' ');
-          node->set_name(content.substr(0, space));
-          if (space != std::string::npos) {
-            node->set_text(content.substr(space + 1));
-          }
-          doc->AddPrologNode(node);
+        if (options_.keep_processing_instructions && in_prolog) {
+          sink_->PrologProcessingInstruction(std::move(content));
         }
         return Status::Ok();
       }
@@ -339,7 +464,7 @@ class Parser {
     return Decode(raw);
   }
 
-  Result<Node*> ParseElement() {
+  Status ParseElement() {
     if (!cursor_.Match("<")) return Error("expected '<'");
     // The parser, the serializer, the DOM destructor, and the tree
     // builder all recurse once per nesting level, so the depth cap is
@@ -350,16 +475,15 @@ class Parser {
                                   options_.limits.max_depth));
     }
     ++depth_;
-    auto element = ParseElementBody();
+    Status element = ParseElementBody();
     --depth_;
     return element;
   }
 
-  Result<Node*> ParseElementBody() {
+  Status ParseElementBody() {
     auto name = ParseName();
     if (!name.ok()) return name.status();
-    Node* element = doc_->NewNode(NodeKind::kElement);
-    element->set_name(std::string(*name));
+    XSDF_RETURN_IF_ERROR(sink_->StartElement(*name));
 
     // Attributes.
     while (true) {
@@ -367,14 +491,15 @@ class Parser {
       if (cursor_.AtEnd()) return Error("unterminated start tag");
       if (cursor_.LookingAt("/>")) {
         cursor_.Match("/>");
-        return element;
+        XSDF_RETURN_IF_ERROR(sink_->FinishStartTag());
+        return sink_->EndElement(*name);
       }
       if (cursor_.Peek() == '>') {
         cursor_.Advance();
         break;
       }
       if (options_.limits.max_attributes_per_element > 0 &&
-          element->attributes().size() >=
+          sink_->AttributeCount() >=
               options_.limits.max_attributes_per_element) {
         return LimitError(
             StrFormat("element has more than %zu attributes",
@@ -382,7 +507,7 @@ class Parser {
       }
       auto attr_name = ParseName();
       if (!attr_name.ok()) return attr_name.status();
-      if (element->FindAttribute(*attr_name) != nullptr) {
+      if (sink_->HasAttribute(*attr_name)) {
         return Error("duplicate attribute '" + std::string(*attr_name) +
                      "'");
       }
@@ -394,15 +519,17 @@ class Parser {
       cursor_.SkipWhitespace();
       auto value = ParseQuotedValue();
       if (!value.ok()) return value.status();
-      element->AddAttribute(std::string(*attr_name), std::move(*value));
+      XSDF_RETURN_IF_ERROR(
+          sink_->AddAttribute(*attr_name, std::move(*value)));
     }
+    XSDF_RETURN_IF_ERROR(sink_->FinishStartTag());
 
     // Content until the matching end tag.
-    XSDF_RETURN_IF_ERROR(ParseContent(element, *name));
-    return element;
+    XSDF_RETURN_IF_ERROR(ParseContent(*name));
+    return sink_->EndElement(*name);
   }
 
-  Status ParseContent(Node* element, std::string_view tag_name) {
+  Status ParseContent(std::string_view tag_name) {
     std::string pending_text;
     auto flush_text = [&]() -> Status {
       if (pending_text.empty()) return Status::Ok();
@@ -410,11 +537,12 @@ class Parser {
           !IsWhitespaceOnly(pending_text)) {
         if (pending_text.find('&') == std::string::npos) {
           // No references: the accumulated text is already decoded.
-          element->AddText(std::move(pending_text));
+          XSDF_RETURN_IF_ERROR(sink_->AddText(std::move(pending_text)));
         } else {
           auto decoded = Decode(pending_text);
           if (!decoded.ok()) return decoded.status();
-          element->AddText(std::move(decoded).value());
+          XSDF_RETURN_IF_ERROR(
+              sink_->AddText(std::move(decoded).value()));
         }
       }
       pending_text.clear();
@@ -454,10 +582,9 @@ class Parser {
           cursor_.Advance();
         }
         if (cursor_.AtEnd()) return Error("unterminated CDATA section");
-        Node* cdata = doc_->NewNode(NodeKind::kCData);
-        cdata->set_text(std::string(cursor_.Slice(begin, cursor_.pos())));
+        std::string cdata(cursor_.Slice(begin, cursor_.pos()));
         cursor_.Match("]]>");
-        element->AddChild(cdata);
+        XSDF_RETURN_IF_ERROR(sink_->AddCData(std::move(cdata)));
         continue;
       }
       if (cursor_.LookingAt("<!--")) {
@@ -469,29 +596,25 @@ class Parser {
         }
         if (cursor_.AtEnd()) return Error("unterminated comment");
         if (options_.keep_comments) {
-          Node* comment = doc_->NewNode(NodeKind::kComment);
-          comment->set_text(
+          sink_->AddComment(
               std::string(cursor_.Slice(begin, cursor_.pos())));
-          element->AddChild(comment);
         }
         cursor_.Match("-->");
         continue;
       }
       if (cursor_.LookingAt("<?")) {
         XSDF_RETURN_IF_ERROR(flush_text());
-        XSDF_RETURN_IF_ERROR(SkipProcessingInstruction(nullptr));
+        XSDF_RETURN_IF_ERROR(SkipProcessingInstruction(/*in_prolog=*/false));
         continue;
       }
       XSDF_RETURN_IF_ERROR(flush_text());
-      auto child = ParseElement();
-      if (!child.ok()) return child.status();
-      element->AddChild(child.value());
+      XSDF_RETURN_IF_ERROR(ParseElement());
     }
   }
 
   Cursor cursor_;
   ParseOptions options_;
-  Document* doc_ = nullptr;  ///< nodes are created in this doc's arena
+  Sink* sink_;
   int depth_ = 0;
   size_t entity_budget_ = 0;
 };
@@ -593,14 +716,34 @@ bool IsValidName(std::string_view name) {
   return true;
 }
 
-Result<Document> Parse(std::string_view input, const ParseOptions& options) {
+namespace {
+
+Status CheckInputSize(std::string_view input, const ParseOptions& options) {
   if (options.limits.max_input_bytes > 0 &&
       input.size() > options.limits.max_input_bytes) {
     return Status::OutOfRange(
         StrFormat("XML input of %zu bytes exceeds max_input_bytes (%zu)",
                   input.size(), options.limits.max_input_bytes));
   }
-  Parser parser(input, options);
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<Document> Parse(std::string_view input, const ParseOptions& options) {
+  XSDF_RETURN_IF_ERROR(CheckInputSize(input, options));
+  Document doc;
+  DomSink sink(&doc);
+  ParserT<DomSink> parser(input, options, &sink);
+  XSDF_RETURN_IF_ERROR(parser.Run());
+  return doc;
+}
+
+Status StreamParse(std::string_view input, StreamHandler* handler,
+                   const ParseOptions& options) {
+  XSDF_RETURN_IF_ERROR(CheckInputSize(input, options));
+  HandlerSink sink(handler);
+  ParserT<HandlerSink> parser(input, options, &sink);
   return parser.Run();
 }
 

@@ -56,6 +56,54 @@ struct ParseOptions {
 Result<Document> Parse(std::string_view input,
                        const ParseOptions& options = {});
 
+/// Receiver for `StreamParse` events. Callbacks fire in document
+/// order: OnStartElement, then one OnAttribute per attribute in source
+/// order, OnStartTagDone once the start tag closes, interleaved
+/// OnText/OnCData/child elements, and OnEndElement (also emitted for
+/// self-closing tags, right after OnStartTagDone). `name` views point
+/// into the parse input and are only valid during the callback; text
+/// and attribute values arrive entity-decoded (CDATA verbatim) and
+/// whitespace-only text is already dropped per
+/// ParseOptions::discard_whitespace_text. Returning a non-ok Status
+/// aborts the parse with that status.
+class StreamHandler {
+ public:
+  virtual ~StreamHandler() = default;
+  virtual Status OnStartElement(std::string_view name) {
+    (void)name;
+    return Status::Ok();
+  }
+  virtual Status OnAttribute(std::string_view name, std::string value) {
+    (void)name;
+    (void)value;
+    return Status::Ok();
+  }
+  virtual Status OnStartTagDone() { return Status::Ok(); }
+  virtual Status OnText(std::string text) {
+    (void)text;
+    return Status::Ok();
+  }
+  virtual Status OnCData(std::string text) {
+    (void)text;
+    return Status::Ok();
+  }
+  virtual Status OnEndElement(std::string_view name) {
+    (void)name;
+    return Status::Ok();
+  }
+};
+
+/// One-pass SAX-style parse of `input` into `handler`, sharing the
+/// grammar, memchr hot path, and `ParseLimits` budgets with `Parse`
+/// (both front ends instantiate the same parser template, so accepted
+/// inputs, rejected inputs, and the emitted text/CDATA node sequence
+/// are identical by construction). Nothing is materialized: peak
+/// memory is the handler's own state plus one pending-text buffer.
+/// Comments, processing instructions, and the XML declaration are not
+/// surfaced as events.
+Status StreamParse(std::string_view input, StreamHandler* handler,
+                   const ParseOptions& options = {});
+
 /// Reads and parses the XML file at `path`.
 Result<Document> ParseFile(const std::string& path,
                            const ParseOptions& options = {});

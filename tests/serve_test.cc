@@ -707,9 +707,11 @@ TEST(ServeTest, StatsReportsRollingPercentilesAndDebugSlowHasSpans) {
   const std::string& trace = slow->body;
   EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
   // The span tree covers the full request path: connection-side read
-  // and send, queue wait, and the engine stages.
+  // and send, queue wait, and the engine stages. The streaming front
+  // end fuses parse + tree build into the "parse" span, so no
+  // "tree_build" span appears.
   for (const char* span : {"\"read\"", "\"queue_wait\"", "\"parse\"",
-                           "\"tree_build\"", "\"disambiguate\"",
+                           "\"disambiguate\"",
                            "\"serialize\"", "\"send\""}) {
     EXPECT_NE(trace.find(span), std::string::npos) << span;
   }

@@ -121,12 +121,24 @@ def validate_metrics(args):
         "core.node_candidates",
         "core.node_top2_margin_milli",
     ]
+    # Published by PublishStatsToMetrics() (batch --metrics-out and the
+    # serve /metrics endpoint both call it before exporting): the
+    # giant-document front-end memory gauge and the intra-document
+    # work-stealing activity gauges.
+    required_gauges = [
+        "frontend.arena_peak_bytes",
+        "engine.subtree_steals",
+        "engine.subtree_queue_depth",
+    ]
     for name in required_counters:
         if name not in data.get("counters", {}):
             errors.append(f"missing counter {name}")
     for name in required_histograms:
         if name not in data.get("histograms", {}):
             errors.append(f"missing histogram {name}")
+    for name in required_gauges:
+        if name not in data.get("gauges", {}):
+            errors.append(f"missing gauge {name}")
     documents = data.get("counters", {}).get("engine.documents", 0)
     if documents <= 0:
         errors.append("engine.documents is zero — batch recorded nothing")
@@ -159,7 +171,11 @@ def validate_trace(args):
 
     # Per-worker timeline sanity: a worker processes one document at a
     # time, so its document spans must not overlap, and stage spans must
-    # nest inside a document span on the same tid.
+    # nest inside a container span on the same tid. Containers are
+    # "document" spans and "subtree_chunk" spans — a worker stealing
+    # target chunks from another worker's document emits per-node spans
+    # under a subtree_chunk container on its own tid, with the owning
+    # document span living on the owner's tid.
     by_tid = {}
     for span in spans:
         by_tid.setdefault(span["tid"], []).append(span)
@@ -168,23 +184,27 @@ def validate_trace(args):
             (s for s in tid_spans if s["name"] == "document"),
             key=lambda s: s["ts"],
         )
+        containers = sorted(
+            (s for s in tid_spans if s["name"] in ("document", "subtree_chunk")),
+            key=lambda s: s["ts"],
+        )
         for a, b in zip(documents, documents[1:]):
             if a["ts"] + a["dur"] > b["ts"] + 1e-6:
                 errors.append(
                     f"tid {tid}: document spans overlap at ts={b['ts']}"
                 )
         for span in tid_spans:
-            if span["name"] == "document":
+            if span["name"] in ("document", "subtree_chunk"):
                 continue
             inside = any(
                 d["ts"] - 1e-3 <= span["ts"]
                 and span["ts"] + span["dur"] <= d["ts"] + d["dur"] + 1e-3
-                for d in documents
+                for d in containers
             )
-            if documents and not inside:
+            if containers and not inside:
                 errors.append(
                     f"tid {tid}: '{span['name']}' span at ts={span['ts']} "
-                    "outside every document span"
+                    "outside every container span"
                 )
 
     named_tids = {

@@ -78,6 +78,12 @@ int Usage() {
       "JSON\n"
       "      --trace-out FILE    write Chrome trace-event JSON "
       "(Perfetto)\n"
+      "      --frontend F  front end: streaming (default, fused one-pass\n"
+      "                    parse+build) or dom (two-pass oracle); both\n"
+      "                    produce byte-identical output\n"
+      "      --max-input-bytes N  per-document input size cap (default "
+      "64MiB)\n"
+      "      --max-depth N        element nesting cap (default 256)\n"
       "  explain <file.xml> <node> [--radius D] [--measures M]\n"
       "                                    per-node disambiguation audit "
       "as JSON;\n"
@@ -87,6 +93,9 @@ int Usage() {
       "director\n"
       "  gen-corpus <dir> [--seed S]       write the generated example "
       "corpus\n"
+      "      --giant N           instead: write N giant documents\n"
+      "      --target-bytes B    size of each giant document (default "
+      "50MB)\n"
       "  ambiguity <file.xml>              rank nodes by ambiguity degree\n"
       "  query <file.xml> <path>           evaluate an XPath-lite query\n"
       "  expand <keyword> <file.xml>       context-aware term expansion\n"
@@ -119,6 +128,9 @@ int Usage() {
       "      --slow-keep N       slowest traces kept per window for\n"
       "                          GET /debug/slow (default 8; 0 turns\n"
       "                          request tracing off)\n"
+      "      --max-input-bytes N per-document input size cap (default "
+      "64MiB)\n"
+      "      --max-depth N       element nesting cap (default 256)\n"
       "  client <host:port> <dir|filelist> [--concurrency N]\n"
       "                                    drive a serve instance; "
       "prints\n"
@@ -177,6 +189,38 @@ bool ParseIntValue(const std::vector<std::string>& args, size_t* i,
   if (end == text.c_str() || *end != '\0') return false;
   *out = static_cast<int>(value);
   return true;
+}
+
+/// Parses the non-negative byte-count value of a `--flag N` pair
+/// (sizes exceed int range for giant inputs); false on a missing,
+/// non-numeric, or negative value.
+bool ParseSizeValue(const std::vector<std::string>& args, size_t* i,
+                    size_t* out) {
+  if (*i + 1 >= args.size()) return false;
+  ++*i;
+  const std::string& text = args[*i];
+  char* end = nullptr;
+  long long value = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || value < 0) return false;
+  *out = static_cast<size_t>(value);
+  return true;
+}
+
+/// Parses the `--frontend streaming|dom` value into the engine's
+/// streaming_frontend switch; false on anything else.
+bool ParseFrontendValue(const std::vector<std::string>& args, size_t* i,
+                        bool* streaming) {
+  if (*i + 1 >= args.size()) return false;
+  ++*i;
+  if (args[*i] == "streaming") {
+    *streaming = true;
+    return true;
+  }
+  if (args[*i] == "dom") {
+    *streaming = false;
+    return true;
+  }
+  return false;
 }
 
 /// Parses the value of a `--flag VALUE` pair; false when missing.
@@ -283,6 +327,8 @@ int CmdBatch(const SemanticNetwork& network,
   int passes = 1;
   bool no_cache = false;
   bool quiet = false;
+  bool streaming_frontend = true;
+  xsdf::xml::ParseLimits parse_limits;
   std::string metrics_out;
   std::string trace_out;
   xsdf::sim::MeasureConfig measures;
@@ -296,6 +342,16 @@ int CmdBatch(const SemanticNetwork& network,
       if (!ParseIntValue(args, &i, &passes)) return Usage();
     } else if (arg == "--measures") {
       if (!ParseMeasuresValue(args, &i, &measures)) return Usage();
+    } else if (arg == "--frontend") {
+      if (!ParseFrontendValue(args, &i, &streaming_frontend)) return Usage();
+    } else if (arg == "--max-input-bytes") {
+      if (!ParseSizeValue(args, &i, &parse_limits.max_input_bytes)) {
+        return Usage();
+      }
+    } else if (arg == "--max-depth") {
+      int depth = 0;
+      if (!ParseIntValue(args, &i, &depth) || depth < 1) return Usage();
+      parse_limits.max_depth = depth;
     } else if (arg == "--no-cache") {
       no_cache = true;
     } else if (arg == "--quiet") {
@@ -353,6 +409,8 @@ int CmdBatch(const SemanticNetwork& network,
   options.threads = threads;
   options.disambiguator.sphere_radius = radius;
   options.disambiguator.measure_config = measures;
+  options.streaming_frontend = streaming_frontend;
+  options.parse_limits = parse_limits;
   options.enable_similarity_cache = !no_cache;
   options.enable_sense_cache = !no_cache;
   options.metrics = metrics.get();
@@ -494,10 +552,18 @@ int CmdExplain(const SemanticNetwork& network,
 int CmdGenCorpus(const std::vector<std::string>& args) {
   std::string dir;
   int seed = 42;
+  int giant = 0;
+  size_t target_bytes = 50u << 20;
   for (size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
     if (arg == "--seed") {
       if (!ParseIntValue(args, &i, &seed)) return Usage();
+    } else if (arg == "--giant") {
+      if (!ParseIntValue(args, &i, &giant) || giant < 1) return Usage();
+    } else if (arg == "--target-bytes") {
+      if (!ParseSizeValue(args, &i, &target_bytes) || target_bytes == 0) {
+        return Usage();
+      }
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return Usage();
@@ -528,6 +594,19 @@ int CmdGenCorpus(const std::vector<std::string>& args) {
     ++written;
     return true;
   };
+  if (giant > 0) {
+    // Giant mode replaces the example corpus.
+    uintmax_t total = 0;
+    for (const auto& doc : xsdf::datasets::GiantDocuments(
+             giant, target_bytes, static_cast<uint64_t>(seed))) {
+      total += doc.xml.size();
+      if (!write_doc(doc)) return 1;
+    }
+    std::printf("%zu giant documents (%llu bytes) written to %s\n",
+                written, static_cast<unsigned long long>(total),
+                dir.c_str());
+    return 0;
+  }
   for (const auto* generator : xsdf::datasets::AllDatasets()) {
     for (const auto& doc :
          generator->Generate(static_cast<uint64_t>(seed))) {
@@ -742,6 +821,15 @@ int CmdServe(const std::vector<std::string>& args) {
       int keep = 0;
       if (!ParseIntValue(args, &i, &keep) || keep < 0) return Usage();
       options.slow_request_keep = static_cast<size_t>(keep);
+    } else if (arg == "--max-input-bytes") {
+      if (!ParseSizeValue(args, &i,
+                          &options.engine.parse_limits.max_input_bytes)) {
+        return Usage();
+      }
+    } else if (arg == "--max-depth") {
+      int depth = 0;
+      if (!ParseIntValue(args, &i, &depth) || depth < 1) return Usage();
+      options.engine.parse_limits.max_depth = depth;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return Usage();
